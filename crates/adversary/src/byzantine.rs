@@ -1,0 +1,133 @@
+//! Unconditional byzantine behaviours: noise, equivocation fodder, and
+//! silence — strategies "immune to incentive manipulation".
+
+use prft_core::{BallotAction, Behavior, ProposeAction};
+use prft_types::{Block, Digest, NodeId, Round};
+use std::collections::HashSet;
+
+/// Votes (and commits, reveals, finals) for garbage values nobody proposed.
+///
+/// Harmless to safety — garbage never gathers a quorum — but exercises the
+/// validation paths and shows byzantine noise does not trip the penalty
+/// mechanism against honest players.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GarbageVoter;
+
+fn garbage(round: Round, salt: u8) -> Digest {
+    Digest::of_bytes(&[round.0.to_le_bytes().as_slice(), &[salt]].concat())
+}
+
+impl Behavior for GarbageVoter {
+    fn label(&self) -> &'static str {
+        "garbage"
+    }
+
+    fn on_vote(&mut self, round: Round, _value: Digest) -> BallotAction {
+        BallotAction::Replace(garbage(round, 1))
+    }
+
+    fn on_commit(&mut self, round: Round, _value: Digest) -> BallotAction {
+        BallotAction::Replace(garbage(round, 2))
+    }
+
+    fn on_reveal(&mut self, round: Round, _value: Digest) -> BallotAction {
+        BallotAction::Replace(garbage(round, 3))
+    }
+
+    fn send_expose(&self) -> bool {
+        false
+    }
+}
+
+/// Double-signs every vote and commit: the honest value to half the
+/// committee, a garbage value to the other half. Pure `π_ds` fodder for the
+/// fraud detector.
+#[derive(Debug, Clone)]
+pub struct DoubleVoter {
+    second_half: HashSet<NodeId>,
+}
+
+impl DoubleVoter {
+    /// Creates a double-voter that sends the alternative value to the upper
+    /// half of the committee ids.
+    pub fn new(n: usize) -> Self {
+        DoubleVoter {
+            second_half: (n / 2..n).map(NodeId).collect(),
+        }
+    }
+}
+
+impl Behavior for DoubleVoter {
+    fn label(&self) -> &'static str {
+        "double-voter"
+    }
+
+    fn on_vote(&mut self, round: Round, _value: Digest) -> BallotAction {
+        BallotAction::Split {
+            b: garbage(round, 11),
+            b_recipients: self.second_half.clone(),
+        }
+    }
+
+    fn on_commit(&mut self, round: Round, _value: Digest) -> BallotAction {
+        BallotAction::Split {
+            b: garbage(round, 12),
+            b_recipients: self.second_half.clone(),
+        }
+    }
+
+    fn send_expose(&self) -> bool {
+        false
+    }
+}
+
+/// Proposes nothing when leading but otherwise follows the protocol —
+/// a byzantine leader that only attacks liveness of its own rounds.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SilentLeader;
+
+impl Behavior for SilentLeader {
+    fn label(&self) -> &'static str {
+        "silent-leader"
+    }
+
+    fn on_propose(&mut self, _round: Round, _honest_block: &Block) -> ProposeAction {
+        ProposeAction::Silent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn garbage_values_differ_by_phase_and_round() {
+        assert_ne!(garbage(Round(1), 1), garbage(Round(1), 2));
+        assert_ne!(garbage(Round(1), 1), garbage(Round(2), 1));
+    }
+
+    #[test]
+    fn double_voter_splits_to_upper_half() {
+        let mut dv = DoubleVoter::new(4);
+        match dv.on_vote(Round(0), Digest::ZERO) {
+            BallotAction::Split { b_recipients, .. } => {
+                assert_eq!(
+                    b_recipients,
+                    [NodeId(2), NodeId(3)].into_iter().collect::<HashSet<_>>()
+                );
+            }
+            other => panic!("expected split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn silent_leader_is_otherwise_honest() {
+        let mut sl = SilentLeader;
+        assert!(matches!(
+            sl.on_propose(Round(0), &Block::genesis()),
+            ProposeAction::Silent
+        ));
+        assert!(matches!(sl.on_vote(Round(0), Digest::ZERO), BallotAction::Honest));
+        assert!(sl.send_expose());
+    }
+}

@@ -1,0 +1,274 @@
+//! End-to-end attack scenarios: the empirical backbone of Theorems 1–2 and
+//! Lemma 4.
+
+use prft_adversary::{
+    blackboard, Abstain, DoubleVoter, EquivocatingLeader, ForkColluder, GarbageVoter,
+    PartialCensor, SilentLeader,
+};
+use prft_core::analysis::{self, analyze};
+use prft_core::{Behavior, Harness, NetworkChoice};
+use prft_sim::SimTime;
+use prft_types::{NodeId, Round, Transaction, TxId};
+use std::collections::HashSet;
+
+const HORIZON: SimTime = SimTime(2_000_000);
+
+/// θ=3 / Theorem 1: abstention within the quorum slack is harmless…
+#[test]
+fn few_abstainers_do_not_stall() {
+    // n = 8, t0 = 1, quorum 7: one abstainer leaves exactly a quorum.
+    let mut sim = Harness::new(8, 1)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .with_behavior(NodeId(7), Box::new(Abstain))
+        .max_rounds(4)
+        .build();
+    sim.run_until(HORIZON);
+    let r = analyze(&sim);
+    assert!(r.agreement);
+    assert!(r.min_final_height >= 3, "got {}", r.min_final_height);
+    assert!(r.burned.is_empty(), "abstention is never penalized");
+}
+
+/// …but beyond the slack it kills liveness and cannot be punished.
+#[test]
+fn abstention_beyond_t0_stalls_without_penalty() {
+    // n = 8, quorum 7: two abstainers make a quorum impossible (6 < 7) —
+    // exactly Theorem 1's n/3 ≤ k+t < n/2 regime scaled to pRFT's τ.
+    let mut sim = Harness::new(8, 2)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .with_behavior(NodeId(6), Box::new(Abstain))
+        .with_behavior(NodeId(7), Box::new(Abstain))
+        .max_rounds(4)
+        .build();
+    sim.run_until(SimTime(60_000));
+    let r = analyze(&sim);
+    assert!(r.agreement, "safety holds");
+    assert_eq!(r.min_final_height, 0, "liveness is dead (σ_NP)");
+    assert!(
+        r.burned.is_empty(),
+        "π_abs is indistinguishable from crash: D(π_abs, σ) = 0"
+    );
+}
+
+/// θ=2 / Theorem 2: partial censorship keeps liveness, kills censorship
+/// resistance, and is never penalized.
+#[test]
+fn partial_censorship_attack() {
+    // n = 4 (t0 = 0, quorum 4): collusion {P0, P1}, k+t = 2 with
+    // n/3 ≤ 2 < n/2... (2 = n/2 here; the attack needs every vote, making
+    // abstention decisive for honest-led rounds).
+    let n = 4;
+    let censored = TxId(99);
+    let collusion: HashSet<NodeId> = [NodeId(0), NodeId(1)].into_iter().collect();
+    let censor_set: HashSet<TxId> = [censored].into_iter().collect();
+
+    let mut h = Harness::new(n, 3)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .max_rounds(8)
+        // The censored transaction is input to every player…
+        .submit(None, Transaction::new(99, NodeId(2), b"censor me".to_vec()))
+        // …plus background traffic that colluding leaders happily include.
+        .submit(None, Transaction::new(1, NodeId(2), b"ok-1".to_vec()))
+        .submit(None, Transaction::new(2, NodeId(3), b"ok-2".to_vec()));
+    for &member in &collusion {
+        h = h.with_behavior(
+            member,
+            Box::new(PartialCensor::new(n, collusion.clone(), censor_set.clone())),
+        );
+    }
+    let mut sim = h.build();
+    sim.run_until(HORIZON);
+
+    let r = analyze(&sim);
+    assert!(r.agreement);
+    assert!(
+        r.min_final_height >= 2,
+        "liveness survives: colluder-led rounds finalize (got {})",
+        r.min_final_height
+    );
+    assert!(
+        analysis::tx_finalized_everywhere(&sim, TxId(1)),
+        "uncensored traffic confirms"
+    );
+    assert!(
+        !analysis::tx_included_anywhere(&sim, censored),
+        "the censored transaction never appears in any block"
+    );
+    assert!(r.burned.is_empty(), "π_pc is unpunishable: D(π_pc, σ) = 0");
+}
+
+/// θ=1 / Lemma 4: the coordinated fork attack fails against pRFT, and in
+/// synchrony the colluders are caught and burned.
+#[test]
+fn fork_collusion_is_caught_and_burned_in_synchrony() {
+    // n = 9, t0 = 2, quorum 7. Collusion: byzantine equivocating leader P0
+    // + rational colluders P1, P2, P3 (k+t = 4 < n/2 = 4.5 ✓). The split
+    // hands the A side (honest {4,5,6} + collusion) exactly a quorum, so
+    // the attack progresses deep enough to leave certificates behind —
+    // which is precisely what convicts it.
+    let n = 9;
+    let board = blackboard();
+    let b_group: HashSet<NodeId> = [NodeId(7), NodeId(8)].into_iter().collect();
+
+    let mut h = Harness::new(n, 5)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .max_rounds(3)
+        .with_behavior(
+            NodeId(0),
+            Box::new(EquivocatingLeader::new(board.clone(), b_group.clone(), n).only_rounds([Round(0)])),
+        );
+    for i in 1..=3 {
+        h = h.with_behavior(
+            NodeId(i),
+            Box::new(ForkColluder::new(board.clone(), b_group.clone(), n)),
+        );
+    }
+    let mut sim = h.build();
+    sim.run_until(HORIZON);
+
+    let r = analyze(&sim);
+    assert!(r.agreement, "no fork on finalized blocks — ever");
+    // The equivocating leader is caught from its two signed proposals; the
+    // colluders from their split votes/commits crossing the groups.
+    assert!(
+        r.burned.contains(&NodeId(0)),
+        "equivocating leader burned (burned: {:?})",
+        r.burned
+    );
+    assert!(
+        r.burned.len() > 2,
+        "more than t0 = 2 players convicted → expose fired (burned: {:?})",
+        r.burned
+    );
+    // No honest player is ever framed.
+    for honest in 4..9 {
+        assert!(
+            !r.burned.contains(&NodeId(honest)),
+            "honest P{honest} must not be burned"
+        );
+    }
+}
+
+/// The same fork attack under a partition that mirrors the groups: the
+/// quorum-intersection argument (k + t + 2·t0 < n) means at most one side
+/// can finalize — still no disagreement.
+#[test]
+fn fork_collusion_under_partition_cannot_double_finalize() {
+    let n = 9;
+    let board = blackboard();
+    let b_group: HashSet<NodeId> = [NodeId(6), NodeId(7), NodeId(8)].into_iter().collect();
+    let a_group: Vec<NodeId> = vec![NodeId(4), NodeId(5)];
+
+    let mut h = Harness::new(n, 8)
+        .partitioned_until_gst(
+            SimTime(5_000),
+            SimTime(10),
+            // Honest split: {4,5} vs {6,7,8}; colluders 0–3 sit with A.
+            vec![
+                [a_group.clone(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]].concat(),
+                b_group.iter().copied().collect(),
+            ],
+        )
+        .max_rounds(3)
+        .with_behavior(
+            NodeId(0),
+            Box::new(EquivocatingLeader::new(board.clone(), b_group.clone(), n).only_rounds([Round(0)])),
+        );
+    for i in 1..=3 {
+        h = h.with_behavior(
+            NodeId(i),
+            Box::new(ForkColluder::new(board.clone(), b_group.clone(), n)),
+        );
+    }
+    let mut sim = h.build();
+    sim.run_until(HORIZON);
+
+    let r = analyze(&sim);
+    assert!(
+        r.agreement,
+        "k+t+2t0 = 4+4 < 9: both partitions can never finalize conflicting blocks"
+    );
+}
+
+/// A single double-voter (≤ t0) does not trigger an expose — the paper
+/// tolerates up to t0 double signatures — and the round still finalizes.
+#[test]
+fn up_to_t0_double_signers_are_tolerated() {
+    // n = 8, t0 = 1: one double-voter stays at |D| = 1 ≤ t0.
+    let mut sim = Harness::new(8, 9)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .with_behavior(NodeId(5), Box::new(DoubleVoter::new(8)))
+        .max_rounds(3)
+        .build();
+    sim.run_until(HORIZON);
+    let r = analyze(&sim);
+    assert!(r.agreement);
+    assert!(
+        r.min_final_height >= 2,
+        "progress despite tolerated noise (got {})",
+        r.min_final_height
+    );
+    assert_eq!(r.exposes, 0, "|D| ≤ t0 never exposes");
+}
+
+/// More than t0 double-voters trip the expose machinery and all burn.
+#[test]
+fn more_than_t0_double_signers_all_burn() {
+    // n = 8, t0 = 1: two double-voters push |D| = 2 > t0.
+    let mut sim = Harness::new(8, 10)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .with_behavior(NodeId(5), Box::new(DoubleVoter::new(8)))
+        .with_behavior(NodeId(6), Box::new(DoubleVoter::new(8)))
+        .max_rounds(3)
+        .build();
+    sim.run_until(HORIZON);
+    let r = analyze(&sim);
+    assert!(r.agreement);
+    assert!(r.exposes > 0, "expose must fire");
+    assert!(r.burned.contains(&NodeId(5)) && r.burned.contains(&NodeId(6)));
+    assert_eq!(r.burned.len(), 2, "nobody else burned: {:?}", r.burned);
+}
+
+/// Garbage votes never gather quorums, never frame anyone, and within the
+/// fault budget never stop the protocol.
+#[test]
+fn garbage_votes_are_inert() {
+    let mut sim = Harness::new(8, 12)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .with_behavior(NodeId(3), Box::new(GarbageVoter))
+        .max_rounds(4)
+        .build();
+    sim.run_until(HORIZON);
+    let r = analyze(&sim);
+    assert!(r.agreement);
+    assert!(r.min_final_height >= 3, "got {}", r.min_final_height);
+    assert!(r.burned.is_empty());
+}
+
+/// A silent leader only sacrifices its own rounds.
+#[test]
+fn silent_leader_costs_only_its_rounds() {
+    let mut sim = Harness::new(5, 14)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .with_behavior(NodeId(0), Box::new(SilentLeader))
+        .max_rounds(6)
+        .build();
+    sim.run_until(HORIZON);
+    let r = analyze(&sim);
+    assert!(r.agreement);
+    assert!(r.view_changes > 0, "its rounds are skipped via view change");
+    assert!(
+        r.min_final_height >= 3,
+        "other leaders' rounds finalize (got {})",
+        r.min_final_height
+    );
+}
+
+/// Sanity: behaviors report the labels experiments group by.
+#[test]
+fn labels_are_stable() {
+    assert_eq!(Abstain.label(), "abstain");
+    assert_eq!(GarbageVoter.label(), "garbage");
+    assert_eq!(SilentLeader.label(), "silent-leader");
+    assert_eq!(DoubleVoter::new(4).label(), "double-voter");
+}

@@ -1,0 +1,151 @@
+//! Chaos testing: randomized fault injection across many seeds. Safety
+//! (agreement, strict ordering, no honest burns) must hold in every run;
+//! liveness whenever the fault budget allows.
+
+use prft_adversary::{Abstain, DoubleVoter, GarbageVoter, SilentLeader};
+use prft_core::analysis::analyze;
+use prft_core::{Behavior, Harness, NetworkChoice};
+use prft_sim::{SimRng, SimTime};
+use prft_types::NodeId;
+
+const HORIZON: SimTime = SimTime(3_000_000);
+
+/// Builds a random fault assignment within the threat model: at most t0
+/// disruptive players, chosen and typed by the seed.
+fn random_faults(n: usize, t0: usize, rng: &mut SimRng) -> Vec<(NodeId, Box<dyn Behavior>)> {
+    let mut ids: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut ids);
+    let count = rng.below(t0 as u64 + 1) as usize;
+    ids.truncate(count);
+    ids.into_iter()
+        .map(|i| {
+            let behavior: Box<dyn Behavior> = match rng.below(4) {
+                0 => Box::new(Abstain),
+                1 => Box::new(GarbageVoter),
+                2 => Box::new(SilentLeader),
+                _ => Box::new(DoubleVoter::new(n)),
+            };
+            (NodeId(i), behavior)
+        })
+        .collect()
+}
+
+#[test]
+fn randomized_faults_within_budget_never_violate_safety() {
+    let n = 9; // t0 = 2
+    for seed in 0..25u64 {
+        let mut rng = SimRng::new(seed * 31 + 7);
+        let mut h = Harness::new(n, seed)
+            .network(NetworkChoice::PartiallySynchronous {
+                gst: SimTime(1_500),
+                delta: SimTime(10),
+            })
+            .max_rounds(6);
+        let faults = random_faults(n, 2, &mut rng);
+        let faulty: Vec<NodeId> = faults.iter().map(|(id, _)| *id).collect();
+        for (id, b) in faults {
+            h = h.with_behavior(id, b);
+        }
+        let mut sim = h.build();
+        sim.run_until(HORIZON);
+        let r = analyze(&sim);
+        assert!(r.agreement, "seed {seed}: agreement (faulty: {faulty:?})");
+        assert!(r.strict_ordering, "seed {seed}: ordering");
+        for &b in &r.burned {
+            assert!(
+                faulty.contains(&b),
+                "seed {seed}: honest {b} burned (faulty were {faulty:?})"
+            );
+        }
+        assert!(
+            r.min_final_height >= 1,
+            "seed {seed}: some progress within the fault budget (got {}, faulty {faulty:?})",
+            r.min_final_height
+        );
+    }
+}
+
+#[test]
+fn crash_and_recover_mid_run() {
+    let n = 8;
+    let mut sim = Harness::new(n, 41)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .max_rounds(10)
+        .build();
+    // P5 crashes during the early rounds and recovers while the committee
+    // is still running (a passive committee cannot help a late joiner).
+    sim.run_until(SimTime(100));
+    sim.crash(NodeId(5));
+    sim.run_until(SimTime(300));
+    sim.recover(NodeId(5));
+    sim.run_until(HORIZON);
+
+    let r = analyze(&sim);
+    assert!(r.agreement);
+    assert!(r.min_final_height >= 6, "got {}", r.min_final_height);
+    // The recovered node rejoined and reconciled to the same chain.
+    assert_eq!(
+        r.min_final_height, r.max_final_height,
+        "recovered node caught up"
+    );
+    assert!(r.burned.is_empty(), "crashing is never punished");
+}
+
+#[test]
+fn rolling_crashes_one_at_a_time() {
+    // Crash each player for one stretch, one after another, always staying
+    // within the t0 = 1 budget for n = 8.
+    let n = 8;
+    let mut sim = Harness::new(n, 43)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .max_rounds(16)
+        .build();
+    let mut at = 50u64;
+    for i in 0..4 {
+        sim.run_until(SimTime(at));
+        if i > 0 {
+            sim.recover(NodeId(i - 1));
+        }
+        sim.crash(NodeId(i));
+        at += 200;
+    }
+    sim.recover(NodeId(3));
+    sim.run_until(HORIZON);
+
+    let r = analyze(&sim);
+    assert!(r.agreement);
+    assert!(r.strict_ordering);
+    // Rolling leader crashes burn rounds on view changes; what matters is
+    // that everyone (including every recovered node) converges on the same
+    // substantial chain.
+    assert!(
+        r.min_final_height >= 6,
+        "progress through the rolling outage (got {})",
+        r.min_final_height
+    );
+    assert_eq!(
+        r.min_final_height, r.max_final_height,
+        "every recovered node caught up"
+    );
+}
+
+#[test]
+fn all_faulty_types_at_once_within_budget() {
+    // n = 13 → t0 = 3: one abstainer + one garbage voter + one double
+    // voter, all simultaneously.
+    let n = 13;
+    let mut sim = Harness::new(n, 47)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .with_behavior(NodeId(10), Box::new(Abstain))
+        .with_behavior(NodeId(11), Box::new(GarbageVoter))
+        .with_behavior(NodeId(12), Box::new(DoubleVoter::new(n)))
+        .max_rounds(5)
+        .build();
+    sim.run_until(HORIZON);
+    let r = analyze(&sim);
+    assert!(r.agreement);
+    assert!(r.min_final_height >= 4, "got {}", r.min_final_height);
+    for honest in 0..10 {
+        assert!(!r.burned.contains(&NodeId(honest)));
+    }
+}

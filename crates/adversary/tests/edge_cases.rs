@@ -1,0 +1,144 @@
+//! Edge cases around the view-change triggers, sync rate limits, and the
+//! tolerance boundary t = t0.
+
+use prft_adversary::{blackboard, EquivocatingLeader, ForkColluder};
+use prft_core::analysis::analyze;
+use prft_core::{Harness, NetworkChoice};
+use prft_sim::SimTime;
+use prft_types::{NodeId, Round};
+use std::collections::HashSet;
+
+const HORIZON: SimTime = SimTime(2_000_000);
+
+/// A lone equivocating leader (t = 1 ≤ t0): its round is abandoned through
+/// the *equivocation* view-change trigger (not the timeout), the committee
+/// proceeds, and with only one double-signer (≤ t0) no Expose fires — the
+/// paper tolerates up to t0 conflicting signers.
+#[test]
+fn lone_equivocator_triggers_view_change_without_expose() {
+    let n = 9; // t0 = 2
+    let board = blackboard();
+    let b_group: HashSet<NodeId> = (5..9).map(NodeId).collect();
+    let mut sim = Harness::new(n, 61)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .max_rounds(4)
+        .with_behavior(
+            NodeId(0),
+            Box::new(EquivocatingLeader::new(board, b_group, n).only_rounds([Round(0)])),
+        )
+        .build();
+    sim.run_until(HORIZON);
+    let r = analyze(&sim);
+    assert!(r.agreement);
+    assert_eq!(r.exposes, 0, "1 double-signer ≤ t0: tolerated, no expose");
+    assert!(r.burned.is_empty());
+    assert!(
+        r.min_final_height >= 2,
+        "later rounds finalize (got {})",
+        r.min_final_height
+    );
+    // The equivocation was observed somewhere.
+    let seen: u64 = r
+        .honest
+        .iter()
+        .map(|&id| sim.node(id).stats().leader_equivocations)
+        .sum();
+    assert!(seen > 0, "the split proposal was detected via vote s_pro");
+}
+
+/// Exactly t0 fork colluders with an honest leader: nothing to coordinate
+/// on (no equivocation pair on the blackboard), so the colluders fall back
+/// to honest behaviour and the run is clean.
+#[test]
+fn colluders_without_a_leader_are_harmless() {
+    let n = 9;
+    let board = blackboard(); // never populated: no equivocating leader
+    let b_group: HashSet<NodeId> = (7..9).map(NodeId).collect();
+    let mut h = Harness::new(n, 67)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .max_rounds(3);
+    for i in 1..=2 {
+        h = h.with_behavior(
+            NodeId(i),
+            Box::new(ForkColluder::new(board.clone(), b_group.clone(), n)),
+        );
+    }
+    let mut sim = h.build();
+    sim.run_until(HORIZON);
+    let r = analyze(&sim);
+    assert!(r.agreement);
+    assert_eq!(r.min_final_height, 3);
+    assert!(r.burned.is_empty());
+    assert_eq!(r.exposes, 0);
+}
+
+/// The sync machinery is rate-limited: a healthy run emits no SyncRequest
+/// traffic at all, and a recovering node's requests stay bounded.
+#[test]
+fn sync_requests_are_rare_and_bounded() {
+    // Healthy run: zero sync traffic.
+    let mut sim = Harness::new(8, 71)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .max_rounds(5)
+        .build();
+    sim.run_until(HORIZON);
+    assert_eq!(sim.meter().kind("SyncRequest").count, 0);
+
+    // Crash + recover: some sync traffic, but far below the protocol's own
+    // chatter (rate-limited to once per round per laggard).
+    let mut sim = Harness::new(8, 73)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .max_rounds(10)
+        .build();
+    sim.run_until(SimTime(100));
+    sim.crash(NodeId(5));
+    sim.run_until(SimTime(400));
+    sim.recover(NodeId(5));
+    sim.run_until(HORIZON);
+    let r = analyze(&sim);
+    assert_eq!(r.min_final_height, r.max_final_height, "caught up");
+    let sync = sim.meter().kind("SyncRequest").count;
+    let votes = sim.meter().kind("Vote").count;
+    assert!(sync > 0, "the recovered node asked for help");
+    assert!(
+        sync < votes / 10,
+        "sync traffic stays marginal ({sync} vs {votes} votes)"
+    );
+}
+
+/// Boundary t = t0 exactly: t0 crashed byzantine players leave exactly the
+/// quorum — the protocol must still be live (the threat model's edge).
+#[test]
+fn exactly_t0_faults_is_the_live_edge() {
+    for n in [8usize, 9, 12, 13] {
+        let t0 = n.div_ceil(4) - 1;
+        let mut sim = Harness::new(n, 79)
+            .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+            .max_rounds(3)
+            .build();
+        for i in 0..t0 {
+            sim.crash(NodeId(n - 1 - i));
+        }
+        sim.run_until(HORIZON);
+        let r = analyze(&sim);
+        assert!(r.agreement, "n={n}");
+        assert!(
+            r.min_final_height >= 2,
+            "n={n}, t0={t0}: still live at the edge (got {})",
+            r.min_final_height
+        );
+
+        // …and t0 + 1 kills liveness (beyond the model).
+        let mut sim = Harness::new(n, 83)
+            .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+            .max_rounds(3)
+            .build();
+        for i in 0..=t0 {
+            sim.crash(NodeId(n - 1 - i));
+        }
+        sim.run_until(SimTime(100_000));
+        let r = analyze(&sim);
+        assert!(r.agreement, "n={n}: safety still unconditional");
+        assert_eq!(r.min_final_height, 0, "n={n}: t0+1 faults stall");
+    }
+}

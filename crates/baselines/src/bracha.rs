@@ -1,0 +1,284 @@
+//! Bracha reliable broadcast — the `t < n/3` asynchronous column of
+//! Table 1.
+//!
+//! The classic echo/ready protocol: on the sender's `Init`, broadcast
+//! `Echo`; on `⌈(n+t+1)/2⌉` echoes (or `t+1` readys) for a value, broadcast
+//! `Ready`; on `2t+1` readys, deliver. Works under full asynchrony with
+//! `t < n/3`: all honest players deliver the same value or none do, and if
+//! the sender is honest everyone delivers its value.
+
+use prft_sim::{Context, Node, TimerId, WireMessage};
+use prft_types::{Digest, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Bracha RBC wire messages (values are digests; one instance per run).
+#[derive(Debug, Clone, Copy)]
+pub enum BrachaMsg {
+    /// Sender → all.
+    Init(Digest),
+    /// All → all, first response.
+    Echo(Digest),
+    /// All → all, amplification.
+    Ready(Digest),
+}
+
+impl WireMessage for BrachaMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            BrachaMsg::Init(_) => "Init",
+            BrachaMsg::Echo(_) => "Echo",
+            BrachaMsg::Ready(_) => "Ready",
+        }
+    }
+
+    fn wire_bytes(&self) -> usize {
+        33
+    }
+}
+
+/// Node behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrachaMode {
+    /// Follow the protocol (the designated sender broadcasts `value`).
+    Honest,
+    /// Byzantine sender: `Init` one value to the first half, another to the
+    /// second half.
+    EquivocatingSender(Digest, Digest),
+    /// Byzantine: stay silent in every role.
+    Silent,
+}
+
+/// Configuration.
+#[derive(Debug, Clone)]
+pub struct BrachaConfig {
+    /// Committee size.
+    pub n: usize,
+    /// Fault bound.
+    pub t: usize,
+    /// The designated sender.
+    pub sender: NodeId,
+    /// The sender's input (honest case).
+    pub value: Digest,
+}
+
+impl BrachaConfig {
+    /// Echo threshold `⌈(n + t + 1)/2⌉`.
+    pub fn echo_quorum(&self) -> usize {
+        (self.n + self.t + 1).div_ceil(2)
+    }
+
+    /// Ready amplification threshold `t + 1`.
+    pub fn ready_amplify(&self) -> usize {
+        self.t + 1
+    }
+
+    /// Delivery threshold `2t + 1`.
+    pub fn deliver_quorum(&self) -> usize {
+        2 * self.t + 1
+    }
+}
+
+/// One Bracha RBC participant.
+pub struct BrachaNode {
+    cfg: BrachaConfig,
+    me: NodeId,
+    mode: BrachaMode,
+    echoed: bool,
+    readied: bool,
+    echoes: BTreeMap<Digest, BTreeSet<NodeId>>,
+    readys: BTreeMap<Digest, BTreeSet<NodeId>>,
+    delivered: Option<Digest>,
+}
+
+impl BrachaNode {
+    /// Creates a participant.
+    pub fn new(cfg: BrachaConfig, me: NodeId, mode: BrachaMode) -> Self {
+        BrachaNode {
+            cfg,
+            me,
+            mode,
+            echoed: false,
+            readied: false,
+            echoes: BTreeMap::new(),
+            readys: BTreeMap::new(),
+            delivered: None,
+        }
+    }
+
+    /// The delivered value, if any.
+    pub fn delivered(&self) -> Option<Digest> {
+        self.delivered
+    }
+
+    fn maybe_ready(&mut self, ctx: &mut Context<BrachaMsg>, value: Digest) {
+        if self.readied || self.mode == BrachaMode::Silent {
+            return;
+        }
+        let echo_ok = self
+            .echoes
+            .get(&value)
+            .is_some_and(|s| s.len() >= self.cfg.echo_quorum());
+        let ready_ok = self
+            .readys
+            .get(&value)
+            .is_some_and(|s| s.len() >= self.cfg.ready_amplify());
+        if echo_ok || ready_ok {
+            self.readied = true;
+            ctx.broadcast(BrachaMsg::Ready(value));
+        }
+    }
+}
+
+impl Node for BrachaNode {
+    type Msg = BrachaMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<BrachaMsg>) {
+        if self.me != self.cfg.sender {
+            return;
+        }
+        match self.mode {
+            BrachaMode::Honest => ctx.broadcast(BrachaMsg::Init(self.cfg.value)),
+            BrachaMode::EquivocatingSender(a, b) => {
+                for i in 0..self.cfg.n {
+                    let v = if i < self.cfg.n / 2 { a } else { b };
+                    ctx.send(NodeId(i), BrachaMsg::Init(v));
+                }
+            }
+            BrachaMode::Silent => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<BrachaMsg>, from: NodeId, msg: BrachaMsg) {
+        if self.mode == BrachaMode::Silent {
+            return;
+        }
+        match msg {
+            BrachaMsg::Init(v) => {
+                if from == self.cfg.sender && !self.echoed {
+                    self.echoed = true;
+                    ctx.broadcast(BrachaMsg::Echo(v));
+                }
+            }
+            BrachaMsg::Echo(v) => {
+                self.echoes.entry(v).or_default().insert(from);
+                self.maybe_ready(ctx, v);
+            }
+            BrachaMsg::Ready(v) => {
+                self.readys.entry(v).or_default().insert(from);
+                self.maybe_ready(ctx, v);
+                if self.delivered.is_none()
+                    && self.readys[&v].len() >= self.cfg.deliver_quorum()
+                {
+                    self.delivered = Some(v);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Context<BrachaMsg>, _timer: TimerId) {}
+}
+
+/// Builds an RBC committee with one mode per node.
+pub fn committee(cfg: &BrachaConfig, modes: &[BrachaMode]) -> Vec<BrachaNode> {
+    assert_eq!(modes.len(), cfg.n);
+    modes
+        .iter()
+        .enumerate()
+        .map(|(i, &mode)| BrachaNode::new(cfg.clone(), NodeId(i), mode))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prft_net::AsynchronousNet;
+    use prft_sim::{SimTime, Simulation};
+
+    fn value(tag: u8) -> Digest {
+        Digest::of_bytes(&[tag])
+    }
+
+    fn run(n: usize, t: usize, modes: Vec<BrachaMode>, seed: u64) -> Simulation<BrachaNode> {
+        let cfg = BrachaConfig {
+            n,
+            t,
+            sender: NodeId(0),
+            value: value(7),
+        };
+        let mut sim = Simulation::new(
+            committee(&cfg, &modes),
+            Box::new(AsynchronousNet::new(SimTime(20), 0.3, SimTime(5_000))),
+            seed,
+        );
+        sim.run_until(SimTime(10_000_000));
+        sim
+    }
+
+    #[test]
+    fn honest_sender_delivers_everywhere_under_asynchrony() {
+        for seed in [1, 2, 3] {
+            let sim = run(7, 2, vec![BrachaMode::Honest; 7], seed);
+            for i in 0..7 {
+                assert_eq!(
+                    sim.node(NodeId(i)).delivered(),
+                    Some(value(7)),
+                    "seed {seed}, P{i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn silent_faults_within_t_tolerated() {
+        let mut modes = vec![BrachaMode::Honest; 7];
+        modes[5] = BrachaMode::Silent;
+        modes[6] = BrachaMode::Silent;
+        let sim = run(7, 2, modes, 4);
+        for i in 0..5 {
+            assert_eq!(sim.node(NodeId(i)).delivered(), Some(value(7)));
+        }
+    }
+
+    #[test]
+    fn equivocating_sender_never_splits_delivery() {
+        for seed in [5, 6, 7, 8] {
+            let mut modes = vec![BrachaMode::Honest; 7];
+            modes[0] = BrachaMode::EquivocatingSender(value(1), value(2));
+            let sim = run(7, 2, modes, seed);
+            let delivered: BTreeSet<Digest> = (1..7)
+                .filter_map(|i| sim.node(NodeId(i)).delivered())
+                .collect();
+            assert!(
+                delivered.len() <= 1,
+                "seed {seed}: consistency violated: {delivered:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn too_many_faults_stall_delivery() {
+        // t_actual = 3 silent > t = 2 the protocol tolerates (n = 7):
+        // the 2t+1 = 5 ready quorum needs 5 of the 4 live players.
+        let mut modes = vec![BrachaMode::Honest; 7];
+        for m in modes.iter_mut().take(7).skip(4) {
+            *m = BrachaMode::Silent;
+        }
+        let sim = run(7, 2, modes, 9);
+        for i in 0..4 {
+            assert_eq!(sim.node(NodeId(i)).delivered(), None);
+        }
+    }
+
+    #[test]
+    fn thresholds_match_bracha() {
+        let cfg = BrachaConfig {
+            n: 7,
+            t: 2,
+            sender: NodeId(0),
+            value: value(0),
+        };
+        assert_eq!(cfg.echo_quorum(), 5);
+        assert_eq!(cfg.ready_amplify(), 3);
+        assert_eq!(cfg.deliver_quorum(), 5);
+    }
+}

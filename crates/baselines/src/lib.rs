@@ -1,0 +1,27 @@
+//! Baseline protocols the paper compares against (Table 3) or cites as the
+//! known bounds of Table 1 — every one runnable on the same simulation
+//! kernel as pRFT, with the same message metering:
+//!
+//! * [`pbft`] — Practical BFT (Castro–Liskov), partially synchronous,
+//!   `t < n/3`; with the `accountable` flag it becomes **Polygraph-style**
+//!   accountable BFT (certificate cross-exchange + Proof-of-Fraud);
+//! * [`hotstuff`] — leader-aggregated BFT with linear communication
+//!   (Yin et al.), the low-cost non-accountable comparator;
+//! * [`raft_lite`] — crash-fault-tolerant replication (Ongaro–Ousterhout
+//!   essentials), the `CFT(c)`, `2c < n` column of Table 1;
+//! * [`sync_ba`] — authenticated synchronous Byzantine agreement via
+//!   Dolev–Strong broadcast, the `2t < n` synchronous column of Table 1;
+//! * [`bracha`] — Bracha reliable broadcast, the `t < n/3` asynchronous
+//!   column of Table 1;
+//! * [`trap`] — the baiting game of Ranchal-Pedrosa & Gramoli's TRAP, at
+//!   the level Theorem 3 analyses it (who baits, who forks, who pays).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bracha;
+pub mod hotstuff;
+pub mod pbft;
+pub mod raft_lite;
+pub mod sync_ba;
+pub mod trap;

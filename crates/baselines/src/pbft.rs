@@ -1,0 +1,752 @@
+//! pBFT (Castro–Liskov) — and, with [`PbftConfig::accountable`], a
+//! Polygraph-style accountable variant.
+//!
+//! Normal case: `PrePrepare` (primary → all), `Prepare` (all → all),
+//! `Commit` (all → all, carrying the 2f+1 prepare certificate as in the
+//! authenticated variant), quorum `2f + 1` with `f = ⌊(n−1)/3⌋`. View
+//! change on timeout. The accountable variant appends a certificate
+//! cross-exchange phase (`CertExchange`, all → all, carrying the full
+//! commit-certificate set) from which replicas build Proof-of-Fraud against
+//! double-signers — the same mechanism Polygraph (Civit et al.) and pRFT's
+//! Reveal phase use, and the source of the `O(κ·n⁴)` bits in Table 3.
+
+use prft_crypto::{KeyRegistry, SecretKey, Signable, Signed, Slot, KAPPA};
+use prft_sim::{Context, Node, SimTime, TimerId, WireMessage};
+use prft_types::{Digest, Encoder, NodeId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Protocol phases (slot ids for signatures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PbftPhase {
+    /// Primary proposal.
+    PrePrepare,
+    /// First all-to-all round.
+    Prepare,
+    /// Second all-to-all round.
+    Commit,
+    /// Polygraph-style certificate cross-exchange.
+    CertExchange,
+    /// View change.
+    ViewChange,
+}
+
+impl PbftPhase {
+    fn slot_id(self) -> u8 {
+        match self {
+            PbftPhase::PrePrepare => 0,
+            PbftPhase::Prepare => 1,
+            PbftPhase::Commit => 2,
+            PbftPhase::CertExchange => 3,
+            PbftPhase::ViewChange => 4,
+        }
+    }
+}
+
+/// The signed unit: "`signer` endorses `value` for (`view`, `seq`) in
+/// `phase`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PbftBallot {
+    /// Current view.
+    pub view: u64,
+    /// Sequence number being agreed.
+    pub seq: u64,
+    /// Phase.
+    pub phase: PbftPhase,
+    /// Endorsed request digest.
+    pub value: Digest,
+}
+
+impl Signable for PbftBallot {
+    fn domain(&self) -> &'static str {
+        "pbft/ballot"
+    }
+
+    fn slot(&self) -> Slot {
+        // Views and sequence numbers are both bounded in simulation; pack
+        // them so conflicts are detected per (view, seq, phase).
+        Slot {
+            round: (self.view << 32) | (self.seq & 0xffff_ffff),
+            phase: self.phase.slot_id(),
+        }
+    }
+
+    fn signable_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.bytes(&self.value.0);
+        e.into_bytes()
+    }
+}
+
+/// A commit entry in the cert-exchange phase: the commit ballot plus its
+/// prepare certificate (what makes the exchange `O(κ·n²)` per message).
+#[derive(Debug, Clone)]
+pub struct CommitEntry {
+    /// The commit ballot.
+    pub commit: Signed<PbftBallot>,
+    /// Its 2f+1 prepare certificate.
+    pub prepares: Vec<Signed<PbftBallot>>,
+}
+
+const BALLOT_BYTES: usize = 32 + 9 + KAPPA;
+
+impl CommitEntry {
+    fn wire_bytes(&self) -> usize {
+        BALLOT_BYTES * (1 + self.prepares.len())
+    }
+}
+
+/// pBFT wire messages.
+#[derive(Debug, Clone)]
+pub enum PbftMsg {
+    /// Primary → all.
+    PrePrepare {
+        /// The signed proposal ballot.
+        ballot: Signed<PbftBallot>,
+        /// Simulated request payload size.
+        payload: usize,
+    },
+    /// All → all.
+    Prepare {
+        /// The signed prepare ballot.
+        ballot: Signed<PbftBallot>,
+    },
+    /// All → all with prepare certificate.
+    Commit {
+        /// The signed commit ballot.
+        ballot: Signed<PbftBallot>,
+        /// 2f+1 prepares justifying it.
+        prepares: Vec<Signed<PbftBallot>>,
+    },
+    /// Accountable variant only: all → all with the commit-certificate set.
+    CertExchange {
+        /// The sender's view of the committed certificates.
+        entries: Vec<CommitEntry>,
+        /// Sender (unsigned container; the entries are all signed).
+        sender: NodeId,
+    },
+    /// Timeout escalation.
+    ViewChange {
+        /// Signed view-change ballot (value = ⊥, view = target view).
+        ballot: Signed<PbftBallot>,
+    },
+}
+
+impl WireMessage for PbftMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            PbftMsg::PrePrepare { .. } => "PrePrepare",
+            PbftMsg::Prepare { .. } => "Prepare",
+            PbftMsg::Commit { .. } => "Commit",
+            PbftMsg::CertExchange { .. } => "CertExchange",
+            PbftMsg::ViewChange { .. } => "ViewChange",
+        }
+    }
+
+    fn wire_bytes(&self) -> usize {
+        match self {
+            PbftMsg::PrePrepare { payload, .. } => BALLOT_BYTES + payload,
+            PbftMsg::Prepare { .. } => BALLOT_BYTES,
+            PbftMsg::Commit { prepares, .. } => BALLOT_BYTES * (1 + prepares.len()),
+            PbftMsg::CertExchange { entries, .. } => {
+                8 + entries.iter().map(CommitEntry::wire_bytes).sum::<usize>()
+            }
+            PbftMsg::ViewChange { .. } => BALLOT_BYTES,
+        }
+    }
+}
+
+/// Behaviour mode of a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PbftMode {
+    /// Follow the protocol.
+    Honest,
+    /// Prepare/commit every value seen — the classic safety adversary.
+    VoteAll,
+    /// As primary, send different values to the two halves of the
+    /// committee (seed of a split-brain when combined with `VoteAll`
+    /// helpers and a partition).
+    EquivocatingPrimary,
+}
+
+/// Configuration.
+#[derive(Debug, Clone)]
+pub struct PbftConfig {
+    /// Committee size.
+    pub n: usize,
+    /// Fault bound `f = ⌊(n−1)/3⌋` (overridable for bound experiments).
+    pub f: usize,
+    /// Per-sequence timeout before view change.
+    pub timeout: SimTime,
+    /// Sequences to decide before going passive.
+    pub max_seqs: u64,
+    /// Request payload size in bytes.
+    pub payload: usize,
+    /// Enables the Polygraph-style cert-exchange + fraud detection.
+    pub accountable: bool,
+}
+
+impl PbftConfig {
+    /// Standard configuration for `n` replicas.
+    pub fn new(n: usize, max_seqs: u64) -> Self {
+        PbftConfig {
+            n,
+            f: (n - 1) / 3,
+            timeout: SimTime(400),
+            max_seqs,
+            payload: 256,
+            accountable: false,
+        }
+    }
+
+    /// Enables accountability (Polygraph variant).
+    #[must_use]
+    pub fn accountable(mut self) -> Self {
+        self.accountable = true;
+        self
+    }
+
+    fn quorum(&self) -> usize {
+        // n − f: the general BFT quorum (equals 2f+1 at n = 3f+1); two
+        // quorums intersect in n − 2f > f replicas whenever n > 3f.
+        self.n - self.f
+    }
+}
+
+/// Observable outcome counters.
+#[derive(Debug, Clone, Default)]
+pub struct PbftStats {
+    /// Decided (seq → value).
+    pub decided: BTreeMap<u64, Digest>,
+    /// View changes entered.
+    pub view_changes: u64,
+    /// Players convicted of double-signing (accountable variant).
+    pub convicted: BTreeSet<NodeId>,
+}
+
+/// One pBFT replica.
+pub struct PbftReplica {
+    cfg: PbftConfig,
+    key: SecretKey,
+    registry: KeyRegistry,
+    mode: PbftMode,
+
+    view: u64,
+    seq: u64,
+    passive: bool,
+    timer: Option<(TimerId, u64, u64)>, // (id, view, seq)
+
+    proposed: BTreeSet<u64>,
+    prepared: bool,
+    committed: bool,
+    exchanged: bool,
+    prepares: HashMap<Digest, BTreeMap<NodeId, Signed<PbftBallot>>>,
+    commits: HashMap<Digest, BTreeMap<NodeId, CommitEntry>>,
+    vc_votes: BTreeMap<u64, BTreeSet<NodeId>>,
+    first_sig: HashMap<(NodeId, Slot), Signed<PbftBallot>>,
+
+    stats: PbftStats,
+}
+
+impl PbftReplica {
+    /// Creates a replica.
+    pub fn new(cfg: PbftConfig, key: SecretKey, registry: KeyRegistry, mode: PbftMode) -> Self {
+        PbftReplica {
+            cfg,
+            key,
+            registry,
+            mode,
+            view: 0,
+            seq: 0,
+            passive: false,
+            timer: None,
+            proposed: BTreeSet::new(),
+            prepared: false,
+            committed: false,
+            exchanged: false,
+            prepares: HashMap::new(),
+            commits: HashMap::new(),
+            vc_votes: BTreeMap::new(),
+            first_sig: HashMap::new(),
+            stats: PbftStats::default(),
+        }
+    }
+
+    /// Outcome counters.
+    pub fn stats(&self) -> &PbftStats {
+        &self.stats
+    }
+
+    /// The decided log as a vector (gaps never occur: one seq at a time).
+    pub fn log(&self) -> Vec<Digest> {
+        self.stats.decided.values().copied().collect()
+    }
+
+    fn id(&self) -> NodeId {
+        self.key.signer()
+    }
+
+    fn primary(&self) -> NodeId {
+        NodeId((self.view % self.cfg.n as u64) as usize)
+    }
+
+    fn request_value(&self) -> Digest {
+        // The "client request" for this sequence: deterministic content.
+        Digest::of_bytes(&[b"pbft-req".as_slice(), &self.seq.to_le_bytes()].concat())
+    }
+
+    fn ballot(&self, phase: PbftPhase, value: Digest) -> Signed<PbftBallot> {
+        Signed::sign(
+            PbftBallot {
+                view: self.view,
+                seq: self.seq,
+                phase,
+                value,
+            },
+            &self.key,
+        )
+    }
+
+    fn observe(&mut self, ballot: &Signed<PbftBallot>) {
+        if !self.cfg.accountable {
+            return;
+        }
+        let key = (ballot.signer(), ballot.payload.slot());
+        match self.first_sig.get(&key) {
+            None => {
+                self.first_sig.insert(key, ballot.clone());
+            }
+            Some(first) if first.payload == ballot.payload => {}
+            Some(_) => {
+                self.stats.convicted.insert(ballot.signer());
+            }
+        }
+    }
+
+    fn start_seq(&mut self, ctx: &mut Context<PbftMsg>) {
+        if self.seq >= self.cfg.max_seqs {
+            self.passive = true;
+            self.timer = None;
+            return;
+        }
+        self.prepared = false;
+        self.committed = false;
+        self.exchanged = false;
+        self.prepares.clear();
+        self.commits.clear();
+        let id = ctx.set_timer(self.cfg.timeout);
+        self.timer = Some((id, self.view, self.seq));
+
+        if self.primary() == self.id() && self.proposed.insert(self.seq) {
+            match self.mode {
+                PbftMode::EquivocatingPrimary => {
+                    let va = self.request_value();
+                    let vb = Digest::of_bytes(&[b"equiv".as_slice(), &self.seq.to_le_bytes()].concat());
+                    let ba = self.ballot(PbftPhase::PrePrepare, va);
+                    let bb = self.ballot(PbftPhase::PrePrepare, vb);
+                    let payload = self.cfg.payload;
+                    let me = self.id();
+                    for i in 0..self.cfg.n {
+                        let to = NodeId(i);
+                        if to == me {
+                            // The byzantine primary knows both of its own
+                            // proposals and will vote for everything.
+                            ctx.send(to, PbftMsg::PrePrepare { ballot: ba.clone(), payload });
+                            ctx.send(to, PbftMsg::PrePrepare { ballot: bb.clone(), payload });
+                        } else if i < self.cfg.n / 2 {
+                            ctx.send(to, PbftMsg::PrePrepare { ballot: ba.clone(), payload });
+                        } else {
+                            ctx.send(to, PbftMsg::PrePrepare { ballot: bb.clone(), payload });
+                        }
+                    }
+                }
+                _ => {
+                    let ballot = self.ballot(PbftPhase::PrePrepare, self.request_value());
+                    ctx.broadcast(PbftMsg::PrePrepare {
+                        ballot,
+                        payload: self.cfg.payload,
+                    });
+                }
+            }
+        }
+    }
+
+    fn current(&self, ballot: &Signed<PbftBallot>) -> bool {
+        ballot.payload.view == self.view && ballot.payload.seq == self.seq
+    }
+
+    fn on_preprepare(&mut self, ctx: &mut Context<PbftMsg>, ballot: Signed<PbftBallot>) {
+        if !ballot.verify(&self.registry)
+            || ballot.signer() != self.primary()
+            || !self.current(&ballot)
+            || ballot.payload.phase != PbftPhase::PrePrepare
+        {
+            return;
+        }
+        self.observe(&ballot);
+        let value = ballot.payload.value;
+        let prepare = self.ballot(PbftPhase::Prepare, value);
+        match self.mode {
+            // Byzantine modes prepare for everything, even conflicts.
+            PbftMode::VoteAll | PbftMode::EquivocatingPrimary => {
+                ctx.broadcast(PbftMsg::Prepare { ballot: prepare });
+            }
+            PbftMode::Honest => {
+                if !self.prepared {
+                    self.prepared = true;
+                    ctx.broadcast(PbftMsg::Prepare { ballot: prepare });
+                }
+            }
+        }
+    }
+
+    fn on_prepare(&mut self, ctx: &mut Context<PbftMsg>, ballot: Signed<PbftBallot>) {
+        if !ballot.verify(&self.registry)
+            || !self.current(&ballot)
+            || ballot.payload.phase != PbftPhase::Prepare
+        {
+            return;
+        }
+        self.observe(&ballot);
+        let value = ballot.payload.value;
+        self.prepares
+            .entry(value)
+            .or_default()
+            .insert(ballot.signer(), ballot);
+        let quorum = self.cfg.quorum();
+        let reached = self.prepares.get(&value).map_or(0, BTreeMap::len) >= quorum;
+        if !reached {
+            return;
+        }
+        let send_commit = match self.mode {
+            PbftMode::VoteAll | PbftMode::EquivocatingPrimary => true,
+            PbftMode::Honest => !self.committed,
+        };
+        if send_commit {
+            self.committed = true;
+            let prepares: Vec<Signed<PbftBallot>> = self.prepares[&value]
+                .values()
+                .take(quorum)
+                .cloned()
+                .collect();
+            let commit = self.ballot(PbftPhase::Commit, value);
+            ctx.broadcast(PbftMsg::Commit {
+                ballot: commit,
+                prepares,
+            });
+        }
+    }
+
+    fn on_commit(
+        &mut self,
+        ctx: &mut Context<PbftMsg>,
+        ballot: Signed<PbftBallot>,
+        prepares: Vec<Signed<PbftBallot>>,
+    ) {
+        if !ballot.verify(&self.registry)
+            || !self.current(&ballot)
+            || ballot.payload.phase != PbftPhase::Commit
+        {
+            return;
+        }
+        // Validate the prepare certificate.
+        let value = ballot.payload.value;
+        let mut signers = BTreeSet::new();
+        for p in &prepares {
+            if p.payload.phase != PbftPhase::Prepare
+                || p.payload.view != ballot.payload.view
+                || p.payload.seq != ballot.payload.seq
+                || p.payload.value != value
+                || !p.verify(&self.registry)
+            {
+                return;
+            }
+            signers.insert(p.signer());
+        }
+        if signers.len() < self.cfg.quorum() {
+            return;
+        }
+        self.observe(&ballot);
+        for p in &prepares {
+            self.observe(p);
+        }
+        self.commits.entry(value).or_default().insert(
+            ballot.signer(),
+            CommitEntry {
+                commit: ballot,
+                prepares,
+            },
+        );
+        if self.commits.get(&value).map_or(0, BTreeMap::len) >= self.cfg.quorum() {
+            self.decide(ctx, value);
+        }
+    }
+
+    fn decide(&mut self, ctx: &mut Context<PbftMsg>, value: Digest) {
+        if self.stats.decided.contains_key(&self.seq) {
+            return;
+        }
+        if self.cfg.accountable && !self.exchanged {
+            self.exchanged = true;
+            let entries: Vec<CommitEntry> = self.commits[&value]
+                .values()
+                .take(self.cfg.quorum())
+                .cloned()
+                .collect();
+            ctx.broadcast(PbftMsg::CertExchange {
+                entries,
+                sender: self.id(),
+            });
+        }
+        self.stats.decided.insert(self.seq, value);
+        self.seq += 1;
+        self.start_seq(ctx);
+    }
+
+    fn on_cert_exchange(&mut self, entries: Vec<CommitEntry>) {
+        if !self.cfg.accountable {
+            return;
+        }
+        for entry in entries {
+            if entry.commit.verify(&self.registry) {
+                self.observe(&entry.commit);
+            }
+            for p in entry.prepares {
+                if p.verify(&self.registry) {
+                    self.observe(&p);
+                }
+            }
+        }
+    }
+
+    fn on_view_change(&mut self, ctx: &mut Context<PbftMsg>, ballot: Signed<PbftBallot>) {
+        if !ballot.verify(&self.registry) || ballot.payload.phase != PbftPhase::ViewChange {
+            return;
+        }
+        let target = ballot.payload.view;
+        if target <= self.view {
+            return;
+        }
+        let me = self.id();
+        let votes = self.vc_votes.entry(target).or_default();
+        votes.insert(ballot.signer());
+        let count = votes.len();
+        let joined = votes.contains(&me);
+        // Join once f+1 want out (someone honest timed out)…
+        if count > self.cfg.f && !joined {
+            self.send_view_change(ctx, target);
+        }
+        // …and switch on a 2f+1 quorum.
+        if count >= self.cfg.quorum() {
+            self.view = target;
+            self.stats.view_changes += 1;
+            self.start_seq(ctx);
+        }
+    }
+
+    fn send_view_change(&mut self, ctx: &mut Context<PbftMsg>, target: u64) {
+        let ballot = Signed::sign(
+            PbftBallot {
+                view: target,
+                seq: self.seq,
+                phase: PbftPhase::ViewChange,
+                value: Digest::ZERO,
+            },
+            &self.key,
+        );
+        let me = self.id();
+        self.vc_votes.entry(target).or_default().insert(me);
+        ctx.broadcast(PbftMsg::ViewChange { ballot });
+    }
+}
+
+impl Node for PbftReplica {
+    type Msg = PbftMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<PbftMsg>) {
+        self.start_seq(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<PbftMsg>, _from: NodeId, msg: PbftMsg) {
+        if self.passive {
+            return;
+        }
+        match msg {
+            PbftMsg::PrePrepare { ballot, .. } => self.on_preprepare(ctx, ballot),
+            PbftMsg::Prepare { ballot } => self.on_prepare(ctx, ballot),
+            PbftMsg::Commit { ballot, prepares } => self.on_commit(ctx, ballot, prepares),
+            PbftMsg::CertExchange { entries, .. } => self.on_cert_exchange(entries),
+            PbftMsg::ViewChange { ballot } => self.on_view_change(ctx, ballot),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<PbftMsg>, timer: TimerId) {
+        if self.passive {
+            return;
+        }
+        let Some((id, view, seq)) = self.timer else {
+            return;
+        };
+        if id != timer || view != self.view || seq != self.seq {
+            return;
+        }
+        let target = self.view + 1;
+        self.send_view_change(ctx, target);
+        // Keep a timer armed so repeated failures keep escalating.
+        let tid = ctx.set_timer(self.cfg.timeout);
+        self.timer = Some((tid, self.view, self.seq));
+    }
+}
+
+/// Builds a pBFT committee with the given per-replica modes.
+pub fn committee(
+    cfg: &PbftConfig,
+    seed: u64,
+    modes: &[PbftMode],
+) -> (Vec<PbftReplica>, KeyRegistry) {
+    assert_eq!(modes.len(), cfg.n);
+    let (registry, keys) = KeyRegistry::trusted_setup(cfg.n, seed);
+    let replicas = keys
+        .into_iter()
+        .zip(modes)
+        .map(|(key, &mode)| PbftReplica::new(cfg.clone(), key, registry.clone(), mode))
+        .collect();
+    (replicas, registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prft_sim::{RunOutcome, SimRng, Simulation};
+
+    fn run(n: usize, seqs: u64, accountable: bool, modes: Option<Vec<PbftMode>>) -> Simulation<PbftReplica> {
+        let mut cfg = PbftConfig::new(n, seqs);
+        if accountable {
+            cfg = cfg.accountable();
+        }
+        let modes = modes.unwrap_or_else(|| vec![PbftMode::Honest; n]);
+        let (replicas, _) = committee(&cfg, 42, &modes);
+        let mut sim = Simulation::new(
+            replicas,
+            Box::new(prft_net::SynchronousNet::new(SimTime(10))),
+            7,
+        );
+        sim.run_until(SimTime(1_000_000));
+        sim
+    }
+
+    #[test]
+    fn honest_committee_decides_in_agreement() {
+        let sim = run(7, 5, false, None);
+        let logs: Vec<Vec<Digest>> = (0..7).map(|i| sim.node(NodeId(i)).log()).collect();
+        assert!(logs.iter().all(|l| l.len() == 5), "all decide 5 seqs");
+        assert!(logs.iter().all(|l| *l == logs[0]), "identical logs");
+    }
+
+    #[test]
+    fn crash_within_f_tolerated() {
+        let cfg = PbftConfig::new(7, 4); // f = 2
+        let (replicas, _) = committee(&cfg, 1, &vec![PbftMode::Honest; 7]);
+        let mut sim = Simulation::new(
+            replicas,
+            Box::new(prft_net::SynchronousNet::new(SimTime(10))),
+            3,
+        );
+        sim.crash(NodeId(5));
+        sim.crash(NodeId(6));
+        sim.run_until(SimTime(1_000_000));
+        for i in 0..5 {
+            assert_eq!(sim.node(NodeId(i)).log().len(), 4, "P{i} decided");
+        }
+    }
+
+    #[test]
+    fn crash_beyond_f_stalls_safely() {
+        let cfg = PbftConfig::new(7, 4);
+        let (replicas, _) = committee(&cfg, 1, &vec![PbftMode::Honest; 7]);
+        let mut sim = Simulation::new(
+            replicas,
+            Box::new(prft_net::SynchronousNet::new(SimTime(10))),
+            3,
+        );
+        for i in 4..7 {
+            sim.crash(NodeId(i));
+        }
+        sim.run_until(SimTime(100_000));
+        for i in 0..4 {
+            assert!(sim.node(NodeId(i)).log().is_empty(), "no quorum, no decision");
+        }
+    }
+
+    #[test]
+    fn crashed_primary_triggers_view_change() {
+        let cfg = PbftConfig::new(7, 3);
+        let (replicas, _) = committee(&cfg, 1, &vec![PbftMode::Honest; 7]);
+        let mut sim = Simulation::new(
+            replicas,
+            Box::new(prft_net::SynchronousNet::new(SimTime(10))),
+            3,
+        );
+        sim.crash(NodeId(0)); // primary of view 0
+        sim.run_until(SimTime(1_000_000));
+        let n1 = sim.node(NodeId(1));
+        assert!(n1.stats().view_changes > 0);
+        assert_eq!(n1.log().len(), 3, "progress under the new primary");
+    }
+
+    #[test]
+    fn accountable_variant_adds_cert_exchange() {
+        let plain = run(7, 3, false, None);
+        let acc = run(7, 3, true, None);
+        assert_eq!(plain.meter().kind("CertExchange").count, 0);
+        assert!(acc.meter().kind("CertExchange").count > 0);
+        assert!(
+            acc.meter().total_bytes() > 2 * plain.meter().total_bytes(),
+            "accountability costs roughly a factor n in bits"
+        );
+    }
+
+    #[test]
+    fn accountable_variant_convicts_equivocators() {
+        // Equivocating primary + two vote-all helpers (f = 2 for n = 7):
+        // both halves can prepare, and the cert exchange reveals the
+        // double-signers to everyone.
+        let mut modes = vec![PbftMode::Honest; 7];
+        modes[0] = PbftMode::EquivocatingPrimary;
+        modes[1] = PbftMode::VoteAll;
+        modes[2] = PbftMode::VoteAll;
+        let sim = run(7, 2, true, Some(modes));
+        let mut convicted_somewhere = BTreeSet::new();
+        for i in 3..7 {
+            convicted_somewhere.extend(sim.node(NodeId(i)).stats().convicted.iter().copied());
+        }
+        assert!(
+            convicted_somewhere.contains(&NodeId(0))
+                || convicted_somewhere.contains(&NodeId(1))
+                || convicted_somewhere.contains(&NodeId(2)),
+            "some double-signer is convicted: {convicted_somewhere:?}"
+        );
+        // Honest replicas are never convicted.
+        for honest in 3..7 {
+            assert!(!convicted_somewhere.contains(&NodeId(honest)));
+        }
+    }
+
+    #[test]
+    fn message_complexity_scales_quadratically() {
+        let m8 = {
+            let sim = run(8, 3, false, None);
+            sim.meter().kind("Prepare").count as f64 / 3.0
+        };
+        let m16 = {
+            let sim = run(16, 3, false, None);
+            sim.meter().kind("Prepare").count as f64 / 3.0
+        };
+        let ratio = m16 / m8;
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "n² scaling: doubling n ≈ 4× prepares (got {ratio})"
+        );
+        let _ = SimRng::new(0);
+        let _ = RunOutcome::Quiescent;
+    }
+}

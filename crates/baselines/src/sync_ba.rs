@@ -1,0 +1,373 @@
+//! Authenticated synchronous Byzantine agreement via Dolev–Strong
+//! broadcast — the `2t < n` synchronous BFT column of Table 1.
+//!
+//! Each player Dolev–Strong-broadcasts its input: lock-step rounds of a
+//! known duration; a value is accepted in round `r` only with `r` distinct
+//! signatures (chained relays), for `t + 1` rounds. A broadcast *extracts*
+//! exactly one value at every honest player or `⊥` at all of them —
+//! unforgeable signatures make equivocation self-defeating. Consensus then
+//! outputs the majority over the `n` extracted values, which is correct
+//! for `t < n/2` (honest majority) and demonstrably wrong beyond.
+
+use prft_crypto::{KeyRegistry, SecretKey, Signable, Signed, Slot, KAPPA};
+use prft_sim::{Context, Node, SimTime, TimerId, WireMessage};
+use prft_types::{Digest, Encoder, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The signed content of a Dolev–Strong relay: broadcast instance (the
+/// originating sender) and the value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DsValue {
+    /// The broadcast instance = the original sender.
+    pub origin: NodeId,
+    /// The broadcast value.
+    pub value: Digest,
+}
+
+impl Signable for DsValue {
+    fn domain(&self) -> &'static str {
+        "dolev-strong/value"
+    }
+
+    fn slot(&self) -> Slot {
+        Slot {
+            round: self.origin.0 as u64,
+            phase: 0,
+        }
+    }
+
+    fn signable_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.bytes(&self.value.0);
+        e.into_bytes()
+    }
+}
+
+/// A relay message: the value plus its signature chain.
+#[derive(Debug, Clone)]
+pub struct DsMsg {
+    /// The signed content (all signatures are over the same content).
+    pub content: DsValue,
+    /// The chain: first signature must be the origin's.
+    pub sigs: Vec<Signed<DsValue>>,
+}
+
+impl WireMessage for DsMsg {
+    fn kind(&self) -> &'static str {
+        "DsRelay"
+    }
+
+    fn wire_bytes(&self) -> usize {
+        40 + self.sigs.len() * KAPPA
+    }
+}
+
+/// Per-node behaviour for boundary experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DsMode {
+    /// Follow the protocol; broadcast the given input value tag.
+    Honest(u8),
+    /// Equivocate: send tag `a` to the first half, tag `b` to the rest.
+    Equivocate(u8, u8),
+    /// Send nothing as sender; relay honestly.
+    SilentSender,
+}
+
+/// Configuration.
+#[derive(Debug, Clone)]
+pub struct DsConfig {
+    /// Committee size.
+    pub n: usize,
+    /// Fault bound `t` (protocol runs `t + 1` rounds).
+    pub t: usize,
+    /// Lock-step round duration (must exceed the network bound Δ).
+    pub round_len: SimTime,
+}
+
+impl DsConfig {
+    /// Standard configuration.
+    pub fn new(n: usize, t: usize) -> Self {
+        DsConfig {
+            n,
+            t,
+            round_len: SimTime(50),
+        }
+    }
+}
+
+/// One player running `n` parallel Dolev–Strong broadcasts + majority vote.
+pub struct DsNode {
+    cfg: DsConfig,
+    key: SecretKey,
+    registry: KeyRegistry,
+    mode: DsMode,
+    round: usize,
+    /// Extracted values per origin.
+    extracted: BTreeMap<NodeId, BTreeSet<Digest>>,
+    /// Messages received this round, processed at the next boundary.
+    inbox: Vec<DsMsg>,
+    /// Final per-origin outputs (None = ⊥).
+    outputs: Option<BTreeMap<NodeId, Option<Digest>>>,
+    decision: Option<Option<Digest>>,
+}
+
+impl DsNode {
+    /// Creates a node.
+    pub fn new(cfg: DsConfig, key: SecretKey, registry: KeyRegistry, mode: DsMode) -> Self {
+        DsNode {
+            cfg,
+            key,
+            registry,
+            mode,
+            round: 0,
+            extracted: BTreeMap::new(),
+            inbox: Vec::new(),
+            outputs: None,
+            decision: None,
+        }
+    }
+
+    /// The consensus decision: `Some(Some(v))` once decided, `Some(None)`
+    /// for ⊥, `None` while running.
+    pub fn decision(&self) -> Option<Option<Digest>> {
+        self.decision
+    }
+
+    /// Per-origin broadcast outputs after termination.
+    pub fn outputs(&self) -> Option<&BTreeMap<NodeId, Option<Digest>>> {
+        self.outputs.as_ref()
+    }
+
+    fn id(&self) -> NodeId {
+        self.key.signer()
+    }
+
+    fn tagged(&self, tag: u8) -> Digest {
+        Digest::of_bytes(&[b"ds-input".as_slice(), &[tag]].concat())
+    }
+
+    fn send_initial(&mut self, ctx: &mut Context<DsMsg>) {
+        let make = |key: &SecretKey, origin: NodeId, value: Digest| {
+            let content = DsValue { origin, value };
+            DsMsg {
+                content,
+                sigs: vec![Signed::sign(content, key)],
+            }
+        };
+        match self.mode {
+            DsMode::Honest(tag) => {
+                let v = self.tagged(tag);
+                ctx.broadcast(make(&self.key, self.id(), v));
+            }
+            DsMode::Equivocate(a, b) => {
+                let va = self.tagged(a);
+                let vb = self.tagged(b);
+                let ma = make(&self.key, self.id(), va);
+                let mb = make(&self.key, self.id(), vb);
+                for i in 0..self.cfg.n {
+                    let msg = if i < self.cfg.n / 2 { ma.clone() } else { mb.clone() };
+                    ctx.send(NodeId(i), msg);
+                }
+            }
+            DsMode::SilentSender => {}
+        }
+    }
+
+    fn valid_chain(&self, msg: &DsMsg, round: usize) -> bool {
+        if msg.sigs.is_empty() || msg.sigs.len() < round {
+            return false;
+        }
+        let mut signers = BTreeSet::new();
+        for s in &msg.sigs {
+            if s.payload != msg.content || !s.verify(&self.registry) {
+                return false;
+            }
+            signers.insert(s.signer());
+        }
+        // Distinct signers, the first being the origin.
+        signers.len() == msg.sigs.len() && msg.sigs[0].signer() == msg.content.origin
+    }
+
+    fn process_round(&mut self, ctx: &mut Context<DsMsg>) {
+        let round = self.round;
+        let inbox = std::mem::take(&mut self.inbox);
+        for msg in inbox {
+            if !self.valid_chain(&msg, round) {
+                continue;
+            }
+            let set = self.extracted.entry(msg.content.origin).or_default();
+            if !set.insert(msg.content.value) {
+                continue; // already extracted
+            }
+            // Relay with our signature appended (rounds 1..=t only).
+            if round <= self.cfg.t && !msg.sigs.iter().any(|s| s.signer() == self.id()) {
+                let mut sigs = msg.sigs.clone();
+                sigs.push(Signed::sign(msg.content, &self.key));
+                ctx.broadcast(DsMsg {
+                    content: msg.content,
+                    sigs,
+                });
+            }
+        }
+    }
+
+    fn decide(&mut self) {
+        let mut outputs = BTreeMap::new();
+        for i in 0..self.cfg.n {
+            let origin = NodeId(i);
+            let out = match self.extracted.get(&origin) {
+                Some(set) if set.len() == 1 => Some(*set.iter().next().expect("len 1")),
+                _ => None, // none or equivocation ⇒ ⊥
+            };
+            outputs.insert(origin, out);
+        }
+        // Majority over non-⊥ outputs.
+        let mut tally: BTreeMap<Digest, usize> = BTreeMap::new();
+        for out in outputs.values().flatten() {
+            *tally.entry(*out).or_default() += 1;
+        }
+        let decision = tally
+            .iter()
+            .max_by_key(|(d, c)| (**c, std::cmp::Reverse(**d)))
+            .filter(|(_, &c)| 2 * c > self.cfg.n)
+            .map(|(d, _)| *d);
+        self.outputs = Some(outputs);
+        self.decision = Some(decision);
+    }
+}
+
+impl Node for DsNode {
+    type Msg = DsMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<DsMsg>) {
+        self.send_initial(ctx);
+        ctx.set_timer(self.cfg.round_len);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<DsMsg>, _from: NodeId, msg: DsMsg) {
+        if self.decision.is_none() {
+            self.inbox.push(msg);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<DsMsg>, _timer: TimerId) {
+        self.round += 1;
+        self.process_round(ctx);
+        if self.round > self.cfg.t + 1 {
+            self.decide();
+        } else {
+            ctx.set_timer(self.cfg.round_len);
+        }
+    }
+}
+
+/// Builds a committee with the given modes.
+pub fn committee(cfg: &DsConfig, seed: u64, modes: &[DsMode]) -> Vec<DsNode> {
+    assert_eq!(modes.len(), cfg.n);
+    let (registry, keys) = KeyRegistry::trusted_setup(cfg.n, seed);
+    keys.into_iter()
+        .zip(modes)
+        .map(|(key, &mode)| DsNode::new(cfg.clone(), key, registry.clone(), mode))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prft_sim::Simulation;
+
+    fn run(n: usize, t: usize, modes: Vec<DsMode>) -> Simulation<DsNode> {
+        let cfg = DsConfig::new(n, t);
+        let mut sim = Simulation::new(
+            committee(&cfg, 5, &modes),
+            Box::new(prft_net::SynchronousNet::new(SimTime(10))),
+            23,
+        );
+        sim.run_until(SimTime(1_000_000));
+        sim
+    }
+
+    fn decisions(sim: &Simulation<DsNode>, honest: &[usize]) -> Vec<Option<Digest>> {
+        honest
+            .iter()
+            .map(|&i| sim.node(NodeId(i)).decision().expect("terminated"))
+            .collect()
+    }
+
+    #[test]
+    fn all_honest_same_input_agree_on_it() {
+        let sim = run(5, 1, vec![DsMode::Honest(7); 5]);
+        let ds = decisions(&sim, &[0, 1, 2, 3, 4]);
+        assert!(ds.iter().all(|d| d.is_some()));
+        assert!(ds.iter().all(|d| *d == ds[0]), "validity + agreement");
+    }
+
+    #[test]
+    fn equivocating_sender_extracts_bottom_everywhere() {
+        // One equivocator among five, t = 1 honest majority intact.
+        let mut modes = vec![DsMode::Honest(7); 5];
+        modes[0] = DsMode::Equivocate(1, 2);
+        let sim = run(5, 1, modes);
+        for i in 1..5 {
+            let outputs = sim.node(NodeId(i)).outputs().unwrap();
+            assert_eq!(outputs[&NodeId(0)], None, "equivocation ⇒ ⊥ at P{i}");
+        }
+        let ds = decisions(&sim, &[1, 2, 3, 4]);
+        assert!(ds.iter().all(|d| *d == ds[0]), "agreement survives");
+        assert_eq!(ds[0], Some(Digest::of_bytes(&[b"ds-input".as_slice(), &[7]].concat())));
+    }
+
+    #[test]
+    fn silent_senders_within_t_under_half_keep_majority() {
+        // n = 5, two silent byzantine senders (t = 2 < n/2): honest majority
+        // still carries the honest value.
+        let mut modes = vec![DsMode::Honest(7); 5];
+        modes[3] = DsMode::SilentSender;
+        modes[4] = DsMode::SilentSender;
+        let sim = run(5, 2, modes);
+        let ds = decisions(&sim, &[0, 1, 2]);
+        assert!(ds.iter().all(|d| d.is_some()));
+        assert!(ds.iter().all(|d| *d == ds[0]));
+    }
+
+    #[test]
+    fn byzantine_majority_flips_the_outcome() {
+        // n = 5, t = 3 ≥ n/2: three byzantine senders input a different
+        // value and the majority vote follows them — the 2t < n bound is
+        // tight.
+        let honest_val = Digest::of_bytes(&[b"ds-input".as_slice(), &[7]].concat());
+        let byz_val = Digest::of_bytes(&[b"ds-input".as_slice(), &[9]].concat());
+        let mut modes = vec![DsMode::Honest(7); 5];
+        for m in modes.iter_mut().take(5).skip(2) {
+            *m = DsMode::Honest(9); // byzantine here = coordinated wrong input
+        }
+        let sim = run(5, 3, modes);
+        let ds = decisions(&sim, &[0, 1]);
+        assert!(ds.iter().all(|d| *d == Some(byz_val)), "validity broken: {ds:?}");
+        assert_ne!(ds[0], Some(honest_val));
+    }
+
+    #[test]
+    fn signature_chains_reject_forgery() {
+        let (registry, keys) = KeyRegistry::trusted_setup(3, 1);
+        let cfg = DsConfig::new(3, 1);
+        let node = DsNode::new(cfg, keys[1].clone(), registry, DsMode::Honest(0));
+        let content = DsValue {
+            origin: NodeId(0),
+            value: Digest::of_bytes(b"v"),
+        };
+        let good = DsMsg {
+            content,
+            sigs: vec![Signed::sign(content, &keys[0])],
+        };
+        assert!(node.valid_chain(&good, 1));
+        // Chain not starting with the origin's signature.
+        let bad = DsMsg {
+            content,
+            sigs: vec![Signed::sign(content, &keys[2])],
+        };
+        assert!(!node.valid_chain(&bad, 1));
+        // Too-short chain for the round.
+        assert!(!node.valid_chain(&good, 2));
+    }
+}

@@ -1,0 +1,172 @@
+//! Edge cases for the baseline protocols: contested elections, Bracha's
+//! ready-amplification path, Dolev–Strong with longer relay chains, and
+//! pBFT's split-brain at the broken bound.
+
+use prft_baselines::{bracha, pbft, raft_lite, sync_ba};
+use prft_net::{AsynchronousNet, PartitionWindow, PartitionedNet, SynchronousNet};
+use prft_sim::{SimTime, Simulation};
+use prft_types::{Digest, NodeId};
+use std::collections::BTreeSet;
+
+/// Raft under contested elections (all candidates start together thanks to
+/// randomized-but-close timeouts): exactly one leader wins each term and
+/// the log still converges.
+#[test]
+fn raft_contested_elections_converge() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let cfg = raft_lite::RaftConfig::new(5, 3);
+        let mut sim = Simulation::new(
+            raft_lite::cluster(&cfg),
+            Box::new(SynchronousNet::new(SimTime(50))), // slow net: more contention
+            seed,
+        );
+        sim.run_until(SimTime(2_000_000));
+        let logs: Vec<Vec<raft_lite::Entry>> = (0..5)
+            .map(|i| sim.node(NodeId(i)).committed().to_vec())
+            .collect();
+        assert!(
+            logs.iter().any(|l| l.len() >= 3),
+            "seed {seed}: commits despite contention"
+        );
+        for a in &logs {
+            for b in &logs {
+                let m = a.len().min(b.len());
+                assert_eq!(&a[..m], &b[..m], "seed {seed}: prefix agreement");
+            }
+        }
+    }
+}
+
+/// Raft through a partition: the majority side commits; the minority side
+/// cannot, and reconciles (truncates) after healing.
+#[test]
+fn raft_partition_majority_rules() {
+    let cfg = raft_lite::RaftConfig::new(5, 4);
+    let mut net = PartitionedNet::new(Box::new(SynchronousNet::new(SimTime(10))));
+    net.add_window(PartitionWindow::split(
+        SimTime(0),
+        SimTime(5_000),
+        vec![
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            vec![NodeId(3), NodeId(4)],
+        ],
+    ));
+    let mut sim = Simulation::new(raft_lite::cluster(&cfg), Box::new(net), 9);
+    sim.run_until(SimTime(3_000_000));
+    let logs: Vec<Vec<raft_lite::Entry>> = (0..5)
+        .map(|i| sim.node(NodeId(i)).committed().to_vec())
+        .collect();
+    assert!(logs.iter().any(|l| l.len() >= 4), "majority side committed");
+    for a in &logs {
+        for b in &logs {
+            let m = a.len().min(b.len());
+            assert_eq!(&a[..m], &b[..m], "healed logs agree");
+        }
+    }
+}
+
+/// Bracha's amplification: a silent *sender* plus readys injected by honest
+/// relays — delivery through the `t+1 readys → ready` path when echoes are
+/// split. Here: sender equivocates, and no value reaches the echo quorum,
+/// but consistency must hold across every async schedule.
+#[test]
+fn bracha_equivocation_under_many_schedules() {
+    for seed in 0..10u64 {
+        let mut modes = vec![bracha::BrachaMode::Honest; 7];
+        modes[0] =
+            bracha::BrachaMode::EquivocatingSender(Digest::of_bytes(b"x"), Digest::of_bytes(b"y"));
+        let cfg = bracha::BrachaConfig {
+            n: 7,
+            t: 2,
+            sender: NodeId(0),
+            value: Digest::of_bytes(b"x"),
+        };
+        let mut sim = Simulation::new(
+            bracha::committee(&cfg, &modes),
+            Box::new(AsynchronousNet::new(SimTime(30), 0.4, SimTime(8_000))),
+            seed,
+        );
+        sim.run_until(SimTime(30_000_000));
+        let delivered: BTreeSet<Digest> = (1..7)
+            .filter_map(|i| sim.node(NodeId(i)).delivered())
+            .collect();
+        assert!(delivered.len() <= 1, "seed {seed}: {delivered:?}");
+    }
+}
+
+/// Dolev–Strong with a larger committee and t = 3: the relay chains grow to
+/// t+1 signatures and agreement still holds with an equivocating sender.
+#[test]
+fn dolev_strong_long_chains() {
+    let n = 9;
+    let mut modes = vec![sync_ba::DsMode::Honest(7); n];
+    modes[0] = sync_ba::DsMode::Equivocate(1, 2);
+    let cfg = sync_ba::DsConfig::new(n, 3);
+    let mut sim = Simulation::new(
+        sync_ba::committee(&cfg, 5, &modes),
+        Box::new(SynchronousNet::new(SimTime(10))),
+        31,
+    );
+    sim.run_until(SimTime(1_000_000));
+    let decisions: Vec<_> = (1..n)
+        .map(|i| sim.node(NodeId(i)).decision().expect("terminated"))
+        .collect();
+    assert!(decisions.iter().all(|d| *d == decisions[0]), "agreement");
+    // The equivocator's broadcast extracted ⊥ at every honest player.
+    for i in 1..n {
+        assert_eq!(sim.node(NodeId(i)).outputs().unwrap()[&NodeId(0)], None);
+    }
+}
+
+/// pBFT at the broken bound: a committee misconfigured to f beyond
+/// ⌊(n−1)/3⌋ with an equivocating primary and vote-all helpers *does*
+/// split-brain — the 3t < n bound of Table 1 is tight in the mechanism,
+/// not just the statement.
+#[test]
+fn pbft_split_brain_beyond_the_bound() {
+    // n = 4 misconfigured to f = 2 (quorum n − f = 2, intersection 0):
+    // the equivocating, vote-everything primary P0 hands {P1} a quorum for
+    // block a and {P2, P3} a quorum for block b.
+    let mut cfg = pbft::PbftConfig::new(4, 1);
+    cfg.f = 2; // deliberately wrong: 3f = 6 ≥ n — quorums no longer intersect
+    let modes = vec![
+        pbft::PbftMode::EquivocatingPrimary,
+        pbft::PbftMode::Honest,
+        pbft::PbftMode::Honest,
+        pbft::PbftMode::Honest,
+    ];
+    // The byzantine primary bridges a partition between the halves — the
+    // classic split-brain schedule, legal in partial synchrony.
+    let split_net = || {
+        let mut net = PartitionedNet::new(Box::new(SynchronousNet::new(SimTime(10))));
+        net.add_window(PartitionWindow::split_with_bridges(
+            SimTime(0),
+            SimTime(100_000),
+            vec![vec![NodeId(1)], vec![NodeId(2), NodeId(3)]],
+            vec![NodeId(0)],
+        ));
+        net
+    };
+    let (replicas, _) = pbft::committee(&cfg, 1, &modes);
+    let mut sim = Simulation::new(replicas, Box::new(split_net()), 3);
+    sim.run_until(SimTime(50_000));
+    let d1 = sim.node(NodeId(1)).log();
+    let d3 = sim.node(NodeId(3)).log();
+    assert!(!d1.is_empty() && !d3.is_empty(), "both halves decided");
+    assert_ne!(d1[0], d3[0], "split brain: the bound is tight");
+    // The properly configured committee (f = 1, quorum 3) is immune to the
+    // same attack and schedule.
+    let cfg = pbft::PbftConfig::new(4, 1);
+    let modes = vec![
+        pbft::PbftMode::EquivocatingPrimary,
+        pbft::PbftMode::Honest,
+        pbft::PbftMode::Honest,
+        pbft::PbftMode::Honest,
+    ];
+    let (replicas, _) = pbft::committee(&cfg, 1, &modes);
+    let mut sim = Simulation::new(replicas, Box::new(split_net()), 3);
+    sim.run_until(SimTime(50_000));
+    let decided: Vec<Vec<Digest>> = (1..4).map(|i| sim.node(NodeId(i)).log()).collect();
+    let first: BTreeSet<&Digest> = decided.iter().filter_map(|l| l.first()).collect();
+    assert!(first.len() <= 1, "correct quorum never splits: {first:?}");
+}

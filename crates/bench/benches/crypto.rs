@@ -1,0 +1,32 @@
+//! Criterion bench: the crypto substrate (SHA-256, sign, verify).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use prft_core::{signed_ballot, Phase};
+use prft_crypto::{KeyRegistry, Sha256};
+use prft_types::{Digest, Round};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| Sha256::digest(&data))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sign_verify(c: &mut Criterion) {
+    let (registry, keys) = KeyRegistry::trusted_setup(4, 1);
+    c.bench_function("sign_ballot", |b| {
+        b.iter(|| signed_ballot(&keys[0], Round(1), Phase::Vote, Digest::of_bytes(b"v")))
+    });
+    let ballot = signed_ballot(&keys[0], Round(1), Phase::Vote, Digest::of_bytes(b"v"));
+    c.bench_function("verify_ballot", |b| {
+        b.iter(|| assert!(ballot.verify(&registry)))
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_sign_verify);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench: empirical-game exploration cost (TRAP game, Theorem 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prft_baselines::trap::{TrapGame, TrapStrategy};
+use prft_game::{EmpiricalGame, UtilityParams};
+
+fn bench_trap_game(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trap_equilibria");
+    for k in [3usize, 6, 9] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let game = TrapGame::new(30, 6, k, UtilityParams::default());
+            let strategies = [TrapStrategy::Fork, TrapStrategy::Bait];
+            b.iter(|| {
+                let eg = EmpiricalGame::explore(vec![2; k], |profile| {
+                    let chosen: Vec<TrapStrategy> =
+                        profile.iter().map(|&i| strategies[i]).collect();
+                    game.play(&chosen).utilities
+                });
+                eg.nash_equilibria(1e-9).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trap_game);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: chain/ledger operations (append, finalize, prefix
+//! checks) — the data-structure hot path of every replica.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prft_types::{Block, Chain, Height, NodeId, Round, Transaction};
+
+fn grown(rounds: u64) -> Chain {
+    let mut c = Chain::new(Block::genesis());
+    for r in 0..rounds {
+        let txs = (0..8).map(|i| Transaction::new(r * 8 + i, NodeId(0), vec![0u8; 64])).collect();
+        let b = Block::new(Round(r + 1), c.tip(), NodeId((r % 7) as usize), txs);
+        c.append_tentative(b).unwrap();
+    }
+    c
+}
+
+fn bench_chain_ops(c: &mut Criterion) {
+    c.bench_function("chain_append_100", |b| b.iter(|| grown(100)));
+    let chain = grown(500);
+    c.bench_function("chain_finalize_500", |b| {
+        b.iter(|| {
+            let mut ch = chain.clone();
+            ch.finalize_upto(Height(500)).unwrap();
+        })
+    });
+    let other = chain.drop_suffix(50);
+    c.bench_function("chain_common_prefix_500", |b| {
+        b.iter(|| assert_eq!(chain.common_prefix_len(&other), 451))
+    });
+    c.bench_function("chain_c_strict_ordering_500", |b| {
+        b.iter(|| assert!(Chain::c_strict_ordering(&chain, &other, 1)))
+    });
+}
+
+criterion_group!(benches, bench_chain_ops);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench behind E3 (Table 3): full-round cost of each protocol
+//! at several committee sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prft_baselines::{hotstuff, pbft};
+use prft_core::{Harness, NetworkChoice};
+use prft_sim::{SimTime, Simulation};
+
+fn bench_protocol_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_round");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("prft", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Harness::new(n, 7)
+                    .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+                    .max_rounds(1)
+                    .build();
+                sim.run_until(SimTime(100_000));
+                assert!(sim.node(prft_types::NodeId(0)).chain().final_height() >= 1);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pbft", n), &n, |b, &n| {
+            b.iter(|| {
+                let cfg = pbft::PbftConfig::new(n, 1);
+                let (replicas, _) = pbft::committee(&cfg, 1, &vec![pbft::PbftMode::Honest; n]);
+                let mut sim = Simulation::new(
+                    replicas,
+                    Box::new(prft_net::SynchronousNet::new(SimTime(10))),
+                    7,
+                );
+                sim.run_until(SimTime(100_000));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("polygraph", n), &n, |b, &n| {
+            b.iter(|| {
+                let cfg = pbft::PbftConfig::new(n, 1).accountable();
+                let (replicas, _) = pbft::committee(&cfg, 1, &vec![pbft::PbftMode::Honest; n]);
+                let mut sim = Simulation::new(
+                    replicas,
+                    Box::new(prft_net::SynchronousNet::new(SimTime(10))),
+                    7,
+                );
+                sim.run_until(SimTime(100_000));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hotstuff", n), &n, |b, &n| {
+            b.iter(|| {
+                let cfg = hotstuff::HsConfig::new(n, 1);
+                let mut sim = Simulation::new(
+                    hotstuff::committee(&cfg, 11),
+                    Box::new(prft_net::SynchronousNet::new(SimTime(10))),
+                    7,
+                );
+                sim.run_until(SimTime(100_000));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_round);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench behind E9 (Figure 4): ConstructProof cost vs input size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prft_core::{construct_proof, signed_ballot, Phase};
+use prft_crypto::KeyRegistry;
+use prft_types::{Digest, Round};
+
+fn bench_construct_proof(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_proof");
+    for n in [16usize, 64, 256] {
+        let (_, keys) = KeyRegistry::trusted_setup(n, 1);
+        let va = Digest::of_bytes(b"a");
+        let vb = Digest::of_bytes(b"b");
+        // Every fourth player double-signs.
+        let mut ballots = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            ballots.push(signed_ballot(key, Round(1), Phase::Commit, va));
+            if i % 4 == 0 {
+                ballots.push(signed_ballot(key, Round(1), Phase::Commit, vb));
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ballots, |b, ballots| {
+            b.iter(|| {
+                let proof = construct_proof(ballots.iter());
+                assert_eq!(proof.len(), n.div_ceil(4));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construct_proof);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: simulated rounds per second for pRFT (including the
+//! whole discrete-event machinery) and the view-change path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prft_core::{Harness, NetworkChoice};
+use prft_sim::SimTime;
+use prft_types::NodeId;
+
+fn bench_happy_rounds(c: &mut Criterion) {
+    c.bench_function("prft_5rounds_n8", |b| {
+        b.iter(|| {
+            let mut sim = Harness::new(8, 7)
+                .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+                .max_rounds(5)
+                .build();
+            sim.run_until(SimTime(1_000_000));
+            assert_eq!(sim.node(NodeId(0)).chain().final_height(), 5);
+        })
+    });
+}
+
+fn bench_view_change_round(c: &mut Criterion) {
+    c.bench_function("prft_viewchange_n8", |b| {
+        b.iter(|| {
+            // Crashed leader for round 0: the run must recover via view
+            // change and still finalize two blocks.
+            let mut sim = Harness::new(8, 7)
+                .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+                .max_rounds(3)
+                .build();
+            sim.crash(NodeId(0));
+            sim.run_until(SimTime(1_000_000));
+            assert!(sim.node(NodeId(1)).chain().final_height() >= 2);
+        })
+    });
+}
+
+criterion_group!(benches, bench_happy_rounds, bench_view_change_round);
+criterion_main!(benches);

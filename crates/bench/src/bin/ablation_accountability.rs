@@ -1,0 +1,137 @@
+//! **Ablation**: what the Reveal phase buys and what it costs.
+//!
+//! pRFT's distinguishing design choice is carrying accountability inside
+//! the protocol: the Reveal phase cross-publishes every commit certificate
+//! (the `O(κ·n⁴)` bits of Table 3) so honest players can construct
+//! Proof-of-Fraud. This ablation runs pRFT with the Reveal phase removed
+//! (finalize straight from the commit quorum) and measures both sides of
+//! the trade:
+//!
+//! * **cost** — bytes per decision, with vs. without, across n;
+//! * **security** — the fork collusion attack: with Reveal the deviators
+//!   burn (deviation strictly dominated, DSIC); without it they walk away
+//!   unpunished (deviation free: only the weaker Nash-style indifference
+//!   remains — exactly the regression to TRAP-era guarantees the paper
+//!   argues against).
+//!
+//! Run: `cargo run -p prft-bench --release --bin ablation_accountability`
+
+use prft_adversary::{blackboard, EquivocatingLeader, ForkColluder};
+use prft_bench::{fmt, verdict};
+use prft_core::analysis::analyze;
+use prft_core::{Config, Harness, NetworkChoice};
+use prft_metrics::AsciiTable;
+use prft_sim::SimTime;
+use prft_types::{NodeId, Round};
+use std::collections::HashSet;
+
+const HORIZON: SimTime = SimTime(2_000_000);
+
+fn honest_cost(n: usize, accountable: bool) -> (f64, f64) {
+    let cfg = Config::for_committee(n)
+        .with_accountability(accountable)
+        .with_max_rounds(3);
+    let mut sim = Harness::new(n, 7)
+        .config(cfg)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .build();
+    sim.run_until(HORIZON);
+    let decided = sim.node(NodeId(0)).chain().final_height().max(1) as f64;
+    (
+        sim.meter().total_messages() as f64 / decided,
+        sim.meter().total_bytes() as f64 / decided,
+    )
+}
+
+fn fork_attack(accountable: bool) -> (bool, usize, u64) {
+    let n = 9;
+    let board = blackboard();
+    let b_group: HashSet<NodeId> = [NodeId(7), NodeId(8)].into_iter().collect();
+    let cfg = Config::for_committee(n)
+        .with_accountability(accountable)
+        .with_max_rounds(3);
+    let mut h = Harness::new(n, 5)
+        .config(cfg)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .with_behavior(
+            NodeId(0),
+            Box::new(
+                EquivocatingLeader::new(board.clone(), b_group.clone(), n).only_rounds([Round(0)]),
+            ),
+        );
+    for i in 1..=3 {
+        h = h.with_behavior(
+            NodeId(i),
+            Box::new(ForkColluder::new(board.clone(), b_group.clone(), n)),
+        );
+    }
+    let mut sim = h.build();
+    sim.run_until(HORIZON);
+    let r = analyze(&sim);
+    (r.agreement, r.burned.len(), r.min_final_height)
+}
+
+fn main() {
+    println!("Ablation — pRFT with and without the Reveal/PoF phase\n");
+
+    let mut cost = AsciiTable::new(vec![
+        "n",
+        "msgs/decision (full)",
+        "msgs (ablated)",
+        "bytes/decision (full)",
+        "bytes (ablated)",
+        "byte savings",
+    ])
+    .with_title("Cost of accountability (honest runs)");
+    for n in [8usize, 16, 32] {
+        let (m_full, b_full) = honest_cost(n, true);
+        let (m_abl, b_abl) = honest_cost(n, false);
+        cost.row(vec![
+            n.to_string(),
+            fmt(m_full),
+            fmt(m_abl),
+            fmt(b_full),
+            fmt(b_abl),
+            format!("{:.1}×", b_full / b_abl),
+        ]);
+    }
+    println!("{cost}\n");
+
+    let mut sec = AsciiTable::new(vec![
+        "variant",
+        "fork prevented",
+        "deviators burned",
+        "blocks finalized",
+        "incentive guarantee",
+    ])
+    .with_title("Security under the θ=1 fork collusion (byz leader + 3 rational)");
+    let (agree_full, burned_full, blocks_full) = fork_attack(true);
+    let (agree_abl, burned_abl, blocks_abl) = fork_attack(false);
+    sec.row(vec![
+        "pRFT (full)".into(),
+        verdict(agree_full),
+        burned_full.to_string(),
+        blocks_full.to_string(),
+        "DSIC: deviation costs −L".into(),
+    ]);
+    sec.row(vec![
+        "pRFT − Reveal (ablated)".into(),
+        verdict(agree_abl),
+        burned_abl.to_string(),
+        blocks_abl.to_string(),
+        "indifference only: deviation is free".into(),
+    ]);
+    println!("{sec}\n");
+
+    println!(
+        "Reading: quorum intersection alone (τ = n − t0 in Claim 1's window)\n\
+         keeps *agreement* even without the Reveal phase — but accountability\n\
+         is gone: the same collusion that burns {burned_full} deposits (and costs the\n\
+         attackers only one aborted round: {blocks_full} blocks still land) walks away\n\
+         with {burned_abl} burns under the ablation, and without Expose/equivocation\n\
+         triggers the attacked round simply stalls ({blocks_abl} blocks). The reveal\n\
+         bytes are the price of turning 'deviation cannot succeed' into\n\
+         'deviation cannot pay' — the step from Nash-style to dominant-\n\
+         strategy security that is the paper's core design argument."
+    );
+}

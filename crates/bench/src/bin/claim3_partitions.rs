@@ -1,0 +1,117 @@
+//! **E12 — Claim 3**: with a non-deviating majority, any partition of
+//! `P ∖ T` yields *either* agreement in exactly one partition *or* a
+//! timeout — never two disjoint quorums (since `k + t + 2·t0 < n`).
+//!
+//! We sweep random partitions of the honest players (with the byzantine
+//! set bridging, per the paper's model) and check each round's outcome.
+//!
+//! Run: `cargo run -p prft-bench --release --bin claim3_partitions`
+
+use prft_bench::verdict;
+use prft_core::analysis::{analyze, honest_ids};
+use prft_core::{Harness, NetworkChoice};
+use prft_game::analytic;
+use prft_metrics::AsciiTable;
+use prft_net::{PartitionWindow, PartitionedNet, SynchronousNet};
+use prft_sim::{SimRng, SimTime};
+use prft_types::NodeId;
+
+fn main() {
+    println!("E12 — Claim 3: partitions yield one agreement xor timeout\n");
+    let n = 9; // t0 = 2, quorum 7
+    let t = 2; // byzantine bridges: they talk to both sides (worst case)
+    println!(
+        "n = {n}, t0 = 2, t = {t}; byzantine bridge both sides; double quorum\n\
+         feasible iff k+t+2·t0 ≥ n: {} — so at most one side can ever reach\n\
+         the n−t0 = 7 quorum (side + t ≥ 7 needs a side of ≥ 5 of the 7 honest)\n",
+        analytic::double_quorum_feasible(n, 2, 0, t)
+    );
+
+    let mut table = AsciiTable::new(vec![
+        "seed",
+        "partition of P∖T",
+        "rounds finalized",
+        "rounds timed out",
+        "double agreement",
+        "agreement kept",
+    ])
+    .with_title("Random partitions, 3-round budget, partition heals at t = 30_000");
+
+    let mut all_ok = true;
+    for seed in 0..12u64 {
+        // Random split of the honest players {2..8}; P0, P1 are the
+        // byzantine bridges (they participate and talk to both sides).
+        let mut rng = SimRng::new(seed * 77 + 5);
+        let mut honest: Vec<NodeId> = (t..n).map(NodeId).collect();
+        rng.shuffle(&mut honest);
+        let cut = 1 + rng.below((honest.len() - 1) as u64) as usize;
+        let (a, b) = honest.split_at(cut);
+
+        let mut net = PartitionedNet::new(Box::new(SynchronousNet::new(SimTime(10))));
+        net.add_window(PartitionWindow::split_with_bridges(
+            SimTime::ZERO,
+            SimTime(30_000),
+            vec![a.to_vec(), b.to_vec()],
+            (0..t).map(NodeId).collect(),
+        ));
+
+        // The byzantine players participate (protocol-compliantly, the
+        // worst case for Claim 3: they help *both* sides toward a quorum).
+        let mut sim = Harness::new(n, seed)
+            .network(NetworkChoice::Custom(Box::new(net)))
+            .max_rounds(3)
+            .build();
+        sim.run_until(SimTime(25_000)); // strictly inside the partition
+
+        let honest_ids = honest_ids(&sim);
+        // Per-round outcome: collect rounds finalized and rounds abandoned.
+        let mut finalized_rounds = std::collections::BTreeSet::new();
+        let mut timed_out_rounds = std::collections::BTreeSet::new();
+        let mut per_round_values: std::collections::HashMap<u64, std::collections::HashSet<prft_types::Digest>> =
+            std::collections::HashMap::new();
+        for &id in &honest_ids {
+            let node = sim.node(id);
+            for (r, _) in &node.stats().finalize_times {
+                finalized_rounds.insert(r.0);
+            }
+            for r in &node.stats().view_changed_rounds {
+                timed_out_rounds.insert(r.0);
+            }
+            // Values finalized per height for double-agreement detection.
+            for (h, entry) in node.chain().iter().enumerate() {
+                if entry.status == prft_types::BlockStatus::Final && h > 0 {
+                    per_round_values
+                        .entry(entry.block.round.0)
+                        .or_default()
+                        .insert(entry.block.id());
+                }
+            }
+        }
+        let double_agreement = per_round_values.values().any(|v| v.len() > 1);
+        let report = analyze(&sim);
+        let ok = !double_agreement && report.agreement;
+        all_ok &= ok;
+
+        let outcome = if !finalized_rounds.is_empty() {
+            "one-sided agreement"
+        } else {
+            "timeout/stall"
+        };
+        table.row(vec![
+            seed.to_string(),
+            format!("{}|{}", a.len(), b.len()),
+            format!("{} ({outcome})", finalized_rounds.len()),
+            timed_out_rounds.len().to_string(),
+            verdict(double_agreement),
+            verdict(report.agreement),
+        ]);
+    }
+    println!("{table}\n");
+    println!(
+        "All partitions behave as Claim 3 requires: {} — a side with\n\
+         ≥ n − t0 live players finalizes alone; otherwise the round times\n\
+         out into a view change; no split ever produces two quorums, because\n\
+         k + t + 2·t0 < n makes disjoint (n − t0)-quorums impossible.",
+        verdict(all_ok)
+    );
+}

@@ -1,0 +1,99 @@
+//! **E8 — Figure 2a/2b**: the normal execution of one pRFT round (message
+//! timeline per phase, as in the paper's ladder diagram) and the message
+//! inventory with wire sizes.
+//!
+//! Run: `cargo run -p prft-bench --release --bin fig2_trace`
+
+use prft_core::{Harness, NetworkChoice};
+use prft_metrics::AsciiTable;
+use prft_sim::SimTime;
+use prft_types::NodeId;
+
+fn main() {
+    println!("E8 — Figure 2a: normal execution of pRFT (n = 4, one round)\n");
+    let n = 4;
+    let mut sim = Harness::new(n, 7)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .max_rounds(1)
+        .build();
+    sim.set_tracing(true);
+    sim.run_until(SimTime(100_000));
+
+    // Phase timeline: first/last delivery per message kind.
+    let phases = ["Propose", "Vote", "Commit", "Reveal", "Final"];
+    let mut timeline = AsciiTable::new(vec![
+        "phase", "deliveries", "first at", "last at", "pattern",
+    ])
+    .with_title("Phase timeline (times in simulation ticks, Δ = 10)");
+    for kind in phases {
+        let entries: Vec<_> = sim.trace().of_kind(kind).collect();
+        let first = entries.iter().map(|e| e.at).min();
+        let last = entries.iter().map(|e| e.at).max();
+        let pattern = match kind {
+            "Propose" => "leader → all",
+            _ => "all → all",
+        };
+        timeline.row(vec![
+            kind.into(),
+            entries.len().to_string(),
+            first.map_or("-".into(), |t| t.to_string()),
+            last.map_or("-".into(), |t| t.to_string()),
+            pattern.into(),
+        ]);
+    }
+    println!("{timeline}\n");
+
+    // The ladder: per-replica arrival of each phase's first message.
+    println!("Ladder (first delivery of each phase at each replica):");
+    let mut ladder = AsciiTable::new(vec!["replica", "Propose", "Vote", "Commit", "Reveal", "Final"]);
+    for i in 0..n {
+        let mut row = vec![format!("P{i}")];
+        for kind in phases {
+            let at = sim
+                .trace()
+                .of_kind(kind)
+                .filter(|e| e.to == NodeId(i))
+                .map(|e| e.at)
+                .min();
+            row.push(at.map_or("-".into(), |t| t.to_string()));
+        }
+        ladder.row(row);
+    }
+    println!("{ladder}\n");
+
+    // Figure 2b: message inventory with measured wire sizes.
+    println!("Figure 2b: pRFT message inventory (measured mean wire bytes)\n");
+    let mut inventory = AsciiTable::new(vec!["message", "paper form", "count", "mean bytes"]);
+    let forms = [
+        ("Propose", "(⟨Propose, B_l, h_l, r⟩, s_pro)"),
+        ("Vote", "(⟨Vote, h_i, s_pro, r⟩, s_vote)"),
+        ("Commit", "(⟨Commit, h*, s_pro, V_i, r⟩, s_com)"),
+        ("Reveal", "(⟨Reveal, h_tc, h_l, W_i, r⟩, s_rev)"),
+        ("Expose", "(⟨Expose, D_i, r⟩, s_exp)"),
+        ("Final", "(⟨Final, h_l, s_pro⟩, s_fin)"),
+        ("ViewChange", "(⟨ViewChange, Phase, r⟩, s_vc)"),
+        ("CommitView", "(⟨CommitView, V_i, r⟩, s_cv)"),
+    ];
+    for (kind, form) in forms {
+        let stats = sim.meter().kind(kind);
+        let mean = if stats.count > 0 {
+            format!("{}", stats.bytes / stats.count)
+        } else {
+            "-".into()
+        };
+        inventory.row(vec![
+            kind.into(),
+            form.into(),
+            stats.count.to_string(),
+            mean,
+        ]);
+    }
+    println!("{inventory}\n");
+    println!(
+        "The round proceeds exactly as the paper's ladder: one leader\n\
+         broadcast, then three all-to-all waves (Vote → Commit → Reveal),\n\
+         then Finals; Expose and the view-change messages never appear in a\n\
+         normal execution. Certificate nesting is visible in the sizes:\n\
+         Commit carries n−t0 votes, Reveal carries n−t0 such commits."
+    );
+}

@@ -1,0 +1,129 @@
+//! **E5 — Theorem 2**: under θ=2, *strong* rational consensus (censorship
+//! resistance) is impossible in the same regime — the coalition plays
+//! `π_pc`: censor when leading, abstain under honest leaders. Liveness
+//! survives at rate ≈ (k+t)/n, the watched transaction never confirms, and
+//! no penalty can attach.
+//!
+//! Run: `cargo run -p prft-bench --release --bin thm2_censorship_attack`
+
+use prft_adversary::PartialCensor;
+use prft_bench::{classify_run, fmt, measure_utility, verdict};
+use prft_core::analysis::{analyze, tx_included_anywhere};
+use prft_core::{Harness, NetworkChoice};
+use prft_game::{analytic, SystemState, Theta, UtilityParams};
+use prft_metrics::AsciiTable;
+use prft_sim::SimTime;
+use prft_types::{NodeId, Transaction, TxId};
+use std::collections::HashSet;
+
+const HORIZON: SimTime = SimTime(2_000_000);
+
+struct Outcome {
+    blocks: u64,
+    rounds: u64,
+    censored_included: bool,
+    background_included: bool,
+    burned: usize,
+    state: SystemState,
+    utility: f64,
+}
+
+fn run(n: usize, coalition_size: usize, rounds: u64) -> Outcome {
+    let censored = TxId(999);
+    let collusion: HashSet<NodeId> = (0..coalition_size).map(NodeId).collect();
+    let censor_set: HashSet<TxId> = [censored].into_iter().collect();
+    let mut h = Harness::new(n, 41)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .max_rounds(rounds)
+        .submit(None, Transaction::new(999, NodeId(2), b"the censored tx".to_vec()))
+        .submit(None, Transaction::new(1, NodeId(3), b"background-1".to_vec()))
+        .submit(None, Transaction::new(2, NodeId(3), b"background-2".to_vec()));
+    for &m in &collusion {
+        h = h.with_behavior(
+            m,
+            Box::new(PartialCensor::new(n, collusion.clone(), censor_set.clone())),
+        );
+    }
+    let mut sim = h.build();
+    sim.run_until(HORIZON);
+    let r = analyze(&sim);
+    let state = classify_run(&sim, &[censored]);
+    let utility = if coalition_size > 0 {
+        measure_utility(
+            &sim,
+            NodeId(0),
+            Theta::CensorSeeking,
+            &UtilityParams::default(),
+            &[censored],
+            rounds,
+        )
+    } else {
+        0.0
+    };
+    let rounds_entered = r
+        .honest
+        .iter()
+        .map(|&id| sim.node(id).stats().rounds_entered)
+        .max()
+        .unwrap_or(0);
+    Outcome {
+        blocks: r.min_final_height,
+        rounds: rounds_entered,
+        censored_included: tx_included_anywhere(&sim, censored),
+        background_included: tx_included_anywhere(&sim, TxId(1)),
+        burned: r.burned.len(),
+        state,
+        utility,
+    }
+}
+
+fn main() {
+    println!("E5 — Theorem 2: θ=2 partial censorship (π_pc) is unpunishable\n");
+    // n = 4: the quorum needs every player, so abstention under honest
+    // leaders reliably starves honest-led rounds (the paper's regime
+    // requires the coalition's silence to be decisive).
+    let n = 4;
+    let rounds = 12;
+    let mut table = AsciiTable::new(vec![
+        "k+t",
+        "blocks/rounds",
+        "throughput",
+        "≈(k+t)/n",
+        "censored tx in chain",
+        "bg tx in chain",
+        "burned",
+        "σ",
+        "U(π_pc|θ=2)",
+    ])
+    .with_title(&format!("n = {n}, {rounds} round budget; collusion leads rounds r ≡ 0..k+t−1 (mod n)"));
+
+    for coalition in [0usize, 1, 2] {
+        let o = run(n, coalition, rounds);
+        table.row(vec![
+            coalition.to_string(),
+            format!("{}/{}", o.blocks, o.rounds),
+            fmt(o.blocks as f64 / o.rounds.max(1) as f64),
+            fmt(coalition as f64 / n as f64),
+            verdict(o.censored_included),
+            verdict(o.background_included),
+            o.burned.to_string(),
+            o.state.symbol().into(),
+            fmt(o.utility),
+        ]);
+    }
+    println!("{table}\n");
+
+    println!(
+        "Analytic check: U(π_pc, θ=2) = α/(1−δ) = {} (realized utility grows\n\
+         toward it with the round budget).",
+        fmt(analytic::theorem2_censor_utility(1.0, 0.9, 0))
+    );
+    println!(
+        "As Theorem 2 predicts: with the coalition in place the system stays\n\
+         live at roughly the coalition's leader share, background traffic\n\
+         confirms, the watched transaction never appears in any block, nobody\n\
+         is burned (no double signature ever exists), and the θ=2 coalition\n\
+         utility is positive — so strong (t,k)-robustness fails while plain\n\
+         (t,k)-robustness survives."
+    );
+}

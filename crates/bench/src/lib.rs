@@ -1,0 +1,118 @@
+//! Shared runners and utility-measurement helpers for the experiment
+//! binaries (one binary per paper table/figure; see DESIGN.md §5 and
+//! EXPERIMENTS.md for the index).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use prft_core::analysis::{analyze, honest_ids, RunReport};
+use prft_core::Replica;
+use prft_game::{PayoffTable, SystemState, Theta, UtilityParams};
+use prft_metrics::{classify, StateObservation};
+use prft_sim::{SimTime, Simulation};
+use prft_types::{NodeId, TxId};
+
+/// Default horizon for attack experiments (virtual ticks).
+pub const HORIZON: SimTime = SimTime(2_000_000);
+
+/// Runs a built pRFT simulation to its horizon and reports.
+pub fn run_and_report(sim: &mut Simulation<Replica>) -> RunReport {
+    sim.run_until(HORIZON);
+    analyze(sim)
+}
+
+/// Classifies the σ state of a finished pRFT run, watching `watched` for
+/// censorship.
+pub fn classify_run(sim: &Simulation<Replica>, watched: &[TxId]) -> SystemState {
+    let honest = honest_ids(sim);
+    let chains = honest.iter().map(|&id| sim.node(id).chain()).collect();
+    classify(&StateObservation {
+        chains,
+        watched: watched.to_vec(),
+        baseline_height: 0,
+    })
+}
+
+/// Measures player `i`'s discounted utility over a finished run:
+/// `Σ_{r<R} δ^r · f(σ, θ) − L·[i burned]`, where σ is the realized system
+/// state of the run, `R` the experiment's round budget (the utility stream
+/// runs over *time periods*, not protocol progress — a jammed system keeps
+/// paying the σ_NP penalty), and the penalty applies iff any honest
+/// player's ledger burned `i`.
+pub fn measure_utility(
+    sim: &Simulation<Replica>,
+    player: NodeId,
+    theta: Theta,
+    params: &UtilityParams,
+    watched: &[TxId],
+    rounds: u64,
+) -> f64 {
+    let state = classify_run(sim, watched);
+    let table = PayoffTable::new(params.alpha);
+    let honest = honest_ids(sim);
+    let per_round = table.f(state, theta);
+    let mut total = 0.0;
+    let mut weight = 1.0;
+    for _ in 0..rounds {
+        total += weight * per_round;
+        weight *= params.delta;
+    }
+    let burned = honest
+        .iter()
+        .any(|&id| sim.node(id).collateral().is_burned(player));
+    let _ = &honest;
+    if burned {
+        total -= params.penalty_l;
+    }
+    total
+}
+
+/// Formats a float compactly for tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.2e}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Formats a boolean verdict.
+pub fn verdict(ok: bool) -> String {
+    if ok { "✓".to_string() } else { "✗".to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prft_core::{Harness, NetworkChoice};
+
+    #[test]
+    fn honest_run_classifies_sigma_0_and_zero_utility() {
+        let mut sim = Harness::new(5, 1)
+            .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+            .max_rounds(3)
+            .build();
+        let report = run_and_report(&mut sim);
+        assert!(report.agreement);
+        assert_eq!(classify_run(&sim, &[]), SystemState::HonestExecution);
+        let u = measure_utility(
+            &sim,
+            NodeId(0),
+            Theta::ForkSeeking,
+            &UtilityParams::default(),
+            &[],
+            3,
+        );
+        assert_eq!(u, 0.0, "θ=1 earns nothing from honest execution");
+    }
+
+    #[test]
+    fn fmt_is_compact() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1.5), "1.50");
+        assert_eq!(fmt(123456.0), "1.23e5");
+        assert_eq!(verdict(true), "✓");
+    }
+}

@@ -1,0 +1,154 @@
+//! Strategy injection points: the paper's strategy space
+//! `{π_0, π_abs, π_ds, …}` as replica hooks.
+//!
+//! There is exactly one protocol state machine ([`crate::Replica`]); every
+//! player — honest, byzantine, or rational — runs it. Deviation happens at
+//! well-defined decision points where the replica consults its [`Behavior`]:
+//! what to propose, whether/what to vote, commit, reveal, whether to expose
+//! fraud and whether to join view changes. This mirrors the paper's model:
+//! strategies are per-phase actions (abstain / double-sign / honest), and
+//! the collusion can coordinate them arbitrarily.
+
+use prft_types::{Block, Digest, NodeId, Round, TxId};
+use std::collections::HashSet;
+
+/// What a leader does in the Propose phase.
+#[derive(Debug, Clone)]
+pub enum ProposeAction {
+    /// `π_0`: propose the honestly assembled block.
+    Honest,
+    /// Propose a different block (e.g. with censored transactions removed).
+    Replace(Block),
+    /// `π_ds` as leader: send block `a` to everyone except `b_recipients`,
+    /// and block `b` to `b_recipients` — the classic equivocation that
+    /// seeds a fork.
+    Equivocate {
+        /// The first block.
+        a: Block,
+        /// The second block.
+        b: Block,
+        /// Who receives `b` (everyone else gets `a`).
+        b_recipients: HashSet<NodeId>,
+    },
+    /// `π_abs`: propose nothing (indistinguishable from a crash).
+    Silent,
+}
+
+/// What a player does at a ballot decision point (vote / commit / reveal /
+/// final).
+#[derive(Debug, Clone)]
+pub enum BallotAction {
+    /// `π_0`: sign the honest value.
+    Honest,
+    /// Sign a different value instead (sent to everyone).
+    Replace(Digest),
+    /// `π_ds`: sign the honest value toward most players but a second value
+    /// toward `b_recipients`.
+    Split {
+        /// The alternative value.
+        b: Digest,
+        /// Who receives the `b` ballot (everyone else gets the honest one).
+        b_recipients: HashSet<NodeId>,
+    },
+    /// `π_abs`: send nothing in this phase.
+    Silent,
+}
+
+/// A player's strategy. The default implementation of every method is the
+/// honest strategy `π_0`, so `struct Honest; impl Behavior for Honest {}`
+/// is a complete honest player.
+pub trait Behavior {
+    /// Short label for experiment tables ("honest", "abstain", "fork", …).
+    fn label(&self) -> &'static str {
+        "honest"
+    }
+
+    /// Leader decision: what to propose in `round`. `honest_block` is the
+    /// block `π_0` would propose (parent = current tip, FIFO batch).
+    fn on_propose(&mut self, round: Round, honest_block: &Block) -> ProposeAction {
+        let _ = (round, honest_block);
+        ProposeAction::Honest
+    }
+
+    /// Transactions to exclude when assembling a block as leader
+    /// (the censorship set `Z`; `π_pc` uses this).
+    fn censor_set(&self) -> Option<&HashSet<TxId>> {
+        None
+    }
+
+    /// Vote decision on a validated proposal with hash `value`.
+    fn on_vote(&mut self, round: Round, value: Digest) -> BallotAction {
+        let _ = (round, value);
+        BallotAction::Honest
+    }
+
+    /// Commit decision once a vote quorum for `value` is assembled.
+    fn on_commit(&mut self, round: Round, value: Digest) -> BallotAction {
+        let _ = (round, value);
+        BallotAction::Honest
+    }
+
+    /// Reveal decision once a commit quorum for `value` is assembled.
+    fn on_reveal(&mut self, round: Round, value: Digest) -> BallotAction {
+        let _ = (round, value);
+        BallotAction::Honest
+    }
+
+    /// Final decision when ready to finalize `value`.
+    fn on_final(&mut self, round: Round, value: Digest) -> BallotAction {
+        let _ = (round, value);
+        BallotAction::Honest
+    }
+
+    /// Whether to broadcast an `Expose` when `|D_i| > t0`. Honest players
+    /// always do; colluders suppress it (it burns their own deposits).
+    fn send_expose(&self) -> bool {
+        true
+    }
+
+    /// Whether to participate in view changes (abstainers don't — their
+    /// silence is what stalls the protocol).
+    fn join_view_change(&self) -> bool {
+        true
+    }
+}
+
+/// The honest strategy `π_0`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Honest;
+
+impl Behavior for Honest {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_defaults_are_honest() {
+        let mut h = Honest;
+        assert_eq!(h.label(), "honest");
+        assert!(matches!(
+            h.on_propose(Round(1), &Block::genesis()),
+            ProposeAction::Honest
+        ));
+        assert!(matches!(
+            h.on_vote(Round(1), Digest::ZERO),
+            BallotAction::Honest
+        ));
+        assert!(matches!(
+            h.on_commit(Round(1), Digest::ZERO),
+            BallotAction::Honest
+        ));
+        assert!(matches!(
+            h.on_reveal(Round(1), Digest::ZERO),
+            BallotAction::Honest
+        ));
+        assert!(matches!(
+            h.on_final(Round(1), Digest::ZERO),
+            BallotAction::Honest
+        ));
+        assert!(h.send_expose());
+        assert!(h.join_view_change());
+        assert!(h.censor_set().is_none());
+    }
+}

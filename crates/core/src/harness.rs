@@ -1,0 +1,168 @@
+//! Experiment harness: assemble a committee with mixed strategies over a
+//! chosen network and run it.
+
+use crate::behavior::{Behavior, Honest};
+use crate::config::Config;
+use crate::replica::Replica;
+use prft_crypto::KeyRegistry;
+use prft_net::{AsynchronousNet, PartiallySynchronousNet, PartitionedNet, PartitionWindow, SynchronousNet};
+use prft_sim::{LinkModel, SimTime, Simulation};
+use prft_types::{NodeId, Transaction};
+use std::collections::HashMap;
+
+/// Which network model to run under.
+pub enum NetworkChoice {
+    /// Synchronous with known bound Δ.
+    Synchronous {
+        /// The delay bound.
+        delta: SimTime,
+    },
+    /// Partially synchronous: adversarial until `gst`, then bounded by Δ.
+    PartiallySynchronous {
+        /// Global stabilization time.
+        gst: SimTime,
+        /// Post-GST bound.
+        delta: SimTime,
+    },
+    /// Asynchronous (finite unbounded delays).
+    Asynchronous,
+    /// Any custom model (e.g. with partitions or targeted delays).
+    Custom(Box<dyn LinkModel>),
+}
+
+impl NetworkChoice {
+    fn into_model(self) -> Box<dyn LinkModel> {
+        match self {
+            NetworkChoice::Synchronous { delta } => Box::new(SynchronousNet::new(delta)),
+            NetworkChoice::PartiallySynchronous { gst, delta } => {
+                Box::new(PartiallySynchronousNet::new(gst, delta))
+            }
+            NetworkChoice::Asynchronous => Box::new(AsynchronousNet::typical()),
+            NetworkChoice::Custom(model) => model,
+        }
+    }
+}
+
+/// Builder for a pRFT simulation.
+///
+/// Defaults: every player honest, synchronous network with Δ = 10,
+/// `t0 = ⌈n/4⌉ − 1`, unlimited rounds (callers should either set
+/// [`Harness::max_rounds`] or run with a horizon).
+pub struct Harness {
+    n: usize,
+    seed: u64,
+    cfg: Config,
+    network: Option<NetworkChoice>,
+    behaviors: HashMap<NodeId, Box<dyn Behavior>>,
+    pending_txs: Vec<(Option<NodeId>, Transaction)>,
+}
+
+impl Harness {
+    /// Starts a harness for `n` players with a simulation seed.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Harness {
+            n,
+            seed,
+            cfg: Config::for_committee(n),
+            network: None,
+            behaviors: HashMap::new(),
+            pending_txs: Vec::new(),
+        }
+    }
+
+    /// Overrides the protocol configuration wholesale.
+    #[must_use]
+    pub fn config(mut self, cfg: Config) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the network model.
+    #[must_use]
+    pub fn network(mut self, network: NetworkChoice) -> Self {
+        self.network = Some(network);
+        self
+    }
+
+    /// Convenience: partially synchronous network with a single partition
+    /// window before GST.
+    #[must_use]
+    pub fn partitioned_until_gst(
+        self,
+        gst: SimTime,
+        delta: SimTime,
+        groups: Vec<Vec<NodeId>>,
+    ) -> Self {
+        let base = PartiallySynchronousNet::new(gst, delta);
+        let mut net = PartitionedNet::new(Box::new(base));
+        net.add_window(PartitionWindow::split(SimTime::ZERO, gst, groups));
+        self.network(NetworkChoice::Custom(Box::new(net)))
+    }
+
+    /// Assigns a strategy to one player (default: honest).
+    #[must_use]
+    pub fn with_behavior(mut self, node: NodeId, behavior: Box<dyn Behavior>) -> Self {
+        self.behaviors.insert(node, behavior);
+        self
+    }
+
+    /// Stops every replica after `rounds` completed rounds (makes runs
+    /// quiescent).
+    #[must_use]
+    pub fn max_rounds(mut self, rounds: u64) -> Self {
+        self.cfg.max_rounds = rounds;
+        self
+    }
+
+    /// Sets the per-phase timeout Δ.
+    #[must_use]
+    pub fn phase_timeout(mut self, timeout: SimTime) -> Self {
+        self.cfg.phase_timeout = timeout;
+        self
+    }
+
+    /// Preloads a transaction into one player's mempool (or every player's,
+    /// with `None` — "all honest players have tx as input").
+    #[must_use]
+    pub fn submit(mut self, to: Option<NodeId>, tx: Transaction) -> Self {
+        self.pending_txs.push((to, tx));
+        self
+    }
+
+    /// Builds the simulation.
+    pub fn build(mut self) -> Simulation<Replica> {
+        let (registry, keys) = KeyRegistry::trusted_setup(self.n, self.seed ^ 0x5eed);
+        let mut replicas = Vec::with_capacity(self.n);
+        for (i, key) in keys.into_iter().enumerate() {
+            let behavior = self
+                .behaviors
+                .remove(&NodeId(i))
+                .unwrap_or_else(|| Box::new(Honest));
+            replicas.push(Replica::new(
+                self.cfg.clone(),
+                key,
+                registry.clone(),
+                behavior,
+            ));
+        }
+        for (to, tx) in &self.pending_txs {
+            match to {
+                Some(node) => {
+                    replicas[node.0].mempool_mut().submit(tx.clone());
+                }
+                None => {
+                    for r in &mut replicas {
+                        r.mempool_mut().submit(tx.clone());
+                    }
+                }
+            }
+        }
+        let network = self
+            .network
+            .take()
+            .unwrap_or(NetworkChoice::Synchronous {
+                delta: SimTime(10),
+            });
+        Simulation::new(replicas, network.into_model(), self.seed)
+    }
+}

@@ -1,0 +1,459 @@
+//! pRFT wire messages (paper Figure 2b) and their signed payloads.
+//!
+//! Every signature in the protocol is over a [`Ballot`]: a (round, phase,
+//! value) triple. This uniformity is what makes Proof-of-Fraud generic —
+//! two valid ballots by one signer in the same (round, phase) slot with
+//! different values are a conviction, whether they came from the propose,
+//! vote, commit, reveal, or final phase.
+
+use prft_crypto::{ConflictEvidence, KeyRegistry, Signable, Signed, Slot, KAPPA};
+use prft_types::{Block, Digest, Encoder, NodeId, Round};
+use prft_sim::WireMessage;
+
+/// Protocol phases, also used as the `phase` component of signature slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Leader proposes a block.
+    Propose,
+    /// Players vote on the proposal hash.
+    Vote,
+    /// Players commit with a vote certificate.
+    Commit,
+    /// Players reveal commit certificates for fraud detection.
+    Reveal,
+    /// Final-consensus announcement.
+    Final,
+    /// View-change announcement.
+    ViewChange,
+    /// View-change commitment.
+    CommitView,
+}
+
+impl Phase {
+    /// Stable numeric id used in signature slots.
+    pub fn slot_id(self) -> u8 {
+        match self {
+            Phase::Propose => 0,
+            Phase::Vote => 1,
+            Phase::Commit => 2,
+            Phase::Reveal => 3,
+            Phase::Final => 4,
+            Phase::ViewChange => 5,
+            Phase::CommitView => 6,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Propose => "Propose",
+            Phase::Vote => "Vote",
+            Phase::Commit => "Commit",
+            Phase::Reveal => "Reveal",
+            Phase::Final => "Final",
+            Phase::ViewChange => "ViewChange",
+            Phase::CommitView => "CommitView",
+        }
+    }
+}
+
+/// The universally signed payload: "`signer` endorses `value` in
+/// (`round`, `phase`)".
+///
+/// The sentinel value [`Digest::ZERO`] is `⊥` (no value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ballot {
+    /// Consensus round.
+    pub round: Round,
+    /// Phase within the round.
+    pub phase: Phase,
+    /// Endorsed block hash (or `⊥`).
+    pub value: Digest,
+}
+
+impl Ballot {
+    /// Creates a ballot.
+    pub fn new(round: Round, phase: Phase, value: Digest) -> Self {
+        Ballot {
+            round,
+            phase,
+            value,
+        }
+    }
+}
+
+impl Signable for Ballot {
+    fn domain(&self) -> &'static str {
+        "prft/ballot"
+    }
+
+    fn slot(&self) -> Slot {
+        Slot {
+            round: self.round.0,
+            phase: self.phase.slot_id(),
+        }
+    }
+
+    fn signable_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.bytes(&self.value.0);
+        e.into_bytes()
+    }
+}
+
+/// A signed ballot.
+pub type SignedBallot = Signed<Ballot>;
+
+/// Evidence that one player double-signed in some slot.
+pub type BallotEvidence = ConflictEvidence<Ballot>;
+
+/// A commit certificate: the signed commit ballot plus the `n − t0` vote
+/// ballots that justify it (`⟨Commit, h*, s_pro, V_i, r⟩` in the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitCert {
+    /// The commit ballot itself (phase = [`Phase::Commit`]).
+    pub commit: SignedBallot,
+    /// The vote certificate `V_i` (phase = [`Phase::Vote`], same value).
+    pub votes: Vec<SignedBallot>,
+}
+
+impl CommitCert {
+    /// Validates internal consistency and signatures: the commit ballot is
+    /// valid, and `votes` holds ≥ `quorum` valid vote ballots for the same
+    /// round and value from distinct signers. (An empty-vote `⊥` commit is
+    /// accepted with `quorum == 0`.)
+    pub fn validate(&self, registry: &KeyRegistry, quorum: usize) -> bool {
+        if self.commit.payload.phase != Phase::Commit || !self.commit.verify(registry) {
+            return false;
+        }
+        let round = self.commit.payload.round;
+        let value = self.commit.payload.value;
+        let mut signers: Vec<NodeId> = Vec::with_capacity(self.votes.len());
+        for v in &self.votes {
+            if v.payload.phase != Phase::Vote
+                || v.payload.round != round
+                || v.payload.value != value
+                || !v.verify(registry)
+            {
+                return false;
+            }
+            signers.push(v.signer());
+        }
+        signers.sort_unstable();
+        signers.dedup();
+        signers.len() >= quorum
+    }
+
+    /// Wire size: commit ballot + votes.
+    pub fn wire_bytes(&self) -> usize {
+        ballot_bytes() + self.votes.len() * ballot_bytes()
+    }
+}
+
+/// Wire size of one signed ballot: value digest + slot + signature.
+pub fn ballot_bytes() -> usize {
+    Digest::LEN + 9 + KAPPA
+}
+
+/// View-change request payload: `⟨ViewChange, Phase, r⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ViewChangeReq {
+    /// Round being abandoned.
+    pub round: Round,
+    /// Phase in which the trigger fired.
+    pub stuck_phase: Phase,
+}
+
+impl Signable for ViewChangeReq {
+    fn domain(&self) -> &'static str {
+        "prft/view-change"
+    }
+
+    fn slot(&self) -> Slot {
+        Slot {
+            round: self.round.0,
+            phase: Phase::ViewChange.slot_id(),
+        }
+    }
+
+    fn signable_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u8(self.stuck_phase.slot_id());
+        e.into_bytes()
+    }
+}
+
+/// Commit-view payload: `⟨CommitView, V_i, r⟩` (the certificate `V_i`
+/// travels alongside; the signature covers the round and a digest of the
+/// certificate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CommitViewContent {
+    /// Round being abandoned.
+    pub round: Round,
+    /// Digest binding the view-change certificate.
+    pub cert_digest: Digest,
+}
+
+impl Signable for CommitViewContent {
+    fn domain(&self) -> &'static str {
+        "prft/commit-view"
+    }
+
+    fn slot(&self) -> Slot {
+        Slot {
+            round: self.round.0,
+            phase: Phase::CommitView.slot_id(),
+        }
+    }
+
+    fn signable_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.bytes(&self.cert_digest.0);
+        e.into_bytes()
+    }
+}
+
+/// Digest binding a set of view-change requests into a commit-view.
+pub fn view_change_cert_digest(reqs: &[Signed<ViewChangeReq>]) -> Digest {
+    let mut e = Encoder::new();
+    for r in reqs {
+        e.u64(r.signer().0 as u64);
+        e.u64(r.payload.round.0);
+        e.u8(r.payload.stuck_phase.slot_id());
+    }
+    Digest::of_bytes(&e.into_bytes())
+}
+
+/// The pRFT wire message set (paper Figure 2b).
+#[derive(Debug, Clone)]
+pub enum PrftMsg {
+    /// `(⟨Propose, B_l, h_l, r⟩, s_pro)`: the ballot's value is the block
+    /// hash; the block travels alongside.
+    Propose {
+        /// Signed propose ballot (phase = [`Phase::Propose`]).
+        ballot: SignedBallot,
+        /// The proposed block.
+        block: Block,
+    },
+    /// `(⟨Vote, h, s_pro, r⟩, s_vote)`: votes carry the leader's propose
+    /// ballot `s_pro` when the voter has it. This is what lets *everyone*
+    /// observe a leader's equivocation once votes cross the committee —
+    /// the detection path the paper builds the view-change trigger
+    /// "conflicting signatures on two different proposed values" on.
+    Vote {
+        /// Signed vote ballot.
+        ballot: SignedBallot,
+        /// The propose ballot being voted on (`s_pro`), if held.
+        propose: Option<SignedBallot>,
+    },
+    /// `(⟨Commit, h*, s_pro, V_i, r⟩, s_com)`.
+    Commit {
+        /// The certificate (ballot + votes).
+        cert: CommitCert,
+    },
+    /// `(⟨Reveal, h_tc, h_l, W_i, r⟩, s_rev)`: `W_i` is the set of commit
+    /// certificates observed — this is what `ConstructProof` scans and what
+    /// drives the `O(κ·n⁴)` aggregate message size.
+    Reveal {
+        /// Signed reveal ballot.
+        ballot: SignedBallot,
+        /// The commit certificates `W_i`.
+        certs: Vec<CommitCert>,
+    },
+    /// `(⟨Expose, D_i, r⟩, s_exp)`: a Proof-of-Fraud naming > t0 players.
+    Expose {
+        /// Round in which fraud was detected.
+        round: Round,
+        /// The accusing player.
+        accuser: NodeId,
+        /// One evidence pair per accused player.
+        evidence: Vec<BallotEvidence>,
+    },
+    /// `(⟨Final, h_l, s_pro⟩, s_fin)`.
+    Final {
+        /// Signed final ballot.
+        ballot: SignedBallot,
+    },
+    /// `(⟨ViewChange, Phase, r⟩, s_vc)`.
+    ViewChange {
+        /// Signed request.
+        req: Signed<ViewChangeReq>,
+    },
+    /// `(⟨CommitView, V_i, r⟩, s_cv)`: carries `n − t0` view-change
+    /// requests.
+    CommitView {
+        /// The signed commit-view announcement.
+        cv: Signed<CommitViewContent>,
+        /// The view-change certificate `V_i`.
+        reqs: Vec<Signed<ViewChangeReq>>,
+    },
+    /// Recovery addition (not in the paper, which does not model crash
+    /// recovery): a replica that cannot connect a current proposal to its
+    /// chain asks its peers to re-send the finalized history. Replies are
+    /// rate-limited; the message is unauthenticated because the worst a
+    /// forger achieves is extra helpful traffic.
+    SyncRequest {
+        /// The requester's current round (for bookkeeping only).
+        round: Round,
+    },
+}
+
+impl WireMessage for PrftMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            PrftMsg::Propose { .. } => "Propose",
+            PrftMsg::Vote { .. } => "Vote",
+            PrftMsg::Commit { .. } => "Commit",
+            PrftMsg::Reveal { .. } => "Reveal",
+            PrftMsg::Expose { .. } => "Expose",
+            PrftMsg::Final { .. } => "Final",
+            PrftMsg::ViewChange { .. } => "ViewChange",
+            PrftMsg::CommitView { .. } => "CommitView",
+            PrftMsg::SyncRequest { .. } => "SyncRequest",
+        }
+    }
+
+    fn wire_bytes(&self) -> usize {
+        match self {
+            PrftMsg::Propose { block, .. } => ballot_bytes() + block.wire_bytes(),
+            PrftMsg::Vote { propose, .. } => {
+                ballot_bytes() + propose.as_ref().map_or(0, |_| ballot_bytes())
+            }
+            PrftMsg::Commit { cert } => cert.wire_bytes(),
+            PrftMsg::Reveal { certs, .. } => {
+                ballot_bytes() + certs.iter().map(CommitCert::wire_bytes).sum::<usize>()
+            }
+            PrftMsg::Expose { evidence, .. } => {
+                8 + 8 + evidence.len() * 2 * ballot_bytes()
+            }
+            PrftMsg::Final { .. } => ballot_bytes(),
+            PrftMsg::ViewChange { .. } => 9 + KAPPA,
+            PrftMsg::CommitView { reqs, .. } => {
+                Digest::LEN + 8 + KAPPA + reqs.len() * (9 + KAPPA)
+            }
+            PrftMsg::SyncRequest { .. } => 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prft_crypto::KeyRegistry;
+
+    fn setup(n: usize) -> (KeyRegistry, Vec<prft_crypto::SecretKey>) {
+        KeyRegistry::trusted_setup(n, 7)
+    }
+
+    fn ballot(round: u64, phase: Phase, tag: u8) -> Ballot {
+        Ballot::new(Round(round), phase, Digest::of_bytes(&[tag]))
+    }
+
+    #[test]
+    fn ballots_conflict_only_within_slot() {
+        let (_, keys) = setup(2);
+        let a = Signed::sign(ballot(1, Phase::Vote, 1), &keys[0]);
+        let b = Signed::sign(ballot(1, Phase::Vote, 2), &keys[0]);
+        let c = Signed::sign(ballot(1, Phase::Commit, 2), &keys[0]);
+        let d = Signed::sign(ballot(2, Phase::Vote, 2), &keys[0]);
+        assert!(ConflictEvidence::try_new(a.clone(), b).is_some());
+        assert!(ConflictEvidence::try_new(a.clone(), c).is_none(), "cross-phase");
+        assert!(ConflictEvidence::try_new(a, d).is_none(), "cross-round");
+    }
+
+    #[test]
+    fn commit_cert_validates_quorum() {
+        let (reg, keys) = setup(4);
+        let value = Digest::of_bytes(b"block");
+        let votes: Vec<SignedBallot> = keys
+            .iter()
+            .take(3)
+            .map(|k| Signed::sign(Ballot::new(Round(1), Phase::Vote, value), k))
+            .collect();
+        let commit = Signed::sign(Ballot::new(Round(1), Phase::Commit, value), &keys[0]);
+        let cert = CommitCert {
+            commit,
+            votes,
+        };
+        assert!(cert.validate(&reg, 3));
+        assert!(!cert.validate(&reg, 4), "not enough votes for quorum 4");
+    }
+
+    #[test]
+    fn commit_cert_rejects_mixed_values() {
+        let (reg, keys) = setup(3);
+        let va = Digest::of_bytes(b"a");
+        let vb = Digest::of_bytes(b"b");
+        let votes = vec![
+            Signed::sign(Ballot::new(Round(1), Phase::Vote, va), &keys[0]),
+            Signed::sign(Ballot::new(Round(1), Phase::Vote, vb), &keys[1]),
+        ];
+        let commit = Signed::sign(Ballot::new(Round(1), Phase::Commit, va), &keys[0]);
+        assert!(!CommitCert { commit, votes }.validate(&reg, 2));
+    }
+
+    #[test]
+    fn commit_cert_rejects_duplicate_signers() {
+        let (reg, keys) = setup(3);
+        let v = Digest::of_bytes(b"a");
+        let vote = Signed::sign(Ballot::new(Round(1), Phase::Vote, v), &keys[0]);
+        let votes = vec![vote.clone(), vote];
+        let commit = Signed::sign(Ballot::new(Round(1), Phase::Commit, v), &keys[1]);
+        assert!(!CommitCert { commit, votes }.validate(&reg, 2));
+    }
+
+    #[test]
+    fn commit_cert_rejects_wrong_round_votes() {
+        let (reg, keys) = setup(3);
+        let v = Digest::of_bytes(b"a");
+        let votes = vec![Signed::sign(Ballot::new(Round(2), Phase::Vote, v), &keys[0])];
+        let commit = Signed::sign(Ballot::new(Round(1), Phase::Commit, v), &keys[1]);
+        assert!(!CommitCert { commit, votes }.validate(&reg, 1));
+    }
+
+    #[test]
+    fn bottom_commit_cert_is_valid_with_zero_quorum() {
+        let (reg, keys) = setup(2);
+        let commit = Signed::sign(Ballot::new(Round(1), Phase::Commit, Digest::ZERO), &keys[0]);
+        let cert = CommitCert {
+            commit,
+            votes: vec![],
+        };
+        assert!(cert.validate(&reg, 0));
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_certificates() {
+        let (_, keys) = setup(4);
+        let value = Digest::of_bytes(b"x");
+        let votes: Vec<SignedBallot> = keys
+            .iter()
+            .map(|k| Signed::sign(Ballot::new(Round(1), Phase::Vote, value), k))
+            .collect();
+        let commit = Signed::sign(Ballot::new(Round(1), Phase::Commit, value), &keys[0]);
+        let cert = CommitCert {
+            commit: commit.clone(),
+            votes,
+        };
+        let vote_msg = PrftMsg::Vote {
+            ballot: commit.clone(),
+            propose: None,
+        };
+        let commit_msg = PrftMsg::Commit { cert: cert.clone() };
+        let reveal_msg = PrftMsg::Reveal {
+            ballot: commit,
+            certs: vec![cert.clone(), cert],
+        };
+        assert!(vote_msg.wire_bytes() < commit_msg.wire_bytes());
+        assert!(commit_msg.wire_bytes() < reveal_msg.wire_bytes());
+        // Reveal ≈ 2 commits: the O(n) nesting that yields κ·n⁴ aggregate.
+        assert!(reveal_msg.wire_bytes() > 2 * commit_msg.wire_bytes());
+    }
+
+    #[test]
+    fn message_kinds_match_figure_2b() {
+        let (_, keys) = setup(1);
+        let b = Signed::sign(ballot(0, Phase::Final, 1), &keys[0]);
+        assert_eq!(PrftMsg::Final { ballot: b }.kind(), "Final");
+    }
+}

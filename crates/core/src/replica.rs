@@ -1,0 +1,1291 @@
+//! The pRFT replica: one player's protocol state machine (paper Figure 1 +
+//! Section 5.2 view change).
+//!
+//! Every player — honest, byzantine, or rational — runs this machine;
+//! deviation is injected through [`Behavior`] hooks at each decision point.
+//! The normal-path round is:
+//!
+//! 1. **Propose** — the round's leader (`r mod n`) broadcasts a signed block.
+//! 2. **Vote** — players validate and broadcast a vote ballot on its hash.
+//! 3. **Commit** — on `n − t0` votes for one value, broadcast a commit
+//!    certificate; on `n − t0` commits the block is **tentative**.
+//! 4. **Reveal** — broadcast the commit certificates observed (`W_i`);
+//!    scan everyone's reveals for double signatures (`ConstructProof`).
+//!    * `|D_i| > t0` → broadcast **Expose** (PoF), burn deposits, abandon
+//!      the round;
+//!    * `|M_i| ≥ n − t0` → broadcast **Final**: the block is finalized;
+//!    * `> n/2` Final messages also finalize (catch-up).
+//!
+//! Timeouts, leader equivocation, or `t0+1` observed double-signers trigger
+//! the view-change sub-protocol.
+//!
+//! ## Reproduction decisions (see DESIGN.md §4)
+//!
+//! * Phase timeouts route through view change (Section 5.2) rather than the
+//!   `⊥`-commit branch of Figure 1 — both abandon the round; one code path.
+//! * A player that receives `t0 + 1` view-change requests joins the view
+//!   change, and one that receives a valid commit-view echoes it; both are
+//!   standard amplifications needed for the Consistency property (Claim 2)
+//!   when players time out at different moments.
+//! * Round synchronization: messages carry their (signed) round; observing
+//!   `t0 + 1` distinct players at a higher round fast-forwards a laggard
+//!   (at least one of them is non-byzantine). Finalized blocks are fetched
+//!   via the persistent `Final` tallies, so laggards reconcile their chains.
+
+use crate::behavior::{BallotAction, Behavior, ProposeAction};
+use crate::collateral::CollateralLedger;
+use crate::config::Config;
+use crate::messages::{
+    view_change_cert_digest, Ballot, CommitCert, CommitViewContent, Phase, PrftMsg, SignedBallot,
+    ViewChangeReq,
+};
+use crate::pof::{verify_expose, FraudDetector};
+use prft_crypto::{KeyRegistry, SecretKey, Signed};
+use prft_sim::{Context, Node, SimTime, TimerId};
+use prft_types::{Block, Chain, Digest, Height, Mempool, NodeId, Round};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Observable counters for experiments.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaStats {
+    /// Rounds this replica has entered.
+    pub rounds_entered: u64,
+    /// Blocks this replica finalized through its own quorum conditions.
+    pub finalized_own: u64,
+    /// Blocks finalized through the `> n/2` Final catch-up rule.
+    pub finalized_catchup: u64,
+    /// View changes completed (round abandoned via commit-view quorum).
+    pub view_changes: u64,
+    /// `Expose` messages this replica broadcast.
+    pub exposes_sent: u64,
+    /// Valid `Expose` messages received (incl. own).
+    pub exposes_applied: u64,
+    /// Round fast-forwards via the `t0+1` round-sync rule.
+    pub round_syncs: u64,
+    /// Proposals rejected at validation.
+    pub invalid_proposals: u64,
+    /// Times a conflicting proposal pair from the leader was observed.
+    pub leader_equivocations: u64,
+    /// Finalization times `(round, time)` for latency measurements.
+    pub finalize_times: Vec<(Round, SimTime)>,
+    /// Rounds abandoned via completed view change.
+    pub view_changed_rounds: Vec<Round>,
+    /// Rounds abandoned via a valid `Expose`.
+    pub exposed_rounds: Vec<Round>,
+}
+
+/// One player's pRFT state machine. Implements [`prft_sim::Node`].
+pub struct Replica {
+    cfg: Config,
+    key: SecretKey,
+    registry: KeyRegistry,
+    behavior: Box<dyn Behavior>,
+
+    chain: Chain,
+    mempool: Mempool,
+    collateral: CollateralLedger,
+    /// Every valid block seen, by hash (for catch-up reconstruction).
+    block_store: HashMap<Digest, Block>,
+    /// Persistent Final tallies by value (survive round changes: laggards
+    /// finalize from them; the signed ballots are kept so they can be
+    /// forwarded to recovering peers).
+    final_tally: HashMap<Digest, BTreeMap<NodeId, SignedBallot>>,
+    /// Signed propose ballots per block (for laggard catch-up).
+    propose_store: HashMap<Digest, SignedBallot>,
+    /// Highest round at which we already helped each laggard (rate limit).
+    helped_at: HashMap<NodeId, Round>,
+    /// Whether we already asked for sync this round (rate limit).
+    sync_requested: bool,
+
+    round: Round,
+    phase: Phase,
+    consecutive_failures: u32,
+    passive: bool,
+    rounds_done: u64,
+    timer: Option<(TimerId, Round, Phase)>,
+
+    // ---- per-round state ----
+    proposal: Option<SignedBallot>,
+    /// Every valid propose ballot seen this round, by value (an
+    /// equivocating leader contributes several).
+    proposals_seen: HashMap<Digest, SignedBallot>,
+    votes: HashMap<Digest, BTreeMap<NodeId, SignedBallot>>,
+    commits: HashMap<Digest, BTreeMap<NodeId, CommitCert>>,
+    reveals: HashMap<Digest, BTreeSet<NodeId>>,
+    detector: FraudDetector,
+    voted: bool,
+    committed: bool,
+    revealed: bool,
+    final_sent: bool,
+    exposed: bool,
+    tentative: Option<(Digest, Height)>,
+    /// Byzantine split commits waiting for their side's vote certificate:
+    /// (value, recipients).
+    pending_commit_splits: Vec<(Digest, HashSet<NodeId>)>,
+    vc_reqs: BTreeMap<NodeId, Signed<ViewChangeReq>>,
+    vc_sent: bool,
+    cv_senders: BTreeSet<NodeId>,
+    cv_sent: bool,
+    discontinued: bool,
+
+    // ---- cross-round machinery ----
+    future: BTreeMap<u64, Vec<(NodeId, PrftMsg)>>,
+    peer_round: Vec<u64>,
+
+    stats: ReplicaStats,
+}
+
+impl Replica {
+    /// Creates a replica with the given strategy.
+    pub fn new(
+        cfg: Config,
+        key: SecretKey,
+        registry: KeyRegistry,
+        behavior: Box<dyn Behavior>,
+    ) -> Self {
+        let n = cfg.n;
+        let genesis = Block::genesis();
+        let mut block_store = HashMap::new();
+        block_store.insert(genesis.id(), genesis.clone());
+        Replica {
+            collateral: CollateralLedger::new(n, 1),
+            cfg,
+            key,
+            registry,
+            behavior,
+            chain: Chain::new(genesis),
+            mempool: Mempool::new(),
+            block_store,
+            final_tally: HashMap::new(),
+            propose_store: HashMap::new(),
+            helped_at: HashMap::new(),
+            sync_requested: false,
+            round: Round(0),
+            phase: Phase::Propose,
+            consecutive_failures: 0,
+            passive: false,
+            rounds_done: 0,
+            timer: None,
+            proposal: None,
+            proposals_seen: HashMap::new(),
+            votes: HashMap::new(),
+            commits: HashMap::new(),
+            reveals: HashMap::new(),
+            detector: FraudDetector::new(),
+            voted: false,
+            committed: false,
+            revealed: false,
+            final_sent: false,
+            exposed: false,
+            tentative: None,
+            pending_commit_splits: Vec::new(),
+            vc_reqs: BTreeMap::new(),
+            vc_sent: false,
+            cv_senders: BTreeSet::new(),
+            cv_sent: false,
+            discontinued: false,
+            future: BTreeMap::new(),
+            peer_round: vec![0; n],
+            stats: ReplicaStats::default(),
+        }
+    }
+
+    // ---------------------------------------------------------- accessors
+
+    /// This replica's identity.
+    pub fn id(&self) -> NodeId {
+        self.key.signer()
+    }
+
+    /// The ledger.
+    pub fn chain(&self) -> &Chain {
+        &self.chain
+    }
+
+    /// The mempool (mutable for harness-side transaction submission).
+    pub fn mempool_mut(&mut self) -> &mut Mempool {
+        &mut self.mempool
+    }
+
+    /// The mempool.
+    pub fn mempool(&self) -> &Mempool {
+        &self.mempool
+    }
+
+    /// This replica's view of deposits and burns.
+    pub fn collateral(&self) -> &CollateralLedger {
+        &self.collateral
+    }
+
+    /// Experiment counters.
+    pub fn stats(&self) -> &ReplicaStats {
+        &self.stats
+    }
+
+    /// Current round.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The strategy label of this replica's behavior.
+    pub fn behavior_label(&self) -> &'static str {
+        self.behavior.label()
+    }
+
+    /// Protocol configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    fn leader(&self, round: Round) -> NodeId {
+        round.leader(self.cfg.n)
+    }
+
+    fn quorum(&self) -> usize {
+        self.cfg.quorum()
+    }
+
+    // ---------------------------------------------------------- round flow
+
+    fn start_round(&mut self, ctx: &mut Context<PrftMsg>) {
+        if self.cfg.max_rounds != 0 && self.rounds_done >= self.cfg.max_rounds {
+            self.passive = true;
+            self.timer = None;
+            return;
+        }
+        self.stats.rounds_entered += 1;
+        self.phase = Phase::Propose;
+        self.proposal = None;
+        self.proposals_seen.clear();
+        self.votes.clear();
+        self.commits.clear();
+        self.reveals.clear();
+        self.detector.clear();
+        self.voted = false;
+        self.committed = false;
+        self.revealed = false;
+        self.final_sent = false;
+        self.exposed = false;
+        self.tentative = None;
+        self.sync_requested = false;
+        self.pending_commit_splits.clear();
+        self.vc_reqs.clear();
+        self.vc_sent = false;
+        self.cv_senders.clear();
+        self.cv_sent = false;
+        self.discontinued = false;
+
+        self.arm_timer(ctx);
+
+        if self.leader(self.round) == self.id() {
+            self.propose(ctx);
+        }
+
+        // Replay any buffered messages for this round.
+        let mut drained = Vec::new();
+        let stale: Vec<u64> = self
+            .future
+            .range(..=self.round.0)
+            .map(|(r, _)| *r)
+            .collect();
+        for r in stale {
+            let msgs = self.future.remove(&r).unwrap_or_default();
+            if r == self.round.0 {
+                drained = msgs;
+            }
+        }
+        for (from, msg) in drained {
+            self.dispatch(ctx, from, msg);
+        }
+    }
+
+    fn advance_round(&mut self, ctx: &mut Context<PrftMsg>, to: Round) {
+        debug_assert!(to > self.round);
+        self.round = to;
+        self.rounds_done += 1;
+        self.start_round(ctx);
+    }
+
+    fn arm_timer(&mut self, ctx: &mut Context<PrftMsg>) {
+        let delay = self.cfg.timeout_after(self.consecutive_failures);
+        let id = ctx.set_timer(delay);
+        self.timer = Some((id, self.round, self.phase));
+    }
+
+    fn enter_phase(&mut self, ctx: &mut Context<PrftMsg>, phase: Phase) {
+        self.phase = phase;
+        self.arm_timer(ctx);
+    }
+
+    fn honest_block(&mut self) -> Block {
+        let txs = match self.behavior.censor_set() {
+            Some(censor) => {
+                let censor = censor.clone();
+                self.mempool.take_censoring(self.cfg.max_batch, &censor)
+            }
+            None => self.mempool.take(self.cfg.max_batch),
+        };
+        Block::new(self.round, self.chain.tip(), self.id(), txs)
+    }
+
+    fn propose(&mut self, ctx: &mut Context<PrftMsg>) {
+        let honest = self.honest_block();
+        let action = self.behavior.on_propose(self.round, &honest);
+        match action {
+            ProposeAction::Honest => self.broadcast_proposal(ctx, honest, None),
+            ProposeAction::Replace(block) => self.broadcast_proposal(ctx, block, None),
+            ProposeAction::Equivocate { a, b, b_recipients } => {
+                self.broadcast_proposal(ctx, a, Some((b, b_recipients)));
+            }
+            ProposeAction::Silent => {}
+        }
+    }
+
+    fn broadcast_proposal(
+        &mut self,
+        ctx: &mut Context<PrftMsg>,
+        block: Block,
+        alt: Option<(Block, HashSet<NodeId>)>,
+    ) {
+        let make = |key: &SecretKey, round: Round, block: &Block| {
+            let ballot = Signed::sign(Ballot::new(round, Phase::Propose, block.id()), key);
+            PrftMsg::Propose {
+                ballot,
+                block: block.clone(),
+            }
+        };
+        match alt {
+            None => {
+                let msg = make(&self.key, self.round, &block);
+                ctx.broadcast(msg);
+            }
+            Some((block_b, b_recipients)) => {
+                let msg_a = make(&self.key, self.round, &block);
+                let msg_b = make(&self.key, self.round, &block_b);
+                for i in 0..self.cfg.n {
+                    let to = NodeId(i);
+                    if b_recipients.contains(&to) {
+                        ctx.send(to, msg_b.clone());
+                    } else {
+                        ctx.send(to, msg_a.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies a [`BallotAction`] for `phase` around honest value `value`,
+    /// attaching `payload(value)` to each ballot (certificates differ by
+    /// phase). Returns whether anything was sent.
+    fn emit_ballot(
+        &mut self,
+        ctx: &mut Context<PrftMsg>,
+        phase: Phase,
+        value: Digest,
+        action: BallotAction,
+        wrap: &dyn Fn(&Replica, SignedBallot, Digest) -> Option<PrftMsg>,
+    ) -> bool {
+        let sign = |this: &Replica, v: Digest| {
+            Signed::sign(Ballot::new(this.round, phase, v), &this.key)
+        };
+        match action {
+            BallotAction::Honest => {
+                let ballot = sign(self, value);
+                if let Some(msg) = wrap(self, ballot, value) {
+                    ctx.broadcast(msg);
+                    return true;
+                }
+                false
+            }
+            BallotAction::Replace(v) => {
+                let ballot = sign(self, v);
+                if let Some(msg) = wrap(self, ballot, v) {
+                    ctx.broadcast(msg);
+                    return true;
+                }
+                false
+            }
+            BallotAction::Split { b, b_recipients } => {
+                let ballot_a = sign(self, value);
+                let ballot_b = sign(self, b);
+                let msg_a = wrap(self, ballot_a, value);
+                let msg_b = wrap(self, ballot_b, b);
+                let mut sent = false;
+                for i in 0..self.cfg.n {
+                    let to = NodeId(i);
+                    let msg = if b_recipients.contains(&to) {
+                        msg_b.clone()
+                    } else {
+                        msg_a.clone()
+                    };
+                    if let Some(m) = msg {
+                        ctx.send(to, m);
+                        sent = true;
+                    }
+                }
+                sent
+            }
+            BallotAction::Silent => false,
+        }
+    }
+
+    // ------------------------------------------------------------ handlers
+
+    /// Feeds a ballot to the fraud detector and reacts: leader equivocation
+    /// triggers a view change (paper Section 5.2 trigger #2); more than t0
+    /// convictions trigger an `Expose` (trigger #3 routes through the same
+    /// evidence).
+    fn observe_and_react(&mut self, ctx: &mut Context<PrftMsg>, ballot: &SignedBallot) {
+        if !self.cfg.accountable {
+            return; // ablation: no fraud detection at all
+        }
+        let Some(evidence) = self.detector.observe(ballot) else {
+            return;
+        };
+        let round = ballot.payload.round;
+        if evidence.accused() == self.leader(round) && ballot.payload.phase == Phase::Propose {
+            self.stats.leader_equivocations += 1;
+            self.trigger_view_change(ctx);
+        }
+        self.maybe_expose(ctx);
+    }
+
+    fn handle_propose(
+        &mut self,
+        ctx: &mut Context<PrftMsg>,
+        ballot: SignedBallot,
+        block: Block,
+    ) {
+        let round = ballot.payload.round;
+        // Validation: signature, phase, sender is the round's leader, hash
+        // binds the block, block is for this round.
+        if ballot.payload.phase != Phase::Propose
+            || !ballot.verify(&self.registry)
+            || ballot.signer() != self.leader(round)
+            || block.id() != ballot.payload.value
+            || block.round != round
+        {
+            self.stats.invalid_proposals += 1;
+            return;
+        }
+        self.block_store.insert(block.id(), block.clone());
+        self.propose_store
+            .entry(block.id())
+            .or_insert_with(|| ballot.clone());
+        let first_of_value = self
+            .proposals_seen
+            .insert(ballot.payload.value, ballot.clone())
+            .is_none();
+
+        // Leader equivocation is itself double-sign evidence and a
+        // view-change trigger.
+        let convicted_before = self.detector.convicted_count();
+        self.observe_and_react(ctx, &ballot);
+        if self.detector.convicted_count() > convicted_before {
+            return; // equivocation: don't vote on either proposal
+        }
+        let _ = first_of_value;
+
+        if self.discontinued || self.voted {
+            return;
+        }
+        // Vote only on proposals extending our tip (validity of txs wrt
+        // confirmed state).
+        if block.parent != self.chain.tip() {
+            // If the parent is nowhere in our chain, we are missing history
+            // (e.g. after a crash): ask the committee to re-send it.
+            let parent_known = self
+                .chain
+                .iter()
+                .any(|e| e.block.id() == block.parent);
+            if !parent_known && !self.sync_requested {
+                self.sync_requested = true;
+                ctx.broadcast_others(PrftMsg::SyncRequest { round: self.round });
+            }
+            return;
+        }
+        if self.proposal.is_none() {
+            self.proposal = Some(ballot.clone());
+            if self.phase == Phase::Propose {
+                self.enter_phase(ctx, Phase::Vote);
+            }
+        }
+        let action = self.behavior.on_vote(self.round, ballot.payload.value);
+        let value = ballot.payload.value;
+        let sent = self.emit_ballot(ctx, Phase::Vote, value, action, &|this, b, v| {
+            Some(PrftMsg::Vote {
+                ballot: b,
+                propose: this.proposals_seen.get(&v).cloned(),
+            })
+        });
+        self.voted = sent;
+    }
+
+    fn handle_vote(
+        &mut self,
+        ctx: &mut Context<PrftMsg>,
+        ballot: SignedBallot,
+        propose: Option<SignedBallot>,
+    ) {
+        if ballot.payload.phase != Phase::Vote || !ballot.verify(&self.registry) {
+            return;
+        }
+        // A validly signed ballot is double-sign evidence no matter what —
+        // feed the detector before deciding whether the vote can be counted.
+        self.observe_and_react(ctx, &ballot);
+        let round = ballot.payload.round;
+        // Validate the attached propose ballot (`s_pro`): it must be the
+        // round leader's signature over the voted value. A valid attachment
+        // is how equivocation evidence propagates with the votes.
+        match &propose {
+            Some(p) => {
+                if p.payload.phase != Phase::Propose
+                    || p.payload.round != round
+                    || p.payload.value != ballot.payload.value
+                    || p.signer() != self.leader(round)
+                    || !p.verify(&self.registry)
+                {
+                    return; // malformed attachment: don't count the vote
+                }
+                self.proposals_seen
+                    .entry(p.payload.value)
+                    .or_insert_with(|| p.clone());
+                let p = p.clone();
+                self.observe_and_react(ctx, &p);
+            }
+            None => {
+                // Without `s_pro` the vote only counts if we already hold
+                // the proposal it endorses.
+                if !self.proposals_seen.contains_key(&ballot.payload.value) {
+                    return;
+                }
+            }
+        }
+        if self.discontinued {
+            return;
+        }
+        let value = ballot.payload.value;
+        self.votes
+            .entry(value)
+            .or_default()
+            .insert(ballot.signer(), ballot);
+        self.try_commit(ctx, value);
+    }
+
+    fn try_commit(&mut self, ctx: &mut Context<PrftMsg>, value: Digest) {
+        // Byzantine split commits wait for each side's certificate; drain
+        // any that have become emittable before the `committed` guard.
+        self.emit_pending_commit_splits(ctx);
+        if self.committed || self.discontinued {
+            return;
+        }
+        let quorum = self.quorum();
+        let Some(votes) = self.votes.get(&value) else {
+            return;
+        };
+        if votes.len() < quorum {
+            return;
+        }
+        let action = self.behavior.on_commit(self.round, value);
+        match action {
+            BallotAction::Split { b, b_recipients } => {
+                // Queue both sides; each is emitted as soon as a valid vote
+                // certificate for its value exists (the collusion harvests
+                // the other side's votes from certificates in flight).
+                let a_recipients: HashSet<NodeId> = (0..self.cfg.n)
+                    .map(NodeId)
+                    .filter(|id| !b_recipients.contains(id))
+                    .collect();
+                self.pending_commit_splits.push((value, a_recipients));
+                self.pending_commit_splits.push((b, b_recipients));
+                self.committed = true;
+                if self.phase == Phase::Vote {
+                    self.enter_phase(ctx, Phase::Commit);
+                }
+                self.emit_pending_commit_splits(ctx);
+            }
+            action => {
+                let vote_cert: Vec<SignedBallot> =
+                    votes.values().take(quorum).cloned().collect();
+                let sent = self.emit_ballot(ctx, Phase::Commit, value, action, &|this, b, v| {
+                    let votes_for = this
+                        .votes
+                        .get(&v)
+                        .map(|m| m.values().take(quorum).cloned().collect::<Vec<_>>())
+                        .unwrap_or_default();
+                    let votes = if votes_for.is_empty() {
+                        vote_cert.clone()
+                    } else {
+                        votes_for
+                    };
+                    Some(PrftMsg::Commit {
+                        cert: CommitCert { commit: b, votes },
+                    })
+                });
+                if sent {
+                    self.committed = true;
+                    if self.phase == Phase::Vote {
+                        self.enter_phase(ctx, Phase::Commit);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emits queued split-commit sides whose vote certificate is ready.
+    fn emit_pending_commit_splits(&mut self, ctx: &mut Context<PrftMsg>) {
+        if self.pending_commit_splits.is_empty() {
+            return;
+        }
+        let quorum = self.quorum();
+        let mut remaining = Vec::new();
+        let pending = std::mem::take(&mut self.pending_commit_splits);
+        for (v, recipients) in pending {
+            let ready = self.votes.get(&v).map_or(0, BTreeMap::len) >= quorum;
+            if !ready {
+                remaining.push((v, recipients));
+                continue;
+            }
+            let votes: Vec<SignedBallot> = self.votes[&v]
+                .values()
+                .take(quorum)
+                .cloned()
+                .collect();
+            let ballot = Signed::sign(Ballot::new(self.round, Phase::Commit, v), &self.key);
+            let msg = PrftMsg::Commit {
+                cert: CommitCert {
+                    commit: ballot,
+                    votes,
+                },
+            };
+            for to in &recipients {
+                ctx.send(*to, msg.clone());
+            }
+        }
+        self.pending_commit_splits = remaining;
+    }
+
+    fn handle_commit(&mut self, ctx: &mut Context<PrftMsg>, cert: CommitCert) {
+        let ballot = cert.commit.clone();
+        if ballot.payload.phase != Phase::Commit || !ballot.verify(&self.registry) {
+            return;
+        }
+        // Commit certificates must carry a valid vote quorum.
+        if !cert.validate(&self.registry, self.quorum()) {
+            return;
+        }
+        self.observe_and_react(ctx, &ballot);
+        for vote in &cert.votes.clone() {
+            self.observe_and_react(ctx, vote);
+        }
+        if self.discontinued {
+            return;
+        }
+        let value = ballot.payload.value;
+        // Harvest the certificate's votes: a valid signed vote counts no
+        // matter how it arrived (it may complete our own vote quorum).
+        for vote in &cert.votes {
+            self.votes
+                .entry(vote.payload.value)
+                .or_default()
+                .entry(vote.signer())
+                .or_insert_with(|| vote.clone());
+        }
+        self.commits
+            .entry(value)
+            .or_default()
+            .insert(ballot.signer(), cert);
+        self.try_commit(ctx, value);
+        self.try_reveal(ctx, value);
+    }
+
+    fn try_reveal(&mut self, ctx: &mut Context<PrftMsg>, value: Digest) {
+        if self.revealed || self.discontinued {
+            return;
+        }
+        let quorum = self.quorum();
+        let Some(commits) = self.commits.get(&value) else {
+            return;
+        };
+        if commits.len() < quorum {
+            return;
+        }
+        // Tentative consensus requires knowing the block and that it
+        // extends our chain.
+        let Some(block) = self.block_store.get(&value).cloned() else {
+            return;
+        };
+        if block.parent != self.chain.tip() {
+            return;
+        }
+        let height = match self.chain.append_tentative(block.clone()) {
+            Ok(h) => h,
+            Err(_) => return,
+        };
+        self.tentative = Some((value, height));
+        self.mempool
+            .remove_included(block.txs.iter().map(|t| &t.id));
+
+        // Ablation: without the Reveal phase the commit quorum is final —
+        // cheaper by a factor of n in bits, but double-signers go uncaught.
+        if !self.cfg.accountable {
+            self.revealed = true;
+            let action = self.behavior.on_final(self.round, value);
+            let sent = self.emit_ballot(ctx, Phase::Final, value, action, &|_, b, _| {
+                Some(PrftMsg::Final { ballot: b })
+            });
+            if sent {
+                self.final_sent = true;
+            }
+            self.finalize_current(ctx, value, height, true);
+            return;
+        }
+
+        let certs: Vec<CommitCert> = commits.values().take(quorum).cloned().collect();
+        let action = self.behavior.on_reveal(self.round, value);
+        let sent = self.emit_ballot(ctx, Phase::Reveal, value, action, &|this, b, v| {
+            let certs_for = this
+                .commits
+                .get(&v)
+                .map(|m| m.values().take(quorum).cloned().collect::<Vec<_>>());
+            Some(PrftMsg::Reveal {
+                ballot: b,
+                certs: certs_for.unwrap_or_else(|| certs.clone()),
+            })
+        });
+        if sent {
+            self.revealed = true;
+            if self.phase == Phase::Commit {
+                self.enter_phase(ctx, Phase::Reveal);
+            }
+        }
+    }
+
+    fn handle_reveal(
+        &mut self,
+        ctx: &mut Context<PrftMsg>,
+        ballot: SignedBallot,
+        certs: Vec<CommitCert>,
+    ) {
+        if ballot.payload.phase != Phase::Reveal || !ballot.verify(&self.registry) {
+            return;
+        }
+        self.observe_and_react(ctx, &ballot);
+        // Scan the revealed certificates — this is ConstructProof's input
+        // matrix M. Invalid certificates are ignored wholesale.
+        for cert in &certs {
+            if !cert.validate(&self.registry, self.quorum()) {
+                continue;
+            }
+            self.observe_and_react(ctx, &cert.commit.clone());
+            for vote in &cert.votes.clone() {
+                self.observe_and_react(ctx, vote);
+            }
+        }
+        if self.discontinued {
+            return;
+        }
+        let value = ballot.payload.value;
+        self.reveals
+            .entry(value)
+            .or_default()
+            .insert(ballot.signer());
+        self.try_finalize(ctx);
+    }
+
+    fn try_finalize(&mut self, ctx: &mut Context<PrftMsg>) {
+        if self.final_sent || self.exposed || self.discontinued {
+            return;
+        }
+        // Figure 1 ordering: Expose takes priority over Final.
+        if self.detector.convicted_count() > self.cfg.t0 {
+            self.maybe_expose(ctx);
+            return;
+        }
+        let Some((value, height)) = self.tentative else {
+            return;
+        };
+        let reveal_count = self.reveals.get(&value).map_or(0, BTreeSet::len);
+        if reveal_count < self.quorum() {
+            return;
+        }
+        let action = self.behavior.on_final(self.round, value);
+        let sent = self.emit_ballot(ctx, Phase::Final, value, action, &|_, b, _| {
+            Some(PrftMsg::Final { ballot: b })
+        });
+        if sent {
+            self.final_sent = true;
+        }
+        // Reaching the Final broadcast conditions *is* final consensus for
+        // this player (paper Section 5.1), regardless of strategy quirks.
+        self.finalize_current(ctx, value, height, true);
+    }
+
+    fn finalize_current(
+        &mut self,
+        ctx: &mut Context<PrftMsg>,
+        value: Digest,
+        height: Height,
+        own: bool,
+    ) {
+        debug_assert_eq!(self.tentative.map(|(v, _)| v), Some(value));
+        if self.chain.finalize_upto(height).is_err() {
+            return;
+        }
+        if own {
+            self.stats.finalized_own += 1;
+        } else {
+            self.stats.finalized_catchup += 1;
+        }
+        self.stats.finalize_times.push((self.round, ctx.now()));
+        self.consecutive_failures = 0;
+        let next = self.round.next();
+        self.advance_round(ctx, next);
+    }
+
+    fn maybe_expose(&mut self, ctx: &mut Context<PrftMsg>) {
+        if self.exposed || self.detector.convicted_count() <= self.cfg.t0 {
+            return;
+        }
+        if !self.behavior.send_expose() {
+            return;
+        }
+        self.exposed = true;
+        self.stats.exposes_sent += 1;
+        ctx.broadcast(PrftMsg::Expose {
+            round: self.round,
+            accuser: self.id(),
+            evidence: self.detector.evidence(),
+        });
+    }
+
+    fn handle_expose(
+        &mut self,
+        ctx: &mut Context<PrftMsg>,
+        round: Round,
+        evidence: Vec<crate::messages::BallotEvidence>,
+    ) {
+        // Exposes are valid whenever the PoF verifies, regardless of the
+        // receiver's current round (burns are permanent).
+        let Some(guilty) = verify_expose(&evidence, &self.registry, self.cfg.t0) else {
+            return;
+        };
+        self.stats.exposes_applied += 1;
+        for g in guilty {
+            self.collateral.burn(g);
+        }
+        // Abandon the exposed round: `Stash(D_j), r := r + 1`. The
+        // tentative block (if any) stays in the chain to be finalized or
+        // reconciled later (Algorand-style).
+        if round == self.round {
+            self.stats.exposed_rounds.push(self.round);
+            self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+            let next = self.round.next();
+            self.advance_round(ctx, next);
+        }
+    }
+
+    fn handle_final(&mut self, ctx: &mut Context<PrftMsg>, ballot: SignedBallot) {
+        if ballot.payload.phase != Phase::Final || !ballot.verify(&self.registry) {
+            return;
+        }
+        if ballot.payload.round == self.round {
+            self.observe_and_react(ctx, &ballot);
+        }
+        let value = ballot.payload.value;
+        self.final_tally
+            .entry(value)
+            .or_default()
+            .insert(ballot.signer(), ballot);
+        self.reconcile(ctx);
+    }
+
+    /// Adopts any block with a `> n/2` Final tally that connects to our
+    /// chain; rolls back conflicting *tentative* suffixes. Runs to fixpoint
+    /// so multi-round laggards catch up in one pass.
+    fn reconcile(&mut self, ctx: &mut Context<PrftMsg>) {
+        let majority = self.cfg.final_majority();
+        loop {
+            let mut progressed = false;
+            let candidates: Vec<Digest> = self
+                .final_tally
+                .iter()
+                .filter(|(_, who)| who.len() >= majority)
+                .map(|(v, _)| *v)
+                .collect();
+            for value in candidates {
+                let Some(block) = self.block_store.get(&value).cloned() else {
+                    continue;
+                };
+                // Already in chain? Finalize it (and ancestors).
+                let position = self
+                    .chain
+                    .iter()
+                    .position(|e| e.block.id() == value);
+                if let Some(h) = position {
+                    let h = Height(h as u64);
+                    if self
+                        .chain
+                        .at(h)
+                        .map(|e| e.status == prft_types::BlockStatus::Tentative)
+                        .unwrap_or(false)
+                    {
+                        let _ = self.chain.finalize_upto(h);
+                        progressed = true;
+                        if self.tentative.map(|(v, _)| v) == Some(value)
+                            && self.round == block.round
+                        {
+                            // Our own round resolved externally.
+                            self.stats.finalized_catchup += 1;
+                            self.stats.finalize_times.push((self.round, ctx.now()));
+                            self.consecutive_failures = 0;
+                            let next = self.round.next();
+                            self.advance_round(ctx, next);
+                        }
+                    }
+                    continue;
+                }
+                // Connects to tip?
+                if block.parent == self.chain.tip() {
+                    if self.chain.append_tentative(block.clone()).is_ok() {
+                        let h = Height(self.chain.height());
+                        let _ = self.chain.finalize_upto(h);
+                        self.mempool
+                            .remove_included(block.txs.iter().map(|t| &t.id));
+                        self.stats.finalized_catchup += 1;
+                        progressed = true;
+                        if self.round <= block.round {
+                            let next = Round(block.round.0 + 1);
+                            if next > self.round {
+                                self.stats.finalize_times.push((block.round, ctx.now()));
+                                self.consecutive_failures = 0;
+                                self.advance_round(ctx, next);
+                            }
+                        }
+                    }
+                    continue;
+                }
+                // Conflicts with a tentative suffix? ("rolled back once the
+                // network synchronizes".) Find the parent inside our chain.
+                let parent_pos = self
+                    .chain
+                    .iter()
+                    .position(|e| e.block.id() == block.parent);
+                if let Some(pp) = parent_pos {
+                    let conflict_h = pp + 1;
+                    let all_tentative = self
+                        .chain
+                        .iter()
+                        .skip(conflict_h)
+                        .all(|e| e.status == prft_types::BlockStatus::Tentative);
+                    if all_tentative && conflict_h <= self.chain.height() as usize {
+                        let _ = self.chain.rollback_tentative();
+                        progressed = true;
+                        // Next loop iteration will append it via the tip arm.
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------- view change
+
+    fn trigger_view_change(&mut self, ctx: &mut Context<PrftMsg>) {
+        if self.vc_sent || self.passive {
+            return;
+        }
+        if !self.behavior.join_view_change() {
+            return;
+        }
+        self.vc_sent = true;
+        let req = Signed::sign(
+            ViewChangeReq {
+                round: self.round,
+                stuck_phase: self.phase,
+            },
+            &self.key,
+        );
+        ctx.broadcast(PrftMsg::ViewChange { req });
+    }
+
+    fn handle_view_change(&mut self, ctx: &mut Context<PrftMsg>, req: Signed<ViewChangeReq>) {
+        if req.payload.round != self.round || !req.verify(&self.registry) {
+            return;
+        }
+        self.vc_reqs.insert(req.signer(), req);
+        // Amplification: t0+1 requests imply a non-byzantine player is
+        // stuck; join them (Claim 2 consistency).
+        if self.vc_reqs.len() > self.cfg.t0 {
+            self.trigger_view_change(ctx);
+        }
+        if self.vc_reqs.len() >= self.quorum() && self.vc_sent && !self.cv_sent {
+            self.send_commit_view(ctx);
+        }
+    }
+
+    fn send_commit_view(&mut self, ctx: &mut Context<PrftMsg>) {
+        self.cv_sent = true;
+        self.discontinued = true;
+        let reqs: Vec<Signed<ViewChangeReq>> =
+            self.vc_reqs.values().take(self.quorum()).cloned().collect();
+        let cv = Signed::sign(
+            CommitViewContent {
+                round: self.round,
+                cert_digest: view_change_cert_digest(&reqs),
+            },
+            &self.key,
+        );
+        ctx.broadcast(PrftMsg::CommitView { cv, reqs });
+    }
+
+    fn handle_commit_view(
+        &mut self,
+        ctx: &mut Context<PrftMsg>,
+        cv: Signed<CommitViewContent>,
+        reqs: Vec<Signed<ViewChangeReq>>,
+    ) {
+        if cv.payload.round != self.round || !cv.verify(&self.registry) {
+            return;
+        }
+        // Certificate check: n − t0 valid, distinct view-change requests
+        // for this round, bound by the signed digest.
+        if cv.payload.cert_digest != view_change_cert_digest(&reqs) {
+            return;
+        }
+        let mut signers = BTreeSet::new();
+        for r in &reqs {
+            if r.payload.round != self.round || !r.verify(&self.registry) {
+                return;
+            }
+            signers.insert(r.signer());
+        }
+        if signers.len() < self.quorum() {
+            return;
+        }
+        self.cv_senders.insert(cv.signer());
+        // Echo: commit to the view change ourselves (paper step 4).
+        if !self.cv_sent && self.behavior.join_view_change() {
+            for r in reqs {
+                self.vc_reqs.insert(r.signer(), r);
+            }
+            self.vc_sent = true;
+            self.send_commit_view(ctx);
+            self.cv_senders.insert(self.id());
+        }
+        // Completion (paper step 5, read as ≥ n − t0; see DESIGN.md §4).
+        if self.cv_senders.len() >= self.quorum() {
+            self.stats.view_changes += 1;
+            self.stats.view_changed_rounds.push(self.round);
+            self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+            let next = self.round.next();
+            self.advance_round(ctx, next);
+        }
+    }
+
+    /// Forwards our finalized chain's proposals and Final certificates to a
+    /// peer that is visibly behind. Rate-limited to once per round per peer.
+    fn help_laggard(&mut self, ctx: &mut Context<PrftMsg>, peer: NodeId) {
+        if self.helped_at.get(&peer).copied() >= Some(self.round) {
+            return;
+        }
+        self.helped_at.insert(peer, self.round);
+        let majority = self.cfg.final_majority();
+        let entries: Vec<(Digest, Block)> = self
+            .chain
+            .iter()
+            .skip(1) // genesis needs no help
+            .filter(|e| e.status == prft_types::BlockStatus::Final)
+            .map(|e| (e.block.id(), e.block.clone()))
+            .collect();
+        for (value, block) in entries {
+            if let Some(pb) = self.propose_store.get(&value) {
+                ctx.send(
+                    peer,
+                    PrftMsg::Propose {
+                        ballot: pb.clone(),
+                        block,
+                    },
+                );
+            }
+            if let Some(tally) = self.final_tally.get(&value) {
+                for sb in tally.values().take(majority) {
+                    ctx.send(peer, PrftMsg::Final { ballot: sb.clone() });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------- round sync
+
+    fn note_peer_round(&mut self, from: NodeId, round: Round) {
+        if from.0 < self.peer_round.len() && round.0 > self.peer_round[from.0] {
+            self.peer_round[from.0] = round.0;
+        }
+    }
+
+    fn round_sync_target(&self) -> Option<Round> {
+        // The highest r such that ≥ t0+1 peers have sent a message in a
+        // round ≥ r: sort descending, take index t0.
+        let mut rounds: Vec<u64> = self.peer_round.clone();
+        rounds.sort_unstable_by(|a, b| b.cmp(a));
+        let idx = self.cfg.t0;
+        let target = *rounds.get(idx)?;
+        (target > self.round.0).then_some(Round(target))
+    }
+
+    fn maybe_round_sync(&mut self, ctx: &mut Context<PrftMsg>) {
+        if let Some(target) = self.round_sync_target() {
+            self.stats.round_syncs += 1;
+            self.advance_round(ctx, target);
+        }
+    }
+
+    // ------------------------------------------------------- dispatch
+
+    fn msg_round(msg: &PrftMsg) -> Option<Round> {
+        match msg {
+            PrftMsg::Propose { ballot, .. }
+            | PrftMsg::Vote { ballot, .. }
+            | PrftMsg::Final { ballot } => Some(ballot.payload.round),
+            PrftMsg::Commit { cert } => Some(cert.commit.payload.round),
+            PrftMsg::Reveal { ballot, .. } => Some(ballot.payload.round),
+            PrftMsg::Expose { round, .. } => Some(*round),
+            PrftMsg::ViewChange { req } => Some(req.payload.round),
+            PrftMsg::CommitView { cv, .. } => Some(cv.payload.round),
+            PrftMsg::SyncRequest { round } => Some(*round),
+        }
+    }
+
+    fn dispatch(&mut self, ctx: &mut Context<PrftMsg>, _from: NodeId, msg: PrftMsg) {
+        match msg {
+            PrftMsg::Propose { ballot, block } => self.handle_propose(ctx, ballot, block),
+            PrftMsg::Vote { ballot, propose } => self.handle_vote(ctx, ballot, propose),
+            PrftMsg::Commit { cert } => self.handle_commit(ctx, cert),
+            PrftMsg::Reveal { ballot, certs } => self.handle_reveal(ctx, ballot, certs),
+            PrftMsg::Expose {
+                round, evidence, ..
+            } => self.handle_expose(ctx, round, evidence),
+            PrftMsg::Final { ballot } => self.handle_final(ctx, ballot),
+            PrftMsg::ViewChange { req } => self.handle_view_change(ctx, req),
+            PrftMsg::CommitView { cv, reqs } => self.handle_commit_view(ctx, cv, reqs),
+            PrftMsg::SyncRequest { .. } => {} // answered in on_message
+        }
+    }
+}
+
+impl Node for Replica {
+    type Msg = PrftMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<PrftMsg>) {
+        self.start_round(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<PrftMsg>, from: NodeId, msg: PrftMsg) {
+        if self.passive {
+            // Passive replicas have exhausted their round budget but remain
+            // responsive witnesses: they still help laggards reconcile.
+            match &msg {
+                PrftMsg::ViewChange { req }
+                    if req.payload.round < self.round && req.verify(&self.registry) =>
+                {
+                    self.help_laggard(ctx, from);
+                }
+                PrftMsg::SyncRequest { .. } => self.help_laggard(ctx, from),
+                _ => {}
+            }
+            return;
+        }
+        let Some(round) = Self::msg_round(&msg) else {
+            return;
+        };
+        // Valid proposal blocks are content-addressed data: stash them no
+        // matter which round they belong to, so a laggard that round-syncs
+        // past them can still reconstruct its chain from the Final tallies.
+        if let PrftMsg::Propose { ballot, block } = &msg {
+            if ballot.payload.phase == Phase::Propose
+                && ballot.signer() == self.leader(ballot.payload.round)
+                && block.id() == ballot.payload.value
+                && block.round == ballot.payload.round
+                && ballot.verify(&self.registry)
+                && !self.block_store.contains_key(&ballot.payload.value)
+            {
+                self.block_store.insert(block.id(), block.clone());
+                self.propose_store.insert(block.id(), ballot.clone());
+                // A late block may unblock pending Final-tally adoptions.
+                self.reconcile(ctx);
+                if self.passive {
+                    return;
+                }
+            }
+        }
+        // Signed rounds only: the ballot/req signatures cover the round, so
+        // a forged "from the future" claim costs the sender a signature
+        // check at worst.
+        self.note_peer_round(from, round);
+
+        // Sync requests are answered regardless of round.
+        if matches!(msg, PrftMsg::SyncRequest { .. }) {
+            self.help_laggard(ctx, from);
+            return;
+        }
+        match round.cmp(&self.round) {
+            std::cmp::Ordering::Greater => {
+                // Finals and exposes act across rounds; buffer the rest.
+                match &msg {
+                    PrftMsg::Final { .. } | PrftMsg::Expose { .. } => {
+                        self.dispatch(ctx, from, msg)
+                    }
+                    _ => {
+                        self.future.entry(round.0).or_default().push((from, msg));
+                        self.maybe_round_sync(ctx);
+                    }
+                }
+            }
+            std::cmp::Ordering::Less => {
+                // Stale, except Finals/Exposes which stay meaningful — and
+                // a stale ViewChange marks a laggard (e.g. a recovered
+                // crash): help it catch up (paper's view-change step 2:
+                // "send the corresponding messages to P_j").
+                match &msg {
+                    PrftMsg::Final { .. } | PrftMsg::Expose { .. } => {
+                        self.dispatch(ctx, from, msg)
+                    }
+                    PrftMsg::ViewChange { req } if req.verify(&self.registry) => {
+                        self.help_laggard(ctx, from);
+                    }
+                    _ => {}
+                }
+            }
+            std::cmp::Ordering::Equal => self.dispatch(ctx, from, msg),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<PrftMsg>, timer: TimerId) {
+        if self.passive {
+            return;
+        }
+        let Some((id, round, _phase)) = self.timer else {
+            return;
+        };
+        if id != timer || round != self.round {
+            return; // stale timer
+        }
+        self.timer = None;
+        // Timeout: initiate (or keep waiting on) a view change; keep a
+        // timer armed so the replica re-joins if the first attempt stalls
+        // pre-GST, with exponential backoff bounding the event rate.
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        self.trigger_view_change(ctx);
+        if self.cfg.max_rounds == 0 || self.rounds_done < self.cfg.max_rounds {
+            self.arm_timer(ctx);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Keys, signatures, and the trusted-setup registry.
+
+use crate::Sha256;
+use prft_types::{Digest, NodeId};
+use std::fmt;
+
+/// Security parameter κ in bytes: the wire size of one signature.
+///
+/// The paper reports message sizes as `O(κ · n^4)`; all byte accounting in
+/// `prft-metrics` is parameterized by this constant.
+pub const KAPPA: usize = 32;
+
+/// A player's signing key.
+///
+/// Produced only by [`KeyRegistry::trusted_setup`]. There is deliberately no
+/// way to construct a `SecretKey` for an arbitrary identity, and the seed is
+/// private: within the simulation this *is* unforgeability.
+#[derive(Clone)]
+pub struct SecretKey {
+    signer: NodeId,
+    seed: [u8; 32],
+}
+
+impl SecretKey {
+    /// The identity this key signs for.
+    pub fn signer(&self) -> NodeId {
+        self.signer
+    }
+
+    /// Signs a digest, producing a signature bound to this identity.
+    pub fn sign(&self, digest: Digest) -> Signature {
+        Signature {
+            signer: self.signer,
+            tag: Sha256::digest_parts(&[&self.seed, &digest.0]),
+        }
+    }
+}
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the seed.
+        write!(f, "SecretKey({})", self.signer)
+    }
+}
+
+/// A signature: the claimed signer plus a keyed-MAC tag over the digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    signer: NodeId,
+    tag: Digest,
+}
+
+impl Signature {
+    /// The identity that (claims to have) produced this signature.
+    pub fn signer(&self) -> NodeId {
+        self.signer
+    }
+
+    /// Wire size of a signature in bytes (κ).
+    pub const fn wire_bytes() -> usize {
+        KAPPA
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sig({}, {})", self.signer, self.tag)
+    }
+}
+
+/// The trusted setup: all public verification material.
+///
+/// The paper assumes a trusted broadcast-type setup where players share
+/// public keys (Section 3.3). Here the registry holds the per-player seeds
+/// and acts as the verification oracle; protocol code only ever calls
+/// [`KeyRegistry::verify`].
+#[derive(Debug, Clone)]
+pub struct KeyRegistry {
+    seeds: Vec<[u8; 32]>,
+}
+
+impl KeyRegistry {
+    /// Runs the trusted setup for `n` players from a master seed, returning
+    /// the public registry and each player's secret key.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn trusted_setup(n: usize, master_seed: u64) -> (KeyRegistry, Vec<SecretKey>) {
+        assert!(n > 0, "committee must be non-empty");
+        let mut seeds = Vec::with_capacity(n);
+        let mut keys = Vec::with_capacity(n);
+        for i in 0..n {
+            let seed = Sha256::digest_parts(&[
+                b"prft-trusted-setup",
+                &master_seed.to_le_bytes(),
+                &(i as u64).to_le_bytes(),
+            ])
+            .0;
+            seeds.push(seed);
+            keys.push(SecretKey {
+                signer: NodeId(i),
+                seed,
+            });
+        }
+        (KeyRegistry { seeds }, keys)
+    }
+
+    /// Number of registered players.
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Whether the registry is empty (never true after setup).
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// Verifies that `sig` is a valid signature by its claimed signer over
+    /// `digest`. Returns `false` for unknown signers or bad tags.
+    pub fn verify(&self, digest: Digest, sig: &Signature) -> bool {
+        match self.seeds.get(sig.signer.0) {
+            Some(seed) => Sha256::digest_parts(&[seed, &digest.0]) == sig.tag,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (reg, keys) = KeyRegistry::trusted_setup(3, 7);
+        let d = Sha256::digest(b"message");
+        for key in &keys {
+            let sig = key.sign(d);
+            assert!(reg.verify(d, &sig));
+            assert_eq!(sig.signer(), key.signer());
+        }
+    }
+
+    #[test]
+    fn wrong_digest_fails() {
+        let (reg, keys) = KeyRegistry::trusted_setup(2, 7);
+        let sig = keys[0].sign(Sha256::digest(b"a"));
+        assert!(!reg.verify(Sha256::digest(b"b"), &sig));
+    }
+
+    #[test]
+    fn cross_signer_tags_differ() {
+        let (_, keys) = KeyRegistry::trusted_setup(2, 7);
+        let d = Sha256::digest(b"m");
+        assert_ne!(keys[0].sign(d), keys[1].sign(d));
+    }
+
+    #[test]
+    fn unknown_signer_rejected() {
+        let (reg, _) = KeyRegistry::trusted_setup(2, 7);
+        // Key from a *different* setup claims identity 0.
+        let (_, other) = KeyRegistry::trusted_setup(2, 8);
+        let d = Sha256::digest(b"m");
+        assert!(!reg.verify(d, &other[0].sign(d)), "foreign setup rejected");
+        let (_, big) = KeyRegistry::trusted_setup(5, 7);
+        assert!(!reg.verify(d, &big[4].sign(d)), "out-of-range signer");
+    }
+
+    #[test]
+    fn setups_are_deterministic_per_seed() {
+        let (reg_a, keys_a) = KeyRegistry::trusted_setup(2, 7);
+        let (_, keys_b) = KeyRegistry::trusted_setup(2, 7);
+        let d = Sha256::digest(b"m");
+        assert_eq!(keys_a[0].sign(d), keys_b[0].sign(d));
+        assert!(reg_a.verify(d, &keys_b[0].sign(d)));
+    }
+
+    #[test]
+    fn debug_never_leaks_seed() {
+        let (_, keys) = KeyRegistry::trusted_setup(1, 7);
+        let printed = format!("{:?}", keys[0]);
+        assert_eq!(printed, "SecretKey(P0)");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_setup_panics() {
+        let _ = KeyRegistry::trusted_setup(0, 1);
+    }
+}

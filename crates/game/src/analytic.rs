@@ -1,0 +1,199 @@
+//! Closed-form algebra from the paper's proofs: bounds, thresholds, and the
+//! TRAP equilibrium arithmetic. Each function cites the statement it
+//! implements so experiments can check measured behaviour against theory.
+
+/// Claim 1: the agreement threshold τ must satisfy
+/// `⌊(n + t0)/2⌋ + 1 ≤ τ ≤ n − t0`. Returns the inclusive window.
+pub fn tau_window(n: usize, t0: usize) -> (usize, usize) {
+    ((n + t0) / 2 + 1, n - t0)
+}
+
+/// Claim 1 (necessity): whether a threshold is safe against both the
+/// abstention attack (`τ > n − t0` ⇒ liveness needs byzantine votes) and
+/// the partition double-agreement (`τ ≤ ⌊(n+t0)/2⌋`).
+pub fn tau_is_safe(n: usize, t0: usize, tau: usize) -> bool {
+    let (lo, hi) = tau_window(n, t0);
+    (lo..=hi).contains(&tau)
+}
+
+/// Theorems 1–2: the impossibility regime `⌈n/3⌉ ≤ k + t ≤ ⌈n/2⌉ − 1`.
+pub fn in_impossibility_regime(n: usize, k: usize, t: usize) -> bool {
+    let kt = k + t;
+    kt >= n.div_ceil(3) && kt <= n.div_ceil(2) - 1
+}
+
+/// pRFT's threat model `M = ⟨(P,T,K), θ=1, ⌈n/4⌉−1⟩`: `t < n/4` (i.e.
+/// `t ≤ t0 = ⌈n/4⌉ − 1`) and `k + t < n/2`.
+pub fn prft_tolerates(n: usize, k: usize, t: usize) -> bool {
+    let t0 = n.div_ceil(4) - 1;
+    t <= t0 && 2 * (k + t) < n
+}
+
+/// Lemma 4's partition algebra: a double quorum (both partitions reaching
+/// `n − t0` with collusion help) requires `k + t + 2·t0 ≥ n`. Under pRFT's
+/// parameters this is impossible; returns whether the *attack* is feasible.
+pub fn double_quorum_feasible(n: usize, t0: usize, k: usize, t: usize) -> bool {
+    k + t + 2 * t0 >= n
+}
+
+/// Theorem 3 / TRAP: utility of joining the fork collusion — the gain `G`
+/// split among the `k` rational colluders.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn trap_fork_utility(gain_g: f64, k: usize) -> f64 {
+    assert!(k > 0, "no rational colluders");
+    gain_g / k as f64
+}
+
+/// Theorem 3 / TRAP: expected utility of unilaterally baiting — the reward
+/// `R` only pays if the fork is actually averted (`σ_0`), which happens
+/// with probability `p_avert`.
+pub fn trap_bait_utility(reward_r: f64, p_avert: f64) -> f64 {
+    reward_r * p_avert.clamp(0.0, 1.0)
+}
+
+/// Theorem 3: the minimum number `m` of simultaneous baiters needed to stop
+/// the fork: `m > t0 + k + t − n/2` (Appendix D derivation). Returns the
+/// real-valued bound; the fork survives any `m` at or below it.
+pub fn trap_min_baiters(n: usize, t0: usize, k: usize, t: usize) -> f64 {
+    t0 as f64 + (k + t) as f64 - n as f64 / 2.0
+}
+
+/// Theorem 3's headline condition: with `k > 2 + t0 − t` colluding rational
+/// players, a unilateral deviation to baiting cannot avert the fork, so
+/// `π_fork` is a Nash equilibrium of the baiting game.
+pub fn trap_fork_is_nash(k: usize, t: usize, t0: usize) -> bool {
+    k as isize > 2 + t0 as isize - t as isize
+}
+
+/// TRAP's own advertised bounds (Ranchal-Pedrosa & Gramoli 2022):
+/// `3t < n` and `2(k + t) < n`.
+pub fn trap_tolerates(n: usize, k: usize, t: usize) -> bool {
+    3 * t < n && 2 * (k + t) < n
+}
+
+/// Theorem 1: the discounted utility of `π_abs` for a θ=3 player — per
+/// round `f(σ_NP, 3) = α` with no penalty, forever.
+pub fn theorem1_abstain_utility(alpha: f64, delta: f64) -> f64 {
+    crate::payoff::geometric_total(alpha, delta)
+}
+
+/// Theorem 2: the discounted utility of `π_pc` for a θ=2 player from round
+/// `r0` — per round `f(σ_CP, 2) = α` with no penalty.
+pub fn theorem2_censor_utility(alpha: f64, delta: f64, r0: u64) -> f64 {
+    crate::payoff::geometric_total(alpha, delta) * delta.powi(r0 as i32)
+}
+
+/// Message-complexity model (paper Table 3): expected asymptotic exponents
+/// for message count and wire bits per protocol. `(msgs_exp, bits_exp,
+/// accountable)` — used by the Table 3 experiment to label expectations.
+pub fn table3_row(protocol: &str) -> Option<(f64, f64, bool)> {
+    match protocol {
+        // The paper's table reports pBFT O(n³)/O(κn⁴); our measured counts
+        // are normal-case per-round (one power of n lower across the
+        // board); the *ranking* is what the experiment checks.
+        "pbft" => Some((3.0, 4.0, false)),
+        "hotstuff" => Some((2.0, 3.0, false)),
+        "polygraph" => Some((3.0, 4.0, true)),
+        "prft" => Some((3.0, 4.0, true)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_window_matches_claim_1() {
+        // n = 9, t0 = 2: window is [⌊11/2⌋+1, 7] = [6, 7].
+        assert_eq!(tau_window(9, 2), (6, 7));
+        assert!(tau_is_safe(9, 2, 6));
+        assert!(tau_is_safe(9, 2, 7));
+        assert!(!tau_is_safe(9, 2, 5), "≤ ⌊(n+t0)/2⌋ admits partitions");
+        assert!(!tau_is_safe(9, 2, 8), "> n−t0 lets byzantine stall");
+    }
+
+    #[test]
+    fn impossibility_regime_boundaries() {
+        // n = 9: regime is 3 ≤ k+t ≤ 4.
+        assert!(!in_impossibility_regime(9, 2, 0));
+        assert!(in_impossibility_regime(9, 3, 0));
+        assert!(in_impossibility_regime(9, 2, 2));
+        assert!(!in_impossibility_regime(9, 5, 0));
+    }
+
+    #[test]
+    fn prft_bounds() {
+        // n = 9, t0 = 2: t ≤ 2 and k+t ≤ 4.
+        assert!(prft_tolerates(9, 2, 2));
+        assert!(!prft_tolerates(9, 2, 3), "t = 3 > t0");
+        assert!(!prft_tolerates(9, 3, 2), "k+t = 5 ≥ n/2");
+        // Table 1 row: t < n/4 ∧ t+k < n/2.
+        assert!(prft_tolerates(16, 4, 3));
+    }
+
+    #[test]
+    fn double_quorum_never_feasible_under_prft() {
+        for n in 5usize..200 {
+            let t0 = n.div_ceil(4) - 1;
+            let kt_max = n.div_ceil(2) - 1;
+            assert!(
+                !double_quorum_feasible(n, t0, kt_max, 0),
+                "n={n}: Lemma 4's partition argument must close"
+            );
+        }
+    }
+
+    #[test]
+    fn double_quorum_feasible_at_bft_t0() {
+        // With TRAP's t0 = ⌈n/3⌉−1 the same collusion CAN double-quorum —
+        // that asymmetry is why pRFT tightens t0 to n/4.
+        let n: usize = 10;
+        let t0_trap = n.div_ceil(3) - 1; // 3
+        let kt = n.div_ceil(2) - 1; // 4: 4 + 2·3 = 10 ≥ n
+        assert!(double_quorum_feasible(n, t0_trap, kt, 0));
+    }
+
+    #[test]
+    fn trap_theorem3_arithmetic() {
+        // Paper example regime: k > 2 + t0 − t.
+        assert!(trap_fork_is_nash(4, 1, 2));
+        assert!(!trap_fork_is_nash(2, 1, 3));
+        // Fork utility beats unilateral baiting when the fork cannot be
+        // averted (p_avert = 0).
+        let fork = trap_fork_utility(8.0, 4);
+        let bait = trap_bait_utility(2.0, 0.0);
+        assert!(fork > bait);
+        assert_eq!(bait, 0.0);
+        // m > t0 + k + t − n/2: with n=10, t0=3, k=4, t=1 ⇒ m > 3.
+        assert_eq!(trap_min_baiters(10, 3, 4, 1), 3.0);
+    }
+
+    #[test]
+    fn trap_bounds() {
+        assert!(trap_tolerates(10, 3, 1));
+        assert!(!trap_tolerates(10, 4, 1), "2(k+t) ≥ n");
+        assert!(!trap_tolerates(9, 1, 3), "3t ≥ n");
+    }
+
+    #[test]
+    fn impossibility_utilities_are_positive() {
+        assert!(theorem1_abstain_utility(1.0, 0.9) > 0.0);
+        assert!((theorem1_abstain_utility(1.0, 0.9) - 10.0).abs() < 1e-9);
+        let u0 = theorem2_censor_utility(1.0, 0.9, 0);
+        let u5 = theorem2_censor_utility(1.0, 0.9, 5);
+        assert!(u0 > u5, "later start discounts the stream");
+    }
+
+    #[test]
+    fn table3_rows_exist() {
+        for p in ["pbft", "hotstuff", "polygraph", "prft"] {
+            assert!(table3_row(p).is_some());
+        }
+        assert!(table3_row("raft").is_none());
+        assert!(table3_row("prft").unwrap().2, "pRFT is accountable");
+        assert!(!table3_row("hotstuff").unwrap().2);
+    }
+}

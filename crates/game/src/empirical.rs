@@ -1,0 +1,240 @@
+//! Empirical (measured) normal-form games and equilibrium checkers.
+//!
+//! The paper argues about equilibria of the consensus game; we *measure*
+//! them: every strategy profile is evaluated (analytically or by running
+//! the simulator) and the resulting finite game is solved exhaustively.
+//! This is what turns Lemma 4 ("π_0 is DSIC") and Theorem 3 ("π_fork is a
+//! second, Pareto-preferred NE") into checkable artifacts.
+
+use std::collections::HashMap;
+
+/// A pure-strategy profile: one strategy index per player.
+pub type Profile = Vec<usize>;
+
+/// A finite normal-form game with measured payoffs.
+///
+/// Strategy sets may differ per player (byzantine players are usually fixed
+/// to a single "scripted" strategy, honest players to `π_0`, and only the
+/// rational players get real choices).
+#[derive(Debug, Clone)]
+pub struct EmpiricalGame {
+    strategy_counts: Vec<usize>,
+    payoffs: HashMap<Profile, Vec<f64>>,
+}
+
+impl EmpiricalGame {
+    /// Builds the game by evaluating `eval` on every profile of the given
+    /// strategy space. `eval` must return one utility per player.
+    ///
+    /// # Panics
+    /// Panics if any player has zero strategies or `eval` returns the wrong
+    /// arity.
+    pub fn explore<F>(strategy_counts: Vec<usize>, mut eval: F) -> Self
+    where
+        F: FnMut(&Profile) -> Vec<f64>,
+    {
+        assert!(
+            strategy_counts.iter().all(|&c| c > 0),
+            "every player needs at least one strategy"
+        );
+        let players = strategy_counts.len();
+        let mut payoffs = HashMap::new();
+        let mut profile: Profile = vec![0; players];
+        loop {
+            let us = eval(&profile);
+            assert_eq!(us.len(), players, "eval must return one utility per player");
+            payoffs.insert(profile.clone(), us);
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == players {
+                    return EmpiricalGame {
+                        strategy_counts,
+                        payoffs,
+                    };
+                }
+                profile[i] += 1;
+                if profile[i] < strategy_counts[i] {
+                    break;
+                }
+                profile[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// Number of players.
+    pub fn players(&self) -> usize {
+        self.strategy_counts.len()
+    }
+
+    /// Utility vector for a profile.
+    ///
+    /// # Panics
+    /// Panics if the profile was never evaluated (out of range).
+    pub fn utilities(&self, profile: &Profile) -> &[f64] {
+        self.payoffs
+            .get(profile)
+            .unwrap_or_else(|| panic!("profile {profile:?} out of range"))
+    }
+
+    /// Whether `profile` is a (pure) Nash equilibrium: no player gains more
+    /// than `eps` by a unilateral deviation.
+    pub fn is_nash(&self, profile: &Profile, eps: f64) -> bool {
+        let base = self.utilities(profile);
+        for player in 0..self.players() {
+            for alt in 0..self.strategy_counts[player] {
+                if alt == profile[player] {
+                    continue;
+                }
+                let mut dev = profile.clone();
+                dev[player] = alt;
+                if self.utilities(&dev)[player] > base[player] + eps {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// All pure Nash equilibria.
+    pub fn nash_equilibria(&self, eps: f64) -> Vec<Profile> {
+        let mut out: Vec<Profile> = self
+            .payoffs
+            .keys()
+            .filter(|p| self.is_nash(p, eps))
+            .cloned()
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Whether strategy `strategy` is (weakly) dominant for `player`: best
+    /// response (within `eps`) against *every* opponent profile — the DSIC
+    /// condition of Definition 5 when it holds with the honest strategy for
+    /// every rational player.
+    pub fn is_dominant(&self, player: usize, strategy: usize, eps: f64) -> bool {
+        for (profile, us) in &self.payoffs {
+            if profile[player] == strategy {
+                continue;
+            }
+            let mut with_s = profile.clone();
+            with_s[player] = strategy;
+            if us[player] > self.utilities(&with_s)[player] + eps {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the given per-player strategy vector is a dominant-strategy
+    /// equilibrium.
+    pub fn is_dse(&self, profile: &Profile, eps: f64) -> bool {
+        (0..self.players()).all(|p| self.is_dominant(p, profile[p], eps))
+    }
+
+    /// Whether profile `a` Pareto-dominates `b` for the given subset of
+    /// players (everyone in the subset at least as well off, someone
+    /// strictly better).
+    pub fn pareto_dominates_for(&self, a: &Profile, b: &Profile, players: &[usize]) -> bool {
+        let ua = self.utilities(a);
+        let ub = self.utilities(b);
+        let no_worse = players.iter().all(|&p| ua[p] >= ub[p]);
+        let strictly = players.iter().any(|&p| ua[p] > ub[p]);
+        no_worse && strictly
+    }
+
+    /// The focal equilibrium among `candidates` for the given players: the
+    /// one maximizing their total utility (Schelling's "attractive"
+    /// equilibrium — see paper Section 4.3). Ties break toward the first.
+    pub fn focal_among<'a>(
+        &self,
+        candidates: &'a [Profile],
+        players: &[usize],
+    ) -> Option<&'a Profile> {
+        candidates.iter().max_by(|a, b| {
+            let ua: f64 = players.iter().map(|&p| self.utilities(a)[p]).sum();
+            let ub: f64 = players.iter().map(|&p| self.utilities(b)[p]).sum();
+            ua.partial_cmp(&ub).unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table 3 example game (Section 4.3): three players with
+    /// two strategies each and two Nash equilibria, one focal.
+    fn schelling_game() -> EmpiricalGame {
+        // Strategies: P1 ∈ {A=0, B=1}, P2 ∈ {a=0, b=1}, P3 ∈ {α=0, β=1}.
+        EmpiricalGame::explore(vec![2, 2, 2], |p| {
+            match (p[0], p[1], p[2]) {
+                (0, 0, 0) => vec![1.0, 1.0, 1.0],   // (A,a,α)
+                (0, 0, 1) => vec![1.0, 1.0, 0.0],   // (A,a,β)
+                (0, 1, 0) => vec![1.0, 0.0, 1.0],   // (A,b,α)
+                (0, 1, 1) => vec![-2.0, 2.0, 2.0],  // (A,b,β)
+                (1, 0, 0) => vec![0.0, 1.0, 1.0],   // (B,a,α)
+                (1, 0, 1) => vec![1.0, -2.0, 1.0],  // (B,a,β)
+                (1, 1, 0) => vec![2.0, 2.0, -2.0],  // (B,b,α)
+                (1, 1, 1) => vec![0.0, 0.0, 0.0],   // (B,b,β)
+                _ => unreachable!(),
+            }
+        })
+    }
+
+    #[test]
+    fn schelling_example_has_the_papers_two_equilibria() {
+        let g = schelling_game();
+        let ne = g.nash_equilibria(1e-9);
+        assert!(ne.contains(&vec![0, 0, 0]), "(A,a,α) is NE");
+        assert!(ne.contains(&vec![1, 1, 1]), "(B,b,β) is NE");
+        let focal = g.focal_among(&ne, &[0, 1, 2]).unwrap();
+        assert_eq!(focal, &vec![0, 0, 0], "(A,a,α) is the focal point");
+        assert!(g.pareto_dominates_for(&vec![0, 0, 0], &vec![1, 1, 1], &[0, 1, 2]));
+    }
+
+    #[test]
+    fn prisoners_dilemma_defection_is_dse() {
+        // Classic PD: strategy 0 = cooperate, 1 = defect.
+        let g = EmpiricalGame::explore(vec![2, 2], |p| match (p[0], p[1]) {
+            (0, 0) => vec![3.0, 3.0],
+            (0, 1) => vec![0.0, 5.0],
+            (1, 0) => vec![5.0, 0.0],
+            (1, 1) => vec![1.0, 1.0],
+            _ => unreachable!(),
+        });
+        assert!(g.is_dominant(0, 1, 0.0));
+        assert!(g.is_dominant(1, 1, 0.0));
+        assert!(g.is_dse(&vec![1, 1], 0.0));
+        assert!(!g.is_dominant(0, 0, 0.0));
+        assert_eq!(g.nash_equilibria(0.0), vec![vec![1, 1]]);
+        // Cooperation Pareto-dominates the DSE — the PD tension.
+        assert!(g.pareto_dominates_for(&vec![0, 0], &vec![1, 1], &[0, 1]));
+    }
+
+    #[test]
+    fn asymmetric_strategy_counts() {
+        // Player 0 scripted (1 strategy), player 1 chooses among 3.
+        let g = EmpiricalGame::explore(vec![1, 3], |p| {
+            vec![0.0, [1.0, 5.0, 3.0][p[1]]]
+        });
+        assert!(g.is_nash(&vec![0, 1], 0.0));
+        assert!(!g.is_nash(&vec![0, 0], 0.0));
+        assert!(g.is_dominant(1, 1, 0.0));
+    }
+
+    #[test]
+    fn eps_tolerance_for_measured_noise() {
+        let g = EmpiricalGame::explore(vec![2], |p| vec![[1.0, 1.04][p[0]]]);
+        assert!(!g.is_nash(&vec![0], 0.0));
+        assert!(g.is_nash(&vec![0], 0.1), "within noise tolerance");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unknown_profile_panics() {
+        let g = EmpiricalGame::explore(vec![2], |_| vec![0.0]);
+        let _ = g.utilities(&vec![5]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Game-theoretic layer of the reproduction: rational player types θ,
+//! system states σ, the payoff table `f(σ, θ)` (paper Table 2), discounted
+//! repeated-round utilities, equilibrium checkers (Nash / dominant-strategy
+//! / Pareto / focal), and the closed-form algebra behind Theorems 1–3,
+//! Claim 1, and Lemma 4.
+//!
+//! The crate is pure math — no simulation dependencies. Experiments feed it
+//! either analytic payoffs or utilities measured from `prft-core` runs
+//! (empirical game theory): build an [`EmpiricalGame`] from any
+//! profile-evaluation function and query its equilibria.
+//!
+//! # Example: the TRAP fork equilibrium (Theorem 3)
+//!
+//! ```
+//! use prft_game::analytic;
+//!
+//! // n = 20, t0 = 6 (TRAP's byzantine bound ⌈n/3⌉−1), t = 6, k = 3:
+//! // inside TRAP's advertised tolerance …
+//! assert!(analytic::trap_tolerates(20, 3, 6));
+//! // … yet fork is a Nash equilibrium because k > 2 + t0 − t …
+//! assert!(analytic::trap_fork_is_nash(3, 6, 6));
+//! // … since stopping the fork needs more than one baiter:
+//! assert!(analytic::trap_min_baiters(20, 6, 3, 6) > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+mod empirical;
+mod payoff;
+mod repeated;
+mod types;
+
+pub use empirical::{EmpiricalGame, Profile};
+pub use repeated::GrimTrigger;
+pub use payoff::{discounted_sum, geometric_total, PayoffTable, UtilityParams};
+pub use types::{PlayerClass, Strategy, SystemState, Theta};

@@ -1,0 +1,129 @@
+//! Repeated-round utilities and the grim-trigger analysis behind
+//! Theorem 3.
+//!
+//! The paper's utility (Eq. 1) is a discounted stream
+//! `U_i(π, θ) = Σ_{r≥0} δ^r · u_i(π, θ, r)`. Theorem 3's proof considers a
+//! collusion playing grim trigger — "if one player of collusion baits, all
+//! players will abandon collusion" — and shows that under it, forking every
+//! round is a Nash equilibrium of the repeated game: a one-shot defection
+//! to baiting trades the entire future fork stream for (at most) one
+//! reward.
+
+use crate::payoff::geometric_total;
+
+/// The repeated-game payoff streams available to one rational collusion
+/// member in a baiting-based protocol under grim trigger.
+#[derive(Debug, Clone, Copy)]
+pub struct GrimTrigger {
+    /// Per-round fork dividend `G / k`.
+    pub fork_per_round: f64,
+    /// One-shot expected baiting reward `R · Pr(avert)`.
+    pub bait_once: f64,
+    /// Discount factor δ ∈ [0, 1).
+    pub delta: f64,
+}
+
+impl GrimTrigger {
+    /// Discounted utility of cooperating with the fork forever:
+    /// `(G/k) / (1 − δ)`.
+    pub fn forever_fork(&self) -> f64 {
+        geometric_total(self.fork_per_round, self.delta)
+    }
+
+    /// Discounted utility of defecting to baiting at round `r`: the fork
+    /// dividends up to `r`, plus the one-shot reward, plus nothing forever
+    /// (the collusion dissolves — grim trigger).
+    pub fn defect_at(&self, round: u32) -> f64 {
+        let mut acc = 0.0;
+        let mut w = 1.0;
+        for _ in 0..round {
+            acc += w * self.fork_per_round;
+            w *= self.delta;
+        }
+        acc + w * self.bait_once
+    }
+
+    /// Whether eternal forking beats defecting at every round — the
+    /// repeated-game condition for the fork equilibrium of Theorem 3.
+    /// With `Pr(avert) = 0` for unilateral baiting (the `k > 2 + t0 − t`
+    /// regime), `bait_once = 0` and this always holds for positive fork
+    /// dividends.
+    pub fn fork_is_stable(&self) -> bool {
+        // Defection is best taken as early as possible if at all (the
+        // reward is not discounted-growing), so round 0 is the binding
+        // comparison; we still sweep a window for robustness.
+        (0..50).all(|r| self.forever_fork() >= self.defect_at(r) - 1e-12)
+    }
+
+    /// The minimum one-shot bait reward that would destabilize the fork —
+    /// what the mechanism designer would need to offer. From
+    /// `forever_fork ≤ bait_once` at round 0: `R* = (G/k) / (1 − δ)`.
+    pub fn destabilizing_reward(&self) -> f64 {
+        self.forever_fork()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn game(bait_once: f64) -> GrimTrigger {
+        GrimTrigger {
+            fork_per_round: 8.0 / 3.0,
+            bait_once,
+            delta: 0.9,
+        }
+    }
+
+    #[test]
+    fn forever_fork_matches_closed_form() {
+        let g = game(0.0);
+        assert!((g.forever_fork() - (8.0 / 3.0) / 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn defecting_later_collects_more_dividends() {
+        let g = game(2.0);
+        assert!(g.defect_at(0) < g.defect_at(3));
+        // But every defection stream is below eternal forking when the
+        // reward is small.
+        assert!(g.fork_is_stable());
+    }
+
+    #[test]
+    fn unilateral_bait_in_theorem_3_regime_pays_zero() {
+        // Pr(avert) = 0 ⇒ bait_once = 0 ⇒ fork trivially stable.
+        let g = game(0.0);
+        assert!(g.fork_is_stable());
+        assert_eq!(g.defect_at(0), 0.0);
+    }
+
+    #[test]
+    fn huge_reward_destabilizes() {
+        let g = game(1_000.0);
+        assert!(!g.fork_is_stable());
+        // The threshold is exactly the eternal fork value.
+        let edge = game(game(0.0).destabilizing_reward());
+        assert!(edge.fork_is_stable(), "weakly stable at the threshold");
+        let above = game(game(0.0).destabilizing_reward() + 1.0);
+        assert!(!above.fork_is_stable());
+    }
+
+    #[test]
+    fn destabilizing_reward_scales_with_patience() {
+        // More patient players (higher δ) need a larger reward to defect —
+        // the designer's problem gets harder, which is why TRAP's fixed R
+        // cannot be sufficient in general.
+        let impatient = GrimTrigger {
+            fork_per_round: 1.0,
+            bait_once: 0.0,
+            delta: 0.5,
+        };
+        let patient = GrimTrigger {
+            fork_per_round: 1.0,
+            bait_once: 0.0,
+            delta: 0.99,
+        };
+        assert!(patient.destabilizing_reward() > 10.0 * impatient.destabilizing_reward());
+    }
+}

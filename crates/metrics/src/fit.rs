@@ -1,0 +1,112 @@
+//! Power-law fitting: estimate the exponent `e` in `y ≈ c · n^e` from
+//! measured `(n, y)` pairs by least squares on `log y = log c + e · log n`.
+//!
+//! This is how the Table 3 experiment turns measured message counts into
+//! the `O(n^e)` exponents the paper reports.
+
+/// Result of a power-law fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// The fitted exponent `e`.
+    pub exponent: f64,
+    /// The fitted constant `c`.
+    pub constant: f64,
+    /// Coefficient of determination on the log-log points.
+    pub r_squared: f64,
+}
+
+/// Fits `y = c · nᵉ` to the samples.
+///
+/// # Panics
+/// Panics if fewer than two samples are given or any sample is
+/// non-positive (logarithms must exist).
+pub fn fit_power_law(samples: &[(f64, f64)]) -> PowerLawFit {
+    assert!(samples.len() >= 2, "need at least two samples to fit");
+    assert!(
+        samples.iter().all(|&(n, y)| n > 0.0 && y > 0.0),
+        "samples must be positive"
+    );
+    let logs: Vec<(f64, f64)> = samples.iter().map(|&(n, y)| (n.ln(), y.ln())).collect();
+    let count = logs.len() as f64;
+    let mean_x = logs.iter().map(|p| p.0).sum::<f64>() / count;
+    let mean_y = logs.iter().map(|p| p.1).sum::<f64>() / count;
+    let sxx: f64 = logs.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    let sxy: f64 = logs
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum();
+    assert!(sxx > 0.0, "samples need at least two distinct n values");
+    let exponent = sxy / sxx;
+    let intercept = mean_y - exponent * mean_x;
+    let ss_res: f64 = logs
+        .iter()
+        .map(|p| (p.1 - (intercept + exponent * p.0)).powi(2))
+        .sum();
+    let ss_tot: f64 = logs.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    PowerLawFit {
+        exponent,
+        constant: intercept.exp(),
+        r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_square_law() {
+        let samples: Vec<(f64, f64)> = (2..10).map(|n| (n as f64, (n * n) as f64)).collect();
+        let fit = fit_power_law(&samples);
+        assert!((fit.exponent - 2.0).abs() < 1e-9);
+        assert!((fit.constant - 1.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn cubic_with_constant() {
+        let samples: Vec<(f64, f64)> =
+            (4..40).step_by(4).map(|n| (n as f64, 7.0 * (n as f64).powi(3))).collect();
+        let fit = fit_power_law(&samples);
+        assert!((fit.exponent - 3.0).abs() < 1e-9);
+        assert!((fit.constant - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_data_still_close() {
+        // ±10% multiplicative noise around n^1.5.
+        let noise = [1.1, 0.92, 1.05, 0.95, 1.08, 0.9, 1.02, 1.0];
+        let samples: Vec<(f64, f64)> = (1..=8)
+            .map(|i| {
+                let n = (4 * i) as f64;
+                (n, n.powf(1.5) * noise[i - 1])
+            })
+            .collect();
+        let fit = fit_power_law(&samples);
+        assert!((fit.exponent - 1.5).abs() < 0.15, "got {}", fit.exponent);
+        assert!(fit.r_squared > 0.97);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn one_sample_rejected() {
+        let _ = fit_power_law(&[(2.0, 4.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_sample_rejected() {
+        let _ = fit_power_law(&[(2.0, 0.0), (3.0, 4.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct n values")]
+    fn degenerate_x_rejected() {
+        let _ = fit_power_law(&[(2.0, 4.0), (2.0, 5.0)]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Classifying a run into the paper's system states σ (Section 4.1.1).
+
+use prft_game::SystemState;
+use prft_types::{Chain, TxId};
+
+/// A snapshot of the honest players' views after (part of) a run.
+#[derive(Debug)]
+pub struct StateObservation<'a> {
+    /// The honest players' ledgers.
+    pub chains: Vec<&'a Chain>,
+    /// Transactions that were input to **all** honest players and are being
+    /// watched for censorship (the set `Z` of the paper).
+    pub watched: Vec<TxId>,
+    /// Finalized height at the start of the observation window (0 for a
+    /// whole-run observation).
+    pub baseline_height: u64,
+}
+
+/// Classifies the observation:
+///
+/// 1. `σ_Fork` if two honest ledgers finalize different blocks at a height;
+/// 2. `σ_NP` if no new block finalized anywhere during the window;
+/// 3. `σ_CP` if progress happened but some watched transaction is missing
+///    from every honest finalized ledger;
+/// 4. `σ_0` otherwise.
+///
+/// The precedence (fork ≻ no-progress ≻ censorship) matches the payoff
+/// severity ordering of Table 2.
+pub fn classify(obs: &StateObservation<'_>) -> SystemState {
+    let chains = &obs.chains;
+    if chains.is_empty() {
+        return SystemState::NoProgress;
+    }
+    for i in 0..chains.len() {
+        for j in (i + 1)..chains.len() {
+            if Chain::find_fork(chains[i], chains[j], true).is_some() {
+                return SystemState::Fork;
+            }
+        }
+    }
+    let max_final = chains.iter().map(|c| c.final_height()).max().unwrap_or(0);
+    if max_final <= obs.baseline_height {
+        return SystemState::NoProgress;
+    }
+    let censored = obs
+        .watched
+        .iter()
+        .any(|&tx| chains.iter().all(|c| !c.contains_tx_final(tx)));
+    if censored {
+        return SystemState::Censorship;
+    }
+    SystemState::HonestExecution
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prft_types::{Block, Digest, Height, NodeId, Round, Transaction};
+
+    fn block_on(chain: &Chain, round: u64, tx_ids: &[u64]) -> Block {
+        let txs = tx_ids
+            .iter()
+            .map(|&i| Transaction::new(i, NodeId(0), vec![]))
+            .collect();
+        Block::new(Round(round), chain.tip(), NodeId(0), txs)
+    }
+
+    fn grown_chain(tx_rounds: &[&[u64]]) -> Chain {
+        let mut c = Chain::new(Block::genesis());
+        for (i, txs) in tx_rounds.iter().enumerate() {
+            let b = block_on(&c, i as u64 + 1, txs);
+            c.append_tentative(b).unwrap();
+        }
+        let h = c.height();
+        c.finalize_upto(Height(h)).unwrap();
+        c
+    }
+
+    #[test]
+    fn honest_execution() {
+        let a = grown_chain(&[&[1], &[2]]);
+        let b = a.clone();
+        let obs = StateObservation {
+            chains: vec![&a, &b],
+            watched: vec![TxId(1)],
+            baseline_height: 0,
+        };
+        assert_eq!(classify(&obs), SystemState::HonestExecution);
+    }
+
+    #[test]
+    fn no_progress() {
+        let a = Chain::new(Block::genesis());
+        let obs = StateObservation {
+            chains: vec![&a],
+            watched: vec![],
+            baseline_height: 0,
+        };
+        assert_eq!(classify(&obs), SystemState::NoProgress);
+    }
+
+    #[test]
+    fn no_progress_relative_to_baseline() {
+        let a = grown_chain(&[&[1]]);
+        let obs = StateObservation {
+            chains: vec![&a],
+            watched: vec![],
+            baseline_height: 1,
+        };
+        assert_eq!(classify(&obs), SystemState::NoProgress);
+    }
+
+    #[test]
+    fn censorship() {
+        let a = grown_chain(&[&[1], &[2]]);
+        let b = a.clone();
+        let obs = StateObservation {
+            chains: vec![&a, &b],
+            watched: vec![TxId(99)],
+            baseline_height: 0,
+        };
+        assert_eq!(classify(&obs), SystemState::Censorship);
+    }
+
+    #[test]
+    fn fork_takes_precedence() {
+        let base = grown_chain(&[&[1]]);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.append_tentative(block_on(&a, 2, &[100])).unwrap();
+        b.append_tentative(block_on(&b, 2, &[200])).unwrap();
+        a.finalize_upto(Height(2)).unwrap();
+        b.finalize_upto(Height(2)).unwrap();
+        let obs = StateObservation {
+            chains: vec![&a, &b],
+            watched: vec![TxId(99)], // censorship also true, fork wins
+            baseline_height: 0,
+        };
+        assert_eq!(classify(&obs), SystemState::Fork);
+    }
+
+    #[test]
+    fn tentative_divergence_is_not_a_fork() {
+        let base = grown_chain(&[&[1]]);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.append_tentative(block_on(&a, 2, &[100])).unwrap();
+        b.append_tentative(block_on(&b, 2, &[200])).unwrap();
+        let obs = StateObservation {
+            chains: vec![&a, &b],
+            watched: vec![],
+            baseline_height: 0,
+        };
+        assert_eq!(classify(&obs), SystemState::HonestExecution);
+    }
+
+    #[test]
+    fn empty_observation_is_no_progress() {
+        let obs = StateObservation {
+            chains: vec![],
+            watched: vec![],
+            baseline_height: 0,
+        };
+        assert_eq!(classify(&obs), SystemState::NoProgress);
+    }
+
+    #[test]
+    fn watched_tx_present_is_not_censorship() {
+        let a = grown_chain(&[&[1], &[99]]);
+        let obs = StateObservation {
+            chains: vec![&a],
+            watched: vec![TxId(99)],
+            baseline_height: 0,
+        };
+        assert_eq!(classify(&obs), SystemState::HonestExecution);
+        let _ = Digest::ZERO;
+    }
+}

@@ -1,0 +1,198 @@
+//! The three synchrony flavours.
+
+use prft_sim::{LinkModel, SimRng, SimTime};
+use prft_types::NodeId;
+
+/// Fully synchronous network: every message arrives within a known `Δ_sync`.
+///
+/// Protocols may be parameterized by this bound (the paper: "synchronized is
+/// when the delay is upper bounded by a known bound Δ").
+#[derive(Debug, Clone, Copy)]
+pub struct SynchronousNet {
+    delta: SimTime,
+}
+
+impl SynchronousNet {
+    /// Creates a synchronous network with bound `delta` (≥ 1).
+    ///
+    /// # Panics
+    /// Panics if `delta` is zero.
+    pub fn new(delta: SimTime) -> Self {
+        assert!(delta.0 >= 1, "delay bound must be at least one tick");
+        SynchronousNet { delta }
+    }
+
+    /// The known delay bound.
+    pub fn delta(&self) -> SimTime {
+        self.delta
+    }
+}
+
+impl LinkModel for SynchronousNet {
+    fn deliver_at(
+        &mut self,
+        _from: NodeId,
+        _to: NodeId,
+        sent: SimTime,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        sent + SimTime(rng.range(1, self.delta.0))
+    }
+}
+
+/// Partially synchronous network (Dwork–Lynch–Stockmeyer): before the Global
+/// Stabilization Time the adversary picks delays; after GST every message is
+/// delivered within `Δ`. The invariant is that a message sent at `s` arrives
+/// by `max(s, GST) + Δ`.
+#[derive(Debug, Clone, Copy)]
+pub struct PartiallySynchronousNet {
+    gst: SimTime,
+    delta: SimTime,
+}
+
+impl PartiallySynchronousNet {
+    /// Creates a partially synchronous network that stabilizes at `gst` with
+    /// post-GST bound `delta`.
+    ///
+    /// # Panics
+    /// Panics if `delta` is zero.
+    pub fn new(gst: SimTime, delta: SimTime) -> Self {
+        assert!(delta.0 >= 1, "delay bound must be at least one tick");
+        PartiallySynchronousNet { gst, delta }
+    }
+
+    /// The Global Stabilization Time.
+    pub fn gst(&self) -> SimTime {
+        self.gst
+    }
+
+    /// The post-GST delay bound.
+    pub fn delta(&self) -> SimTime {
+        self.delta
+    }
+}
+
+impl LinkModel for PartiallySynchronousNet {
+    fn deliver_at(
+        &mut self,
+        _from: NodeId,
+        _to: NodeId,
+        sent: SimTime,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        let deadline = self.gst.max(sent) + self.delta;
+        // Uniform in (sent, deadline]: before GST this spans the whole
+        // asynchronous window; after GST it degenerates to [1, Δ].
+        SimTime(rng.range(sent.0 + 1, deadline.0))
+    }
+}
+
+/// Asynchronous network: no bound on delay, but every delay is finite
+/// (reliable channels). Delays follow a geometric tail: with probability
+/// `1 − p_slow` a message takes `[1, base]`; otherwise the delay doubles per
+/// extra "slow" draw, capped at `cap` so runs terminate.
+#[derive(Debug, Clone, Copy)]
+pub struct AsynchronousNet {
+    base: SimTime,
+    p_slow: f64,
+    cap: SimTime,
+}
+
+impl AsynchronousNet {
+    /// Creates an asynchronous network with typical delay `base`, slow-path
+    /// probability `p_slow`, and hard cap `cap` (finiteness).
+    ///
+    /// # Panics
+    /// Panics if `base` is zero or `cap < base`.
+    pub fn new(base: SimTime, p_slow: f64, cap: SimTime) -> Self {
+        assert!(base.0 >= 1, "base delay must be at least one tick");
+        assert!(cap >= base, "cap must be at least the base delay");
+        AsynchronousNet { base, p_slow, cap }
+    }
+
+    /// A default profile used across experiments.
+    pub fn typical() -> Self {
+        AsynchronousNet::new(SimTime(10), 0.1, SimTime(10_000))
+    }
+}
+
+impl LinkModel for AsynchronousNet {
+    fn deliver_at(
+        &mut self,
+        _from: NodeId,
+        _to: NodeId,
+        sent: SimTime,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        let mut bound = self.base.0;
+        while bound < self.cap.0 && rng.chance(self.p_slow) {
+            bound = (bound * 2).min(self.cap.0);
+        }
+        sent + SimTime(rng.range(1, bound))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spread<M: LinkModel>(model: &mut M, sent: u64, draws: usize) -> (u64, u64) {
+        let mut rng = SimRng::new(99);
+        let mut lo = u64::MAX;
+        let mut hi = 0;
+        for _ in 0..draws {
+            let t = model
+                .deliver_at(NodeId(0), NodeId(1), SimTime(sent), &mut rng)
+                .0;
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        (lo, hi)
+    }
+
+    #[test]
+    fn synchronous_respects_bound() {
+        let mut net = SynchronousNet::new(SimTime(10));
+        let (lo, hi) = spread(&mut net, 100, 2000);
+        assert!(lo >= 101);
+        assert!(hi <= 110);
+    }
+
+    #[test]
+    fn partial_sync_before_gst_can_stall_until_gst_plus_delta() {
+        let mut net = PartiallySynchronousNet::new(SimTime(1_000), SimTime(10));
+        let (lo, hi) = spread(&mut net, 0, 5000);
+        assert!(lo >= 1);
+        assert!(hi > 500, "pre-GST deliveries can be very late (saw {hi})");
+        assert!(hi <= 1_010, "but never after GST+Δ");
+    }
+
+    #[test]
+    fn partial_sync_after_gst_is_synchronous() {
+        let mut net = PartiallySynchronousNet::new(SimTime(1_000), SimTime(10));
+        let (lo, hi) = spread(&mut net, 2_000, 2000);
+        assert!(lo >= 2_001);
+        assert!(hi <= 2_010);
+    }
+
+    #[test]
+    fn async_is_finite_but_heavy_tailed() {
+        let mut net = AsynchronousNet::new(SimTime(10), 0.5, SimTime(1_000));
+        let (lo, hi) = spread(&mut net, 0, 5000);
+        assert!(lo >= 1);
+        assert!(hi > 100, "tail should exceed the base bound (saw {hi})");
+        assert!(hi <= 1_000, "cap keeps delays finite");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tick")]
+    fn zero_delta_rejected() {
+        let _ = SynchronousNet::new(SimTime(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be at least")]
+    fn async_cap_below_base_rejected() {
+        let _ = AsynchronousNet::new(SimTime(10), 0.1, SimTime(5));
+    }
+}

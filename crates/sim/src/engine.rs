@@ -1,0 +1,634 @@
+//! The discrete-event engine: event queue, node dispatch, timers, crashes.
+
+use crate::{Meter, SimRng, SimTime, Trace, TraceEntry, WireMessage};
+use prft_types::NodeId;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle to a pending timer, returned by [`Context::set_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(u64);
+
+/// Network delay policy: decides when a message sent at `sent` from `from`
+/// arrives at `to`. Must return a time `>= sent` (reliable channels: the
+/// delay may be large but delivery is guaranteed — the paper's Section 3.3).
+pub trait LinkModel {
+    /// Absolute delivery time for one message.
+    fn deliver_at(&mut self, from: NodeId, to: NodeId, sent: SimTime, rng: &mut SimRng)
+        -> SimTime;
+}
+
+impl LinkModel for Box<dyn LinkModel> {
+    fn deliver_at(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        sent: SimTime,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        (**self).deliver_at(from, to, sent, rng)
+    }
+}
+
+/// A protocol participant.
+///
+/// Implementations receive callbacks from the engine and act through the
+/// [`Context`]. All state lives inside the node; the engine never inspects
+/// it.
+pub trait Node {
+    /// The protocol's message type.
+    type Msg: Clone + WireMessage;
+
+    /// Called once at time zero, before any delivery.
+    fn on_start(&mut self, ctx: &mut Context<Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called for each delivered message.
+    fn on_message(&mut self, ctx: &mut Context<Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer set via [`Context::set_timer`] fires (unless
+    /// cancelled).
+    fn on_timer(&mut self, ctx: &mut Context<Self::Msg>, timer: TimerId);
+}
+
+/// What a node may do during a callback.
+///
+/// Actions are buffered and turned into events by the engine after the
+/// callback returns, which keeps dispatch re-entrancy-free.
+pub struct Context<'a, M> {
+    me: NodeId,
+    n: usize,
+    now: SimTime,
+    next_timer: &'a mut u64,
+    actions: Vec<Action<M>>,
+    rng: &'a mut SimRng,
+}
+
+enum Action<M> {
+    Send { to: NodeId, msg: M },
+    SetTimer { id: TimerId, fires: SimTime },
+    CancelTimer(TimerId),
+}
+
+impl<'a, M: Clone> Context<'a, M> {
+    /// This node's identity.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Committee size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's private randomness stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to` (including to self, which is delivered through
+    /// the same network model).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Broadcasts to every player **including self** (self-delivery has zero
+    /// delay). Matching the paper, a player counts its own vote/commit like
+    /// any other, so protocols need no self special-casing.
+    pub fn broadcast(&mut self, msg: M) {
+        for i in 0..self.n {
+            self.actions.push(Action::Send {
+                to: NodeId(i),
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    /// Broadcasts to every player except self.
+    pub fn broadcast_others(&mut self, msg: M) {
+        for i in 0..self.n {
+            if i != self.me.0 {
+                self.actions.push(Action::Send {
+                    to: NodeId(i),
+                    msg: msg.clone(),
+                });
+            }
+        }
+    }
+
+    /// Arms a timer that fires `delay` from now; returns its id.
+    pub fn set_timer(&mut self, delay: SimTime) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.actions.push(Action::SetTimer {
+            id,
+            fires: self.now + delay,
+        });
+        id
+    }
+
+    /// Cancels a previously armed timer (no-op if already fired).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer(id));
+    }
+}
+
+/// Why [`Simulation::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained: the system is quiescent.
+    Quiescent,
+    /// The time horizon was reached with events still pending.
+    HorizonReached,
+    /// The event-count safety valve tripped (runaway protocol).
+    EventLimit,
+}
+
+enum EventKind<M> {
+    Deliver { from: NodeId, msg: M },
+    Timer(TimerId),
+    Start,
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    to: NodeId,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first. Ties break by
+        // insertion sequence so runs are fully deterministic.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The simulation: `n` nodes, a link model, an event queue, and meters.
+pub struct Simulation<N: Node> {
+    nodes: Vec<N>,
+    link: Box<dyn LinkModel>,
+    queue: BinaryHeap<Event<N::Msg>>,
+    now: SimTime,
+    seq: u64,
+    next_timer: u64,
+    cancelled: HashSet<TimerId>,
+    crashed: HashSet<NodeId>,
+    rng: SimRng,
+    node_rngs: Vec<SimRng>,
+    meter: Meter,
+    trace: Trace,
+    /// Safety valve: maximum number of dispatched events per `run` call.
+    pub event_limit: u64,
+}
+
+impl<N: Node> Simulation<N> {
+    /// Builds a simulation over `nodes` with the given link model and seed.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty.
+    pub fn new(nodes: Vec<N>, link: Box<dyn LinkModel>, seed: u64) -> Self {
+        assert!(!nodes.is_empty(), "committee must be non-empty");
+        let root = SimRng::new(seed);
+        let node_rngs = (0..nodes.len()).map(|i| root.fork(1 + i as u64)).collect();
+        let n = nodes.len();
+        let mut sim = Simulation {
+            nodes,
+            link,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            crashed: HashSet::new(),
+            rng: root.fork(0),
+            node_rngs,
+            meter: Meter::new(),
+            trace: Trace::new(),
+            event_limit: 50_000_000,
+        };
+        for i in 0..n {
+            sim.push(SimTime::ZERO, NodeId(i), EventKind::Start);
+        }
+        sim
+    }
+
+    fn push(&mut self, at: SimTime, to: NodeId, kind: EventKind<N::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { at, seq, to, kind });
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node (for harness-side injection between runs).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.0]
+    }
+
+    /// Iterates all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &N> {
+        self.nodes.iter()
+    }
+
+    /// The message meter.
+    pub fn meter(&self) -> &Meter {
+        &self.meter
+    }
+
+    /// Resets the meter (e.g. after warm-up rounds).
+    pub fn reset_meter(&mut self) {
+        self.meter.reset();
+    }
+
+    /// The message trace (enable with [`Simulation::set_tracing`]).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Enables or disables delivery tracing.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    /// Marks a node crashed: it receives no further deliveries or timers and
+    /// its pending events are discarded on dispatch. Models the CFT column.
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed.insert(node);
+    }
+
+    /// Un-crashes a node (recovery); it resumes receiving *new* messages.
+    pub fn recover(&mut self, node: NodeId) {
+        self.crashed.remove(&node);
+    }
+
+    /// Whether a node is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// Injects a message from outside the system (e.g. a client submitting a
+    /// transaction), delivered to `to` at absolute time `at` claiming sender
+    /// `from`.
+    pub fn inject(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: N::Msg) {
+        self.push(at.max(self.now), to, EventKind::Deliver { from, msg });
+    }
+
+    /// Runs a node callback and converts its buffered actions into events.
+    fn dispatch(&mut self, to: NodeId, kind: EventKind<N::Msg>) {
+        let mut ctx = Context {
+            me: to,
+            n: self.nodes.len(),
+            now: self.now,
+            next_timer: &mut self.next_timer,
+            actions: Vec::new(),
+            rng: &mut self.node_rngs[to.0],
+        };
+        match kind {
+            EventKind::Start => self.nodes[to.0].on_start(&mut ctx),
+            EventKind::Deliver { from, msg } => self.nodes[to.0].on_message(&mut ctx, from, msg),
+            EventKind::Timer(id) => self.nodes[to.0].on_timer(&mut ctx, id),
+        }
+        let actions = ctx.actions;
+        for action in actions {
+            match action {
+                Action::Send { to: dest, msg } => {
+                    self.meter.record(msg.kind(), msg.wire_bytes());
+                    let at = if dest == to {
+                        self.now // self-delivery is immediate
+                    } else {
+                        let t = self.link.deliver_at(to, dest, self.now, &mut self.rng);
+                        debug_assert!(t >= self.now, "link model may not travel back in time");
+                        t.max(self.now)
+                    };
+                    self.trace.record(TraceEntry {
+                        at,
+                        from: to,
+                        to: dest,
+                        kind: msg.kind(),
+                    });
+                    self.push(at, dest, EventKind::Deliver { from: to, msg });
+                }
+                Action::SetTimer { id, fires } => {
+                    self.push(fires, to, EventKind::Timer(id));
+                }
+                Action::CancelTimer(id) => {
+                    self.cancelled.insert(id);
+                }
+            }
+        }
+    }
+
+    /// Runs until the queue drains (or the safety valve trips).
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until the queue drains or virtual time would pass `horizon`.
+    /// Events at exactly `horizon` are processed.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        let mut dispatched = 0u64;
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > horizon {
+                return RunOutcome::HorizonReached;
+            }
+            if dispatched >= self.event_limit {
+                return RunOutcome::EventLimit;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            debug_assert!(ev.at >= self.now, "time must be monotone");
+            self.now = ev.at;
+            if self.crashed.contains(&ev.to) {
+                continue; // crashed nodes see nothing
+            }
+            if let EventKind::Timer(id) = &ev.kind {
+                if self.cancelled.remove(id) {
+                    continue;
+                }
+            }
+            dispatched += 1;
+            self.dispatch(ev.to, ev.kind);
+        }
+        RunOutcome::Quiescent
+    }
+
+    /// Processes exactly one event if one exists at or before `horizon`.
+    pub fn step(&mut self) -> bool {
+        if let Some(ev) = self.queue.pop() {
+            self.now = ev.at;
+            if self.crashed.contains(&ev.to) {
+                return true;
+            }
+            if let EventKind::Timer(id) = &ev.kind {
+                if self.cancelled.remove(id) {
+                    return true;
+                }
+            }
+            self.dispatch(ev.to, ev.kind);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConstantDelay;
+
+    #[derive(Clone, Debug)]
+    enum TestMsg {
+        Hello(u32),
+    }
+
+    impl WireMessage for TestMsg {
+        fn kind(&self) -> &'static str {
+            "Hello"
+        }
+        fn wire_bytes(&self) -> usize {
+            4
+        }
+    }
+
+    struct Echo {
+        received: Vec<(NodeId, u32)>,
+        fired: Vec<TimerId>,
+        armed: Option<TimerId>,
+    }
+
+    impl Echo {
+        fn new() -> Self {
+            Echo {
+                received: Vec::new(),
+                fired: Vec::new(),
+                armed: None,
+            }
+        }
+    }
+
+    impl Node for Echo {
+        type Msg = TestMsg;
+        fn on_start(&mut self, ctx: &mut Context<TestMsg>) {
+            if ctx.me() == NodeId(0) {
+                ctx.broadcast(TestMsg::Hello(1));
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Context<TestMsg>, from: NodeId, msg: TestMsg) {
+            let TestMsg::Hello(v) = msg;
+            self.received.push((from, v));
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<TestMsg>, timer: TimerId) {
+            self.fired.push(timer);
+        }
+    }
+
+    fn sim(n: usize) -> Simulation<Echo> {
+        Simulation::new(
+            (0..n).map(|_| Echo::new()).collect(),
+            Box::new(ConstantDelay(SimTime(5))),
+            1,
+        )
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_including_self() {
+        let mut s = sim(3);
+        assert_eq!(s.run(), RunOutcome::Quiescent);
+        for i in 0..3 {
+            assert_eq!(s.node(NodeId(i)).received, vec![(NodeId(0), 1)]);
+        }
+    }
+
+    #[test]
+    fn self_delivery_is_immediate_and_others_are_delayed() {
+        let mut s = sim(2);
+        s.set_tracing(true);
+        s.run();
+        let trace = s.trace().entries();
+        let self_d = trace.iter().find(|e| e.to == NodeId(0)).unwrap();
+        let other_d = trace.iter().find(|e| e.to == NodeId(1)).unwrap();
+        assert_eq!(self_d.at, SimTime(0));
+        assert_eq!(other_d.at, SimTime(5));
+    }
+
+    #[test]
+    fn meter_counts_broadcast_fanout() {
+        let mut s = sim(4);
+        s.run();
+        assert_eq!(s.meter().kind("Hello").count, 4);
+        assert_eq!(s.meter().kind("Hello").bytes, 16);
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing() {
+        let mut s = sim(3);
+        s.crash(NodeId(2));
+        s.run();
+        assert!(s.node(NodeId(2)).received.is_empty());
+        assert_eq!(s.node(NodeId(1)).received.len(), 1);
+    }
+
+    #[test]
+    fn injection_delivers_at_requested_time() {
+        let mut s = sim(2);
+        s.inject(SimTime(100), NodeId(9), NodeId(1), TestMsg::Hello(42));
+        s.run();
+        assert!(s.node(NodeId(1)).received.contains(&(NodeId(9), 42)));
+        assert_eq!(s.now(), SimTime(100));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut s = sim(2);
+        s.inject(SimTime(100), NodeId(9), NodeId(1), TestMsg::Hello(42));
+        assert_eq!(s.run_until(SimTime(50)), RunOutcome::HorizonReached);
+        assert!(!s.node(NodeId(1)).received.contains(&(NodeId(9), 42)));
+        assert_eq!(s.run_until(SimTime(100)), RunOutcome::Quiescent);
+        assert!(s.node(NodeId(1)).received.contains(&(NodeId(9), 42)));
+    }
+
+    struct TimerNode {
+        fired_at: Vec<SimTime>,
+    }
+    impl Node for TimerNode {
+        type Msg = TestMsg;
+        fn on_start(&mut self, ctx: &mut Context<TestMsg>) {
+            let keep = ctx.set_timer(SimTime(10));
+            let drop_ = ctx.set_timer(SimTime(20));
+            ctx.cancel_timer(drop_);
+            let _ = keep;
+        }
+        fn on_message(&mut self, _: &mut Context<TestMsg>, _: NodeId, _: TestMsg) {}
+        fn on_timer(&mut self, ctx: &mut Context<TestMsg>, _: TimerId) {
+            self.fired_at.push(ctx.now());
+            // Re-arm once at t=10, then stay quiet.
+            if ctx.now() == SimTime(10) {
+                ctx.set_timer(SimTime(7));
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        let mut s: Simulation<TimerNode> = Simulation::new(
+            vec![TimerNode { fired_at: vec![] }],
+            Box::new(ConstantDelay(SimTime(1))),
+            1,
+        );
+        assert_eq!(s.run(), RunOutcome::Quiescent);
+        // Fires at 10 and at the re-armed 17; the cancelled t=20 timer never
+        // fires (though draining its dead event does advance the clock).
+        assert_eq!(
+            s.node(NodeId(0)).fired_at,
+            vec![SimTime(10), SimTime(17)]
+        );
+    }
+
+    #[test]
+    fn broadcast_others_skips_self() {
+        struct OthersOnly {
+            received: u32,
+        }
+        impl Node for OthersOnly {
+            type Msg = TestMsg;
+            fn on_start(&mut self, ctx: &mut Context<TestMsg>) {
+                if ctx.me() == NodeId(0) {
+                    ctx.broadcast_others(TestMsg::Hello(1));
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<TestMsg>, _: NodeId, _: TestMsg) {
+                self.received += 1;
+            }
+            fn on_timer(&mut self, _: &mut Context<TestMsg>, _: TimerId) {}
+        }
+        let mut s: Simulation<OthersOnly> = Simulation::new(
+            (0..3).map(|_| OthersOnly { received: 0 }).collect(),
+            Box::new(ConstantDelay(SimTime(1))),
+            2,
+        );
+        s.run();
+        assert_eq!(s.node(NodeId(0)).received, 0, "sender excluded");
+        assert_eq!(s.node(NodeId(1)).received, 1);
+        assert_eq!(s.node(NodeId(2)).received, 1);
+        assert_eq!(s.meter().kind("Hello").count, 2);
+    }
+
+    #[test]
+    fn recover_resumes_delivery() {
+        let mut s = sim(3);
+        s.crash(NodeId(1));
+        s.recover(NodeId(1));
+        assert!(!s.is_crashed(NodeId(1)));
+        s.run();
+        assert_eq!(s.node(NodeId(1)).received.len(), 1, "recovered before start");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed: u64| {
+            let mut s = Simulation::new(
+                (0..5).map(|_| Echo::new()).collect::<Vec<_>>(),
+                Box::new(ConstantDelay(SimTime(3))),
+                seed,
+            );
+            s.set_tracing(true);
+            s.run();
+            s.trace().entries().to_vec()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn event_limit_stops_runaway() {
+        struct Storm;
+        impl Node for Storm {
+            type Msg = TestMsg;
+            fn on_start(&mut self, ctx: &mut Context<TestMsg>) {
+                ctx.send(NodeId(0), TestMsg::Hello(0));
+            }
+            fn on_message(&mut self, ctx: &mut Context<TestMsg>, _: NodeId, _: TestMsg) {
+                ctx.send(NodeId(0), TestMsg::Hello(0)); // infinite self-loop
+            }
+            fn on_timer(&mut self, _: &mut Context<TestMsg>, _: TimerId) {}
+        }
+        let mut s: Simulation<Storm> =
+            Simulation::new(vec![Storm], Box::new(ConstantDelay(SimTime(0))), 1);
+        s.event_limit = 1000;
+        assert_eq!(s.run(), RunOutcome::EventLimit);
+    }
+}

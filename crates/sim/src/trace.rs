@@ -1,0 +1,111 @@
+//! Message traces for timeline rendering (paper Figure 2a).
+
+use crate::SimTime;
+use prft_types::NodeId;
+
+/// One delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual time of delivery.
+    pub at: SimTime,
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Message kind label.
+    pub kind: &'static str,
+}
+
+/// A chronological record of deliveries (only populated when enabled on the
+/// simulation — tracing every message is memory-heavy for large sweeps).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates a disabled trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a delivery if enabled.
+    pub fn record(&mut self, entry: TraceEntry) {
+        if self.enabled {
+            self.entries.push(entry);
+        }
+    }
+
+    /// All recorded entries in delivery order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries of one kind.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// First delivery time of a kind, if any.
+    pub fn first_of_kind(&self, kind: &str) -> Option<SimTime> {
+        self.of_kind(kind).map(|e| e.at).next()
+    }
+
+    /// Clears the record.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(at: u64, kind: &'static str) -> TraceEntry {
+        TraceEntry {
+            at: SimTime(at),
+            from: NodeId(0),
+            to: NodeId(1),
+            kind,
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.record(entry(1, "Vote"));
+        assert!(t.entries().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records() {
+        let mut t = Trace::new();
+        t.set_enabled(true);
+        t.record(entry(1, "Vote"));
+        t.record(entry(2, "Commit"));
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.of_kind("Vote").count(), 1);
+        assert_eq!(t.first_of_kind("Commit"), Some(SimTime(2)));
+        assert_eq!(t.first_of_kind("Final"), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = Trace::new();
+        t.set_enabled(true);
+        t.record(entry(1, "Vote"));
+        t.clear();
+        assert!(t.entries().is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! A minimal FIFO mempool with censorship bookkeeping.
+
+use crate::{Transaction, TxId};
+use std::collections::HashSet;
+
+/// Pending transactions a player would include when leading.
+///
+/// Order of insertion is preserved (FIFO batching). The mempool also
+/// remembers everything it has *ever* seen so the state classifier can ask
+/// "was `tx` input to this player but never included?" — the censorship
+/// predicate of Definition 2.
+#[derive(Debug, Clone, Default)]
+pub struct Mempool {
+    pending: Vec<Transaction>,
+    seen: HashSet<TxId>,
+    ever_seen: HashSet<TxId>,
+}
+
+impl Mempool {
+    /// Creates an empty mempool.
+    pub fn new() -> Self {
+        Mempool::default()
+    }
+
+    /// Submits a transaction; duplicates (by id) are ignored.
+    /// Returns `true` if the transaction was newly added.
+    pub fn submit(&mut self, tx: Transaction) -> bool {
+        if self.seen.contains(&tx.id) || self.ever_seen.contains(&tx.id) {
+            return false;
+        }
+        self.seen.insert(tx.id);
+        self.ever_seen.insert(tx.id);
+        self.pending.push(tx);
+        true
+    }
+
+    /// Takes up to `max` transactions in FIFO order (removing them).
+    pub fn take(&mut self, max: usize) -> Vec<Transaction> {
+        let n = max.min(self.pending.len());
+        let batch: Vec<Transaction> = self.pending.drain(..n).collect();
+        for tx in &batch {
+            self.seen.remove(&tx.id);
+        }
+        batch
+    }
+
+    /// Takes up to `max` transactions, skipping any whose id is in `censor`.
+    ///
+    /// This is the leader-side primitive of the partial-censorship strategy
+    /// `π_pc` (Theorem 2): censored transactions stay in the pool.
+    pub fn take_censoring(&mut self, max: usize, censor: &HashSet<TxId>) -> Vec<Transaction> {
+        let mut batch = Vec::new();
+        let mut rest = Vec::new();
+        for tx in self.pending.drain(..) {
+            if batch.len() < max && !censor.contains(&tx.id) {
+                self.seen.remove(&tx.id);
+                batch.push(tx);
+            } else {
+                rest.push(tx);
+            }
+        }
+        self.pending = rest;
+        batch
+    }
+
+    /// Removes transactions that appear in a decided block.
+    pub fn remove_included<'a>(&mut self, ids: impl IntoIterator<Item = &'a TxId>) {
+        let remove: HashSet<TxId> = ids.into_iter().copied().collect();
+        self.pending.retain(|tx| !remove.contains(&tx.id));
+        for id in &remove {
+            self.seen.remove(id);
+        }
+    }
+
+    /// Whether `id` is currently pending.
+    pub fn contains(&self, id: TxId) -> bool {
+        self.seen.contains(&id)
+    }
+
+    /// Whether `id` was ever submitted to this player.
+    pub fn ever_saw(&self, id: TxId) -> bool {
+        self.ever_seen.contains(&id)
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether there is nothing pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Iterates over pending transactions in FIFO order.
+    pub fn iter(&self) -> impl Iterator<Item = &Transaction> {
+        self.pending.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn tx(id: u64) -> Transaction {
+        Transaction::new(id, NodeId(0), vec![id as u8])
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut mp = Mempool::new();
+        for i in 0..5 {
+            assert!(mp.submit(tx(i)));
+        }
+        let batch = mp.take(3);
+        assert_eq!(
+            batch.iter().map(|t| t.id.0).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(mp.len(), 2);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut mp = Mempool::new();
+        assert!(mp.submit(tx(1)));
+        assert!(!mp.submit(tx(1)));
+        assert_eq!(mp.len(), 1);
+    }
+
+    #[test]
+    fn resubmission_after_take_rejected() {
+        // A tx that was included must not reappear.
+        let mut mp = Mempool::new();
+        mp.submit(tx(1));
+        let _ = mp.take(1);
+        assert!(!mp.submit(tx(1)));
+    }
+
+    #[test]
+    fn censoring_take_skips_censored() {
+        let mut mp = Mempool::new();
+        for i in 0..4 {
+            mp.submit(tx(i));
+        }
+        let censor: HashSet<TxId> = [TxId(1), TxId(2)].into_iter().collect();
+        let batch = mp.take_censoring(10, &censor);
+        assert_eq!(
+            batch.iter().map(|t| t.id.0).collect::<Vec<_>>(),
+            vec![0, 3]
+        );
+        // Censored txs remain pending — they are withheld, not dropped.
+        assert!(mp.contains(TxId(1)));
+        assert!(mp.contains(TxId(2)));
+    }
+
+    #[test]
+    fn remove_included_clears_pending() {
+        let mut mp = Mempool::new();
+        for i in 0..3 {
+            mp.submit(tx(i));
+        }
+        mp.remove_included(&[TxId(0), TxId(2)]);
+        assert_eq!(mp.len(), 1);
+        assert!(mp.contains(TxId(1)));
+        assert!(mp.ever_saw(TxId(0)), "history survives inclusion");
+    }
+
+    #[test]
+    fn take_censoring_respects_max() {
+        let mut mp = Mempool::new();
+        for i in 0..10 {
+            mp.submit(tx(i));
+        }
+        let batch = mp.take_censoring(4, &HashSet::new());
+        assert_eq!(batch.len(), 4);
+        assert_eq!(mp.len(), 6);
+    }
+}

@@ -1,0 +1,89 @@
+//! Transactions: the payload that blocks carry and censorship targets.
+
+use crate::NodeId;
+use std::fmt;
+
+/// Globally unique transaction identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TxId(pub u64);
+
+impl fmt::Debug for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx{}", self.0)
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx{}", self.0)
+    }
+}
+
+impl From<u64> for TxId {
+    fn from(value: u64) -> Self {
+        TxId(value)
+    }
+}
+
+/// A state-change request submitted by a client/sender.
+///
+/// The censorship-resistance property ((t,k)-censorship resistance,
+/// Definition 2) is stated over transactions: if all honest players have
+/// `tx` as input, eventually some finalized block contains `tx`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Transaction {
+    /// Unique id.
+    pub id: TxId,
+    /// Submitting player (or client mapped to a player).
+    pub sender: NodeId,
+    /// Opaque payload bytes (size matters for wire accounting only).
+    pub payload: Vec<u8>,
+}
+
+impl Transaction {
+    /// Creates a transaction.
+    pub fn new(id: u64, sender: NodeId, payload: Vec<u8>) -> Self {
+        Transaction {
+            id: TxId(id),
+            sender,
+            payload,
+        }
+    }
+
+    /// Wire size: id + sender + payload bytes.
+    pub fn wire_bytes(&self) -> usize {
+        8 + 8 + self.payload.len()
+    }
+}
+
+impl fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tx({}, from {}, {}B)",
+            self.id,
+            self.sender,
+            self.payload.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_includes_payload() {
+        let tx = Transaction::new(1, NodeId(0), vec![0; 10]);
+        assert_eq!(tx.wire_bytes(), 26);
+    }
+
+    #[test]
+    fn tx_equality_is_structural() {
+        let a = Transaction::new(1, NodeId(0), vec![1]);
+        let b = Transaction::new(1, NodeId(0), vec![1]);
+        let c = Transaction::new(1, NodeId(0), vec![2]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

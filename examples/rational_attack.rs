@@ -1,0 +1,84 @@
+//! A rational θ=1 collusion tries the fork attack against pRFT — and pays
+//! for it: the Reveal phase exposes the double signatures, everyone burns
+//! their deposits, and no fork materializes. The attackers' utility is
+//! strictly negative; Lemma 4 in action.
+//!
+//! ```sh
+//! cargo run --example rational_attack
+//! ```
+
+use prft::adversary::{blackboard, EquivocatingLeader, ForkColluder};
+use prft::core::{analysis, Harness, NetworkChoice};
+use prft::sim::SimTime;
+use prft::types::{NodeId, Round};
+use std::collections::HashSet;
+
+fn main() {
+    // n = 9: t0 = 2, quorum 7. Collusion: byzantine equivocating leader P0
+    // plus rational colluders P1–P3 (k + t = 4 < n/2 ✓, t = 1 < n/4 ✓).
+    let n = 9;
+    let board = blackboard();
+    let b_group: HashSet<NodeId> = [NodeId(7), NodeId(8)].into_iter().collect();
+
+    let mut harness = Harness::new(n, 99)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .max_rounds(3)
+        .with_behavior(
+            NodeId(0),
+            Box::new(
+                EquivocatingLeader::new(board.clone(), b_group.clone(), n)
+                    .only_rounds([Round(0)]),
+            ),
+        );
+    for i in 1..=3 {
+        harness = harness.with_behavior(
+            NodeId(i),
+            Box::new(ForkColluder::new(board.clone(), b_group.clone(), n)),
+        );
+    }
+    let mut sim = harness.build();
+    sim.run_until(SimTime(1_000_000));
+
+    let report = analysis::analyze(&sim);
+    println!("== fork attack against pRFT (round 0) ==");
+    println!("collusion: P0 (byzantine leader) + P1,P2,P3 (rational, π_fork)");
+    println!();
+    println!("fork on finalized blocks: {}", !report.agreement);
+    println!("exposes applied by honest players: {}", report.exposes);
+    println!("burned deposits: {:?}", report.burned);
+    println!(
+        "blocks still finalized (liveness intact): {}",
+        report.min_final_height
+    );
+
+    // The deviators' ledger view from an honest replica.
+    let honest = sim.node(NodeId(4));
+    println!("\nP4's collateral ledger after the attack:");
+    for i in 0..n {
+        let id = NodeId(i);
+        println!(
+            "  {id}: deposit {} {}",
+            honest.collateral().balance(id),
+            if honest.collateral().is_burned(id) {
+                "(BURNED — named in a verified Proof-of-Fraud)"
+            } else {
+                ""
+            }
+        );
+    }
+
+    assert!(report.agreement, "the fork must fail");
+    assert!(
+        report.burned.len() > 2,
+        "more than t0 deviators burned — the Expose fired"
+    );
+    for h in 4..9 {
+        assert!(
+            !report.burned.contains(&NodeId(h)),
+            "no honest player is ever framed"
+        );
+    }
+    println!("\nDeviation was dominated: the attack produced no fork, cost the");
+    println!("collusion its deposits, and the chain kept growing — exactly the");
+    println!("DSIC incentive structure of Lemma 4.");
+}

@@ -1,0 +1,219 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: chains, PoF soundness/completeness, signatures, quorum
+//! arithmetic, the mempool, and simulator determinism.
+
+use proptest::prelude::*;
+use prft::core::{construct_proof, signed_ballot, verify_expose, Config, Phase};
+use prft::crypto::{KeyRegistry, Sha256};
+use prft::game::analytic;
+use prft::types::{Block, Chain, Digest, Height, Mempool, NodeId, Round, Transaction};
+
+// ---------------------------------------------------------------- chains
+
+/// Builds a chain of `len` blocks deterministically from a seed.
+fn chain_of(len: usize, seed: u8) -> Chain {
+    let mut c = Chain::new(Block::genesis());
+    for r in 0..len {
+        let tx = Transaction::new(r as u64, NodeId(0), vec![seed]);
+        let b = Block::new(Round(r as u64 + 1), c.tip(), NodeId(0), vec![tx]);
+        c.append_tentative(b).unwrap();
+    }
+    c
+}
+
+proptest! {
+    /// `C^{⌊c}` never grows, never drops genesis, and is idempotent at 0.
+    #[test]
+    fn drop_suffix_is_monotone(len in 0usize..40, c in 0usize..50) {
+        let chain = chain_of(len, 1);
+        let dropped = chain.drop_suffix(c);
+        prop_assert!(dropped.len() <= chain.len());
+        prop_assert!(dropped.len() >= 1);
+        prop_assert_eq!(chain.drop_suffix(0).len(), chain.len());
+        prop_assert!(dropped.is_prefix_of(&chain));
+    }
+
+    /// A prefix plus its extension always satisfies c-strict ordering, at
+    /// every window size.
+    #[test]
+    fn shared_history_always_orders(len in 1usize..30, cut in 0usize..30, c in 0usize..5) {
+        let long = chain_of(len, 2);
+        let short = long.drop_suffix(cut.min(len));
+        prop_assert!(Chain::c_strict_ordering(&short, &long, c));
+    }
+
+    /// Chains diverging only in their last block order at c ≥ 1 but not at
+    /// c = 0; and the fork detector finds exactly the divergence height.
+    #[test]
+    fn divergence_is_windowed(common in 1usize..20) {
+        let base = chain_of(common, 3);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let tx_a = Transaction::new(900, NodeId(1), vec![1]);
+        let tx_b = Transaction::new(901, NodeId(2), vec![2]);
+        a.append_tentative(Block::new(Round(99), a.tip(), NodeId(1), vec![tx_a])).unwrap();
+        b.append_tentative(Block::new(Round(99), b.tip(), NodeId(2), vec![tx_b])).unwrap();
+        prop_assert!(!Chain::c_strict_ordering(&a, &b, 0));
+        prop_assert!(Chain::c_strict_ordering(&a, &b, 1));
+        prop_assert_eq!(Chain::find_fork(&a, &b, false), Some(Height(common as u64 + 1)));
+        // Tentative divergence is not a final fork.
+        prop_assert_eq!(Chain::find_fork(&a, &b, true), None);
+    }
+
+    /// finalize → rollback keeps exactly the finalized prefix.
+    #[test]
+    fn rollback_keeps_final_prefix(len in 1usize..30, fin in 0usize..30) {
+        let mut c = chain_of(len, 4);
+        let fin = fin.min(len);
+        c.finalize_upto(Height(fin as u64)).unwrap();
+        let rolled = c.rollback_tentative();
+        prop_assert_eq!(rolled.len(), len - fin);
+        prop_assert_eq!(c.height(), fin as u64);
+        prop_assert_eq!(c.final_height(), fin as u64);
+    }
+}
+
+// ------------------------------------------------------------ PoF / crypto
+
+proptest! {
+    /// Completeness: every double-signer (and nobody else) is convicted,
+    /// for arbitrary cheat patterns.
+    #[test]
+    fn pof_complete_and_sound(n in 2usize..12, cheat_mask in 0u16..4096) {
+        let (registry, keys) = KeyRegistry::trusted_setup(n, 9);
+        let va = Digest::of_bytes(b"a");
+        let vb = Digest::of_bytes(b"b");
+        let mut ballots = Vec::new();
+        let mut cheaters = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            ballots.push(signed_ballot(key, Round(1), Phase::Commit, va));
+            if cheat_mask & (1 << i) != 0 {
+                ballots.push(signed_ballot(key, Round(1), Phase::Commit, vb));
+                cheaters.push(NodeId(i));
+            }
+        }
+        let proof = construct_proof(&ballots);
+        let convicted: Vec<NodeId> = proof.iter().map(|e| e.accused()).collect();
+        prop_assert_eq!(&convicted, &cheaters);
+        // The verifier agrees and applies the > t0 bar exactly.
+        for t0 in 0..n {
+            let verdict = verify_expose(&proof, &registry, t0);
+            prop_assert_eq!(verdict.is_some(), cheaters.len() > t0);
+        }
+    }
+
+    /// Signatures from one setup never verify under another, and tampering
+    /// any byte of the payload breaks verification.
+    #[test]
+    fn signature_isolation(seed_a in 0u64..1000, seed_b in 1000u64..2000, v in any::<[u8; 8]>()) {
+        let (reg_a, keys_a) = KeyRegistry::trusted_setup(3, seed_a);
+        let (_, keys_b) = KeyRegistry::trusted_setup(3, seed_b);
+        let value = Digest::of_bytes(&v);
+        let fine = signed_ballot(&keys_a[0], Round(1), Phase::Vote, value);
+        prop_assert!(fine.verify(&reg_a));
+        let foreign = signed_ballot(&keys_b[0], Round(1), Phase::Vote, value);
+        prop_assert!(!foreign.verify(&reg_a));
+        let mut tampered = fine.clone();
+        tampered.payload.value = Digest::of_bytes(b"other");
+        prop_assert!(!tampered.verify(&reg_a));
+    }
+
+    /// SHA-256 streaming equals one-shot for arbitrary data and splits.
+    #[test]
+    fn sha256_streaming(data in proptest::collection::vec(any::<u8>(), 0..512), cut in 0usize..512) {
+        let cut = cut.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+}
+
+// ------------------------------------------------------------ quorum math
+
+proptest! {
+    /// For every committee size: pRFT's quorum intersects itself in more
+    /// than t0 players, the τ window is nonempty, and a double quorum is
+    /// infeasible at the threat model's boundary.
+    #[test]
+    fn quorum_arithmetic_holds(n in 2usize..300) {
+        let cfg = Config::for_committee(n);
+        let q = cfg.quorum();
+        prop_assert!(2 * q as i64 - n as i64 > cfg.t0 as i64);
+        let (lo, hi) = analytic::tau_window(n, cfg.t0);
+        prop_assert!(lo <= hi, "window nonempty: [{}, {}]", lo, hi);
+        prop_assert!(analytic::tau_is_safe(n, cfg.t0, q));
+        if n >= 5 {
+            let kt_max = n.div_ceil(2) - 1;
+            prop_assert!(!analytic::double_quorum_feasible(n, cfg.t0, kt_max, 0));
+        }
+    }
+
+    /// Leader rotation is a bijection over each window of n rounds.
+    #[test]
+    fn leader_rotation_is_fair(n in 1usize..50, offset in 0u64..1000) {
+        let leaders: std::collections::HashSet<NodeId> =
+            (0..n as u64).map(|i| Round(offset + i).leader(n)).collect();
+        prop_assert_eq!(leaders.len(), n);
+    }
+}
+
+// ------------------------------------------------------------- mempool
+
+proptest! {
+    /// The mempool never duplicates, never resurrects, and take(batch)
+    /// preserves FIFO order.
+    #[test]
+    fn mempool_invariants(ops in proptest::collection::vec((0u64..50, any::<bool>()), 0..100)) {
+        let mut mp = Mempool::new();
+        let mut reference: Vec<u64> = Vec::new();
+        let mut ever: std::collections::HashSet<u64> = Default::default();
+        for (id, take) in ops {
+            if take {
+                let batch = mp.take(2);
+                for tx in &batch {
+                    prop_assert_eq!(tx.id.0, reference.remove(0));
+                }
+            } else {
+                let added = mp.submit(Transaction::new(id, NodeId(0), vec![]));
+                prop_assert_eq!(added, !ever.contains(&id));
+                if added {
+                    reference.push(id);
+                    ever.insert(id);
+                }
+            }
+            prop_assert_eq!(mp.len(), reference.len());
+        }
+    }
+}
+
+// ------------------------------------------------ simulator determinism
+
+proptest! {
+    // Whole-protocol runs are expensive; a handful of random cases is
+    // plenty for a determinism check.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any seed and committee size replays identically (two fresh sims).
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..500, n in 4usize..10) {
+        use prft::core::{Harness, NetworkChoice};
+        use prft::sim::SimTime;
+        let run = || {
+            let mut sim = Harness::new(n, seed)
+                .network(NetworkChoice::PartiallySynchronous {
+                    gst: SimTime(300),
+                    delta: SimTime(10),
+                })
+                .max_rounds(2)
+                .build();
+            sim.run_until(SimTime(1_000_000));
+            (
+                sim.meter().total_messages(),
+                sim.meter().total_bytes(),
+                sim.node(NodeId(0)).chain().tip(),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
