@@ -58,10 +58,22 @@ mod tests {
             a.on_propose(Round(1), &Block::genesis()),
             ProposeAction::Silent
         ));
-        assert!(matches!(a.on_vote(Round(1), Digest::ZERO), BallotAction::Silent));
-        assert!(matches!(a.on_commit(Round(1), Digest::ZERO), BallotAction::Silent));
-        assert!(matches!(a.on_reveal(Round(1), Digest::ZERO), BallotAction::Silent));
-        assert!(matches!(a.on_final(Round(1), Digest::ZERO), BallotAction::Silent));
+        assert!(matches!(
+            a.on_vote(Round(1), Digest::ZERO),
+            BallotAction::Silent
+        ));
+        assert!(matches!(
+            a.on_commit(Round(1), Digest::ZERO),
+            BallotAction::Silent
+        ));
+        assert!(matches!(
+            a.on_reveal(Round(1), Digest::ZERO),
+            BallotAction::Silent
+        ));
+        assert!(matches!(
+            a.on_final(Round(1), Digest::ZERO),
+            BallotAction::Silent
+        ));
         assert!(!a.send_expose());
         assert!(!a.join_view_change());
     }

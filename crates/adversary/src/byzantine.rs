@@ -127,7 +127,10 @@ mod tests {
             sl.on_propose(Round(0), &Block::genesis()),
             ProposeAction::Silent
         ));
-        assert!(matches!(sl.on_vote(Round(0), Digest::ZERO), BallotAction::Honest));
+        assert!(matches!(
+            sl.on_vote(Round(0), Digest::ZERO),
+            BallotAction::Honest
+        ));
         assert!(sl.send_expose());
     }
 }

@@ -113,16 +113,28 @@ mod tests {
     fn honest_under_colluding_leader() {
         let mut s = strategy();
         // Round 0 → leader P0 (colluding), round 1 → P1 (colluding).
-        assert!(matches!(s.on_vote(Round(0), Digest::ZERO), BallotAction::Honest));
-        assert!(matches!(s.on_commit(Round(1), Digest::ZERO), BallotAction::Honest));
+        assert!(matches!(
+            s.on_vote(Round(0), Digest::ZERO),
+            BallotAction::Honest
+        ));
+        assert!(matches!(
+            s.on_commit(Round(1), Digest::ZERO),
+            BallotAction::Honest
+        ));
     }
 
     #[test]
     fn silent_under_honest_leader() {
         let mut s = strategy();
         // Round 2 → leader P2 (honest), round 3 → P3 (honest).
-        assert!(matches!(s.on_vote(Round(2), Digest::ZERO), BallotAction::Silent));
-        assert!(matches!(s.on_reveal(Round(3), Digest::ZERO), BallotAction::Silent));
+        assert!(matches!(
+            s.on_vote(Round(2), Digest::ZERO),
+            BallotAction::Silent
+        ));
+        assert!(matches!(
+            s.on_reveal(Round(3), Digest::ZERO),
+            BallotAction::Silent
+        ));
     }
 
     #[test]

@@ -14,14 +14,14 @@
 //!
 //! Coordination uses a shared [`Blackboard`]: the equivocating leader
 //! publishes both block hashes; colluders read them when deciding ballots.
-//! The paper grants the collusion arbitrary instantaneous coordination, and
-//! in a single-threaded simulation `Rc<RefCell<…>>` is exactly that.
+//! The paper grants the collusion arbitrary instantaneous coordination; the
+//! blackboard is an `Arc<Mutex<…>>` so colluding replicas stay `Send` and a
+//! whole committee can run on a `prft-lab` worker thread.
 
 use prft_core::{BallotAction, Behavior, ProposeAction};
 use prft_types::{Block, Digest, NodeId, Round, Transaction};
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// The collusion's shared knowledge: for each attacked round, the pair of
 /// equivocated block hashes `(a, b)`.
@@ -31,11 +31,11 @@ pub struct ForkPlan {
 }
 
 /// Shared handle to the collusion's plan.
-pub type Blackboard = Rc<RefCell<ForkPlan>>;
+pub type Blackboard = Arc<Mutex<ForkPlan>>;
 
 /// Creates an empty blackboard.
 pub fn blackboard() -> Blackboard {
-    Rc::new(RefCell::new(ForkPlan::default()))
+    Arc::new(Mutex::new(ForkPlan::default()))
 }
 
 impl ForkPlan {
@@ -86,7 +86,7 @@ impl EquivocatingLeader {
     fn attacks(&self, round: Round) -> bool {
         self.attack_rounds
             .as_ref()
-            .map_or(true, |set| set.contains(&round))
+            .is_none_or(|set| set.contains(&round))
     }
 
     fn split(&self, round: Round, value: Digest) -> BallotAction {
@@ -103,7 +103,7 @@ fn split_by_plan(
     round: Round,
     value: Digest,
 ) -> BallotAction {
-    let Some((a, b)) = board.borrow().pair(round) else {
+    let Some((a, b)) = board.lock().unwrap().pair(round) else {
         return BallotAction::Honest;
     };
     if value == a {
@@ -148,7 +148,8 @@ impl Behavior for EquivocatingLeader {
         ));
         let block_b = Block::new(round, honest_block.parent, honest_block.proposer, txs);
         self.board
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .publish(round, honest_block.id(), block_b.id());
         ProposeAction::Equivocate {
             a: honest_block.clone(),
@@ -237,9 +238,9 @@ mod tests {
     fn blackboard_roundtrip() {
         let board = blackboard();
         let (a, b) = (Digest::of_bytes(b"a"), Digest::of_bytes(b"b"));
-        board.borrow_mut().publish(Round(3), a, b);
-        assert_eq!(board.borrow().pair(Round(3)), Some((a, b)));
-        assert_eq!(board.borrow().pair(Round(4)), None);
+        board.lock().unwrap().publish(Round(3), a, b);
+        assert_eq!(board.lock().unwrap().pair(Round(3)), Some((a, b)));
+        assert_eq!(board.lock().unwrap().pair(Round(4)), None);
     }
 
     #[test]
@@ -253,7 +254,7 @@ mod tests {
                 assert_eq!(a.id(), honest.id());
                 assert_ne!(a.id(), b.id());
                 assert_eq!(b_recipients, b_group);
-                assert_eq!(board.borrow().pair(Round(0)), Some((a.id(), b.id())));
+                assert_eq!(board.lock().unwrap().pair(Round(0)), Some((a.id(), b.id())));
             }
             other => panic!("expected equivocation, got {other:?}"),
         }
@@ -262,8 +263,7 @@ mod tests {
     #[test]
     fn leader_respects_round_filter() {
         let board = blackboard();
-        let mut leader =
-            EquivocatingLeader::new(board, HashSet::new(), 4).only_rounds([Round(5)]);
+        let mut leader = EquivocatingLeader::new(board, HashSet::new(), 4).only_rounds([Round(5)]);
         let honest = Block::new(Round(0), Digest::ZERO, NodeId(0), vec![]);
         assert!(matches!(
             leader.on_propose(Round(0), &honest),
@@ -275,19 +275,25 @@ mod tests {
     fn colluder_splits_based_on_received_side() {
         let board = blackboard();
         let (a, b) = (Digest::of_bytes(b"a"), Digest::of_bytes(b"b"));
-        board.borrow_mut().publish(Round(1), a, b);
+        board.lock().unwrap().publish(Round(1), a, b);
         let b_group: HashSet<NodeId> = [NodeId(3)].into_iter().collect();
         let mut colluder = ForkColluder::new(board, b_group.clone(), 4);
 
         match colluder.on_vote(Round(1), a) {
-            BallotAction::Split { b: alt, b_recipients } => {
+            BallotAction::Split {
+                b: alt,
+                b_recipients,
+            } => {
                 assert_eq!(alt, b);
                 assert_eq!(b_recipients, b_group);
             }
             other => panic!("expected split, got {other:?}"),
         }
         match colluder.on_vote(Round(1), b) {
-            BallotAction::Split { b: alt, b_recipients } => {
+            BallotAction::Split {
+                b: alt,
+                b_recipients,
+            } => {
                 assert_eq!(alt, a);
                 assert_eq!(
                     b_recipients,

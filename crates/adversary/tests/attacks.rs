@@ -115,7 +115,9 @@ fn fork_collusion_is_caught_and_burned_in_synchrony() {
         .max_rounds(3)
         .with_behavior(
             NodeId(0),
-            Box::new(EquivocatingLeader::new(board.clone(), b_group.clone(), n).only_rounds([Round(0)])),
+            Box::new(
+                EquivocatingLeader::new(board.clone(), b_group.clone(), n).only_rounds([Round(0)]),
+            ),
         );
     for i in 1..=3 {
         h = h.with_behavior(
@@ -165,14 +167,20 @@ fn fork_collusion_under_partition_cannot_double_finalize() {
             SimTime(10),
             // Honest split: {4,5} vs {6,7,8}; colluders 0–3 sit with A.
             vec![
-                [a_group.clone(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]].concat(),
+                [
+                    a_group.clone(),
+                    vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+                ]
+                .concat(),
                 b_group.iter().copied().collect(),
             ],
         )
         .max_rounds(3)
         .with_behavior(
             NodeId(0),
-            Box::new(EquivocatingLeader::new(board.clone(), b_group.clone(), n).only_rounds([Round(0)])),
+            Box::new(
+                EquivocatingLeader::new(board.clone(), b_group.clone(), n).only_rounds([Round(0)]),
+            ),
         );
     for i in 1..=3 {
         h = h.with_behavior(

@@ -166,9 +166,7 @@ impl Node for BrachaNode {
             BrachaMsg::Ready(v) => {
                 self.readys.entry(v).or_default().insert(from);
                 self.maybe_ready(ctx, v);
-                if self.delivered.is_none()
-                    && self.readys[&v].len() >= self.cfg.deliver_quorum()
-                {
+                if self.delivered.is_none() && self.readys[&v].len() >= self.cfg.deliver_quorum() {
                     self.delivered = Some(v);
                 }
             }

@@ -308,14 +308,7 @@ impl HsReplica {
             return;
         }
         // Vote to the leader.
-        let vote = Signed::sign(
-            HsVote {
-                view,
-                phase,
-                value,
-            },
-            &self.key,
-        );
+        let vote = Signed::sign(HsVote { view, phase, value }, &self.key);
         ctx.send(self.leader(view), HsMsg::Vote { vote });
     }
 
@@ -486,7 +479,8 @@ mod tests {
             phase: HsPhase::Prepare,
             value: Digest::of_bytes(b"v"),
         };
-        let sigs: Vec<Signed<HsVote>> = keys.iter().take(3).map(|k| Signed::sign(vote, k)).collect();
+        let sigs: Vec<Signed<HsVote>> =
+            keys.iter().take(3).map(|k| Signed::sign(vote, k)).collect();
         let qc = Qc { vote, sigs };
         assert!(qc.validate(&registry, 3));
         assert!(!qc.validate(&registry, 4));
@@ -500,7 +494,7 @@ mod tests {
         use crate::pbft;
         let hs = run(8, 3);
         let cfg = pbft::PbftConfig::new(8, 3);
-        let (replicas, _) = pbft::committee(&cfg, 1, &vec![pbft::PbftMode::Honest; 8]);
+        let (replicas, _) = pbft::committee(&cfg, 1, &[pbft::PbftMode::Honest; 8]);
         let mut psim = Simulation::new(
             replicas,
             Box::new(prft_net::SynchronousNet::new(SimTime(10))),

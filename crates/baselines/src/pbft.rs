@@ -340,7 +340,8 @@ impl PbftReplica {
             match self.mode {
                 PbftMode::EquivocatingPrimary => {
                     let va = self.request_value();
-                    let vb = Digest::of_bytes(&[b"equiv".as_slice(), &self.seq.to_le_bytes()].concat());
+                    let vb =
+                        Digest::of_bytes(&[b"equiv".as_slice(), &self.seq.to_le_bytes()].concat());
                     let ba = self.ballot(PbftPhase::PrePrepare, va);
                     let bb = self.ballot(PbftPhase::PrePrepare, vb);
                     let payload = self.cfg.payload;
@@ -350,12 +351,36 @@ impl PbftReplica {
                         if to == me {
                             // The byzantine primary knows both of its own
                             // proposals and will vote for everything.
-                            ctx.send(to, PbftMsg::PrePrepare { ballot: ba.clone(), payload });
-                            ctx.send(to, PbftMsg::PrePrepare { ballot: bb.clone(), payload });
+                            ctx.send(
+                                to,
+                                PbftMsg::PrePrepare {
+                                    ballot: ba.clone(),
+                                    payload,
+                                },
+                            );
+                            ctx.send(
+                                to,
+                                PbftMsg::PrePrepare {
+                                    ballot: bb.clone(),
+                                    payload,
+                                },
+                            );
                         } else if i < self.cfg.n / 2 {
-                            ctx.send(to, PbftMsg::PrePrepare { ballot: ba.clone(), payload });
+                            ctx.send(
+                                to,
+                                PbftMsg::PrePrepare {
+                                    ballot: ba.clone(),
+                                    payload,
+                                },
+                            );
                         } else {
-                            ctx.send(to, PbftMsg::PrePrepare { ballot: bb.clone(), payload });
+                            ctx.send(
+                                to,
+                                PbftMsg::PrePrepare {
+                                    ballot: bb.clone(),
+                                    payload,
+                                },
+                            );
                         }
                     }
                 }
@@ -618,7 +643,12 @@ mod tests {
     use super::*;
     use prft_sim::{RunOutcome, SimRng, Simulation};
 
-    fn run(n: usize, seqs: u64, accountable: bool, modes: Option<Vec<PbftMode>>) -> Simulation<PbftReplica> {
+    fn run(
+        n: usize,
+        seqs: u64,
+        accountable: bool,
+        modes: Option<Vec<PbftMode>>,
+    ) -> Simulation<PbftReplica> {
         let mut cfg = PbftConfig::new(n, seqs);
         if accountable {
             cfg = cfg.accountable();
@@ -645,7 +675,7 @@ mod tests {
     #[test]
     fn crash_within_f_tolerated() {
         let cfg = PbftConfig::new(7, 4); // f = 2
-        let (replicas, _) = committee(&cfg, 1, &vec![PbftMode::Honest; 7]);
+        let (replicas, _) = committee(&cfg, 1, &[PbftMode::Honest; 7]);
         let mut sim = Simulation::new(
             replicas,
             Box::new(prft_net::SynchronousNet::new(SimTime(10))),
@@ -662,7 +692,7 @@ mod tests {
     #[test]
     fn crash_beyond_f_stalls_safely() {
         let cfg = PbftConfig::new(7, 4);
-        let (replicas, _) = committee(&cfg, 1, &vec![PbftMode::Honest; 7]);
+        let (replicas, _) = committee(&cfg, 1, &[PbftMode::Honest; 7]);
         let mut sim = Simulation::new(
             replicas,
             Box::new(prft_net::SynchronousNet::new(SimTime(10))),
@@ -673,14 +703,17 @@ mod tests {
         }
         sim.run_until(SimTime(100_000));
         for i in 0..4 {
-            assert!(sim.node(NodeId(i)).log().is_empty(), "no quorum, no decision");
+            assert!(
+                sim.node(NodeId(i)).log().is_empty(),
+                "no quorum, no decision"
+            );
         }
     }
 
     #[test]
     fn crashed_primary_triggers_view_change() {
         let cfg = PbftConfig::new(7, 3);
-        let (replicas, _) = committee(&cfg, 1, &vec![PbftMode::Honest; 7]);
+        let (replicas, _) = committee(&cfg, 1, &[PbftMode::Honest; 7]);
         let mut sim = Simulation::new(
             replicas,
             Box::new(prft_net::SynchronousNet::new(SimTime(10))),

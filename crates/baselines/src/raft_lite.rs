@@ -232,7 +232,11 @@ impl RaftNode {
                 continue;
             }
             let from = self.match_index[i];
-            let prev_term = if from == 0 { 0 } else { self.log[from - 1].term };
+            let prev_term = if from == 0 {
+                0
+            } else {
+                self.log[from - 1].term
+            };
             ctx.send(
                 NodeId(i),
                 RaftMsg::AppendEntries {
@@ -249,9 +253,10 @@ impl RaftNode {
     fn advance_commit(&mut self) {
         // Highest index replicated on a majority within the current term.
         for idx in (self.commit_index + 1..=self.log.len()).rev() {
-            let replicated = 1 + (0..self.cfg.n)
-                .filter(|&i| i != self.me.0 && self.match_index[i] >= idx)
-                .count();
+            let replicated = 1
+                + (0..self.cfg.n)
+                    .filter(|&i| i != self.me.0 && self.match_index[i] >= idx)
+                    .count();
             if replicated >= self.cfg.majority() && self.log[idx - 1].term == self.term {
                 self.commit_index = idx;
                 break;
@@ -312,7 +317,13 @@ impl Node for RaftNode {
                 let ok = prev_index == 0
                     || (prev_index <= self.log.len() && self.log[prev_index - 1].term == prev_term);
                 if !ok {
-                    ctx.send(from, RaftMsg::AppendAck { term, matched: None });
+                    ctx.send(
+                        from,
+                        RaftMsg::AppendAck {
+                            term,
+                            matched: None,
+                        },
+                    );
                     return;
                 }
                 self.log.truncate(prev_index);
@@ -374,7 +385,9 @@ impl Node for RaftNode {
 
 /// Builds a Raft cluster.
 pub fn cluster(cfg: &RaftConfig) -> Vec<RaftNode> {
-    (0..cfg.n).map(|i| RaftNode::new(cfg.clone(), NodeId(i))).collect()
+    (0..cfg.n)
+        .map(|i| RaftNode::new(cfg.clone(), NodeId(i)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -165,7 +165,11 @@ impl DsNode {
                 let ma = make(&self.key, self.id(), va);
                 let mb = make(&self.key, self.id(), vb);
                 for i in 0..self.cfg.n {
-                    let msg = if i < self.cfg.n / 2 { ma.clone() } else { mb.clone() };
+                    let msg = if i < self.cfg.n / 2 {
+                        ma.clone()
+                    } else {
+                        mb.clone()
+                    };
                     ctx.send(NodeId(i), msg);
                 }
             }
@@ -314,7 +318,10 @@ mod tests {
         }
         let ds = decisions(&sim, &[1, 2, 3, 4]);
         assert!(ds.iter().all(|d| *d == ds[0]), "agreement survives");
-        assert_eq!(ds[0], Some(Digest::of_bytes(&[b"ds-input".as_slice(), &[7]].concat())));
+        assert_eq!(
+            ds[0],
+            Some(Digest::of_bytes(&[b"ds-input".as_slice(), &[7]].concat()))
+        );
     }
 
     #[test]
@@ -343,7 +350,10 @@ mod tests {
         }
         let sim = run(5, 3, modes);
         let ds = decisions(&sim, &[0, 1]);
-        assert!(ds.iter().all(|d| *d == Some(byz_val)), "validity broken: {ds:?}");
+        assert!(
+            ds.iter().all(|d| *d == Some(byz_val)),
+            "validity broken: {ds:?}"
+        );
         assert_ne!(ds[0], Some(honest_val));
     }
 

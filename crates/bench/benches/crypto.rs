@@ -10,9 +10,7 @@ fn bench_sha256(c: &mut Criterion) {
     for size in [64usize, 1024, 16 * 1024] {
         let data = vec![0xabu8; size];
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("{size}B"), |b| {
-            b.iter(|| Sha256::digest(&data))
-        });
+        group.bench_function(format!("{size}B"), |b| b.iter(|| Sha256::digest(&data)));
     }
     group.finish();
 }

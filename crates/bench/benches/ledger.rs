@@ -7,7 +7,9 @@ use prft_types::{Block, Chain, Height, NodeId, Round, Transaction};
 fn grown(rounds: u64) -> Chain {
     let mut c = Chain::new(Block::genesis());
     for r in 0..rounds {
-        let txs = (0..8).map(|i| Transaction::new(r * 8 + i, NodeId(0), vec![0u8; 64])).collect();
+        let txs = (0..8)
+            .map(|i| Transaction::new(r * 8 + i, NodeId(0), vec![0u8; 64]))
+            .collect();
         let b = Block::new(Round(r + 1), c.tip(), NodeId((r % 7) as usize), txs);
         c.append_tentative(b).unwrap();
     }

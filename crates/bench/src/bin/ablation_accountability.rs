@@ -10,69 +10,34 @@
 //! * **cost** — bytes per decision, with vs. without, across n;
 //! * **security** — the fork collusion attack: with Reveal the deviators
 //!   burn (deviation strictly dominated, DSIC); without it they walk away
-//!   unpunished (deviation free: only the weaker Nash-style indifference
-//!   remains — exactly the regression to TRAP-era guarantees the paper
-//!   argues against).
+//!   unpunished. The attack pair is the registered
+//!   `ablation-accountability` scenario.
+//!
+//! Everything runs through the `prft-lab` batch engine.
 //!
 //! Run: `cargo run -p prft-bench --release --bin ablation_accountability`
 
-use prft_adversary::{blackboard, EquivocatingLeader, ForkColluder};
 use prft_bench::{fmt, verdict};
-use prft_core::analysis::analyze;
-use prft_core::{Config, Harness, NetworkChoice};
+use prft_lab::{BatchRunner, ScenarioSpec};
 use prft_metrics::AsciiTable;
-use prft_sim::SimTime;
-use prft_types::{NodeId, Round};
-use std::collections::HashSet;
 
-const HORIZON: SimTime = SimTime(2_000_000);
-
-fn honest_cost(n: usize, accountable: bool) -> (f64, f64) {
-    let cfg = Config::for_committee(n)
-        .with_accountability(accountable)
-        .with_max_rounds(3);
-    let mut sim = Harness::new(n, 7)
-        .config(cfg)
-        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
-        .build();
-    sim.run_until(HORIZON);
-    let decided = sim.node(NodeId(0)).chain().final_height().max(1) as f64;
-    (
-        sim.meter().total_messages() as f64 / decided,
-        sim.meter().total_bytes() as f64 / decided,
-    )
-}
-
-fn fork_attack(accountable: bool) -> (bool, usize, u64) {
-    let n = 9;
-    let board = blackboard();
-    let b_group: HashSet<NodeId> = [NodeId(7), NodeId(8)].into_iter().collect();
-    let cfg = Config::for_committee(n)
-        .with_accountability(accountable)
-        .with_max_rounds(3);
-    let mut h = Harness::new(n, 5)
-        .config(cfg)
-        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
-        .with_behavior(
-            NodeId(0),
-            Box::new(
-                EquivocatingLeader::new(board.clone(), b_group.clone(), n).only_rounds([Round(0)]),
-            ),
-        );
-    for i in 1..=3 {
-        h = h.with_behavior(
-            NodeId(i),
-            Box::new(ForkColluder::new(board.clone(), b_group.clone(), n)),
-        );
-    }
-    let mut sim = h.build();
-    sim.run_until(HORIZON);
-    let r = analyze(&sim);
-    (r.agreement, r.burned.len(), r.min_final_height)
+fn honest_cost_spec(n: usize, accountable: bool) -> ScenarioSpec {
+    let tag = if accountable { "full" } else { "ablated" };
+    ScenarioSpec::new(format!("n={n} {tag}"), n, 3)
+        .base_seed(7)
+        .accountable(accountable)
 }
 
 fn main() {
     println!("Ablation — pRFT with and without the Reveal/PoF phase\n");
+    let runner = BatchRunner::all_cores();
+
+    // ---- Cost side: honest runs with and without Reveal, across n ----
+    let cost_specs: Vec<ScenarioSpec> = [8usize, 16, 32]
+        .into_iter()
+        .flat_map(|n| [honest_cost_spec(n, true), honest_cost_spec(n, false)])
+        .collect();
+    let cost_reports = runner.run_grid(&cost_specs, 1);
 
     let mut cost = AsciiTable::new(vec![
         "n",
@@ -83,11 +48,18 @@ fn main() {
         "byte savings",
     ])
     .with_title("Cost of accountability (honest runs)");
-    for n in [8usize, 16, 32] {
-        let (m_full, b_full) = honest_cost(n, true);
-        let (m_abl, b_abl) = honest_cost(n, false);
+    for pair in cost_reports.chunks(2) {
+        let per_decision = |r: &prft_lab::BatchReport| {
+            let decided = r.min_final_height.mean.max(1.0);
+            (
+                r.total_messages.mean / decided,
+                r.total_bytes.mean / decided,
+            )
+        };
+        let (m_full, b_full) = per_decision(&pair[0]);
+        let (m_abl, b_abl) = per_decision(&pair[1]);
         cost.row(vec![
-            n.to_string(),
+            pair[0].n.to_string(),
             fmt(m_full),
             fmt(m_abl),
             fmt(b_full),
@@ -97,6 +69,10 @@ fn main() {
     }
     println!("{cost}\n");
 
+    // ---- Security side: the fork attack, full vs ablated ----
+    let attack = prft_lab::find("ablation-accountability").expect("registered");
+    let attack_reports = runner.run_grid(&attack.specs, 1);
+
     let mut sec = AsciiTable::new(vec![
         "variant",
         "fork prevented",
@@ -105,31 +81,35 @@ fn main() {
         "incentive guarantee",
     ])
     .with_title("Security under the θ=1 fork collusion (byz leader + 3 rational)");
-    let (agree_full, burned_full, blocks_full) = fork_attack(true);
-    let (agree_abl, burned_abl, blocks_abl) = fork_attack(false);
+    let full = &attack_reports[0];
+    let ablated = &attack_reports[1];
     sec.row(vec![
         "pRFT (full)".into(),
-        verdict(agree_full),
-        burned_full.to_string(),
-        blocks_full.to_string(),
+        verdict(full.agreement_rate == 1.0),
+        format!("{:.0}", full.burned_players.mean),
+        format!("{:.0}", full.min_final_height.mean),
         "DSIC: deviation costs −L".into(),
     ]);
     sec.row(vec![
         "pRFT − Reveal (ablated)".into(),
-        verdict(agree_abl),
-        burned_abl.to_string(),
-        blocks_abl.to_string(),
+        verdict(ablated.agreement_rate == 1.0),
+        format!("{:.0}", ablated.burned_players.mean),
+        format!("{:.0}", ablated.min_final_height.mean),
         "indifference only: deviation is free".into(),
     ]);
     println!("{sec}\n");
 
+    let burned_full = full.burned_players.mean;
+    let blocks_full = full.min_final_height.mean;
+    let burned_abl = ablated.burned_players.mean;
+    let blocks_abl = ablated.min_final_height.mean;
     println!(
         "Reading: quorum intersection alone (τ = n − t0 in Claim 1's window)\n\
          keeps *agreement* even without the Reveal phase — but accountability\n\
-         is gone: the same collusion that burns {burned_full} deposits (and costs the\n\
-         attackers only one aborted round: {blocks_full} blocks still land) walks away\n\
-         with {burned_abl} burns under the ablation, and without Expose/equivocation\n\
-         triggers the attacked round simply stalls ({blocks_abl} blocks). The reveal\n\
+         is gone: the same collusion that burns {burned_full:.0} deposits (and costs the\n\
+         attackers only one aborted round: {blocks_full:.0} blocks still land) walks away\n\
+         with {burned_abl:.0} burns under the ablation, and without Expose/equivocation\n\
+         triggers the attacked round simply stalls ({blocks_abl:.0} blocks). The reveal\n\
          bytes are the price of turning 'deviation cannot succeed' into\n\
          'deviation cannot pay' — the step from Nash-style to dominant-\n\
          strategy security that is the paper's core design argument."

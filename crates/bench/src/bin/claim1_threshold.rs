@@ -6,80 +6,72 @@
 //!   collusion's help → double agreement (fork);
 //! * τ inside the window: live and safe.
 //!
+//! Both probes are `prft-lab` scenario specs; the τ sweep fans across
+//! cores through the batch engine.
+//!
 //! Run: `cargo run -p prft-bench --release --bin claim1_threshold`
 
-use prft_adversary::{blackboard, Abstain, EquivocatingLeader, ForkColluder};
 use prft_bench::verdict;
-use prft_core::analysis::analyze;
-use prft_core::{Config, Harness, NetworkChoice};
 use prft_game::analytic;
+use prft_lab::{BatchRunner, PartitionSpec, Role, ScenarioSpec};
 use prft_metrics::AsciiTable;
-use prft_net::{PartitionWindow, PartitionedNet, SynchronousNet};
-use prft_sim::SimTime;
-use prft_types::{NodeId, Round};
-use std::collections::HashSet;
 
-const HORIZON: SimTime = SimTime(400_000);
+const N: usize = 10;
+const T0: usize = 2;
 
 /// Liveness probe: t0 byzantine players abstain; can the rest still agree?
-fn liveness_with_tau(n: usize, tau: usize) -> bool {
-    let cfg = Config::for_committee(n).with_tau(tau).with_max_rounds(4);
-    let t0 = cfg.t0;
-    let mut h = Harness::new(n, 3)
-        .config(cfg)
-        .network(NetworkChoice::Synchronous { delta: SimTime(10) });
-    for i in 0..t0 {
-        h = h.with_behavior(NodeId(n - 1 - i), Box::new(Abstain));
-    }
-    let mut sim = h.build();
-    sim.run_until(HORIZON);
-    analyze(&sim).min_final_height >= 2
+fn liveness_spec(tau: usize) -> ScenarioSpec {
+    ScenarioSpec::new(format!("live tau={tau}"), N, 4)
+        .base_seed(3)
+        .tau(tau)
+        .roles((N - T0)..N, Role::Abstain)
+        .horizon(400_000)
 }
 
 /// Safety probe: the Lemma 4 partition attack (equivocating leader +
-/// colluders bridging two honest halves). Returns whether agreement held.
-fn safety_with_tau(n: usize, tau: usize) -> bool {
-    let board = blackboard();
-    let bridges = vec![NodeId(0), NodeId(1), NodeId(2)];
-    let a_half: Vec<NodeId> = (3..6).map(NodeId).collect();
-    let b_half: Vec<NodeId> = (6..n).map(NodeId).collect();
-    let b_group: HashSet<NodeId> = b_half.iter().copied().collect();
-
-    let mut net = PartitionedNet::new(Box::new(SynchronousNet::new(SimTime(10))));
-    net.add_window(PartitionWindow::split_with_bridges(
-        SimTime::ZERO,
-        SimTime(100_000),
-        vec![a_half, b_half],
-        bridges,
-    ));
-    let cfg = Config::for_committee(n).with_tau(tau).with_max_rounds(1);
-    let mut h = Harness::new(n, 13)
-        .config(cfg)
-        .network(NetworkChoice::Custom(Box::new(net)))
-        .with_behavior(
-            NodeId(0),
-            Box::new(EquivocatingLeader::new(board.clone(), b_group.clone(), n).only_rounds([Round(0)])),
-        );
-    for i in 1..=2 {
-        h = h.with_behavior(
-            NodeId(i),
-            Box::new(ForkColluder::new(board.clone(), b_group.clone(), n)),
-        );
-    }
-    let mut sim = h.build();
-    sim.run_until(SimTime(50_000));
-    analyze(&sim).agreement
+/// colluders bridging two honest halves).
+fn safety_spec(tau: usize) -> ScenarioSpec {
+    ScenarioSpec::new(format!("safe tau={tau}"), N, 1)
+        .base_seed(13)
+        .tau(tau)
+        .partition(PartitionSpec {
+            start: 0,
+            end: 100_000,
+            groups: vec![(3..6).collect(), (6..N).collect()],
+            bridges: vec![0, 1, 2],
+        })
+        .role(
+            0,
+            Role::EquivocatingLeader {
+                only_round: Some(0),
+            },
+        )
+        .roles([1, 2], Role::ForkColluder)
+        .fork_b_group(6..N)
+        .horizon(50_000)
 }
 
 fn main() {
     println!("E10 — Claim 1: the safe window for the agreement threshold τ\n");
-    let n = 10;
-    let cfg = Config::for_committee(n);
-    let (lo, hi) = analytic::tau_window(n, cfg.t0);
+    let (lo, hi) = analytic::tau_window(N, T0);
     println!(
-        "n = {n}, t0 = {}; Claim 1 window: τ ∈ [{lo}, {hi}] (pRFT uses τ = n − t0 = {hi})\n",
-        cfg.t0
+        "n = {N}, t0 = {T0}; Claim 1 window: τ ∈ [{lo}, {hi}] (pRFT uses τ = n − t0 = {hi})\n"
     );
+
+    let taus = [4usize, 5, 6, 7, 8, 9, 10];
+    // One engine pass over every probe of every τ (14 runs, all cores).
+    let probes: Vec<(bool, ScenarioSpec)> = taus
+        .iter()
+        .flat_map(|&tau| [(true, liveness_spec(tau)), (false, safety_spec(tau))])
+        .collect();
+    let results = BatchRunner::all_cores().map(&probes, |_, (is_liveness, spec)| {
+        let record = prft_lab::run_one(spec, spec.base_seed);
+        if *is_liveness {
+            record.min_final_height >= 2
+        } else {
+            record.agreement
+        }
+    });
 
     let mut table = AsciiTable::new(vec![
         "τ",
@@ -88,17 +80,25 @@ fn main() {
         "agreement (partition+equivocation)",
         "verdict",
     ]);
-    for tau in [4usize, 5, 6, 7, 8, 9, 10] {
-        let in_window = analytic::tau_is_safe(n, cfg.t0, tau);
-        let live = liveness_with_tau(n, tau);
-        let safe = safety_with_tau(n, tau);
-        let as_claimed = if in_window { live && safe } else { !(live && safe) };
+    for (i, &tau) in taus.iter().enumerate() {
+        let in_window = analytic::tau_is_safe(N, T0, tau);
+        let live = results[2 * i];
+        let safe = results[2 * i + 1];
+        let as_claimed = if in_window {
+            live && safe
+        } else {
+            !(live && safe)
+        };
         table.row(vec![
             tau.to_string(),
             verdict(in_window),
             verdict(live),
             verdict(safe),
-            if as_claimed { "matches Claim 1".into() } else { "UNEXPECTED".to_string() },
+            if as_claimed {
+                "matches Claim 1".into()
+            } else {
+                "UNEXPECTED".to_string()
+            },
         ]);
     }
     println!("{table}\n");

@@ -6,101 +6,36 @@
 //! * **Robustness** — the byzantine set alone cannot force a view change
 //!   under an honest leader.
 //!
+//! Consistency is the engine's built-in `vc_consistent` observable swept
+//! over 20 seeds; robustness is the registered `view-change-churn`
+//! scenario. Both run through the `prft-lab` batch engine.
+//!
 //! Run: `cargo run -p prft-bench --release --bin claim2_view_change`
 
 use prft_bench::verdict;
-use prft_core::analysis::{analyze, honest_ids};
-use prft_core::{Behavior, Harness, NetworkChoice, ProposeAction};
+use prft_lab::{BatchRunner, ScenarioSpec, Synchrony};
 use prft_metrics::AsciiTable;
-use prft_sim::SimTime;
-use prft_types::{Block, NodeId, Round};
-
-/// A byzantine player that spams view-change participation but otherwise
-/// stays silent — the "T tries to force a view change" adversary.
-/// (`join_view_change` is true: it will echo VCs; what Robustness says is
-/// that its own t0-sized coalition can't *reach* the n−t0 quorum.)
-#[derive(Debug, Default)]
-struct VcSpammer;
-
-impl Behavior for VcSpammer {
-    fn label(&self) -> &'static str {
-        "vc-spammer"
-    }
-    fn on_propose(&mut self, _round: Round, _b: &Block) -> ProposeAction {
-        ProposeAction::Silent
-    }
-    fn on_vote(&mut self, _r: Round, _v: prft_types::Digest) -> prft_core::BallotAction {
-        prft_core::BallotAction::Silent
-    }
-    fn on_commit(&mut self, _r: Round, _v: prft_types::Digest) -> prft_core::BallotAction {
-        prft_core::BallotAction::Silent
-    }
-    fn on_reveal(&mut self, _r: Round, _v: prft_types::Digest) -> prft_core::BallotAction {
-        prft_core::BallotAction::Silent
-    }
-}
 
 fn main() {
     println!("E11 — Claim 2: view-change Consistency and Robustness\n");
     let n = 9; // t0 = 2
+    let runner = BatchRunner::all_cores();
 
-    // ---- Consistency across adversarial schedules ----
-    let mut consistency_ok = true;
-    let mut checked_rounds = 0u64;
-    for seed in 0..20u64 {
-        let mut sim = Harness::new(n, seed)
-            .network(NetworkChoice::PartiallySynchronous {
-                gst: SimTime(2_000),
-                delta: SimTime(10),
-            })
-            .max_rounds(6)
-            .build();
-        sim.run_until(SimTime(2_000_000));
-        let honest = honest_ids(&sim);
-        // For every round any honest player abandoned via view change, no
-        // honest player may have finalized that round's block.
-        for &id in &honest {
-            for &vc_round in &sim.node(id).stats().view_changed_rounds {
-                checked_rounds += 1;
-                for &other in &honest {
-                    let finalized_in_r = sim
-                        .node(other)
-                        .stats()
-                        .finalize_times
-                        .iter()
-                        .any(|(r, _)| *r == vc_round);
-                    if finalized_in_r {
-                        consistency_ok = false;
-                        println!(
-                            "  CONSISTENCY VIOLATION seed {seed}: {other} finalized {vc_round} \
-                             while {id} view-changed it"
-                        );
-                    }
-                }
-            }
-        }
-        // And the run must still agree overall.
-        if !analyze(&sim).agreement {
-            consistency_ok = false;
-        }
-    }
+    // ---- Consistency across adversarial pre-GST schedules ----
+    let consistency_spec = ScenarioSpec::new("consistency", n, 6)
+        .base_seed(0)
+        .synchrony(Synchrony::PartiallySynchronous {
+            gst: 2_000,
+            delta: 10,
+        })
+        .horizon(2_000_000);
+    let consistency = runner.run(&consistency_spec, 20);
+    let consistency_ok = consistency.vc_consistent_rate == 1.0 && consistency.agreement_rate == 1.0;
+    let checked_rounds: f64 = consistency.view_changes.mean * consistency.seeds as f64;
 
     // ---- Robustness: byzantine-only view-change pressure ----
-    let mut robustness_rows = Vec::new();
-    for byz in [1usize, 2, 3] {
-        let mut h = Harness::new(n, 5)
-            .network(NetworkChoice::Synchronous { delta: SimTime(10) })
-            .max_rounds(3);
-        for i in 0..byz {
-            h = h.with_behavior(NodeId(n - 1 - i), Box::new(VcSpammer));
-        }
-        let mut sim = h.build();
-        sim.run_until(SimTime(2_000_000));
-        let r = analyze(&sim);
-        // With byz ≤ t0 the silent spammers can't stop rounds: no view
-        // change completes under honest leaders, blocks finalize.
-        robustness_rows.push((byz, r.view_changes, r.min_final_height, r.agreement));
-    }
+    let churn = prft_lab::find("view-change-churn").expect("registered");
+    let reports = runner.run_grid(&churn.specs, 8);
 
     let mut table = AsciiTable::new(vec![
         "byzantine (silent + VC-hungry)",
@@ -109,8 +44,15 @@ fn main() {
         "agreement",
         "expected",
     ])
-    .with_title(&format!("Robustness (n = {n}, t0 = 2, honest leaders)"));
-    for (byz, vcs, blocks, agreement) in robustness_rows {
+    .with_title(&format!(
+        "Robustness (n = {n}, t0 = 2, honest leaders, 8 seeds)"
+    ));
+    for report in &reports {
+        let byz: usize = report
+            .label
+            .trim_start_matches("byz=")
+            .parse()
+            .expect("label");
         let expected = if byz <= 2 {
             "no VC, progress"
         } else {
@@ -118,16 +60,16 @@ fn main() {
         };
         table.row(vec![
             byz.to_string(),
-            vcs.to_string(),
-            blocks.to_string(),
-            verdict(agreement),
+            format!("{:.1}", report.view_changes.mean),
+            format!("{:.1}", report.min_final_height.mean),
+            verdict(report.agreement_rate == 1.0),
             expected.into(),
         ]);
     }
     println!("{table}\n");
 
     println!(
-        "Consistency: {} (checked {} view-changed rounds across 20 seeds —\n\
+        "Consistency: {} (≈{:.0} view-changed rounds checked across 20 seeds —\n\
          no honest player ever finalized a round another honest player\n\
          abandoned, and every run kept agreement)",
         verdict(consistency_ok),

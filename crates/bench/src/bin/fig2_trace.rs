@@ -2,9 +2,13 @@
 //! timeline per phase, as in the paper's ladder diagram) and the message
 //! inventory with wire sizes.
 //!
+//! A single traced run built through the `prft-lab` spec path (the
+//! engine's single-run escape hatch: specs build simulations, the bin
+//! keeps the trace inspection).
+//!
 //! Run: `cargo run -p prft-bench --release --bin fig2_trace`
 
-use prft_core::{Harness, NetworkChoice};
+use prft_lab::ScenarioSpec;
 use prft_metrics::AsciiTable;
 use prft_sim::SimTime;
 use prft_types::NodeId;
@@ -12,17 +16,21 @@ use prft_types::NodeId;
 fn main() {
     println!("E8 — Figure 2a: normal execution of pRFT (n = 4, one round)\n");
     let n = 4;
-    let mut sim = Harness::new(n, 7)
-        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
-        .max_rounds(1)
-        .build();
+    let spec = ScenarioSpec::new("fig2", n, 1)
+        .base_seed(7)
+        .horizon(100_000);
+    let mut sim = prft_lab::build_sim(&spec, spec.base_seed);
     sim.set_tracing(true);
-    sim.run_until(SimTime(100_000));
+    sim.run_until(SimTime(spec.horizon));
 
     // Phase timeline: first/last delivery per message kind.
     let phases = ["Propose", "Vote", "Commit", "Reveal", "Final"];
     let mut timeline = AsciiTable::new(vec![
-        "phase", "deliveries", "first at", "last at", "pattern",
+        "phase",
+        "deliveries",
+        "first at",
+        "last at",
+        "pattern",
     ])
     .with_title("Phase timeline (times in simulation ticks, Δ = 10)");
     for kind in phases {
@@ -45,7 +53,9 @@ fn main() {
 
     // The ladder: per-replica arrival of each phase's first message.
     println!("Ladder (first delivery of each phase at each replica):");
-    let mut ladder = AsciiTable::new(vec!["replica", "Propose", "Vote", "Commit", "Reveal", "Final"]);
+    let mut ladder = AsciiTable::new(vec![
+        "replica", "Propose", "Vote", "Commit", "Reveal", "Final",
+    ]);
     for i in 0..n {
         let mut row = vec![format!("P{i}")];
         for kind in phases {
@@ -76,11 +86,8 @@ fn main() {
     ];
     for (kind, form) in forms {
         let stats = sim.meter().kind(kind);
-        let mean = if stats.count > 0 {
-            format!("{}", stats.bytes / stats.count)
-        } else {
-            "-".into()
-        };
+        let mean =
+            (stats.bytes.checked_div(stats.count)).map_or_else(|| "-".into(), |b| b.to_string());
         inventory.row(vec![
             kind.into(),
             form.into(),

@@ -6,12 +6,15 @@
 //! the `> t0` bar gates the Expose, and construction cost scales linearly
 //! in the number of ballots scanned (the paper's Figure 4 is the O(n³)
 //! nested scan; our detector is the same relation computed with an index).
+//! The adversarial-matrix grid fans across cores through the `prft-lab`
+//! thread pool.
 //!
 //! Run: `cargo run -p prft-bench --release --bin fig4_construct_proof`
 
 use prft_bench::verdict;
 use prft_core::{construct_proof, signed_ballot, verify_expose, Phase, SignedBallot};
 use prft_crypto::KeyRegistry;
+use prft_lab::BatchRunner;
 use prft_metrics::AsciiTable;
 use prft_types::{Digest, NodeId, Round};
 use std::time::Instant;
@@ -35,6 +38,25 @@ fn matrix(n: usize, cheats: usize, seed: u64) -> (Vec<SignedBallot>, KeyRegistry
 fn main() {
     println!("E9 — Figure 4: ConstructProof correctness and cost\n");
 
+    let grid: Vec<(usize, usize, usize)> = vec![
+        (9, 2, 0),
+        (9, 2, 1),
+        (9, 2, 2),
+        (9, 2, 3),
+        (9, 2, 5),
+        (33, 8, 9),
+    ];
+    // (convicted count, exact set?, expose gate correct?)
+    let outcomes = BatchRunner::all_cores().map(&grid, |_, &(n, t0, cheats)| {
+        let (ballots, registry) = matrix(n, cheats, 42);
+        let proof = construct_proof(&ballots);
+        let convicted: Vec<NodeId> = proof.iter().map(|e| e.accused()).collect();
+        let expected: Vec<NodeId> = (0..cheats).map(NodeId).collect();
+        let exact = convicted == expected;
+        let expose = verify_expose(&proof, &registry, t0).is_some();
+        (convicted.len(), exact, expose == (cheats > t0))
+    });
+
     let mut table = AsciiTable::new(vec![
         "n",
         "t0",
@@ -44,27 +66,14 @@ fn main() {
         "expose fires (>t0)",
     ])
     .with_title("Correctness on adversarial commit matrices");
-    for (n, t0, cheats) in [
-        (9usize, 2usize, 0usize),
-        (9, 2, 1),
-        (9, 2, 2),
-        (9, 2, 3),
-        (9, 2, 5),
-        (33, 8, 9),
-    ] {
-        let (ballots, registry) = matrix(n, cheats, 42);
-        let proof = construct_proof(&ballots);
-        let convicted: Vec<NodeId> = proof.iter().map(|e| e.accused()).collect();
-        let expected: Vec<NodeId> = (0..cheats).map(NodeId).collect();
-        let exact = convicted == expected;
-        let expose = verify_expose(&proof, &registry, t0).is_some();
+    for (&(n, t0, cheats), (convicted, exact, gate_ok)) in grid.iter().zip(outcomes) {
         table.row(vec![
             n.to_string(),
             t0.to_string(),
             cheats.to_string(),
-            convicted.len().to_string(),
+            convicted.to_string(),
             verdict(exact),
-            verdict(expose == (cheats > t0)),
+            verdict(gate_ok),
         ]);
     }
     println!("{table}\n");
@@ -83,7 +92,7 @@ fn main() {
         verdict(framing_rejected),
     );
 
-    // Cost scaling.
+    // Cost scaling (sequential: wall-clock per matrix must not share cores).
     let mut cost = AsciiTable::new(vec!["ballots scanned", "construct time", "per ballot"])
         .with_title("Cost (indexed detector; paper Fig. 4 is the same relation, O(n²·n) scanned)");
     for scale in [1_000usize, 10_000, 100_000] {

@@ -3,9 +3,10 @@
 //!
 //! We build the empirical game: three rational players (P1, P2, P3) each
 //! choose from {π_0, π_abs, π_fork}; the byzantine leader P0 equivocates
-//! whenever anyone forks. Every one of the 27 profiles is simulated and the
-//! players' θ=1 utilities measured (state payoff + collateral burns). The
-//! checks:
+//! whenever anyone forks. Every one of the 27 profiles becomes a
+//! `prft-lab` scenario spec and the whole grid is simulated in parallel
+//! through the batch engine; utilities come from the engine's per-player
+//! payoff measurement. The checks:
 //!
 //! * `U(π_0) ≥ U(π)` for every player against every opponent profile
 //!   (weak dominance = DSIC, Definition 5);
@@ -16,82 +17,70 @@
 //!
 //! Run: `cargo run -p prft-bench --release --bin lemma4_dsic`
 
-use prft_adversary::{blackboard, Abstain, EquivocatingLeader, ForkColluder};
-use prft_bench::{classify_run, fmt, measure_utility, verdict};
-use prft_core::{Behavior, Harness, Honest, NetworkChoice};
+use prft_bench::{fmt, verdict};
 use prft_game::{EmpiricalGame, SystemState, Theta, UtilityParams};
+use prft_lab::{BatchRunner, Role, ScenarioSpec, UtilitySpec};
 use prft_metrics::AsciiTable;
-use prft_sim::SimTime;
-use prft_types::NodeId;
-use std::collections::HashSet;
 
 const STRATEGIES: [&str; 3] = ["π_0", "π_abs", "π_fork"];
+const N: usize = 9; // t0 = 2, quorum 7; k = 3, t = 1 ⇒ k + t = 4 < n/2
 
-/// Runs one profile: rational players P1..P3 with the given strategy
-/// indices; byzantine P0 equivocates round 0 iff someone forks.
-fn eval_profile(profile: &[usize], params: &UtilityParams) -> (Vec<f64>, SystemState) {
-    let n = 9; // t0 = 2, quorum 7; k = 3, t = 1 ⇒ k + t = 4 < n/2
-    let board = blackboard();
-    let b_group: HashSet<NodeId> = [NodeId(7), NodeId(8)].into_iter().collect();
-    let anyone_forks = profile.iter().any(|&s| s == 2);
-
-    let leader: Box<dyn Behavior> = if anyone_forks {
-        Box::new(EquivocatingLeader::new(board.clone(), b_group.clone(), n))
-    } else {
-        // A byzantine player with nothing to coordinate: stays honest
-        // (worst case for the deviator comparison).
-        Box::new(Honest)
-    };
-
-    let mut h = Harness::new(n, 71)
-        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
-        .max_rounds(3)
-        .with_behavior(NodeId(0), leader);
+/// The scenario spec for one strategy profile: byzantine P0 equivocates
+/// round 0 iff someone forks; rational P1..P3 play the profile.
+fn profile_spec(profile: &[usize]) -> ScenarioSpec {
+    let anyone_forks = profile.contains(&2);
+    let mut spec = ScenarioSpec::new(format!("{:?}", profile), N, 3)
+        .base_seed(71)
+        .fork_b_group([7, 8])
+        .utility(UtilitySpec::standard(Theta::ForkSeeking, 3))
+        .horizon(600_000);
+    if anyone_forks {
+        spec = spec.role(0, Role::EquivocatingLeader { only_round: None });
+    }
     for (i, &s) in profile.iter().enumerate() {
-        let player = NodeId(1 + i);
-        let behavior: Box<dyn Behavior> = match s {
-            0 => Box::new(Honest),
-            1 => Box::new(Abstain),
-            2 => Box::new(ForkColluder::new(board.clone(), b_group.clone(), n)),
+        spec = match s {
+            0 => spec,
+            1 => spec.role(1 + i, Role::Abstain),
+            2 => spec.role(1 + i, Role::ForkColluder),
             _ => unreachable!(),
         };
-        h = h.with_behavior(player, behavior);
     }
-    let mut sim = h.build();
-    sim.run_until(SimTime(600_000));
-    let state = classify_run(&sim, &[]);
-    let utilities = (0..3)
-        .map(|i| measure_utility(&sim, NodeId(1 + i), Theta::ForkSeeking, params, &[], 3))
-        .collect();
-    (utilities, state)
+    spec
 }
 
 fn main() {
     println!("E7 — Lemma 4: honest play is DSIC for θ=1 rational players in pRFT\n");
     let params = UtilityParams::default();
     println!(
-        "n = 9, t0 = 2; byzantine P0 (equivocates when a fork is on), rational\n\
-         P1–P3 ∈ {{π_0, π_abs, π_fork}}; 27 simulated profiles; θ = 1;\n\
-         L = {}, α = {}, δ = {}\n",
+        "n = {N}, t0 = 2; byzantine P0 (equivocates when a fork is on), rational\n\
+         P1–P3 ∈ {{π_0, π_abs, π_fork}}; 27 simulated profiles (parallel via\n\
+         prft-lab); θ = 1; L = {}, α = {}, δ = {}\n",
         params.penalty_l, params.alpha, params.delta
     );
 
-    let mut states = Vec::new();
+    // Enumerate all 27 profiles and run them through the batch engine.
+    let profiles: Vec<Vec<usize>> = (0..27).map(|i| vec![i / 9, (i / 3) % 3, i % 3]).collect();
+    let evaluated: Vec<(Vec<f64>, SystemState)> =
+        BatchRunner::all_cores().map(&profiles, |_, profile| {
+            let spec = profile_spec(profile);
+            let record = prft_lab::run_one(&spec, spec.base_seed);
+            let utilities = (0..3).map(|i| record.utilities[1 + i]).collect();
+            (utilities, record.sigma)
+        });
+    let states: Vec<(Vec<usize>, SystemState)> = profiles
+        .iter()
+        .cloned()
+        .zip(evaluated.iter().map(|(_, s)| *s))
+        .collect();
+
     let game = EmpiricalGame::explore(vec![3; 3], |profile| {
-        let (utilities, state) = eval_profile(profile, &params);
-        states.push((profile.clone(), state));
-        utilities
+        let idx = profile[0] * 9 + profile[1] * 3 + profile[2];
+        evaluated[idx].0.clone()
     });
 
     // Representative profiles table.
-    let mut table = AsciiTable::new(vec![
-        "profile (P1,P2,P3)",
-        "σ",
-        "U(P1)",
-        "U(P2)",
-        "U(P3)",
-    ])
-    .with_title("Selected strategy profiles (full game has 27)");
+    let mut table = AsciiTable::new(vec!["profile (P1,P2,P3)", "σ", "U(P1)", "U(P2)", "U(P3)"])
+        .with_title("Selected strategy profiles (full game has 27)");
     for profile in [
         vec![0, 0, 0],
         vec![1, 0, 0],
@@ -120,8 +109,13 @@ fn main() {
     println!("{table}\n");
 
     // The DSIC check.
-    let mut dsic = AsciiTable::new(vec!["player", "π_0 dominant", "π_abs dominant", "π_fork dominant"])
-        .with_title("Dominance (≥ against every opponent profile, ε = 1e-9)");
+    let mut dsic = AsciiTable::new(vec![
+        "player",
+        "π_0 dominant",
+        "π_abs dominant",
+        "π_fork dominant",
+    ])
+    .with_title("Dominance (≥ against every opponent profile, ε = 1e-9)");
     let mut all_dsic = true;
     for p in 0..3 {
         let d0 = game.is_dominant(p, 0, 1e-9);
@@ -138,21 +132,32 @@ fn main() {
     // Debug: print dominance violations.
     for player in 0..3 {
         for (profile, _) in &states {
-            if profile[player] == 0 { continue; }
+            if profile[player] == 0 {
+                continue;
+            }
             let mut honest = profile.clone();
             honest[player] = 0;
             let u_dev = game.utilities(profile)[player];
             let u_hon = game.utilities(&honest)[player];
             if u_dev > u_hon + 1e-9 {
-                println!("  VIOLATION: P{} prefers {} at {:?}: {} > {}",
-                    player + 1, STRATEGIES[profile[player]], profile, fmt(u_dev), fmt(u_hon));
+                println!(
+                    "  VIOLATION: P{} prefers {} at {:?}: {} > {}",
+                    player + 1,
+                    STRATEGIES[profile[player]],
+                    profile,
+                    fmt(u_dev),
+                    fmt(u_hon)
+                );
             }
         }
     }
     let all_honest = vec![0, 0, 0];
     let forked_anywhere = states.iter().any(|(_, s)| *s == SystemState::Fork);
     println!("Checks:");
-    println!("  π_0 is DSIC for every rational player: {}", verdict(all_dsic));
+    println!(
+        "  π_0 is DSIC for every rational player: {}",
+        verdict(all_dsic)
+    );
     println!(
         "  all-honest is a dominant-strategy equilibrium: {}",
         verdict(game.is_dse(&all_honest, 1e-9))

@@ -11,10 +11,12 @@
 //! | Polygraph | O(n³) | O(κ·n⁴) | ✓ |
 //! | pRFT | O(n³) | O(κ·n⁴) | ✓ |
 //!
-//! We measure the normal-case per-decision cost. Absolute exponents land
-//! one power of n below the table across the board (the paper counts view
-//! change cascades / per-signature transfers); what the experiment checks
-//! is the paper's *ranking*: HotStuff ≪ pBFT < Polygraph ≈ pRFT, with the
+//! The pRFT column is the registered `committee-scaling` scenario; the
+//! baseline columns fan through the same `prft-lab` thread pool. We measure
+//! the normal-case per-decision cost. Absolute exponents land one power of
+//! n below the table across the board (the paper counts view change
+//! cascades / per-signature transfers); what the experiment checks is the
+//! paper's *ranking*: HotStuff ≪ pBFT < Polygraph ≈ pRFT, with the
 //! accountable protocols paying exactly one extra factor of n in bits for
 //! the certificate cross-exchange.
 //!
@@ -22,7 +24,7 @@
 
 use prft_baselines::{hotstuff, pbft};
 use prft_bench::fmt;
-use prft_core::{Harness, NetworkChoice};
+use prft_lab::BatchRunner;
 use prft_metrics::{fit_power_law, AsciiTable};
 use prft_sim::{SimTime, Simulation};
 use prft_types::NodeId;
@@ -31,75 +33,113 @@ const NS: [usize; 4] = [4, 8, 16, 32];
 const ROUNDS: u64 = 3;
 const HORIZON: SimTime = SimTime(5_000_000);
 
-fn pbft_cost(n: usize, accountable: bool) -> (f64, f64) {
-    let mut cfg = pbft::PbftConfig::new(n, ROUNDS);
-    if accountable {
-        cfg = cfg.accountable();
+#[derive(Clone, Copy)]
+enum Baseline {
+    Pbft { accountable: bool },
+    HotStuff,
+}
+
+fn baseline_cost(kind: Baseline, n: usize) -> (f64, f64) {
+    match kind {
+        Baseline::Pbft { accountable } => {
+            let mut cfg = pbft::PbftConfig::new(n, ROUNDS);
+            if accountable {
+                cfg = cfg.accountable();
+            }
+            let (replicas, _) = pbft::committee(&cfg, 1, &vec![pbft::PbftMode::Honest; n]);
+            let mut sim = Simulation::new(
+                replicas,
+                Box::new(prft_net::SynchronousNet::new(SimTime(10))),
+                7,
+            );
+            sim.run_until(HORIZON);
+            let decided = sim.node(NodeId(0)).log().len().max(1) as f64;
+            (
+                sim.meter().total_messages() as f64 / decided,
+                sim.meter().total_bytes() as f64 / decided,
+            )
+        }
+        Baseline::HotStuff => {
+            let cfg = hotstuff::HsConfig::new(n, ROUNDS);
+            let mut sim = Simulation::new(
+                hotstuff::committee(&cfg, 11),
+                Box::new(prft_net::SynchronousNet::new(SimTime(10))),
+                7,
+            );
+            sim.run_until(HORIZON);
+            let decided = sim.node(NodeId(0)).log().len().max(1) as f64;
+            (
+                sim.meter().total_messages() as f64 / decided,
+                sim.meter().total_bytes() as f64 / decided,
+            )
+        }
     }
-    let (replicas, _) = pbft::committee(&cfg, 1, &vec![pbft::PbftMode::Honest; n]);
-    let mut sim = Simulation::new(
-        replicas,
-        Box::new(prft_net::SynchronousNet::new(SimTime(10))),
-        7,
-    );
-    sim.run_until(HORIZON);
-    let decided = sim.node(NodeId(0)).log().len().max(1) as f64;
-    (
-        sim.meter().total_messages() as f64 / decided,
-        sim.meter().total_bytes() as f64 / decided,
-    )
-}
-
-fn hotstuff_cost(n: usize) -> (f64, f64) {
-    let cfg = hotstuff::HsConfig::new(n, ROUNDS);
-    let mut sim = Simulation::new(
-        hotstuff::committee(&cfg, 11),
-        Box::new(prft_net::SynchronousNet::new(SimTime(10))),
-        7,
-    );
-    sim.run_until(HORIZON);
-    let decided = sim.node(NodeId(0)).log().len().max(1) as f64;
-    (
-        sim.meter().total_messages() as f64 / decided,
-        sim.meter().total_bytes() as f64 / decided,
-    )
-}
-
-fn prft_cost(n: usize) -> (f64, f64) {
-    let mut sim = Harness::new(n, 7)
-        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
-        .max_rounds(ROUNDS)
-        .build();
-    sim.run_until(HORIZON);
-    let decided = sim
-        .node(NodeId(0))
-        .chain()
-        .final_height()
-        .max(1) as f64;
-    (
-        sim.meter().total_messages() as f64 / decided,
-        sim.meter().total_bytes() as f64 / decided,
-    )
 }
 
 fn main() {
     println!("E3 — Table 3: message complexity & size (normal case, per decision)\n");
+    let runner = BatchRunner::all_cores();
 
-    let protocols: Vec<(&str, Box<dyn Fn(usize) -> (f64, f64)>, bool, &str, &str)> = vec![
-        ("pBFT", Box::new(|n| pbft_cost(n, false)), false, "O(n³)", "O(κ·n⁴)"),
-        ("HotStuff", Box::new(hotstuff_cost), false, "O(n²)", "O(κ·n³)"),
-        ("Polygraph", Box::new(|n| pbft_cost(n, true)), true, "O(n³)", "O(κ·n⁴)"),
-        ("pRFT", Box::new(prft_cost), true, "O(n³)", "O(κ·n⁴)"),
+    // pRFT column: the registered committee-scaling scenario, one seed per
+    // grid point (the normal case is deterministic enough; the scenario is
+    // also runnable standalone with many seeds via `prft-lab run`).
+    let scaling = prft_lab::find("committee-scaling").expect("registered");
+    let prft_costs: Vec<(f64, f64)> = runner
+        .run_grid(&scaling.specs, 1)
+        .iter()
+        .map(|report| {
+            let decided = report.min_final_height.mean.max(1.0);
+            (
+                report.total_messages.mean / decided,
+                report.total_bytes.mean / decided,
+            )
+        })
+        .collect();
+
+    // Baseline columns fan through the same pool.
+    let cells: Vec<(Baseline, usize)> = [
+        Baseline::Pbft { accountable: false },
+        Baseline::HotStuff,
+        Baseline::Pbft { accountable: true },
+    ]
+    .into_iter()
+    .flat_map(|kind| NS.iter().map(move |&n| (kind, n)))
+    .collect();
+    let baseline_costs = runner.map(&cells, |_, &(kind, n)| baseline_cost(kind, n));
+
+    type ProtocolRow<'a> = (&'a str, Vec<(f64, f64)>, bool, &'a str, &'a str);
+    let protocols: Vec<ProtocolRow> = vec![
+        (
+            "pBFT",
+            baseline_costs[0..4].to_vec(),
+            false,
+            "O(n³)",
+            "O(κ·n⁴)",
+        ),
+        (
+            "HotStuff",
+            baseline_costs[4..8].to_vec(),
+            false,
+            "O(n²)",
+            "O(κ·n³)",
+        ),
+        (
+            "Polygraph",
+            baseline_costs[8..12].to_vec(),
+            true,
+            "O(n³)",
+            "O(κ·n⁴)",
+        ),
+        ("pRFT", prft_costs, true, "O(n³)", "O(κ·n⁴)"),
     ];
 
     let mut raw = AsciiTable::new(vec!["protocol", "n", "msgs/decision", "bytes/decision"])
         .with_title("Raw measurements");
     let mut results = Vec::new();
-    for (name, cost, accountable, paper_msgs, paper_bytes) in &protocols {
+    for (name, costs, accountable, paper_msgs, paper_bytes) in &protocols {
         let mut msg_samples = Vec::new();
         let mut byte_samples = Vec::new();
-        for &n in &NS {
-            let (msgs, bytes) = cost(n);
+        for (&n, &(msgs, bytes)) in NS.iter().zip(costs.iter()) {
             raw.row(vec![name.to_string(), n.to_string(), fmt(msgs), fmt(bytes)]);
             msg_samples.push((n as f64, msgs));
             byte_samples.push((n as f64, bytes));

@@ -3,50 +3,26 @@
 //! indistinguishable from crash faults, so no accountable protocol can
 //! punish it, and `U(π_abs) = α/(1−δ) > 0 = U(π_0)`.
 //!
-//! We sweep the abstaining-coalition size on both pRFT and pBFT and
-//! measure throughput, penalties, and the coalition's θ=3 utility.
+//! The abstention sweep is the registered `liveness-attack` scenario run
+//! through the `prft-lab` batch engine (multi-seed, all cores); the pBFT
+//! comparison column fans through the same thread pool.
 //!
 //! Run: `cargo run -p prft-bench --release --bin thm1_liveness_attack`
 
-use prft_adversary::Abstain;
 use prft_baselines::pbft;
-use prft_bench::{classify_run, fmt, measure_utility, verdict};
-use prft_core::analysis::analyze;
-use prft_core::{Harness, NetworkChoice};
-use prft_game::{analytic, SystemState, Theta, UtilityParams};
+use prft_bench::{fmt, verdict};
+use prft_game::{analytic, UtilityParams};
+use prft_lab::BatchRunner;
 use prft_metrics::AsciiTable;
 use prft_sim::{SimTime, Simulation};
 use prft_types::{Digest, NodeId};
 
 const HORIZON: SimTime = SimTime(400_000);
+const SEEDS: u64 = 8;
 
-fn prft_run(n: usize, coalition: usize) -> (f64, bool, f64) {
-    let mut h = Harness::new(n, 31)
-        .network(NetworkChoice::PartiallySynchronous {
-            gst: SimTime(1_000),
-            delta: SimTime(10),
-        })
-        .max_rounds(6);
-    for i in 0..coalition {
-        h = h.with_behavior(NodeId(n - 1 - i), Box::new(Abstain));
-    }
-    let mut sim = h.build();
-    sim.run_until(HORIZON);
-    let r = analyze(&sim);
-    let params = UtilityParams::default();
-    let state = classify_run(&sim, &[]);
-    let utility = if coalition > 0 {
-        measure_utility(&sim, NodeId(n - 1), Theta::LivenessAttacking, &params, &[], 6)
-    } else {
-        0.0
-    };
-    let penalized = !r.burned.is_empty();
-    let live = state != SystemState::NoProgress;
-    let _ = live;
-    (r.min_final_height as f64, penalized, utility)
-}
-
-fn pbft_run(n: usize, coalition: usize) -> (f64, bool) {
+/// pBFT under the same abstention coalition (abstention ≡ crash for
+/// message purposes): blocks committed by the survivors.
+fn pbft_blocks(n: usize, coalition: usize, seed: u64) -> f64 {
     let cfg = pbft::PbftConfig::new(n, 6);
     let (replicas, _) = pbft::committee(&cfg, 3, &vec![pbft::PbftMode::Honest; n]);
     let mut sim = Simulation::new(
@@ -55,9 +31,8 @@ fn pbft_run(n: usize, coalition: usize) -> (f64, bool) {
             SimTime(1_000),
             SimTime(10),
         )),
-        5,
+        seed,
     );
-    // Abstention ≡ crash for message purposes.
     for i in 0..coalition {
         sim.crash(NodeId(n - 1 - i));
     }
@@ -65,14 +40,28 @@ fn pbft_run(n: usize, coalition: usize) -> (f64, bool) {
     let logs: Vec<Vec<Digest>> = (0..n - coalition)
         .map(|i| sim.node(NodeId(i)).log())
         .collect();
-    let height = logs.iter().map(Vec::len).max().unwrap_or(0);
-    (height as f64, false)
+    logs.iter().map(Vec::len).max().unwrap_or(0) as f64
 }
 
 fn main() {
     println!("E4 — Theorem 1: θ=3 abstention kills liveness unpunishably\n");
-    let n = 12; // pRFT: t0 = 2, quorum 10; regime: 4 ≤ k+t ≤ 5
+    let scenario = prft_lab::find("liveness-attack").expect("registered");
+    let n = scenario.specs[0].n;
     let params = UtilityParams::default();
+    let runner = BatchRunner::all_cores();
+
+    let reports = runner.run_grid(&scenario.specs, SEEDS);
+    let pbft_cols: Vec<f64> = runner.map(&scenario.specs, |_, spec| {
+        let coalition = spec
+            .roles
+            .iter()
+            .filter(|(_, r)| matches!(r, prft_lab::Role::Abstain))
+            .count();
+        (0..SEEDS)
+            .map(|i| pbft_blocks(n, coalition, prft_lab::derive_seed(spec.base_seed, i)))
+            .sum::<f64>()
+            / SEEDS as f64
+    });
 
     let mut table = AsciiTable::new(vec![
         "k+t",
@@ -84,29 +73,42 @@ fn main() {
         "U(π_0)",
     ])
     .with_title(&format!(
-        "n = {n}; coalition abstains; utilities discounted (δ = {})",
+        "n = {n}; coalition abstains; {SEEDS} seeds per point; utilities discounted (δ = {})",
         params.delta
     ));
 
-    for coalition in [0usize, 1, 2, 3, 4, 5, 6] {
+    for (report, pbft_mean) in reports.iter().zip(&pbft_cols) {
+        let coalition: usize = report
+            .label
+            .trim_start_matches("k+t=")
+            .parse()
+            .expect("label");
         let in_regime = analytic::in_impossibility_regime(n, coalition, 0);
-        let (prft_blocks, penalized, u_abs) = prft_run(n, coalition);
-        let (pbft_blocks, _) = pbft_run(n, coalition);
+        // The coalition's measured utility: the last player, averaged.
+        let u_abs = if coalition > 0 {
+            report.utilities[n - 1].mean
+        } else {
+            0.0
+        };
         table.row(vec![
             coalition.to_string(),
             verdict(in_regime),
-            fmt(prft_blocks),
-            fmt(pbft_blocks),
-            verdict(penalized),
+            fmt(report.min_final_height.mean),
+            fmt(*pbft_mean),
+            verdict(report.burned_players.mean > 0.0),
             fmt(u_abs),
             "0".into(),
         ]);
     }
     println!("{table}\n");
 
-    println!("Analytic check: U(π_abs, θ=3) = α/(1−δ) = {}", fmt(
-        analytic::theorem1_abstain_utility(params.alpha, params.delta)
-    ));
+    println!(
+        "Analytic check: U(π_abs, θ=3) = α/(1−δ) = {}",
+        fmt(analytic::theorem1_abstain_utility(
+            params.alpha,
+            params.delta
+        ))
+    );
     println!(
         "As Theorem 1 predicts: once the coalition exceeds the quorum slack,\n\
          no blocks confirm (σ_NP) on *either* protocol, nobody is ever burned\n\

@@ -4,86 +4,29 @@
 //! survives at rate ≈ (k+t)/n, the watched transaction never confirms, and
 //! no penalty can attach.
 //!
+//! The coalition sweep is the registered `censorship-attack` scenario run
+//! through the `prft-lab` batch engine.
+//!
 //! Run: `cargo run -p prft-bench --release --bin thm2_censorship_attack`
 
-use prft_adversary::PartialCensor;
-use prft_bench::{classify_run, fmt, measure_utility, verdict};
-use prft_core::analysis::{analyze, tx_included_anywhere};
-use prft_core::{Harness, NetworkChoice};
-use prft_game::{analytic, SystemState, Theta, UtilityParams};
+use prft_bench::{fmt, verdict};
+use prft_game::analytic;
+use prft_lab::BatchRunner;
 use prft_metrics::AsciiTable;
-use prft_sim::SimTime;
-use prft_types::{NodeId, Transaction, TxId};
-use std::collections::HashSet;
 
-const HORIZON: SimTime = SimTime(2_000_000);
-
-struct Outcome {
-    blocks: u64,
-    rounds: u64,
-    censored_included: bool,
-    background_included: bool,
-    burned: usize,
-    state: SystemState,
-    utility: f64,
-}
-
-fn run(n: usize, coalition_size: usize, rounds: u64) -> Outcome {
-    let censored = TxId(999);
-    let collusion: HashSet<NodeId> = (0..coalition_size).map(NodeId).collect();
-    let censor_set: HashSet<TxId> = [censored].into_iter().collect();
-    let mut h = Harness::new(n, 41)
-        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
-        .max_rounds(rounds)
-        .submit(None, Transaction::new(999, NodeId(2), b"the censored tx".to_vec()))
-        .submit(None, Transaction::new(1, NodeId(3), b"background-1".to_vec()))
-        .submit(None, Transaction::new(2, NodeId(3), b"background-2".to_vec()));
-    for &m in &collusion {
-        h = h.with_behavior(
-            m,
-            Box::new(PartialCensor::new(n, collusion.clone(), censor_set.clone())),
-        );
-    }
-    let mut sim = h.build();
-    sim.run_until(HORIZON);
-    let r = analyze(&sim);
-    let state = classify_run(&sim, &[censored]);
-    let utility = if coalition_size > 0 {
-        measure_utility(
-            &sim,
-            NodeId(0),
-            Theta::CensorSeeking,
-            &UtilityParams::default(),
-            &[censored],
-            rounds,
-        )
-    } else {
-        0.0
-    };
-    let rounds_entered = r
-        .honest
-        .iter()
-        .map(|&id| sim.node(id).stats().rounds_entered)
-        .max()
-        .unwrap_or(0);
-    Outcome {
-        blocks: r.min_final_height,
-        rounds: rounds_entered,
-        censored_included: tx_included_anywhere(&sim, censored),
-        background_included: tx_included_anywhere(&sim, TxId(1)),
-        burned: r.burned.len(),
-        state,
-        utility,
-    }
-}
+const SEEDS: u64 = 8;
 
 fn main() {
     println!("E5 — Theorem 2: θ=2 partial censorship (π_pc) is unpunishable\n");
+    let scenario = prft_lab::find("censorship-attack").expect("registered");
     // n = 4: the quorum needs every player, so abstention under honest
     // leaders reliably starves honest-led rounds (the paper's regime
     // requires the coalition's silence to be decisive).
-    let n = 4;
-    let rounds = 12;
+    let n = scenario.specs[0].n;
+    let rounds = scenario.specs[0].max_rounds;
+
+    let reports = BatchRunner::all_cores().run_grid(&scenario.specs, SEEDS);
+
     let mut table = AsciiTable::new(vec![
         "k+t",
         "blocks/rounds",
@@ -92,23 +35,46 @@ fn main() {
         "censored tx in chain",
         "bg tx in chain",
         "burned",
-        "σ",
+        "σ (modal)",
         "U(π_pc|θ=2)",
     ])
-    .with_title(&format!("n = {n}, {rounds} round budget; collusion leads rounds r ≡ 0..k+t−1 (mod n)"));
+    .with_title(&format!(
+        "n = {n}, {rounds} round budget, {SEEDS} seeds; collusion leads rounds r ≡ 0..k+t−1 (mod n)"
+    ));
 
-    for coalition in [0usize, 1, 2] {
-        let o = run(n, coalition, rounds);
+    for report in &reports {
+        let coalition: usize = report
+            .label
+            .trim_start_matches("k+t=")
+            .parse()
+            .expect("label");
+        // Spec order: tx 999 (censored) first, then background traffic.
+        let censored_in = report
+            .records
+            .iter()
+            .any(|r| *r.txs_included.first().unwrap_or(&false));
+        let bg_in = report
+            .records
+            .iter()
+            .all(|r| *r.txs_included.get(1).unwrap_or(&false));
+        let u_pc = if coalition > 0 {
+            report.utilities[0].mean
+        } else {
+            0.0
+        };
         table.row(vec![
             coalition.to_string(),
-            format!("{}/{}", o.blocks, o.rounds),
-            fmt(o.blocks as f64 / o.rounds.max(1) as f64),
+            format!(
+                "{:.1}/{:.1}",
+                report.min_final_height.mean, report.rounds_entered.mean
+            ),
+            fmt(report.throughput.mean),
             fmt(coalition as f64 / n as f64),
-            verdict(o.censored_included),
-            verdict(o.background_included),
-            o.burned.to_string(),
-            o.state.symbol().into(),
-            fmt(o.utility),
+            verdict(censored_in),
+            verdict(bg_in),
+            fmt(report.burned_players.mean),
+            report.modal_sigma().symbol().into(),
+            fmt(u_pc),
         ]);
     }
     println!("{table}\n");

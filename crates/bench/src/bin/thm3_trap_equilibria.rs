@@ -13,6 +13,7 @@
 use prft_baselines::trap::{TrapGame, TrapStrategy};
 use prft_bench::{fmt, verdict};
 use prft_game::{analytic, EmpiricalGame, UtilityParams};
+use prft_lab::BatchRunner;
 use prft_metrics::AsciiTable;
 
 fn main() {
@@ -46,13 +47,20 @@ fn main() {
         n.div_ceil(3) - 1
     ));
 
-    for k in 1..=3usize {
+    // Each collusion size's game enumeration is independent — fan the k
+    // sweep across cores through the prft-lab thread pool.
+    let ks: Vec<usize> = (1..=3).collect();
+    let games: Vec<(TrapGame, EmpiricalGame)> = BatchRunner::all_cores().map(&ks, |_, &k| {
         let game = TrapGame::new(n, t, k, params);
         let strategies = [TrapStrategy::Fork, TrapStrategy::Bait];
         let eg = EmpiricalGame::explore(vec![2; k], |profile| {
             let chosen: Vec<TrapStrategy> = profile.iter().map(|&i| strategies[i]).collect();
             game.play(&chosen).utilities
         });
+        (game, eg)
+    });
+
+    for (&k, (game, eg)) in ks.iter().zip(&games) {
         let ne = eg.nash_equilibria(1e-9);
         let all_fork: Vec<usize> = vec![0; k];
         let all_bait: Vec<usize> = vec![1; k];
@@ -92,7 +100,10 @@ fn main() {
     println!("Grim-trigger repeated rounds (δ = {}):", params.delta);
     println!(
         "  forever-fork:  Σ δ^r · G/k = {}",
-        fmt(prft_game::geometric_total(params.gain_g / 3.0, params.delta))
+        fmt(prft_game::geometric_total(
+            params.gain_g / 3.0,
+            params.delta
+        ))
     );
     println!(
         "  one-shot bait: R/m = {} then 0 forever",

@@ -1,14 +1,19 @@
-//! Shared runners and utility-measurement helpers for the experiment
-//! binaries (one binary per paper table/figure; see DESIGN.md §5 and
-//! EXPERIMENTS.md for the index).
+//! Shared helpers for the experiment binaries (one binary per paper
+//! table/figure; see DESIGN.md §5 and EXPERIMENTS.md for the index).
+//!
+//! Run orchestration lives in `prft-lab` — scenario specs, the parallel
+//! batch runner, aggregation, and report emission; the binaries here are
+//! thin scenario definitions plus table formatters. This crate keeps only
+//! the sim-level conveniences the binaries and downstream tests share,
+//! delegating measurement to the one engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use prft_core::analysis::{analyze, honest_ids, RunReport};
+use prft_core::analysis::{analyze, RunReport};
 use prft_core::Replica;
-use prft_game::{PayoffTable, SystemState, Theta, UtilityParams};
-use prft_metrics::{classify, StateObservation};
+use prft_game::{SystemState, Theta, UtilityParams};
+use prft_lab::UtilitySpec;
 use prft_sim::{SimTime, Simulation};
 use prft_types::{NodeId, TxId};
 
@@ -22,23 +27,14 @@ pub fn run_and_report(sim: &mut Simulation<Replica>) -> RunReport {
 }
 
 /// Classifies the σ state of a finished pRFT run, watching `watched` for
-/// censorship.
+/// censorship. Delegates to the `prft-lab` engine.
 pub fn classify_run(sim: &Simulation<Replica>, watched: &[TxId]) -> SystemState {
-    let honest = honest_ids(sim);
-    let chains = honest.iter().map(|&id| sim.node(id).chain()).collect();
-    classify(&StateObservation {
-        chains,
-        watched: watched.to_vec(),
-        baseline_height: 0,
-    })
+    prft_lab::classify_watched(sim, watched)
 }
 
 /// Measures player `i`'s discounted utility over a finished run:
-/// `Σ_{r<R} δ^r · f(σ, θ) − L·[i burned]`, where σ is the realized system
-/// state of the run, `R` the experiment's round budget (the utility stream
-/// runs over *time periods*, not protocol progress — a jammed system keeps
-/// paying the σ_NP penalty), and the penalty applies iff any honest
-/// player's ledger burned `i`.
+/// `Σ_{r<R} δ^r · f(σ, θ) − L·[i burned]`. Delegates to the `prft-lab`
+/// engine's utility measurement.
 pub fn measure_utility(
     sim: &Simulation<Replica>,
     player: NodeId,
@@ -48,23 +44,14 @@ pub fn measure_utility(
     rounds: u64,
 ) -> f64 {
     let state = classify_run(sim, watched);
-    let table = PayoffTable::new(params.alpha);
-    let honest = honest_ids(sim);
-    let per_round = table.f(state, theta);
-    let mut total = 0.0;
-    let mut weight = 1.0;
-    for _ in 0..rounds {
-        total += weight * per_round;
-        weight *= params.delta;
-    }
-    let burned = honest
-        .iter()
-        .any(|&id| sim.node(id).collateral().is_burned(player));
-    let _ = &honest;
-    if burned {
-        total -= params.penalty_l;
-    }
-    total
+    let spec = UtilitySpec {
+        theta,
+        alpha: params.alpha,
+        delta: params.delta,
+        penalty_l: params.penalty_l,
+        rounds,
+    };
+    prft_lab::discounted_utility(sim, state, player, &spec)
 }
 
 /// Formats a float compactly for tables.
@@ -80,7 +67,11 @@ pub fn fmt(v: f64) -> String {
 
 /// Formats a boolean verdict.
 pub fn verdict(ok: bool) -> String {
-    if ok { "✓".to_string() } else { "✗".to_string() }
+    if ok {
+        "✓".to_string()
+    } else {
+        "✗".to_string()
+    }
 }
 
 #[cfg(test)]

@@ -57,7 +57,12 @@ pub enum BallotAction {
 /// A player's strategy. The default implementation of every method is the
 /// honest strategy `π_0`, so `struct Honest; impl Behavior for Honest {}`
 /// is a complete honest player.
-pub trait Behavior {
+///
+/// `Send` is a supertrait so replicas (which box their behavior) can move
+/// across threads: the `prft-lab` batch runner builds and runs whole
+/// committees on worker threads. Coordinated strategies should share state
+/// through `Arc<Mutex<…>>` (see `prft_adversary::Blackboard`).
+pub trait Behavior: Send {
     /// Short label for experiment tables ("honest", "abstain", "fork", …).
     fn label(&self) -> &'static str {
         "honest"

@@ -5,7 +5,9 @@ use crate::behavior::{Behavior, Honest};
 use crate::config::Config;
 use crate::replica::Replica;
 use prft_crypto::KeyRegistry;
-use prft_net::{AsynchronousNet, PartiallySynchronousNet, PartitionedNet, PartitionWindow, SynchronousNet};
+use prft_net::{
+    AsynchronousNet, PartiallySynchronousNet, PartitionWindow, PartitionedNet, SynchronousNet,
+};
 use prft_sim::{LinkModel, SimTime, Simulation};
 use prft_types::{NodeId, Transaction};
 use std::collections::HashMap;
@@ -106,6 +108,42 @@ impl Harness {
         self
     }
 
+    /// Assigns strategies in bulk (the scenario-spec path in `prft-lab`).
+    #[must_use]
+    pub fn with_behaviors(
+        mut self,
+        behaviors: impl IntoIterator<Item = (NodeId, Box<dyn Behavior>)>,
+    ) -> Self {
+        for (node, behavior) in behaviors {
+            self.behaviors.insert(node, behavior);
+        }
+        self
+    }
+
+    /// Overrides the agreement threshold τ (Claim 1 experiments only).
+    #[must_use]
+    pub fn tau(mut self, tau: usize) -> Self {
+        self.cfg.tau_override = Some(tau);
+        self
+    }
+
+    /// Toggles the Reveal/PoF machinery (the accountability ablation).
+    #[must_use]
+    pub fn accountable(mut self, on: bool) -> Self {
+        self.cfg.accountable = on;
+        self
+    }
+
+    /// Committee size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The simulation seed this harness will build with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Stops every replica after `rounds` completed rounds (makes runs
     /// quiescent).
     #[must_use]
@@ -160,9 +198,7 @@ impl Harness {
         let network = self
             .network
             .take()
-            .unwrap_or(NetworkChoice::Synchronous {
-                delta: SimTime(10),
-            });
+            .unwrap_or(NetworkChoice::Synchronous { delta: SimTime(10) });
         Simulation::new(replicas, network.into_model(), self.seed)
     }
 }

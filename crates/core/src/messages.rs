@@ -7,8 +7,8 @@
 //! vote, commit, reveal, or final phase.
 
 use prft_crypto::{ConflictEvidence, KeyRegistry, Signable, Signed, Slot, KAPPA};
-use prft_types::{Block, Digest, Encoder, NodeId, Round};
 use prft_sim::WireMessage;
+use prft_types::{Block, Digest, Encoder, NodeId, Round};
 
 /// Protocol phases, also used as the `phase` component of signature slots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -323,14 +323,10 @@ impl WireMessage for PrftMsg {
             PrftMsg::Reveal { certs, .. } => {
                 ballot_bytes() + certs.iter().map(CommitCert::wire_bytes).sum::<usize>()
             }
-            PrftMsg::Expose { evidence, .. } => {
-                8 + 8 + evidence.len() * 2 * ballot_bytes()
-            }
+            PrftMsg::Expose { evidence, .. } => 8 + 8 + evidence.len() * 2 * ballot_bytes(),
             PrftMsg::Final { .. } => ballot_bytes(),
             PrftMsg::ViewChange { .. } => 9 + KAPPA,
-            PrftMsg::CommitView { reqs, .. } => {
-                Digest::LEN + 8 + KAPPA + reqs.len() * (9 + KAPPA)
-            }
+            PrftMsg::CommitView { reqs, .. } => Digest::LEN + 8 + KAPPA + reqs.len() * (9 + KAPPA),
             PrftMsg::SyncRequest { .. } => 8,
         }
     }
@@ -357,7 +353,10 @@ mod tests {
         let c = Signed::sign(ballot(1, Phase::Commit, 2), &keys[0]);
         let d = Signed::sign(ballot(2, Phase::Vote, 2), &keys[0]);
         assert!(ConflictEvidence::try_new(a.clone(), b).is_some());
-        assert!(ConflictEvidence::try_new(a.clone(), c).is_none(), "cross-phase");
+        assert!(
+            ConflictEvidence::try_new(a.clone(), c).is_none(),
+            "cross-phase"
+        );
         assert!(ConflictEvidence::try_new(a, d).is_none(), "cross-round");
     }
 
@@ -371,10 +370,7 @@ mod tests {
             .map(|k| Signed::sign(Ballot::new(Round(1), Phase::Vote, value), k))
             .collect();
         let commit = Signed::sign(Ballot::new(Round(1), Phase::Commit, value), &keys[0]);
-        let cert = CommitCert {
-            commit,
-            votes,
-        };
+        let cert = CommitCert { commit, votes };
         assert!(cert.validate(&reg, 3));
         assert!(!cert.validate(&reg, 4), "not enough votes for quorum 4");
     }
@@ -406,7 +402,10 @@ mod tests {
     fn commit_cert_rejects_wrong_round_votes() {
         let (reg, keys) = setup(3);
         let v = Digest::of_bytes(b"a");
-        let votes = vec![Signed::sign(Ballot::new(Round(2), Phase::Vote, v), &keys[0])];
+        let votes = vec![Signed::sign(
+            Ballot::new(Round(2), Phase::Vote, v),
+            &keys[0],
+        )];
         let commit = Signed::sign(Ballot::new(Round(1), Phase::Commit, v), &keys[1]);
         assert!(!CommitCert { commit, votes }.validate(&reg, 1));
     }

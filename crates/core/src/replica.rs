@@ -121,7 +121,9 @@ pub struct Replica {
     tentative: Option<(Digest, Height)>,
     /// Byzantine split commits waiting for their side's vote certificate:
     /// (value, recipients).
-    pending_commit_splits: Vec<(Digest, HashSet<NodeId>)>,
+    // BTreeSet so queued split sides emit in a stable recipient order —
+    // deterministic replay is a workspace-wide invariant.
+    pending_commit_splits: Vec<(Digest, BTreeSet<NodeId>)>,
     vc_reqs: BTreeMap<NodeId, Signed<ViewChangeReq>>,
     vc_sent: bool,
     cv_senders: BTreeSet<NodeId>,
@@ -390,9 +392,8 @@ impl Replica {
         action: BallotAction,
         wrap: &dyn Fn(&Replica, SignedBallot, Digest) -> Option<PrftMsg>,
     ) -> bool {
-        let sign = |this: &Replica, v: Digest| {
-            Signed::sign(Ballot::new(this.round, phase, v), &this.key)
-        };
+        let sign =
+            |this: &Replica, v: Digest| Signed::sign(Ballot::new(this.round, phase, v), &this.key);
         match action {
             BallotAction::Honest => {
                 let ballot = sign(self, value);
@@ -455,12 +456,7 @@ impl Replica {
         self.maybe_expose(ctx);
     }
 
-    fn handle_propose(
-        &mut self,
-        ctx: &mut Context<PrftMsg>,
-        ballot: SignedBallot,
-        block: Block,
-    ) {
+    fn handle_propose(&mut self, ctx: &mut Context<PrftMsg>, ballot: SignedBallot, block: Block) {
         let round = ballot.payload.round;
         // Validation: signature, phase, sender is the round's leader, hash
         // binds the block, block is for this round.
@@ -499,10 +495,7 @@ impl Replica {
         if block.parent != self.chain.tip() {
             // If the parent is nowhere in our chain, we are missing history
             // (e.g. after a crash): ask the committee to re-send it.
-            let parent_known = self
-                .chain
-                .iter()
-                .any(|e| e.block.id() == block.parent);
+            let parent_known = self.chain.iter().any(|e| e.block.id() == block.parent);
             if !parent_known && !self.sync_requested {
                 self.sync_requested = true;
                 ctx.broadcast_others(PrftMsg::SyncRequest { round: self.round });
@@ -597,12 +590,16 @@ impl Replica {
                 // Queue both sides; each is emitted as soon as a valid vote
                 // certificate for its value exists (the collusion harvests
                 // the other side's votes from certificates in flight).
-                let a_recipients: HashSet<NodeId> = (0..self.cfg.n)
+                // BTreeSet: recipients are iterated when the queued sides
+                // are emitted, and send order must not depend on HashSet
+                // hashing state or replays diverge run-to-run.
+                let a_recipients: BTreeSet<NodeId> = (0..self.cfg.n)
                     .map(NodeId)
                     .filter(|id| !b_recipients.contains(id))
                     .collect();
                 self.pending_commit_splits.push((value, a_recipients));
-                self.pending_commit_splits.push((b, b_recipients));
+                self.pending_commit_splits
+                    .push((b, b_recipients.into_iter().collect()));
                 self.committed = true;
                 if self.phase == Phase::Vote {
                     self.enter_phase(ctx, Phase::Commit);
@@ -610,8 +607,7 @@ impl Replica {
                 self.emit_pending_commit_splits(ctx);
             }
             action => {
-                let vote_cert: Vec<SignedBallot> =
-                    votes.values().take(quorum).cloned().collect();
+                let vote_cert: Vec<SignedBallot> = votes.values().take(quorum).cloned().collect();
                 let sent = self.emit_ballot(ctx, Phase::Commit, value, action, &|this, b, v| {
                     let votes_for = this
                         .votes
@@ -651,11 +647,7 @@ impl Replica {
                 remaining.push((v, recipients));
                 continue;
             }
-            let votes: Vec<SignedBallot> = self.votes[&v]
-                .values()
-                .take(quorum)
-                .cloned()
-                .collect();
+            let votes: Vec<SignedBallot> = self.votes[&v].values().take(quorum).cloned().collect();
             let ballot = Signed::sign(Ballot::new(self.round, Phase::Commit, v), &self.key);
             let msg = PrftMsg::Commit {
                 cert: CommitCert {
@@ -923,10 +915,7 @@ impl Replica {
                     continue;
                 };
                 // Already in chain? Finalize it (and ancestors).
-                let position = self
-                    .chain
-                    .iter()
-                    .position(|e| e.block.id() == value);
+                let position = self.chain.iter().position(|e| e.block.id() == value);
                 if let Some(h) = position {
                     let h = Height(h as u64);
                     if self
@@ -972,10 +961,7 @@ impl Replica {
                 }
                 // Conflicts with a tentative suffix? ("rolled back once the
                 // network synchronizes".) Find the parent inside our chain.
-                let parent_pos = self
-                    .chain
-                    .iter()
-                    .position(|e| e.block.id() == block.parent);
+                let parent_pos = self.chain.iter().position(|e| e.block.id() == block.parent);
                 if let Some(pp) = parent_pos {
                     let conflict_h = pp + 1;
                     let all_tentative = self
@@ -1240,9 +1226,7 @@ impl Node for Replica {
             std::cmp::Ordering::Greater => {
                 // Finals and exposes act across rounds; buffer the rest.
                 match &msg {
-                    PrftMsg::Final { .. } | PrftMsg::Expose { .. } => {
-                        self.dispatch(ctx, from, msg)
-                    }
+                    PrftMsg::Final { .. } | PrftMsg::Expose { .. } => self.dispatch(ctx, from, msg),
                     _ => {
                         self.future.entry(round.0).or_default().push((from, msg));
                         self.maybe_round_sync(ctx);
@@ -1255,9 +1239,7 @@ impl Node for Replica {
                 // crash): help it catch up (paper's view-change step 2:
                 // "send the corresponding messages to P_j").
                 match &msg {
-                    PrftMsg::Final { .. } | PrftMsg::Expose { .. } => {
-                        self.dispatch(ctx, from, msg)
-                    }
+                    PrftMsg::Final { .. } | PrftMsg::Expose { .. } => self.dispatch(ctx, from, msg),
                     PrftMsg::ViewChange { req } if req.verify(&self.registry) => {
                         self.help_laggard(ctx, from);
                     }

@@ -232,7 +232,12 @@ fn phase_deliveries_are_ordered_per_replica() {
                 .min()
                 .unwrap_or_else(|| panic!("P{i} missing {kind}"))
         };
-        let (v, c, r, f) = (first("Vote"), first("Commit"), first("Reveal"), first("Final"));
+        let (v, c, r, f) = (
+            first("Vote"),
+            first("Commit"),
+            first("Reveal"),
+            first("Final"),
+        );
         assert!(v <= c && c <= r && r <= f, "P{i}: {v} {c} {r} {f}");
     }
 }

@@ -74,10 +74,7 @@ pub fn verify_pof<T: Signable + PartialEq>(
     registry: &KeyRegistry,
     t0: usize,
 ) -> Option<Vec<NodeId>> {
-    let mut guilty: Vec<NodeId> = evidence
-        .iter()
-        .filter_map(|e| e.verify(registry))
-        .collect();
+    let mut guilty: Vec<NodeId> = evidence.iter().filter_map(|e| e.verify(registry)).collect();
     guilty.sort_unstable();
     guilty.dedup();
     if guilty.len() > t0 {
@@ -88,10 +85,7 @@ pub fn verify_pof<T: Signable + PartialEq>(
 }
 
 /// Wire size of a PoF set.
-pub fn pof_wire_bytes<T: Signable>(evidence: &[ConflictEvidence<T>]) -> usize
-where
-    T: PartialEq,
-{
+pub fn pof_wire_bytes<T: Signable + PartialEq>(evidence: &[ConflictEvidence<T>]) -> usize {
     evidence
         .iter()
         .map(ConflictEvidence::wire_bytes)

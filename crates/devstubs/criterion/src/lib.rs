@@ -1,0 +1,186 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment for this repository has no crates.io access, so the
+//! benches under `crates/bench/benches/` link against this API-compatible
+//! shim instead of the real crate. It implements exactly the surface those
+//! benches use: `Criterion`, `BenchmarkGroup`, `Bencher`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros. `Bencher::iter` runs the closure a small fixed number of times
+//! and reports wall-clock time per iteration — enough to smoke-run every
+//! bench and get a rough number, without statistics, warm-up, or plotting.
+//! Swap the workspace `criterion` entry back to the real crate when a
+//! registry is available; no bench source needs to change.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Number of timed iterations per `Bencher::iter` call.
+const ITERS: u32 = 10;
+
+/// The timing loop handed to bench closures.
+pub struct Bencher {
+    label: String,
+}
+
+impl Bencher {
+    /// Runs `f` a fixed number of times and prints mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up pass.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(f());
+        }
+        let per = start.elapsed() / ITERS;
+        println!("bench {:<40} {:>12.3?}/iter", self.label, per);
+    }
+}
+
+/// Identifies one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group name provides context).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation (accepted and ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted and ignored: the shim always runs a fixed iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            label: format!("{}/{}", self.name, id),
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            label: format!("{}/{}", self.name, id.text),
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// Ends the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            label: id.to_string(),
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// Bundles bench functions into a single runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_nothing(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5).throughput(Throughput::Bytes(8));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn shim_surface_runs() {
+        let mut c = Criterion::default();
+        bench_nothing(&mut c);
+        assert_eq!(BenchmarkId::from_parameter(7).text, "7");
+    }
+}

@@ -1,0 +1,285 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so `tests/properties.rs`
+//! links against this shim. It covers the surface that file uses:
+//!
+//! * the [`proptest!`] macro (including a leading
+//!   `#![proptest_config(...)]`), expanding each property into a plain
+//!   `#[test]` that samples inputs for a fixed number of cases;
+//! * [`Strategy`] implementations for integer ranges, tuples of strategies,
+//!   [`any`] over primitives and byte arrays, and
+//!   [`collection::vec`];
+//! * `prop_assert!`/`prop_assert_eq!`, which panic like their `assert!`
+//!   cousins (no shrinking — the failing input is printed by the panic
+//!   message of the assertion itself).
+//!
+//! Sampling is deterministic: the RNG is seeded from the property name and
+//! case index, so failures reproduce across runs and machines.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Deterministic SplitMix64 used for input generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Widening-multiply reduction; bias is irrelevant for test sampling.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Seeds the per-case RNG from the property name and case index.
+pub fn test_rng(name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    TestRng {
+        state: h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    }
+}
+
+/// Runner configuration; only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled inputs per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for b in out.iter_mut() {
+            *b = rng.next_u64() as u8;
+        }
+        out
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The "any value of `T`" strategy.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors of values from `element`, with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file usually imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Panicking assertion (the shim does not shrink, so this is `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Panicking equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Panicking inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Expands each property into a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut rng = $crate::test_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in 0usize..4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn composites_sample(v in crate::collection::vec((0u64..50, any::<bool>()), 0..20),
+                             bytes in any::<[u8; 8]>()) {
+            prop_assert!(v.len() < 20);
+            for (n, _flag) in &v {
+                prop_assert!(*n < 50);
+            }
+            prop_assert_eq!(bytes.len(), 8);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+        #[test]
+        fn config_is_honoured(x in 0u8..255) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::test_rng("p", 1);
+        let mut b = crate::test_rng("p", 1);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

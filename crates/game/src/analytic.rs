@@ -19,7 +19,7 @@ pub fn tau_is_safe(n: usize, t0: usize, tau: usize) -> bool {
 /// Theorems 1–2: the impossibility regime `⌈n/3⌉ ≤ k + t ≤ ⌈n/2⌉ − 1`.
 pub fn in_impossibility_regime(n: usize, k: usize, t: usize) -> bool {
     let kt = k + t;
-    kt >= n.div_ceil(3) && kt <= n.div_ceil(2) - 1
+    kt >= n.div_ceil(3) && kt < n.div_ceil(2)
 }
 
 /// pRFT's threat model `M = ⟨(P,T,K), θ=1, ⌈n/4⌉−1⟩`: `t < n/4` (i.e.

@@ -170,14 +170,14 @@ mod tests {
         // Strategies: P1 ∈ {A=0, B=1}, P2 ∈ {a=0, b=1}, P3 ∈ {α=0, β=1}.
         EmpiricalGame::explore(vec![2, 2, 2], |p| {
             match (p[0], p[1], p[2]) {
-                (0, 0, 0) => vec![1.0, 1.0, 1.0],   // (A,a,α)
-                (0, 0, 1) => vec![1.0, 1.0, 0.0],   // (A,a,β)
-                (0, 1, 0) => vec![1.0, 0.0, 1.0],   // (A,b,α)
-                (0, 1, 1) => vec![-2.0, 2.0, 2.0],  // (A,b,β)
-                (1, 0, 0) => vec![0.0, 1.0, 1.0],   // (B,a,α)
-                (1, 0, 1) => vec![1.0, -2.0, 1.0],  // (B,a,β)
-                (1, 1, 0) => vec![2.0, 2.0, -2.0],  // (B,b,α)
-                (1, 1, 1) => vec![0.0, 0.0, 0.0],   // (B,b,β)
+                (0, 0, 0) => vec![1.0, 1.0, 1.0],  // (A,a,α)
+                (0, 0, 1) => vec![1.0, 1.0, 0.0],  // (A,a,β)
+                (0, 1, 0) => vec![1.0, 0.0, 1.0],  // (A,b,α)
+                (0, 1, 1) => vec![-2.0, 2.0, 2.0], // (A,b,β)
+                (1, 0, 0) => vec![0.0, 1.0, 1.0],  // (B,a,α)
+                (1, 0, 1) => vec![1.0, -2.0, 1.0], // (B,a,β)
+                (1, 1, 0) => vec![2.0, 2.0, -2.0], // (B,b,α)
+                (1, 1, 1) => vec![0.0, 0.0, 0.0],  // (B,b,β)
                 _ => unreachable!(),
             }
         })
@@ -216,9 +216,7 @@ mod tests {
     #[test]
     fn asymmetric_strategy_counts() {
         // Player 0 scripted (1 strategy), player 1 chooses among 3.
-        let g = EmpiricalGame::explore(vec![1, 3], |p| {
-            vec![0.0, [1.0, 5.0, 3.0][p[1]]]
-        });
+        let g = EmpiricalGame::explore(vec![1, 3], |p| vec![0.0, [1.0, 5.0, 3.0][p[1]]]);
         assert!(g.is_nash(&vec![0, 1], 0.0));
         assert!(!g.is_nash(&vec![0, 0], 0.0));
         assert!(g.is_dominant(1, 1, 0.0));

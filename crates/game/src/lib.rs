@@ -33,6 +33,6 @@ mod repeated;
 mod types;
 
 pub use empirical::{EmpiricalGame, Profile};
-pub use repeated::GrimTrigger;
 pub use payoff::{discounted_sum, geometric_total, PayoffTable, UtilityParams};
+pub use repeated::GrimTrigger;
 pub use types::{PlayerClass, Strategy, SystemState, Theta};

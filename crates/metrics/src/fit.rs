@@ -31,10 +31,7 @@ pub fn fit_power_law(samples: &[(f64, f64)]) -> PowerLawFit {
     let mean_x = logs.iter().map(|p| p.0).sum::<f64>() / count;
     let mean_y = logs.iter().map(|p| p.1).sum::<f64>() / count;
     let sxx: f64 = logs.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
-    let sxy: f64 = logs
-        .iter()
-        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
-        .sum();
+    let sxy: f64 = logs.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
     assert!(sxx > 0.0, "samples need at least two distinct n values");
     let exponent = sxy / sxx;
     let intercept = mean_y - exponent * mean_x;
@@ -70,8 +67,10 @@ mod tests {
 
     #[test]
     fn cubic_with_constant() {
-        let samples: Vec<(f64, f64)> =
-            (4..40).step_by(4).map(|n| (n as f64, 7.0 * (n as f64).powi(3))).collect();
+        let samples: Vec<(f64, f64)> = (4..40)
+            .step_by(4)
+            .map(|n| (n as f64, 7.0 * (n as f64).powi(3)))
+            .collect();
         let fit = fit_power_law(&samples);
         assert!((fit.exponent - 3.0).abs() < 1e-9);
         assert!((fit.constant - 7.0).abs() < 1e-6);

@@ -88,9 +88,9 @@ impl AsciiTable {
         };
         let render_row = |cells: &[String]| {
             let mut s = String::from("|");
-            for i in 0..cols {
+            for (i, width) in widths.iter().enumerate().take(cols) {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                let pad = widths[i] - cell.chars().count();
+                let pad = width - cell.chars().count();
                 s.push(' ');
                 s.push_str(cell);
                 s.push_str(&" ".repeat(pad + 1));

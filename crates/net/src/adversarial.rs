@@ -29,7 +29,12 @@ pub struct DelayRule {
 
 impl DelayRule {
     /// Rule slowing everything a given node *sends*.
-    pub fn slow_sender(node: NodeId, from_time: SimTime, until_time: SimTime, extra: SimTime) -> Self {
+    pub fn slow_sender(
+        node: NodeId,
+        from_time: SimTime,
+        until_time: SimTime,
+        extra: SimTime,
+    ) -> Self {
         DelayRule {
             from: Some(node),
             to: None,
@@ -56,8 +61,8 @@ impl DelayRule {
     }
 
     fn matches(&self, from: NodeId, to: NodeId, at: SimTime) -> bool {
-        self.from.map_or(true, |f| f == from)
-            && self.to.map_or(true, |t| t == to)
+        self.from.is_none_or(|f| f == from)
+            && self.to.is_none_or(|t| t == to)
             && at >= self.from_time
             && at < self.until_time
     }

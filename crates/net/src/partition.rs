@@ -205,7 +205,11 @@ mod tests {
     #[test]
     fn chained_windows_hold_repeatedly() {
         let mut net = net_with(vec![
-            PartitionWindow::split(SimTime(0), SimTime(100), vec![vec![NodeId(0)], vec![NodeId(1)]]),
+            PartitionWindow::split(
+                SimTime(0),
+                SimTime(100),
+                vec![vec![NodeId(0)], vec![NodeId(1)]],
+            ),
             PartitionWindow::split(
                 SimTime(100),
                 SimTime(200),
@@ -230,10 +234,19 @@ mod tests {
         )]);
         let mut rng = SimRng::new(1);
         // Bridge ↔ both groups: unimpeded.
-        assert_eq!(net.deliver_at(NodeId(0), NodeId(1), SimTime(0), &mut rng), SimTime(1));
-        assert_eq!(net.deliver_at(NodeId(2), NodeId(0), SimTime(0), &mut rng), SimTime(1));
+        assert_eq!(
+            net.deliver_at(NodeId(0), NodeId(1), SimTime(0), &mut rng),
+            SimTime(1)
+        );
+        assert_eq!(
+            net.deliver_at(NodeId(2), NodeId(0), SimTime(0), &mut rng),
+            SimTime(1)
+        );
         // Non-bridge cross traffic still held.
-        assert_eq!(net.deliver_at(NodeId(1), NodeId(2), SimTime(0), &mut rng), SimTime(101));
+        assert_eq!(
+            net.deliver_at(NodeId(1), NodeId(2), SimTime(0), &mut rng),
+            SimTime(101)
+        );
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! The `prft-lab` CLI: list and run registered scenarios.
+//!
+//! ```text
+//! prft-lab list
+//! prft-lab run <scenario> [--seeds N] [--threads T]
+//!                         [--format table|json|csv] [--out FILE] [--runs]
+//! prft-lab run-all [--seeds N] [--threads T]
+//! ```
+//!
+//! Aggregates are independent of `--threads`: `--threads 1` and
+//! `--threads 8` emit byte-identical JSON.
+
+use prft_lab::{registry, report, BatchRunner, Scenario};
+use std::process::ExitCode;
+
+struct Options {
+    seeds: u64,
+    threads: usize,
+    format: Format,
+    out: Option<String>,
+    include_runs: bool,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Table,
+    Json,
+    Csv,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: prft-lab <command>\n\
+         \n\
+         commands:\n\
+         \x20 list                      list registered scenarios\n\
+         \x20 run <scenario> [options]  run one scenario's grid\n\
+         \x20 run-all [options]         run every registered scenario\n\
+         \n\
+         options:\n\
+         \x20 --seeds N      seeded runs per grid point (default 16)\n\
+         \x20 --threads T    worker threads, 0 = all cores (default 0)\n\
+         \x20 --format F     table | json | csv (default table)\n\
+         \x20 --out FILE     write the report to FILE instead of stdout\n\
+         \x20                (run-all writes one FILE-<scenario> per scenario)\n\
+         \x20 --runs         include per-run records in JSON output"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        seeds: 16,
+        threads: 0,
+        format: Format::Table,
+        out: None,
+        include_runs: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--seeds" => {
+                opts.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|_| "--seeds must be a number".to_string())?;
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads must be a number".to_string())?;
+            }
+            "--format" => {
+                opts.format = match value("--format")?.as_str() {
+                    "table" => Format::Table,
+                    "json" => Format::Json,
+                    "csv" => Format::Csv,
+                    other => return Err(format!("unknown format: {other}")),
+                };
+            }
+            "--out" => opts.out = Some(value("--out")?),
+            "--runs" => opts.include_runs = true,
+            other => return Err(format!("unknown option: {other}")),
+        }
+    }
+    if opts.seeds == 0 {
+        return Err("--seeds must be at least 1".to_string());
+    }
+    Ok(opts)
+}
+
+fn emit(content: String, out: &Option<String>) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, &content).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+            Ok(())
+        }
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+/// The output path for one scenario: `--out` verbatim for a single run;
+/// for `run-all`, the scenario name is spliced in before the extension so
+/// each scenario's report survives (instead of the last one overwriting
+/// the file).
+fn out_path_for(out: &Option<String>, scenario: &str, multi: bool) -> Option<String> {
+    out.as_ref().map(|path| {
+        if !multi {
+            return path.clone();
+        }
+        // Split off the directory first: a dot in a directory component
+        // (`runs.v2/report`) is not an extension separator.
+        let (dir, file) = match path.rsplit_once('/') {
+            Some((dir, file)) => (Some(dir), file),
+            None => (None, path.as_str()),
+        };
+        let file = match file.rsplit_once('.') {
+            Some((stem, ext)) if !stem.is_empty() => format!("{stem}-{scenario}.{ext}"),
+            _ => format!("{file}-{scenario}"),
+        };
+        match dir {
+            Some(dir) => format!("{dir}/{file}"),
+            None => file,
+        }
+    })
+}
+
+fn run_scenario(scenario: &Scenario, opts: &Options, out: Option<String>) -> Result<(), String> {
+    let runner = BatchRunner::new(opts.threads);
+    eprintln!(
+        "running {} ({} grid points × {} seeds, {} threads)",
+        scenario.name,
+        scenario.specs.len(),
+        opts.seeds,
+        runner.threads()
+    );
+    let reports = runner.run_grid(&scenario.specs, opts.seeds);
+    let content = match opts.format {
+        Format::Table => report::scenario_table(scenario.name, opts.seeds, &reports),
+        Format::Json => {
+            report::scenario_json(scenario.name, opts.seeds, &reports, opts.include_runs)
+        }
+        Format::Csv => report::scenario_csv(scenario.name, &reports),
+    };
+    emit(content, &out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let result = match command.as_str() {
+        "list" => {
+            let mut table = prft_metrics::AsciiTable::new(vec!["scenario", "grid", "description"])
+                .with_title("registered scenarios (prft-lab run <name>)");
+            for s in registry() {
+                table.row(vec![
+                    s.name.to_string(),
+                    s.specs.len().to_string(),
+                    s.description.to_string(),
+                ]);
+            }
+            println!("{}", table.render());
+            Ok(())
+        }
+        "run" => {
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
+            match prft_lab::find(name) {
+                Some(scenario) => parse_options(&args[2..]).and_then(|opts| {
+                    let out = out_path_for(&opts.out, scenario.name, false);
+                    run_scenario(&scenario, &opts, out)
+                }),
+                None => Err(format!("unknown scenario: {name} (try `prft-lab list`)")),
+            }
+        }
+        "run-all" => parse_options(&args[1..]).and_then(|opts| {
+            for scenario in registry() {
+                let out = out_path_for(&opts.out, scenario.name, true);
+                run_scenario(&scenario, &opts, out)?;
+            }
+            Ok(())
+        }),
+        "--help" | "-h" | "help" => {
+            usage();
+            Ok(())
+        }
+        _ => {
+            eprintln!("unknown command: {command}\n");
+            return usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::out_path_for;
+
+    #[test]
+    fn out_paths_splice_only_the_filename() {
+        let out = Some("report.json".to_string());
+        assert_eq!(
+            out_path_for(&out, "fork-attack", true).unwrap(),
+            "report-fork-attack.json"
+        );
+        assert_eq!(
+            out_path_for(&out, "fork-attack", false).unwrap(),
+            "report.json"
+        );
+        let dotted_dir = Some("runs.v2/report".to_string());
+        assert_eq!(
+            out_path_for(&dotted_dir, "x", true).unwrap(),
+            "runs.v2/report-x"
+        );
+        let dotted_both = Some("runs.v2/report.csv".to_string());
+        assert_eq!(
+            out_path_for(&dotted_both, "x", true).unwrap(),
+            "runs.v2/report-x.csv"
+        );
+        let hidden = Some(".hidden".to_string());
+        assert_eq!(out_path_for(&hidden, "x", true).unwrap(), ".hidden-x");
+        assert_eq!(out_path_for(&None, "x", true), None);
+    }
+}

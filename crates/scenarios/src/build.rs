@@ -1,0 +1,300 @@
+//! Turning a [`ScenarioSpec`] into a live simulation and a finished run
+//! into a [`RunRecord`]. This is the one place in the workspace that
+//! assembles committees for experiments — the `prft-bench` binaries and the
+//! `prft-lab` CLI both come through here.
+
+use crate::record::RunRecord;
+use crate::spec::{Role, ScenarioSpec, Synchrony, UtilitySpec};
+use prft_adversary::{
+    blackboard, Abstain, Blackboard, DoubleVoter, EquivocatingLeader, ForkColluder, GarbageVoter,
+    PartialCensor, SilentLeader,
+};
+use prft_core::analysis::{analyze, honest_ids, tx_finalized_everywhere, tx_included_anywhere};
+use prft_core::{BallotAction, Behavior, Config, Harness, NetworkChoice, ProposeAction, Replica};
+use prft_game::{PayoffTable, SystemState};
+use prft_metrics::{classify, StateObservation};
+use prft_net::{PartitionWindow, PartitionedNet};
+use prft_sim::{LinkModel, SimTime, Simulation};
+use prft_types::{Block, Digest, NodeId, Round, Transaction, TxId};
+use std::collections::HashSet;
+
+/// The Claim 2 adversary: silent in every protocol phase but participating
+/// in view changes, pressing the committee to abandon rounds.
+#[derive(Debug, Default)]
+struct VcSpammer;
+
+impl Behavior for VcSpammer {
+    fn label(&self) -> &'static str {
+        "vc-spammer"
+    }
+    fn on_propose(&mut self, _round: Round, _b: &Block) -> ProposeAction {
+        ProposeAction::Silent
+    }
+    fn on_vote(&mut self, _r: Round, _v: Digest) -> BallotAction {
+        BallotAction::Silent
+    }
+    fn on_commit(&mut self, _r: Round, _v: Digest) -> BallotAction {
+        BallotAction::Silent
+    }
+    fn on_reveal(&mut self, _r: Round, _v: Digest) -> BallotAction {
+        BallotAction::Silent
+    }
+}
+
+fn network_model(spec: &ScenarioSpec) -> NetworkChoice {
+    let base: Box<dyn LinkModel> = match spec.synchrony {
+        Synchrony::Synchronous { delta } => Box::new(prft_net::SynchronousNet::new(SimTime(delta))),
+        Synchrony::PartiallySynchronous { gst, delta } => Box::new(
+            prft_net::PartiallySynchronousNet::new(SimTime(gst), SimTime(delta)),
+        ),
+        Synchrony::Asynchronous => Box::new(prft_net::AsynchronousNet::typical()),
+    };
+    if spec.partitions.is_empty() {
+        return NetworkChoice::Custom(base);
+    }
+    let mut net = PartitionedNet::new(base);
+    for p in &spec.partitions {
+        let groups: Vec<Vec<NodeId>> = p
+            .groups
+            .iter()
+            .map(|g| g.iter().map(|&i| NodeId(i)).collect())
+            .collect();
+        let window = if p.bridges.is_empty() {
+            PartitionWindow::split(SimTime(p.start), SimTime(p.end), groups)
+        } else {
+            PartitionWindow::split_with_bridges(
+                SimTime(p.start),
+                SimTime(p.end),
+                groups,
+                p.bridges.iter().map(|&i| NodeId(i)).collect(),
+            )
+        };
+        net.add_window(window);
+    }
+    NetworkChoice::Custom(Box::new(net))
+}
+
+fn behavior_for(
+    spec: &ScenarioSpec,
+    role: &Role,
+    board: &Option<Blackboard>,
+    collusion: &HashSet<NodeId>,
+) -> Option<Box<dyn Behavior>> {
+    let b_group: HashSet<NodeId> = spec.fork_b_group.iter().map(|&i| NodeId(i)).collect();
+    match role {
+        Role::Honest | Role::Crash => None,
+        Role::Abstain => Some(Box::new(Abstain)),
+        Role::PartialCensor => {
+            let censor: HashSet<TxId> = spec.censored.iter().map(|&id| TxId(id)).collect();
+            Some(Box::new(PartialCensor::new(
+                spec.n,
+                collusion.clone(),
+                censor,
+            )))
+        }
+        Role::ForkColluder => Some(Box::new(ForkColluder::new(
+            board.clone().expect("fork role requires blackboard"),
+            b_group,
+            spec.n,
+        ))),
+        Role::EquivocatingLeader { only_round } => {
+            let leader = EquivocatingLeader::new(
+                board.clone().expect("fork role requires blackboard"),
+                b_group,
+                spec.n,
+            );
+            Some(Box::new(match only_round {
+                Some(r) => leader.only_rounds([Round(*r)]),
+                None => leader,
+            }))
+        }
+        Role::GarbageVoter => Some(Box::new(GarbageVoter)),
+        Role::DoubleVoter => Some(Box::new(DoubleVoter::new(spec.n))),
+        Role::SilentLeader => Some(Box::new(SilentLeader)),
+        Role::VcSpammer => Some(Box::new(VcSpammer)),
+    }
+}
+
+/// Builds the simulation for `spec` under one derived `seed`. Crash roles
+/// are applied before returning, so the caller only needs to run it.
+pub fn build_sim(spec: &ScenarioSpec, seed: u64) -> Simulation<Replica> {
+    let mut cfg = Config::for_committee(spec.n).with_max_rounds(spec.max_rounds);
+    if let Some(t) = spec.phase_timeout {
+        cfg = cfg.with_timeout(SimTime(t));
+    }
+
+    let board = if spec.uses_fork_blackboard() {
+        Some(blackboard())
+    } else {
+        None
+    };
+    let collusion: HashSet<NodeId> = (0..spec.n)
+        .filter(|&i| matches!(spec.role_of(i), Role::PartialCensor))
+        .map(NodeId)
+        .collect();
+
+    let mut h = Harness::new(spec.n, seed)
+        .config(cfg)
+        .accountable(spec.accountable)
+        .network(network_model(spec));
+    if let Some(tau) = spec.tau_override {
+        h = h.tau(tau);
+    }
+    for tx in &spec.txs {
+        h = h.submit(
+            tx.to.map(NodeId),
+            Transaction::new(tx.id, NodeId(tx.to.unwrap_or(0)), tx.payload.clone()),
+        );
+    }
+    let behaviors: Vec<(NodeId, Box<dyn Behavior>)> = (0..spec.n)
+        .filter_map(|i| {
+            behavior_for(spec, &spec.role_of(i), &board, &collusion).map(|b| (NodeId(i), b))
+        })
+        .collect();
+    let mut sim = h.with_behaviors(behaviors).build();
+    for i in 0..spec.n {
+        if matches!(spec.role_of(i), Role::Crash) {
+            sim.crash(NodeId(i));
+        }
+    }
+    sim
+}
+
+/// Classifies the σ state of a finished run, watching `watched` for
+/// censorship (the whole-run observation window).
+pub fn classify_watched(sim: &Simulation<Replica>, watched: &[TxId]) -> SystemState {
+    let honest = honest_ids(sim);
+    let chains = honest.iter().map(|&id| sim.node(id).chain()).collect();
+    classify(&StateObservation {
+        chains,
+        watched: watched.to_vec(),
+        baseline_height: 0,
+    })
+}
+
+/// Classifies the σ state of a finished run, watching `spec.watched`.
+pub fn classify_sim(spec: &ScenarioSpec, sim: &Simulation<Replica>) -> SystemState {
+    let watched: Vec<TxId> = spec.watched.iter().map(|&id| TxId(id)).collect();
+    classify_watched(sim, &watched)
+}
+
+/// Measures `player`'s discounted utility over a finished run in `state`:
+/// `Σ_{r<R} δ^r · f(σ, θ) − L·[player burned]` (the utility stream runs
+/// over *time periods*, not protocol progress — a jammed system keeps
+/// paying the σ_NP penalty; the penalty applies iff any honest player's
+/// ledger burned `player`).
+pub fn discounted_utility(
+    sim: &Simulation<Replica>,
+    state: SystemState,
+    player: NodeId,
+    u: &UtilitySpec,
+) -> f64 {
+    let table = PayoffTable::new(u.alpha);
+    let per_round = table.f(state, u.theta);
+    let mut total = 0.0;
+    let mut weight = 1.0;
+    for _ in 0..u.rounds {
+        total += weight * per_round;
+        weight *= u.delta;
+    }
+    let burned = honest_ids(sim)
+        .iter()
+        .any(|&id| sim.node(id).collateral().is_burned(player));
+    if burned {
+        total -= u.penalty_l;
+    }
+    total
+}
+
+/// Measures `player`'s discounted utility with the spec's economics
+/// (0 when the spec does not measure utilities).
+pub fn measure_utility_for(
+    spec: &ScenarioSpec,
+    sim: &Simulation<Replica>,
+    state: SystemState,
+    player: NodeId,
+) -> f64 {
+    match spec.utility {
+        Some(u) => discounted_utility(sim, state, player, &u),
+        None => 0.0,
+    }
+}
+
+/// Builds, runs, and summarizes one seeded run of `spec`.
+pub fn run_one(spec: &ScenarioSpec, seed: u64) -> RunRecord {
+    let mut sim = build_sim(spec, seed);
+    let outcome = sim.run_until(SimTime(spec.horizon));
+    summarize(spec, &sim, seed, outcome)
+}
+
+/// Extracts the [`RunRecord`] from a finished simulation.
+pub fn summarize(
+    spec: &ScenarioSpec,
+    sim: &Simulation<Replica>,
+    seed: u64,
+    outcome: prft_sim::RunOutcome,
+) -> RunRecord {
+    let report = analyze(sim);
+    let state = classify_sim(spec, sim);
+    let utilities = if spec.utility.is_some() {
+        (0..spec.n)
+            .map(|i| measure_utility_for(spec, sim, state, NodeId(i)))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let honest = honest_ids(sim);
+    let rounds_entered = honest
+        .iter()
+        .map(|&id| sim.node(id).stats().rounds_entered)
+        .max()
+        .unwrap_or(0);
+    // Claim 2 consistency: a round abandoned by any honest player via view
+    // change must not be finalized by any honest player.
+    let mut vc_consistent = true;
+    for &abandoner in &honest {
+        for &vc_round in &sim.node(abandoner).stats().view_changed_rounds {
+            for &other in &honest {
+                if sim
+                    .node(other)
+                    .stats()
+                    .finalize_times
+                    .iter()
+                    .any(|(r, _)| *r == vc_round)
+                {
+                    vc_consistent = false;
+                }
+            }
+        }
+    }
+    let txs_included = spec
+        .txs
+        .iter()
+        .map(|tx| tx_included_anywhere(sim, TxId(tx.id)))
+        .collect();
+    let watched_finalized = spec
+        .watched
+        .iter()
+        .map(|&id| tx_finalized_everywhere(sim, TxId(id)))
+        .collect();
+    RunRecord {
+        seed,
+        outcome,
+        min_final_height: report.min_final_height,
+        max_final_height: report.max_final_height,
+        agreement: report.agreement,
+        strict_ordering: report.strict_ordering,
+        burned: report.burned.iter().map(|id| id.0).collect(),
+        view_changes: report.view_changes,
+        exposes: report.exposes,
+        rounds_entered,
+        vc_consistent,
+        txs_included,
+        watched_finalized,
+        sigma: state,
+        throughput: prft_core::analysis::throughput(sim),
+        total_messages: sim.meter().total_messages(),
+        total_bytes: sim.meter().total_bytes(),
+        utilities,
+    }
+}

@@ -1,0 +1,187 @@
+//! A minimal JSON document model with a deterministic writer.
+//!
+//! The build environment has no serde, so reports are emitted through this
+//! hand-rolled value type. Objects preserve insertion order and floats are
+//! rendered with Rust's shortest-roundtrip formatting, so the same report
+//! always serializes to the same bytes — the determinism tests compare
+//! serialized output directly.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, kept exact — 64-bit seeds exceed 2^53 and must
+    /// round-trip so runs can be replayed from emitted records.
+    UInt(u64),
+    /// A finite number (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// String value from anything stringy.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Unsigned integer rendered exactly, without a decimal point.
+    pub fn u64(v: u64) -> Json {
+        Json::UInt(v)
+    }
+
+    /// Object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Num(v) => write_num(out, *v),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => write_seq(out, indent, '[', ']', items.len(), |out, i, ind| {
+                items[i].write(out, ind)
+            }),
+            Json::Obj(pairs) => write_seq(out, indent, '{', '}', pairs.len(), |out, i, ind| {
+                write_str(out, &pairs[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                pairs[i].1.write(out, ind);
+            }),
+        }
+    }
+}
+
+fn write_num(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 9.0e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, Option<usize>),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    let inner = indent.map(|d| d + 1);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(d) = inner {
+            out.push('\n');
+            for _ in 0..d * 2 {
+                out.push(' ');
+            }
+        }
+        item(out, i, inner);
+    }
+    if let Some(d) = indent {
+        out.push('\n');
+        for _ in 0..d * 2 {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_and_escaped() {
+        let v = Json::obj([
+            ("a", Json::u64(3)),
+            ("b", Json::Num(0.5)),
+            ("s", Json::str("x\"y\n")),
+            ("arr", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("empty", Json::obj::<String>([])),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"a":3,"b":0.5,"s":"x\"y\n","arr":[true,null],"empty":{}}"#
+        );
+    }
+
+    #[test]
+    fn integers_have_no_decimal_point() {
+        assert_eq!(Json::u64(1_000_000).render(), "1000000");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn u64_beyond_2_pow_53_is_exact() {
+        // Seeds are uniform u64s; they must round-trip for replay.
+        let seed = 0xdead_beef_dead_beef_u64;
+        assert_eq!(Json::u64(seed).render(), seed.to_string());
+        assert_eq!(Json::u64(u64::MAX).render(), u64::MAX.to_string());
+    }
+
+    #[test]
+    fn pretty_is_stable() {
+        let v = Json::obj([("k", Json::Arr(vec![Json::u64(1)]))]);
+        assert_eq!(v.render_pretty(), "{\n  \"k\": [\n    1\n  ]\n}\n");
+    }
+}

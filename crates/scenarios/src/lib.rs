@@ -1,0 +1,80 @@
+//! # prft-lab — scenario orchestration for the pRFT reproduction
+//!
+//! The paper's experiments (Tables 1–3, Theorems 1–3, Claims 1–3, Lemma 4)
+//! and the workloads beyond them are all instances of one shape: *build a
+//! committee from a declarative description, run it over many seeds, and
+//! aggregate the observables*. This crate owns that shape:
+//!
+//! * [`ScenarioSpec`] — a plain-data description of one committee
+//!   configuration: size, synchrony flavour, partition schedule,
+//!   per-player roles (the strategy space), preloaded transactions,
+//!   protocol overrides, and payoff economics;
+//! * [`registry`] — ≥10 named scenarios covering the paper's experiments
+//!   plus new workloads (mixed-rational committees, GST sweeps, partition
+//!   storms, collateral sweeps, committee scaling);
+//! * [`BatchRunner`] — a scoped-thread pool fanning seeded runs across
+//!   cores with order-independent per-run seeding ([`derive_seed`]), so a
+//!   parallel sweep and a serial sweep produce **byte-identical** reports;
+//! * [`RunRecord`] / [`BatchReport`] / [`Aggregate`] — per-run observables
+//!   and their mean/min/max/CI aggregates plus σ-state histograms;
+//! * [`report`] — JSON, CSV, and terminal emission;
+//! * the `prft-lab` binary — `prft-lab list`, `prft-lab run <scenario>
+//!   --seeds N --threads T [--format json|csv|table] [--out FILE]`.
+//!
+//! The `prft-bench` experiment binaries are thin formatters over this
+//! crate: each defines (or references) scenario specs and drives them
+//! through [`BatchRunner`], so one engine owns run orchestration.
+//!
+//! ## Example
+//!
+//! ```
+//! use prft_lab::{BatchRunner, ScenarioSpec};
+//!
+//! let spec = ScenarioSpec::new("demo", 5, 2).horizon(200_000);
+//! let report = BatchRunner::new(2).run(&spec, 4);
+//! assert_eq!(report.seeds, 4);
+//! assert_eq!(report.agreement_rate, 1.0);
+//! assert!(report.min_final_height.mean >= 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+pub mod json;
+mod record;
+mod registry;
+pub mod report;
+mod runner;
+mod spec;
+
+pub use build::{
+    build_sim, classify_sim, classify_watched, discounted_utility, measure_utility_for, run_one,
+    summarize,
+};
+pub use record::{Aggregate, BatchReport, RunRecord};
+pub use registry::{find, registry, Scenario};
+pub use runner::{derive_seed, effective_threads, par_map, BatchRunner};
+pub use spec::{PartitionSpec, Role, ScenarioSpec, Synchrony, TxSpec, UtilitySpec};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulation_is_send() {
+        // The batch runner builds simulations on worker threads; this
+        // compile-time assertion is the contract the sim/core layers keep.
+        fn assert_send<T: Send>() {}
+        assert_send::<prft_sim::Simulation<prft_core::Replica>>();
+    }
+
+    #[test]
+    fn honest_run_end_to_end() {
+        let spec = ScenarioSpec::new("smoke", 5, 2).horizon(200_000);
+        let record = run_one(&spec, 42);
+        assert!(record.agreement);
+        assert_eq!(record.min_final_height, 2);
+        assert_eq!(record.sigma, prft_game::SystemState::HonestExecution);
+    }
+}

@@ -1,0 +1,364 @@
+//! Per-run observables and their batch aggregates.
+
+use crate::json::Json;
+use prft_game::SystemState;
+use prft_sim::RunOutcome;
+
+/// Everything one seeded run produces that experiments read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// The derived simulation seed of this run.
+    pub seed: u64,
+    /// Why the simulation stopped.
+    pub outcome: RunOutcome,
+    /// Smallest finalized height among honest players.
+    pub min_final_height: u64,
+    /// Largest finalized height among honest players.
+    pub max_final_height: u64,
+    /// Honest finalized prefixes agree (no fork).
+    pub agreement: bool,
+    /// Full chains satisfy 1-strict ordering pairwise.
+    pub strict_ordering: bool,
+    /// Players burned in any honest view.
+    pub burned: Vec<usize>,
+    /// View changes completed across honest replicas.
+    pub view_changes: u64,
+    /// Valid exposes applied across honest replicas.
+    pub exposes: u64,
+    /// Largest `rounds_entered` among honest replicas.
+    pub rounds_entered: u64,
+    /// Claim 2 consistency: no honest player finalized a round another
+    /// honest player abandoned via view change.
+    pub vc_consistent: bool,
+    /// Per-[`crate::TxSpec`] (in spec order): the tx appears in some honest
+    /// chain, even tentatively.
+    pub txs_included: Vec<bool>,
+    /// Per-watched-id (in spec order): the tx is finalized at every honest
+    /// player (the censorship-resistance observable).
+    pub watched_finalized: Vec<bool>,
+    /// The run's σ state.
+    pub sigma: SystemState,
+    /// Finalized blocks per entered round, averaged over honest replicas.
+    pub throughput: f64,
+    /// Messages sent during the run.
+    pub total_messages: u64,
+    /// Wire bytes sent during the run.
+    pub total_bytes: u64,
+    /// Per-player discounted utilities (empty unless the spec asks).
+    pub utilities: Vec<f64>,
+}
+
+impl RunRecord {
+    /// Stable string name for the run outcome.
+    pub fn outcome_str(&self) -> &'static str {
+        match self.outcome {
+            RunOutcome::Quiescent => "quiescent",
+            RunOutcome::HorizonReached => "horizon",
+            RunOutcome::EventLimit => "event-limit",
+        }
+    }
+
+    /// JSON object for one run.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seed", Json::u64(self.seed)),
+            ("outcome", Json::str(self.outcome_str())),
+            ("min_final_height", Json::u64(self.min_final_height)),
+            ("max_final_height", Json::u64(self.max_final_height)),
+            ("agreement", Json::Bool(self.agreement)),
+            ("strict_ordering", Json::Bool(self.strict_ordering)),
+            (
+                "burned",
+                Json::Arr(self.burned.iter().map(|&b| Json::u64(b as u64)).collect()),
+            ),
+            ("view_changes", Json::u64(self.view_changes)),
+            ("exposes", Json::u64(self.exposes)),
+            ("rounds_entered", Json::u64(self.rounds_entered)),
+            ("vc_consistent", Json::Bool(self.vc_consistent)),
+            (
+                "txs_included",
+                Json::Arr(self.txs_included.iter().map(|&b| Json::Bool(b)).collect()),
+            ),
+            (
+                "watched_finalized",
+                Json::Arr(
+                    self.watched_finalized
+                        .iter()
+                        .map(|&b| Json::Bool(b))
+                        .collect(),
+                ),
+            ),
+            ("sigma", Json::str(self.sigma.symbol())),
+            ("throughput", Json::Num(self.throughput)),
+            ("total_messages", Json::u64(self.total_messages)),
+            ("total_bytes", Json::u64(self.total_bytes)),
+            (
+                "utilities",
+                Json::Arr(self.utilities.iter().map(|&u| Json::Num(u)).collect()),
+            ),
+        ])
+    }
+}
+
+/// Mean / min / max / standard deviation / 95% CI over one metric.
+///
+/// Always computed over the batch in seed-index order, so a parallel sweep
+/// and a serial sweep aggregate in the same floating-point order and
+/// produce byte-identical values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Normal-approximation 95% confidence half-width (1.96·σ/√count).
+    pub ci95: f64,
+}
+
+impl Aggregate {
+    /// Aggregates `values` in the order given.
+    pub fn over(values: &[f64]) -> Aggregate {
+        if values.is_empty() {
+            return Aggregate {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                std_dev: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let n = values.len() as f64;
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let mean = sum / n;
+        let mut var = 0.0;
+        for &v in values {
+            var += (v - mean) * (v - mean);
+        }
+        var /= n;
+        let std_dev = var.sqrt();
+        Aggregate {
+            count: values.len(),
+            mean,
+            min,
+            max,
+            std_dev,
+            ci95: 1.96 * std_dev / n.sqrt(),
+        }
+    }
+
+    /// JSON object for this aggregate.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::u64(self.count as u64)),
+            ("mean", Json::Num(self.mean)),
+            ("min", Json::Num(self.min)),
+            ("max", Json::Num(self.max)),
+            ("std_dev", Json::Num(self.std_dev)),
+            ("ci95", Json::Num(self.ci95)),
+        ])
+    }
+}
+
+/// Aggregated report for one grid point of a scenario, over all its seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Grid-point label from the spec.
+    pub label: String,
+    /// Committee size.
+    pub n: usize,
+    /// Number of seeded runs aggregated.
+    pub seeds: u64,
+    /// Fraction of runs keeping agreement.
+    pub agreement_rate: f64,
+    /// Fraction of runs keeping 1-strict ordering.
+    pub strict_ordering_rate: f64,
+    /// Fraction of runs satisfying Claim 2 view-change consistency.
+    pub vc_consistent_rate: f64,
+    /// σ-state histogram in [`SystemState::ALL`] order (NP, CP, Fork, σ_0).
+    pub sigma_hist: [u64; 4],
+    /// Finalized-height aggregate (min over honest players, per run).
+    pub min_final_height: Aggregate,
+    /// Throughput aggregate.
+    pub throughput: Aggregate,
+    /// Rounds-entered aggregate (max over honest players, per run).
+    pub rounds_entered: Aggregate,
+    /// View-change aggregate.
+    pub view_changes: Aggregate,
+    /// Expose aggregate.
+    pub exposes: Aggregate,
+    /// Burned-player-count aggregate.
+    pub burned_players: Aggregate,
+    /// Message-count aggregate.
+    pub total_messages: Aggregate,
+    /// Wire-byte aggregate.
+    pub total_bytes: Aggregate,
+    /// Per-player utility aggregates (one per player index; empty unless
+    /// the spec measures utilities).
+    pub utilities: Vec<Aggregate>,
+    /// The per-run records, in seed-index order.
+    pub records: Vec<RunRecord>,
+}
+
+impl BatchReport {
+    /// Aggregates `records` (already in seed-index order) for `label`.
+    pub fn from_records(label: String, n: usize, records: Vec<RunRecord>) -> BatchReport {
+        let count = records.len().max(1) as f64;
+        let rate =
+            |f: &dyn Fn(&RunRecord) -> bool| records.iter().filter(|r| f(r)).count() as f64 / count;
+        let agg = |f: &dyn Fn(&RunRecord) -> f64| {
+            Aggregate::over(&records.iter().map(f).collect::<Vec<_>>())
+        };
+        let mut sigma_hist = [0u64; 4];
+        for r in &records {
+            let idx = SystemState::ALL
+                .iter()
+                .position(|s| *s == r.sigma)
+                .expect("state in ALL");
+            sigma_hist[idx] += 1;
+        }
+        let players = records.first().map_or(0, |r| r.utilities.len());
+        let utilities = (0..players)
+            .map(|p| agg(&|r: &RunRecord| r.utilities[p]))
+            .collect();
+        BatchReport {
+            label,
+            n,
+            seeds: records.len() as u64,
+            agreement_rate: rate(&|r| r.agreement),
+            strict_ordering_rate: rate(&|r| r.strict_ordering),
+            vc_consistent_rate: rate(&|r| r.vc_consistent),
+            sigma_hist,
+            min_final_height: agg(&|r| r.min_final_height as f64),
+            throughput: agg(&|r| r.throughput),
+            rounds_entered: agg(&|r| r.rounds_entered as f64),
+            view_changes: agg(&|r| r.view_changes as f64),
+            exposes: agg(&|r| r.exposes as f64),
+            burned_players: agg(&|r| r.burned.len() as f64),
+            total_messages: agg(&|r| r.total_messages as f64),
+            total_bytes: agg(&|r| r.total_bytes as f64),
+            utilities,
+            records,
+        }
+    }
+
+    /// The modal σ state of the batch (ties break toward severity).
+    pub fn modal_sigma(&self) -> SystemState {
+        let (idx, _) = self
+            .sigma_hist
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, c)| (*c, usize::MAX - i))
+            .expect("four states");
+        SystemState::ALL[idx]
+    }
+
+    /// JSON object for this batch (aggregates plus per-run records).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::str(&self.label)),
+            ("n", Json::u64(self.n as u64)),
+            ("seeds", Json::u64(self.seeds)),
+            ("agreement_rate", Json::Num(self.agreement_rate)),
+            ("strict_ordering_rate", Json::Num(self.strict_ordering_rate)),
+            ("vc_consistent_rate", Json::Num(self.vc_consistent_rate)),
+            (
+                "sigma_hist",
+                Json::obj(
+                    SystemState::ALL
+                        .iter()
+                        .zip(self.sigma_hist.iter())
+                        .map(|(s, &c)| (s.symbol(), Json::u64(c)))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            ("min_final_height", self.min_final_height.to_json()),
+            ("throughput", self.throughput.to_json()),
+            ("rounds_entered", self.rounds_entered.to_json()),
+            ("view_changes", self.view_changes.to_json()),
+            ("exposes", self.exposes.to_json()),
+            ("burned_players", self.burned_players.to_json()),
+            ("total_messages", self.total_messages.to_json()),
+            ("total_bytes", self.total_bytes.to_json()),
+            (
+                "utilities",
+                Json::Arr(self.utilities.iter().map(Aggregate::to_json).collect()),
+            ),
+            (
+                "runs",
+                Json::Arr(self.records.iter().map(RunRecord::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seed: u64, height: u64, sigma: SystemState) -> RunRecord {
+        RunRecord {
+            seed,
+            outcome: RunOutcome::Quiescent,
+            min_final_height: height,
+            max_final_height: height,
+            agreement: true,
+            strict_ordering: true,
+            burned: vec![],
+            view_changes: 0,
+            exposes: 0,
+            rounds_entered: height,
+            vc_consistent: true,
+            txs_included: vec![],
+            watched_finalized: vec![],
+            sigma,
+            throughput: 1.0,
+            total_messages: 10,
+            total_bytes: 100,
+            utilities: vec![],
+        }
+    }
+
+    #[test]
+    fn aggregate_basics() {
+        let a = Aggregate::over(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.mean, 2.0);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 3.0);
+        assert!(a.std_dev > 0.8 && a.std_dev < 0.9);
+        let empty = Aggregate::over(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean, 0.0);
+    }
+
+    #[test]
+    fn histogram_and_modal_state() {
+        let report = BatchReport::from_records(
+            "x".into(),
+            4,
+            vec![
+                record(0, 3, SystemState::HonestExecution),
+                record(1, 3, SystemState::HonestExecution),
+                record(2, 0, SystemState::NoProgress),
+            ],
+        );
+        assert_eq!(report.sigma_hist, [1, 0, 0, 2]);
+        assert_eq!(report.modal_sigma(), SystemState::HonestExecution);
+        assert_eq!(report.agreement_rate, 1.0);
+        assert_eq!(report.min_final_height.mean, 2.0);
+    }
+}

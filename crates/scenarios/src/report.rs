@@ -1,0 +1,191 @@
+//! Report emission: JSON documents, CSV tables, and terminal summaries
+//! over one scenario's batch reports.
+
+use crate::json::Json;
+use crate::record::BatchReport;
+use prft_game::SystemState;
+use prft_metrics::AsciiTable;
+
+/// The JSON document for one scenario run (`prft-lab run <name>`).
+///
+/// Aggregates are computed in seed-index order, so this document is
+/// byte-identical whatever `--threads` was.
+pub fn scenario_json(
+    scenario: &str,
+    seeds: u64,
+    reports: &[BatchReport],
+    include_runs: bool,
+) -> String {
+    let batches: Vec<Json> = reports
+        .iter()
+        .map(|r| {
+            let mut json = r.to_json();
+            if !include_runs {
+                if let Json::Obj(pairs) = &mut json {
+                    pairs.retain(|(k, _)| k != "runs");
+                }
+            }
+            json
+        })
+        .collect();
+    Json::obj([
+        ("scenario", Json::str(scenario)),
+        ("seeds", Json::u64(seeds)),
+        ("batches", Json::Arr(batches)),
+    ])
+    .render_pretty()
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote, or newline
+/// (grid labels like "abs=2,fork=2" would otherwise shift columns).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// CSV with one row per grid point (aggregate means plus rates).
+pub fn scenario_csv(scenario: &str, reports: &[BatchReport]) -> String {
+    let mut out = String::from(
+        "scenario,label,n,seeds,agreement_rate,sigma_modal,sigma_np,sigma_cp,sigma_fork,sigma_0,\
+         min_final_height_mean,min_final_height_ci95,throughput_mean,view_changes_mean,\
+         exposes_mean,burned_mean,messages_mean,bytes_mean\n",
+    );
+    for r in reports {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            csv_field(scenario),
+            csv_field(&r.label),
+            r.n,
+            r.seeds,
+            r.agreement_rate,
+            r.modal_sigma().symbol(),
+            r.sigma_hist[0],
+            r.sigma_hist[1],
+            r.sigma_hist[2],
+            r.sigma_hist[3],
+            r.min_final_height.mean,
+            r.min_final_height.ci95,
+            r.throughput.mean,
+            r.view_changes.mean,
+            r.exposes.mean,
+            r.burned_players.mean,
+            r.total_messages.mean,
+            r.total_bytes.mean,
+        ));
+    }
+    out
+}
+
+/// Human-readable table for the terminal.
+pub fn scenario_table(scenario: &str, seeds: u64, reports: &[BatchReport]) -> String {
+    let mut table = AsciiTable::new(vec![
+        "label",
+        "agree",
+        "σ (modal)",
+        "blocks (mean±ci95)",
+        "throughput",
+        "VCs",
+        "burned",
+        "msgs/run",
+    ])
+    .with_title(&format!("{scenario} — {seeds} seeded runs per grid point"));
+    for r in reports {
+        let hist = SystemState::ALL
+            .iter()
+            .zip(r.sigma_hist.iter())
+            .filter(|(_, &c)| c > 0)
+            .map(|(s, &c)| format!("{}:{c}", s.symbol()))
+            .collect::<Vec<_>>()
+            .join(" ");
+        table.row(vec![
+            r.label.clone(),
+            format!("{:.0}%", r.agreement_rate * 100.0),
+            hist,
+            format!(
+                "{:.2}±{:.2}",
+                r.min_final_height.mean, r.min_final_height.ci95
+            ),
+            format!("{:.2}", r.throughput.mean),
+            format!("{:.1}", r.view_changes.mean),
+            format!("{:.1}", r.burned_players.mean),
+            format!("{:.0}", r.total_messages.mean),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RunRecord;
+    use prft_sim::RunOutcome;
+
+    fn report() -> BatchReport {
+        BatchReport::from_records(
+            "k=1".into(),
+            4,
+            vec![RunRecord {
+                seed: 9,
+                outcome: RunOutcome::Quiescent,
+                min_final_height: 3,
+                max_final_height: 3,
+                agreement: true,
+                strict_ordering: true,
+                burned: vec![2],
+                view_changes: 1,
+                exposes: 1,
+                rounds_entered: 4,
+                vc_consistent: true,
+                txs_included: vec![true],
+                watched_finalized: vec![],
+                sigma: SystemState::HonestExecution,
+                throughput: 1.0,
+                total_messages: 100,
+                total_bytes: 5_000,
+                utilities: vec![0.0, -10.0],
+            }],
+        )
+    }
+
+    #[test]
+    fn json_modes_differ_only_in_runs() {
+        let r = [report()];
+        let with = scenario_json("s", 1, &r, true);
+        let without = scenario_json("s", 1, &r, false);
+        assert!(with.contains("\"runs\""));
+        assert!(!without.contains("\"runs\""));
+        assert!(without.contains("\"agreement_rate\": 1"));
+    }
+
+    #[test]
+    fn csv_has_header_and_row() {
+        let csv = scenario_csv("s", &[report()]);
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("scenario,label"));
+        assert!(lines[1].starts_with("s,k=1,4,1,1,"));
+    }
+
+    #[test]
+    fn csv_quotes_labels_with_commas() {
+        let mut r = report();
+        r.label = "abs=2,fork=2".into();
+        let csv = scenario_csv("s", &[r]);
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.starts_with("s,\"abs=2,fork=2\",4,"));
+        // Column count must match the header whatever the label contains.
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        let quoted_extra = 1; // the one comma inside the quoted label
+        assert_eq!(row.split(',').count(), header_cols + quoted_extra);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = scenario_table("s", 1, &[report()]);
+        assert!(t.contains("k=1"));
+        assert!(t.contains("100%"));
+    }
+}

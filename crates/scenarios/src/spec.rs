@@ -1,0 +1,337 @@
+//! The declarative scenario vocabulary: everything a pRFT experiment needs
+//! to describe one committee configuration, with no trait objects and no
+//! simulation state — a [`ScenarioSpec`] is plain data, `Clone + Send +
+//! Sync`, so the batch runner can hand the same spec to every worker thread
+//! and build an independent simulation per seed.
+
+use prft_game::Theta;
+
+/// Which synchrony flavour the run executes under (Section 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Synchrony {
+    /// Known delay bound Δ.
+    Synchronous {
+        /// The delay bound Δ (simulation ticks).
+        delta: u64,
+    },
+    /// Adversarial delays until GST, then bounded by Δ.
+    PartiallySynchronous {
+        /// Global stabilization time.
+        gst: u64,
+        /// Post-GST bound Δ.
+        delta: u64,
+    },
+    /// Finite but unbounded delays (geometric tail).
+    Asynchronous,
+}
+
+/// One partition window layered over the base synchrony model: `groups`
+/// are mutually isolated between `start` and `end`; `bridges` (if any)
+/// talk to every group — the paper's "honest halves communicate only
+/// through the adversary" construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Window start (inclusive, ticks).
+    pub start: u64,
+    /// Window end (exclusive, ticks) — cross-group traffic is held to here.
+    pub end: u64,
+    /// The isolated player groups (player indices).
+    pub groups: Vec<Vec<usize>>,
+    /// Players bridging every group (byzantine bridges).
+    pub bridges: Vec<usize>,
+}
+
+/// A player's assigned strategy. Every index not named in
+/// [`ScenarioSpec::roles`] plays honest `π_0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Role {
+    /// `π_0`: follow the protocol.
+    Honest,
+    /// `π_abs`: send nothing (the θ=3 liveness attack, Theorem 1).
+    Abstain,
+    /// Crash fault from t = 0 (the CFT column of Table 1).
+    Crash,
+    /// `π_pc`: censor as leader, abstain under honest leaders (Theorem 2).
+    /// The collusion is the set of all `PartialCensor` players; the censored
+    /// set is [`ScenarioSpec::censored`].
+    PartialCensor,
+    /// `π_fork` colluder: double-sign along the [`ScenarioSpec::fork_b_group`]
+    /// split whenever the shared blackboard has a plan (Lemma 4).
+    ForkColluder,
+    /// The byzantine leader seeding the fork: equivocate when leading.
+    EquivocatingLeader {
+        /// Attack only this round (attack every led round if `None`).
+        only_round: Option<u64>,
+    },
+    /// Byzantine noise: votes for garbage values.
+    GarbageVoter,
+    /// Byzantine noise: double-signs unconditionally.
+    DoubleVoter,
+    /// Byzantine: proposes nothing when leading, otherwise honest.
+    SilentLeader,
+    /// Byzantine: silent in every phase but echoes view changes — the
+    /// "T tries to force a view change" adversary of Claim 2.
+    VcSpammer,
+}
+
+/// A transaction preloaded into mempools before the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxSpec {
+    /// Transaction id.
+    pub id: u64,
+    /// Receiving player, or every player when `None` ("all honest players
+    /// have tx as input").
+    pub to: Option<usize>,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Economic parameters for per-player utility measurement (Table 2 payoffs
+/// discounted over the round budget, minus `L` on burn).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilitySpec {
+    /// The rational type θ the utilities are measured for.
+    pub theta: Theta,
+    /// Per-round payoff magnitude α.
+    pub alpha: f64,
+    /// Discount factor δ.
+    pub delta: f64,
+    /// Collateral deposit L.
+    pub penalty_l: f64,
+    /// Rounds in the discounted utility stream.
+    pub rounds: u64,
+}
+
+impl UtilitySpec {
+    /// The paper's default economy (α = 1, δ = 0.9, L = 10) for `theta`,
+    /// streamed over `rounds` rounds.
+    pub fn standard(theta: Theta, rounds: u64) -> Self {
+        UtilitySpec {
+            theta,
+            alpha: 1.0,
+            delta: 0.9,
+            penalty_l: 10.0,
+            rounds,
+        }
+    }
+}
+
+/// One point of a scenario grid: a complete, declarative description of a
+/// pRFT committee run. Seeds are *not* part of the spec — the runner derives
+/// one simulation seed per batch index, so the same spec replayed with the
+/// same seed count always produces the same report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Grid-point label ("k=3", "n=16", …) used in reports.
+    pub label: String,
+    /// Committee size n.
+    pub n: usize,
+    /// Round budget (0 = unbounded; then `horizon` alone stops the run).
+    pub max_rounds: u64,
+    /// Virtual-time horizon for the run.
+    pub horizon: u64,
+    /// Base seed the per-run seeds are derived from.
+    pub base_seed: u64,
+    /// Synchrony flavour.
+    pub synchrony: Synchrony,
+    /// Partition windows layered over the base network.
+    pub partitions: Vec<PartitionSpec>,
+    /// Non-honest role assignments (player index → role).
+    pub roles: Vec<(usize, Role)>,
+    /// The `b`-side of the fork split (receives block `b`); players not
+    /// listed are on the `a` side.
+    pub fork_b_group: Vec<usize>,
+    /// Transactions preloaded into mempools.
+    pub txs: Vec<TxSpec>,
+    /// Transaction ids watched for censorship when classifying σ.
+    pub watched: Vec<u64>,
+    /// Transaction ids the censor coalition excludes from its blocks.
+    pub censored: Vec<u64>,
+    /// Agreement-threshold override (Claim 1 experiments only).
+    pub tau_override: Option<usize>,
+    /// Run the Reveal/PoF machinery (false = the ablation).
+    pub accountable: bool,
+    /// Per-phase timeout override (ticks).
+    pub phase_timeout: Option<u64>,
+    /// Measure per-player utilities with these economics.
+    pub utility: Option<UtilitySpec>,
+}
+
+impl ScenarioSpec {
+    /// A spec with every player honest under a synchronous Δ = 10 network:
+    /// the baseline all other specs are built from.
+    pub fn new(label: impl Into<String>, n: usize, max_rounds: u64) -> Self {
+        ScenarioSpec {
+            label: label.into(),
+            n,
+            max_rounds,
+            horizon: 2_000_000,
+            base_seed: 0x05ee_d1ab,
+            synchrony: Synchrony::Synchronous { delta: 10 },
+            partitions: Vec::new(),
+            roles: Vec::new(),
+            fork_b_group: Vec::new(),
+            txs: Vec::new(),
+            watched: Vec::new(),
+            censored: Vec::new(),
+            tau_override: None,
+            accountable: true,
+            phase_timeout: None,
+            utility: None,
+        }
+    }
+
+    /// Sets the synchrony flavour.
+    #[must_use]
+    pub fn synchrony(mut self, synchrony: Synchrony) -> Self {
+        self.synchrony = synchrony;
+        self
+    }
+
+    /// Adds a partition window.
+    #[must_use]
+    pub fn partition(mut self, window: PartitionSpec) -> Self {
+        self.partitions.push(window);
+        self
+    }
+
+    /// Assigns `role` to player `index`.
+    #[must_use]
+    pub fn role(mut self, index: usize, role: Role) -> Self {
+        self.roles.push((index, role));
+        self
+    }
+
+    /// Assigns `role` to every player in `indices`.
+    #[must_use]
+    pub fn roles(mut self, indices: impl IntoIterator<Item = usize>, role: Role) -> Self {
+        for i in indices {
+            self.roles.push((i, role.clone()));
+        }
+        self
+    }
+
+    /// Sets the fork split's `b` side.
+    #[must_use]
+    pub fn fork_b_group(mut self, group: impl IntoIterator<Item = usize>) -> Self {
+        self.fork_b_group = group.into_iter().collect();
+        self
+    }
+
+    /// Preloads a transaction (to every player when `to` is `None`).
+    #[must_use]
+    pub fn tx(mut self, id: u64, to: Option<usize>, payload: &[u8]) -> Self {
+        self.txs.push(TxSpec {
+            id,
+            to,
+            payload: payload.to_vec(),
+        });
+        self
+    }
+
+    /// Watches transaction ids for censorship classification.
+    #[must_use]
+    pub fn watch(mut self, ids: impl IntoIterator<Item = u64>) -> Self {
+        self.watched.extend(ids);
+        self
+    }
+
+    /// Sets the censor coalition's excluded set.
+    #[must_use]
+    pub fn censor(mut self, ids: impl IntoIterator<Item = u64>) -> Self {
+        self.censored.extend(ids);
+        self
+    }
+
+    /// Overrides the agreement threshold τ.
+    #[must_use]
+    pub fn tau(mut self, tau: usize) -> Self {
+        self.tau_override = Some(tau);
+        self
+    }
+
+    /// Toggles the Reveal/PoF machinery.
+    #[must_use]
+    pub fn accountable(mut self, on: bool) -> Self {
+        self.accountable = on;
+        self
+    }
+
+    /// Overrides the per-phase timeout.
+    #[must_use]
+    pub fn phase_timeout(mut self, ticks: u64) -> Self {
+        self.phase_timeout = Some(ticks);
+        self
+    }
+
+    /// Sets the virtual-time horizon.
+    #[must_use]
+    pub fn horizon(mut self, ticks: u64) -> Self {
+        self.horizon = ticks;
+        self
+    }
+
+    /// Sets the base seed runs are derived from.
+    #[must_use]
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Measures per-player utilities with `spec`'s economics.
+    #[must_use]
+    pub fn utility(mut self, spec: UtilitySpec) -> Self {
+        self.utility = Some(spec);
+        self
+    }
+
+    /// The role assigned to `index` (honest when unlisted; last write wins).
+    pub fn role_of(&self, index: usize) -> Role {
+        self.roles
+            .iter()
+            .rev()
+            .find(|(i, _)| *i == index)
+            .map(|(_, r)| r.clone())
+            .unwrap_or(Role::Honest)
+    }
+
+    /// Indices of players whose role needs the shared fork blackboard.
+    pub fn uses_fork_blackboard(&self) -> bool {
+        self.roles
+            .iter()
+            .any(|(_, r)| matches!(r, Role::ForkColluder | Role::EquivocatingLeader { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_is_plain_data() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<ScenarioSpec>();
+    }
+
+    #[test]
+    fn role_of_defaults_honest_and_last_write_wins() {
+        let spec = ScenarioSpec::new("x", 4, 1)
+            .role(1, Role::Abstain)
+            .role(1, Role::Crash);
+        assert_eq!(spec.role_of(0), Role::Honest);
+        assert_eq!(spec.role_of(1), Role::Crash);
+    }
+
+    #[test]
+    fn blackboard_detection() {
+        assert!(!ScenarioSpec::new("x", 4, 1).uses_fork_blackboard());
+        assert!(ScenarioSpec::new("x", 4, 1)
+            .role(
+                0,
+                Role::EquivocatingLeader {
+                    only_round: Some(0)
+                }
+            )
+            .uses_fork_blackboard());
+    }
+}

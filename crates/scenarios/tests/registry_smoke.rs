@@ -1,0 +1,84 @@
+//! Every registered scenario runs to completion: each grid point executes
+//! at least one seeded run, produces a coherent record, and the fast
+//! scenarios hold their headline property.
+
+use prft_game::SystemState;
+use prft_lab::{registry, BatchRunner};
+use prft_sim::RunOutcome;
+
+/// Every scenario's *first* grid point completes one run (the full grids
+/// are exercised nightly via `prft-lab run-all`; n = 32 committee-scaling
+/// points are too slow for a unit-test budget).
+#[test]
+fn every_registered_scenario_runs() {
+    let runner = BatchRunner::all_cores();
+    for scenario in registry() {
+        let spec = &scenario.specs[0];
+        let report = runner.run(spec, 1);
+        assert_eq!(report.seeds, 1, "{}: no runs", scenario.name);
+        let record = &report.records[0];
+        assert_ne!(
+            record.outcome,
+            RunOutcome::EventLimit,
+            "{}: runaway protocol",
+            scenario.name
+        );
+        assert!(
+            record.total_messages > 0,
+            "{}: nothing was ever sent",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn honest_scenarios_reach_sigma_0() {
+    let runner = BatchRunner::all_cores();
+    for name in ["honest-sync", "gst-sweep"] {
+        let scenario = prft_lab::find(name).expect("registered");
+        for report in runner.run_grid(&scenario.specs, 2) {
+            assert_eq!(report.agreement_rate, 1.0, "{name}/{}", report.label);
+            assert_eq!(
+                report.modal_sigma(),
+                SystemState::HonestExecution,
+                "{name}/{}",
+                report.label
+            );
+            assert!(
+                report.min_final_height.mean >= 1.0,
+                "{name}/{}",
+                report.label
+            );
+        }
+    }
+}
+
+#[test]
+fn fork_attack_is_contained_and_punished() {
+    let scenario = prft_lab::find("fork-attack").expect("registered");
+    let report = BatchRunner::all_cores().run(&scenario.specs[0], 4);
+    // Theorem 5 / Lemma 4: agreement always holds, and across the batch
+    // the deviators get burned whenever the attack progresses.
+    assert_eq!(report.agreement_rate, 1.0);
+    assert!(
+        report.sigma_hist[2] == 0,
+        "σ_Fork must never be realized under full pRFT"
+    );
+    assert!(
+        report.burned_players.max > 0.0,
+        "double-signers should burn in at least one run"
+    );
+}
+
+#[test]
+fn liveness_attack_stalls_at_large_coalitions() {
+    let scenario = prft_lab::find("liveness-attack").expect("registered");
+    let big = scenario
+        .specs
+        .iter()
+        .find(|s| s.label == "k+t=6")
+        .expect("grid point");
+    let report = BatchRunner::all_cores().run(big, 2);
+    assert_eq!(report.min_final_height.max, 0.0, "quorum must be starved");
+    assert_eq!(report.modal_sigma(), SystemState::NoProgress);
+}

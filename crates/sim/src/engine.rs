@@ -12,20 +12,17 @@ pub struct TimerId(u64);
 /// Network delay policy: decides when a message sent at `sent` from `from`
 /// arrives at `to`. Must return a time `>= sent` (reliable channels: the
 /// delay may be large but delivery is guaranteed — the paper's Section 3.3).
-pub trait LinkModel {
+///
+/// `Send` is a supertrait so a boxed model (and with it a whole
+/// [`Simulation`]) can be built on one thread and run on another — the
+/// `prft-lab` batch runner fans seeded runs across worker threads.
+pub trait LinkModel: Send {
     /// Absolute delivery time for one message.
-    fn deliver_at(&mut self, from: NodeId, to: NodeId, sent: SimTime, rng: &mut SimRng)
-        -> SimTime;
+    fn deliver_at(&mut self, from: NodeId, to: NodeId, sent: SimTime, rng: &mut SimRng) -> SimTime;
 }
 
 impl LinkModel for Box<dyn LinkModel> {
-    fn deliver_at(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-        sent: SimTime,
-        rng: &mut SimRng,
-    ) -> SimTime {
+    fn deliver_at(&mut self, from: NodeId, to: NodeId, sent: SimTime, rng: &mut SimRng) -> SimTime {
         (**self).deliver_at(from, to, sent, rng)
     }
 }
@@ -428,7 +425,6 @@ mod tests {
     struct Echo {
         received: Vec<(NodeId, u32)>,
         fired: Vec<TimerId>,
-        armed: Option<TimerId>,
     }
 
     impl Echo {
@@ -436,7 +432,6 @@ mod tests {
             Echo {
                 received: Vec::new(),
                 fired: Vec::new(),
-                armed: None,
             }
         }
     }
@@ -553,10 +548,7 @@ mod tests {
         assert_eq!(s.run(), RunOutcome::Quiescent);
         // Fires at 10 and at the re-armed 17; the cancelled t=20 timer never
         // fires (though draining its dead event does advance the clock).
-        assert_eq!(
-            s.node(NodeId(0)).fired_at,
-            vec![SimTime(10), SimTime(17)]
-        );
+        assert_eq!(s.node(NodeId(0)).fired_at, vec![SimTime(10), SimTime(17)]);
     }
 
     #[test]
@@ -595,7 +587,11 @@ mod tests {
         s.recover(NodeId(1));
         assert!(!s.is_crashed(NodeId(1)));
         s.run();
-        assert_eq!(s.node(NodeId(1)).received.len(), 1, "recovered before start");
+        assert_eq!(
+            s.node(NodeId(1)).received.len(),
+            1,
+            "recovered before start"
+        );
     }
 
     #[test]

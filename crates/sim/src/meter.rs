@@ -88,7 +88,13 @@ mod tests {
         m.record("Vote", 10);
         m.record("Vote", 20);
         m.record("Commit", 5);
-        assert_eq!(m.kind("Vote"), KindStats { count: 2, bytes: 30 });
+        assert_eq!(
+            m.kind("Vote"),
+            KindStats {
+                count: 2,
+                bytes: 30
+            }
+        );
         assert_eq!(m.total_messages(), 3);
         assert_eq!(m.total_bytes(), 35);
     }

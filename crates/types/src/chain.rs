@@ -99,7 +99,11 @@ impl Chain {
 
     /// Digest of the tip block.
     pub fn tip(&self) -> Digest {
-        self.entries.last().expect("chain is never empty").block.id()
+        self.entries
+            .last()
+            .expect("chain is never empty")
+            .block
+            .id()
     }
 
     /// The tip entry.
@@ -200,7 +204,11 @@ impl Chain {
     /// Checks the paper's `c`-strict-ordering between two honest ledgers:
     /// with `|C1| ≤ |C2|`, `C1^{⌊c} ⊆ C2^{⌊c}` must hold.
     pub fn c_strict_ordering(c1: &Chain, c2: &Chain, c: usize) -> bool {
-        let (shorter, longer) = if c1.len() <= c2.len() { (c1, c2) } else { (c2, c1) };
+        let (shorter, longer) = if c1.len() <= c2.len() {
+            (c1, c2)
+        } else {
+            (c2, c1)
+        };
         shorter.drop_suffix(c).is_prefix_of(&longer.drop_suffix(c))
     }
 

@@ -146,10 +146,7 @@ mod tests {
         }
         let censor: HashSet<TxId> = [TxId(1), TxId(2)].into_iter().collect();
         let batch = mp.take_censoring(10, &censor);
-        assert_eq!(
-            batch.iter().map(|t| t.id.0).collect::<Vec<_>>(),
-            vec![0, 3]
-        );
+        assert_eq!(batch.iter().map(|t| t.id.0).collect::<Vec<_>>(), vec![0, 3]);
         // Censored txs remain pending — they are withheld, not dropped.
         assert!(mp.contains(TxId(1)));
         assert!(mp.contains(TxId(2)));

@@ -8,7 +8,7 @@
 
 use prft::core::{construct_proof, signed_ballot, verify_expose, Phase};
 use prft::crypto::KeyRegistry;
-use prft::types::{Digest, NodeId, Round};
+use prft::types::{Digest, Round};
 
 fn main() {
     // Trusted setup for a committee of 9 (t0 = 2).
@@ -49,7 +49,10 @@ fn main() {
     // V(π) and (in a deployment) submit the burn transaction.
     match verify_expose(&proof, &registry, t0) {
         Some(guilty) => {
-            println!("\nV(π) verdict: GUILTY — {guilty:?} (|D| = {} > t0 = {t0})", guilty.len());
+            println!(
+                "\nV(π) verdict: GUILTY — {guilty:?} (|D| = {} > t0 = {t0})",
+                guilty.len()
+            );
             println!("→ the deposit-burn transaction is justified for each of them.");
         }
         None => println!("\nV(π) verdict: insufficient evidence"),

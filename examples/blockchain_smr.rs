@@ -52,7 +52,11 @@ fn main() {
     println!("1-strict ordering: {}", report.strict_ordering);
 
     // Common-prefix across every pair of live honest replicas.
-    let chains: Vec<&Chain> = report.honest.iter().map(|&id| sim.node(id).chain()).collect();
+    let chains: Vec<&Chain> = report
+        .honest
+        .iter()
+        .map(|&id| sim.node(id).chain())
+        .collect();
     let mut min_common = usize::MAX;
     for a in &chains {
         for b in &chains {
@@ -89,6 +93,12 @@ fn main() {
     }
 
     assert!(report.agreement && report.strict_ordering);
-    assert!(report.min_final_height >= 20, "sustained throughput post-GST");
-    assert!(included >= 100, "nearly all client traffic confirms ({included}/120)");
+    assert!(
+        report.min_final_height >= 20,
+        "sustained throughput post-GST"
+    );
+    assert!(
+        included >= 100,
+        "nearly all client traffic confirms ({included}/120)"
+    );
 }

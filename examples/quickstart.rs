@@ -16,7 +16,10 @@ fn main() {
     // Submit one transaction to every player's mempool and run 3 rounds.
     let mut sim = Harness::new(n, 2024)
         .network(NetworkChoice::Synchronous { delta: SimTime(10) })
-        .submit(None, Transaction::new(1, NodeId(3), b"hello, pRFT".to_vec()))
+        .submit(
+            None,
+            Transaction::new(1, NodeId(3), b"hello, pRFT".to_vec()),
+        )
         .max_rounds(3)
         .build();
     sim.run_until(SimTime(1_000_000));

@@ -26,8 +26,7 @@ fn main() {
         .with_behavior(
             NodeId(0),
             Box::new(
-                EquivocatingLeader::new(board.clone(), b_group.clone(), n)
-                    .only_rounds([Round(0)]),
+                EquivocatingLeader::new(board.clone(), b_group.clone(), n).only_rounds([Round(0)]),
             ),
         );
     for i in 1..=3 {

@@ -26,10 +26,22 @@ fn main() {
     let game = TrapGame::new(n, t, k, params);
 
     println!("== the TRAP baiting game ==");
-    println!("n = {n}, t = {t}, k = {k}, t0 = {t0}; G = {}, R = {}, L = {}", params.gain_g, params.reward_r, params.penalty_l);
-    println!("TRAP tolerates this configuration: {}", analytic::trap_tolerates(n, k, t));
-    println!("fork-NE condition k > 2 + t0 − t:  {}", analytic::trap_fork_is_nash(k, t, t0));
-    println!("baiters needed to avert the fork:  > {:.0}\n", game.min_baiters());
+    println!(
+        "n = {n}, t = {t}, k = {k}, t0 = {t0}; G = {}, R = {}, L = {}",
+        params.gain_g, params.reward_r, params.penalty_l
+    );
+    println!(
+        "TRAP tolerates this configuration: {}",
+        analytic::trap_tolerates(n, k, t)
+    );
+    println!(
+        "fork-NE condition k > 2 + t0 − t:  {}",
+        analytic::trap_fork_is_nash(k, t, t0)
+    );
+    println!(
+        "baiters needed to avert the fork:  > {:.0}\n",
+        game.min_baiters()
+    );
 
     // Enumerate the full 2^k game.
     let strategies = [TrapStrategy::Fork, TrapStrategy::Bait];
@@ -45,7 +57,11 @@ fn main() {
             for f3 in 0..2 {
                 let profile = vec![f1, f2, f3];
                 let us = eg.utilities(&profile);
-                let ne = if eg.is_nash(&profile, 1e-9) { "  ← NASH EQUILIBRIUM" } else { "" };
+                let ne = if eg.is_nash(&profile, 1e-9) {
+                    "  ← NASH EQUILIBRIUM"
+                } else {
+                    ""
+                };
                 println!(
                     "  ({:6}, {:6}, {:6}) → ({:5.2}, {:5.2}, {:5.2}){ne}",
                     labels[f1], labels[f2], labels[f3], us[0], us[1], us[2]
@@ -68,7 +84,10 @@ fn main() {
     );
 
     assert!(ne.contains(&vec![0; k]), "the insecure equilibrium exists");
-    assert!(ne.contains(&vec![1; k]), "TRAP's secure equilibrium exists too");
+    assert!(
+        ne.contains(&vec![1; k]),
+        "TRAP's secure equilibrium exists too"
+    );
     assert_eq!(focal, &vec![0; k], "…but the insecure one is focal");
     println!(
         "\nThis is Theorem 3: TRAP's security argument selects the all-bait\n\

@@ -18,7 +18,10 @@
 //!   Nash/DSIC/Pareto checkers, and the paper's closed-form algebra;
 //! * [`baselines`] — pBFT / Polygraph-style accountable BFT / HotStuff /
 //!   Raft-lite / Dolev–Strong / Bracha / the TRAP baiting game;
-//! * [`metrics`] — σ-state classification, power-law fitting, tables.
+//! * [`metrics`] — σ-state classification, power-law fitting, tables;
+//! * [`lab`] — declarative scenario specs, the ≥10-scenario registry, the
+//!   multi-threaded batch runner (deterministic across thread counts), and
+//!   JSON/CSV reporting (`prft-lab list` / `prft-lab run <scenario>`).
 //!
 //! ## Quick start
 //!
@@ -48,6 +51,7 @@ pub use prft_baselines as baselines;
 pub use prft_core as core;
 pub use prft_crypto as crypto;
 pub use prft_game as game;
+pub use prft_lab as lab;
 pub use prft_metrics as metrics;
 pub use prft_net as net;
 pub use prft_sim as sim;

@@ -47,10 +47,15 @@ fn rational_incentives_end_to_end() {
         .max_rounds(3)
         .with_behavior(
             NodeId(0),
-            Box::new(EquivocatingLeader::new(board.clone(), b_group.clone(), n).only_rounds([Round(0)])),
+            Box::new(
+                EquivocatingLeader::new(board.clone(), b_group.clone(), n).only_rounds([Round(0)]),
+            ),
         );
     for i in 1..=3 {
-        h = h.with_behavior(NodeId(i), Box::new(ForkColluder::new(board.clone(), b_group.clone(), n)));
+        h = h.with_behavior(
+            NodeId(i),
+            Box::new(ForkColluder::new(board.clone(), b_group.clone(), n)),
+        );
     }
     let mut fork_sim = h.build();
     fork_sim.run_until(HORIZON);
@@ -90,12 +95,18 @@ fn censorship_resistance_boundary() {
         .submit(None, Transaction::new(51, NodeId(2), b"decoy".to_vec()))
         .max_rounds(8);
     for &m in &collusion {
-        h = h.with_behavior(m, Box::new(PartialCensor::new(n, collusion.clone(), censor.clone())));
+        h = h.with_behavior(
+            m,
+            Box::new(PartialCensor::new(n, collusion.clone(), censor.clone())),
+        );
     }
     let mut sim = h.build();
     sim.run_until(HORIZON);
     assert!(!tx_included_anywhere(&sim, watched), "censored");
-    assert!(tx_included_anywhere(&sim, TxId(51)), "liveness for the rest");
+    assert!(
+        tx_included_anywhere(&sim, TxId(51)),
+        "liveness for the rest"
+    );
     assert!(analyze(&sim).burned.is_empty(), "unpunishable");
 }
 
@@ -147,7 +158,10 @@ fn whole_stack_determinism() {
             .partitioned_until_gst(SimTime(1_500), SimTime(10), groups)
             .with_behavior(
                 NodeId(0),
-                Box::new(EquivocatingLeader::new(board.clone(), b_group.clone(), 9).only_rounds([Round(0)])),
+                Box::new(
+                    EquivocatingLeader::new(board.clone(), b_group.clone(), 9)
+                        .only_rounds([Round(0)]),
+                ),
             )
             .with_behavior(NodeId(4), Box::new(ForkColluder::new(board, b_group, 9)))
             .max_rounds(4)

@@ -2,11 +2,11 @@
 //! invariants: chains, PoF soundness/completeness, signatures, quorum
 //! arithmetic, the mempool, and simulator determinism.
 
-use proptest::prelude::*;
 use prft::core::{construct_proof, signed_ballot, verify_expose, Config, Phase};
 use prft::crypto::{KeyRegistry, Sha256};
 use prft::game::analytic;
 use prft::types::{Block, Chain, Digest, Height, Mempool, NodeId, Round, Transaction};
+use proptest::prelude::*;
 
 // ---------------------------------------------------------------- chains
 
@@ -28,7 +28,7 @@ proptest! {
         let chain = chain_of(len, 1);
         let dropped = chain.drop_suffix(c);
         prop_assert!(dropped.len() <= chain.len());
-        prop_assert!(dropped.len() >= 1);
+        prop_assert!(!dropped.is_empty());
         prop_assert_eq!(chain.drop_suffix(0).len(), chain.len());
         prop_assert!(dropped.is_prefix_of(&chain));
     }
