@@ -1,12 +1,11 @@
 //! **E7 — Lemma 4 + Theorem 5**: following pRFT honestly is a *dominant
 //! strategy* (DSIC) for every rational θ=1 player — measured, not assumed.
 //!
-//! We build the empirical game: three rational players (P1, P2, P3) each
-//! choose from {π_0, π_abs, π_fork}; the byzantine leader P0 equivocates
-//! whenever anyone forks. Every one of the 27 profiles becomes a
-//! `prft-lab` scenario spec and the whole grid is simulated in parallel
-//! through the batch engine; utilities come from the engine's per-player
-//! payoff measurement. The checks:
+//! The empirical game is the registered `lemma4-dsic` [`GameDef`]: three
+//! rational players (P1, P2, P3) each choose from {π_0, π_abs, π_fork};
+//! the byzantine leader P0 equivocates whenever anyone forks. The
+//! [`GameExplorer`] sweeps all 27 profiles through the batch engine and
+//! the finished [`prft_game::UtilityTable`] answers the checks:
 //!
 //! * `U(π_0) ≥ U(π)` for every player against every opponent profile
 //!   (weak dominance = DSIC, Definition 5);
@@ -15,71 +14,36 @@
 //! * deviators who double-sign are caught and burned whenever the attack
 //!   progresses far enough to matter.
 //!
+//! The same sweep is available as `prft-lab explore run lemma4-dsic`
+//! (add `--cache DIR` to reuse cells across sweeps, or run `lemma4-wide`
+//! for the 4-strategies-per-player extension).
+//!
 //! Run: `cargo run -p prft-bench --release --bin lemma4_dsic`
 
 use prft_bench::{fmt, verdict};
-use prft_game::{EmpiricalGame, SystemState, Theta, UtilityParams};
-use prft_lab::{BatchRunner, Role, ScenarioSpec, UtilitySpec};
+use prft_game::{SystemState, UtilityParams};
+use prft_lab::{find_game, BatchRunner, GameDef, GameExplorer};
 use prft_metrics::AsciiTable;
 
-const STRATEGIES: [&str; 3] = ["π_0", "π_abs", "π_fork"];
-const N: usize = 9; // t0 = 2, quorum 7; k = 3, t = 1 ⇒ k + t = 4 < n/2
-
-/// The scenario spec for one strategy profile: byzantine P0 equivocates
-/// round 0 iff someone forks; rational P1..P3 play the profile.
-fn profile_spec(profile: &[usize]) -> ScenarioSpec {
-    let anyone_forks = profile.contains(&2);
-    let mut spec = ScenarioSpec::new(format!("{:?}", profile), N, 3)
-        .base_seed(71)
-        .fork_b_group([7, 8])
-        .utility(UtilitySpec::standard(Theta::ForkSeeking, 3))
-        .horizon(600_000);
-    if anyone_forks {
-        spec = spec.role(0, Role::EquivocatingLeader { only_round: None });
-    }
-    for (i, &s) in profile.iter().enumerate() {
-        spec = match s {
-            0 => spec,
-            1 => spec.role(1 + i, Role::Abstain),
-            2 => spec.role(1 + i, Role::ForkColluder),
-            _ => unreachable!(),
-        };
-    }
-    spec
-}
+/// Seeded runs aggregated per profile cell.
+const SEEDS: u64 = 4;
 
 fn main() {
     println!("E7 — Lemma 4: honest play is DSIC for θ=1 rational players in pRFT\n");
+    let game: GameDef = find_game("lemma4-dsic").expect("registered game");
     let params = UtilityParams::default();
     println!(
-        "n = {N}, t0 = 2; byzantine P0 (equivocates when a fork is on), rational\n\
-         P1–P3 ∈ {{π_0, π_abs, π_fork}}; 27 simulated profiles (parallel via\n\
-         prft-lab); θ = 1; L = {}, α = {}, δ = {}\n",
+        "n = 9, t0 = 2; byzantine P0 (equivocates when a fork is on), rational\n\
+         P1–P3 ∈ {{π_0, π_abs, π_fork}}; 27 simulated profiles × {SEEDS} seeds\n\
+         (parallel via the prft-lab explorer); θ = 1; L = {}, α = {}, δ = {}\n",
         params.penalty_l, params.alpha, params.delta
     );
 
-    // Enumerate all 27 profiles and run them through the batch engine.
-    let profiles: Vec<Vec<usize>> = (0..27).map(|i| vec![i / 9, (i / 3) % 3, i % 3]).collect();
-    let evaluated: Vec<(Vec<f64>, SystemState)> =
-        BatchRunner::all_cores().map(&profiles, |_, profile| {
-            let spec = profile_spec(profile);
-            let record = prft_lab::run_one(&spec, spec.base_seed);
-            let utilities = (0..3).map(|i| record.utilities[1 + i]).collect();
-            (utilities, record.sigma)
-        });
-    let states: Vec<(Vec<usize>, SystemState)> = profiles
-        .iter()
-        .cloned()
-        .zip(evaluated.iter().map(|(_, s)| *s))
-        .collect();
-
-    let game = EmpiricalGame::explore(vec![3; 3], |profile| {
-        let idx = profile[0] * 9 + profile[1] * 3 + profile[2];
-        evaluated[idx].0.clone()
-    });
+    let exploration = GameExplorer::new(BatchRunner::all_cores()).explore(&game, SEEDS);
+    let table = &exploration.table;
 
     // Representative profiles table.
-    let mut table = AsciiTable::new(vec!["profile (P1,P2,P3)", "σ", "U(P1)", "U(P2)", "U(P3)"])
+    let mut cells = AsciiTable::new(vec!["profile (P1,P2,P3)", "σ", "U(P1)", "U(P2)", "U(P3)"])
         .with_title("Selected strategy profiles (full game has 27)");
     for profile in [
         vec![0, 0, 0],
@@ -89,26 +53,18 @@ fn main() {
         vec![2, 2, 2],
         vec![1, 1, 1],
     ] {
-        let us = game.utilities(&profile);
-        let state = states
-            .iter()
-            .find(|(p, _)| *p == profile)
-            .map(|(_, s)| s.symbol())
-            .unwrap_or("?");
-        table.row(vec![
-            format!(
-                "({}, {}, {})",
-                STRATEGIES[profile[0]], STRATEGIES[profile[1]], STRATEGIES[profile[2]]
-            ),
-            state.into(),
-            fmt(us[0]),
-            fmt(us[1]),
-            fmt(us[2]),
+        let stats = table.get(&profile).expect("complete sweep");
+        cells.row(vec![
+            game.profile_label(&profile),
+            stats.sigma.symbol().into(),
+            fmt(stats.utilities[0]),
+            fmt(stats.utilities[1]),
+            fmt(stats.utilities[2]),
         ]);
     }
-    println!("{table}\n");
+    println!("{cells}\n");
 
-    // The DSIC check.
+    // The DSIC check: per-player dominance of every strategy.
     let mut dsic = AsciiTable::new(vec![
         "player",
         "π_0 dominant",
@@ -117,42 +73,39 @@ fn main() {
     ])
     .with_title("Dominance (≥ against every opponent profile, ε = 1e-9)");
     let mut all_dsic = true;
-    for p in 0..3 {
-        let d0 = game.is_dominant(p, 0, 1e-9);
+    for p in 0..game.players() {
+        let d0 = table.is_dominant(p, 0, 1e-9);
         all_dsic &= d0;
         dsic.row(vec![
             format!("P{}", p + 1),
             verdict(d0),
-            verdict(game.is_dominant(p, 1, 1e-9)),
-            verdict(game.is_dominant(p, 2, 1e-9)),
+            verdict(table.is_dominant(p, 1, 1e-9)),
+            verdict(table.is_dominant(p, 2, 1e-9)),
         ]);
     }
     println!("{dsic}\n");
 
-    // Debug: print dominance violations.
-    for player in 0..3 {
-        for (profile, _) in &states {
+    // Debug: print dominance violations (empty when the lemma holds).
+    for player in 0..game.players() {
+        for (profile, _) in table.cells() {
             if profile[player] == 0 {
                 continue;
             }
-            let mut honest = profile.clone();
-            honest[player] = 0;
-            let u_dev = game.utilities(profile)[player];
-            let u_hon = game.utilities(&honest)[player];
-            if u_dev > u_hon + 1e-9 {
+            let gain = -table.deviation_gain(profile, player, 0);
+            if gain > 1e-9 {
                 println!(
-                    "  VIOLATION: P{} prefers {} at {:?}: {} > {}",
+                    "  VIOLATION: P{} prefers {} at {:?} by {}",
                     player + 1,
-                    STRATEGIES[profile[player]],
+                    game.label(player, profile[player]),
                     profile,
-                    fmt(u_dev),
-                    fmt(u_hon)
+                    fmt(gain),
                 );
             }
         }
     }
-    let all_honest = vec![0, 0, 0];
-    let forked_anywhere = states.iter().any(|(_, s)| *s == SystemState::Fork);
+
+    let all_honest = [0, 0, 0];
+    let forked_anywhere = table.cells().any(|(_, s)| s.sigma == SystemState::Fork);
     println!("Checks:");
     println!(
         "  π_0 is DSIC for every rational player: {}",
@@ -160,20 +113,20 @@ fn main() {
     );
     println!(
         "  all-honest is a dominant-strategy equilibrium: {}",
-        verdict(game.is_dse(&all_honest, 1e-9))
+        verdict((0..game.players()).all(|p| table.is_dominant(p, all_honest[p], 1e-9)))
     );
     println!(
         "  σ_Fork reached in ANY of the 27 profiles: {} (Theorem 5: never)",
         verdict(forked_anywhere)
     );
-    let mut max_deviation_utility = f64::NEG_INFINITY;
-    for p in 0..3 {
-        for (profile, _) in &states {
-            if profile[p] != 0 {
-                max_deviation_utility = max_deviation_utility.max(game.utilities(profile)[p]);
-            }
-        }
-    }
+    let max_deviation_utility = table
+        .cells()
+        .flat_map(|(profile, stats)| {
+            (0..game.players())
+                .filter(move |&p| profile[p] != 0)
+                .map(move |p| stats.utilities[p])
+        })
+        .fold(f64::NEG_INFINITY, f64::max);
     println!(
         "  best deviation utility anywhere: {} ≤ U(π_0) = 0: {}",
         fmt(max_deviation_utility),

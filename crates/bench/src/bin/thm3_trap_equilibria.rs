@@ -4,15 +4,18 @@
 //! focal. The secure equilibrium TRAP's security rests on is therefore not
 //! the one rational players will play.
 //!
-//! We enumerate the full strategy game per collusion size and report: both
-//! equilibria, the minimum baiters needed to avert the fork, the utilities
-//! `G/k` vs `R·Pr(σ_0)`, and which equilibrium is focal.
+//! Each collusion size `k` is a fully symmetric [`ProfileSpace`] over
+//! {π_fork, π_bait} evaluated exactly from the closed-form [`TrapGame`]
+//! into a [`UtilityTable`] (the k = 3 point is also registered as
+//! `prft-lab explore run trap-k3`); the tables report both equilibria,
+//! the minimum baiters needed to avert the fork, the utilities `G/k` vs
+//! `R·Pr(σ_0)`, and which equilibrium is focal.
 //!
 //! Run: `cargo run -p prft-bench --release --bin thm3_trap_equilibria`
 
 use prft_baselines::trap::{TrapGame, TrapStrategy};
 use prft_bench::{fmt, verdict};
-use prft_game::{analytic, EmpiricalGame, UtilityParams};
+use prft_game::{analytic, ProfileSpace, UtilityParams, UtilityTable};
 use prft_lab::BatchRunner;
 use prft_metrics::AsciiTable;
 
@@ -47,26 +50,30 @@ fn main() {
         n.div_ceil(3) - 1
     ));
 
-    // Each collusion size's game enumeration is independent — fan the k
-    // sweep across cores through the prft-lab thread pool.
+    // Each collusion size's game is independent — fan the k sweep across
+    // cores through the prft-lab thread pool. The per-k game is the full
+    // 2^k space collapsed to k+1 canonical profiles by symmetry.
     let ks: Vec<usize> = (1..=3).collect();
-    let games: Vec<(TrapGame, EmpiricalGame)> = BatchRunner::all_cores().map(&ks, |_, &k| {
+    let games: Vec<(TrapGame, UtilityTable)> = BatchRunner::all_cores().map(&ks, |_, &k| {
         let game = TrapGame::new(n, t, k, params);
         let strategies = [TrapStrategy::Fork, TrapStrategy::Bait];
-        let eg = EmpiricalGame::explore(vec![2; k], |profile| {
+        let space = ProfileSpace::uniform(k, 2).fully_symmetric();
+        let table = UtilityTable::exact(space, |profile| {
             let chosen: Vec<TrapStrategy> = profile.iter().map(|&i| strategies[i]).collect();
-            game.play(&chosen).utilities
+            let outcome = game.play(&chosen);
+            (outcome.utilities, outcome.state)
         });
-        (game, eg)
+        (game, table)
     });
 
-    for (&k, (game, eg)) in ks.iter().zip(&games) {
-        let ne = eg.nash_equilibria(1e-9);
+    for (&k, (game, ut)) in ks.iter().zip(&games) {
+        let ne = ut.nash_equilibria(1e-9);
         let all_fork: Vec<usize> = vec![0; k];
         let all_bait: Vec<usize> = vec![1; k];
         let players: Vec<usize> = (0..k).collect();
         let fork_is_ne = ne.contains(&all_fork);
         let bait_is_ne = ne.contains(&all_bait);
+        let eg = ut.to_game();
         let focal = eg
             .focal_among(&ne, &players)
             .map(|p| {
@@ -80,16 +87,15 @@ fn main() {
             })
             .unwrap_or("-");
         // Unilateral bait: one baiter against k−1 forkers.
-        let mut lone = vec![TrapStrategy::Fork; k];
-        lone[0] = TrapStrategy::Bait;
-        let lone_outcome = game.play(&lone);
+        let mut lone = all_fork.clone();
+        lone[0] = 1;
         table.row(vec![
             k.to_string(),
             verdict(analytic::trap_tolerates(n, k, t)),
             verdict(analytic::trap_fork_is_nash(k, t, n.div_ceil(3) - 1)),
             fmt(game.min_baiters()),
             fmt(params.gain_g / k as f64),
-            fmt(lone_outcome.utilities[0]),
+            fmt(ut.utilities(&lone)[0]),
             verdict(fork_is_ne),
             verdict(bait_is_ne),
             focal.into(),

@@ -1,5 +1,5 @@
 //! Shared helpers for the experiment binaries (one binary per paper
-//! table/figure; see DESIGN.md §5 and EXPERIMENTS.md for the index).
+//! table/figure; see `docs/REPRODUCING.md` for the claim-by-claim index).
 //!
 //! Run orchestration lives in `prft-lab` — scenario specs, the parallel
 //! batch runner, aggregation, and report emission; the binaries here are

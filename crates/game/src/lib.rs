@@ -7,7 +7,11 @@
 //! The crate is pure math — no simulation dependencies. Experiments feed it
 //! either analytic payoffs or utilities measured from `prft-core` runs
 //! (empirical game theory): build an [`EmpiricalGame`] from any
-//! profile-evaluation function and query its equilibria.
+//! profile-evaluation function and query its equilibria, or — for swept
+//! games — describe the strategy space as a [`ProfileSpace`] (with optional
+//! symmetry reduction) and analyse the measured [`UtilityTable`], whose
+//! Nash/DSIC certificates account for per-cell confidence intervals. The
+//! `prft-lab` explorer fills utility tables from simulation batches.
 //!
 //! # Example: the TRAP fork equilibrium (Theorem 3)
 //!
@@ -30,9 +34,13 @@ pub mod analytic;
 mod empirical;
 mod payoff;
 mod repeated;
+mod space;
 mod types;
+mod utility_table;
 
 pub use empirical::{EmpiricalGame, Profile};
 pub use payoff::{discounted_sum, geometric_total, PayoffTable, UtilityParams};
 pub use repeated::GrimTrigger;
+pub use space::ProfileSpace;
 pub use types::{PlayerClass, Strategy, SystemState, Theta};
+pub use utility_table::{Certificate, Confidence, ProfileStats, UtilityTable};

@@ -1,16 +1,23 @@
-//! The `prft-lab` CLI: list and run registered scenarios.
+//! The `prft-lab` CLI: list and run registered scenarios and explore
+//! registered empirical games.
 //!
 //! ```text
 //! prft-lab list
 //! prft-lab run <scenario> [--seeds N] [--threads T]
 //!                         [--format table|json|csv] [--out FILE] [--runs]
-//! prft-lab run-all [--seeds N] [--threads T]
+//! prft-lab run-all [--seeds N] [--threads T] [--out FILE]
+//! prft-lab explore list
+//! prft-lab explore run <game> [--seeds N] [--threads T]
+//!                             [--format table|json|csv] [--out FILE]
+//!                             [--cache DIR] [--full] [--eps E]
 //! ```
 //!
 //! Aggregates are independent of `--threads`: `--threads 1` and
-//! `--threads 8` emit byte-identical JSON.
+//! `--threads 8` emit byte-identical JSON, for scenario reports and
+//! equilibrium reports alike. `run-all --out FILE` also writes a
+//! machine-readable manifest mapping each scenario to its report file.
 
-use prft_lab::{registry, report, BatchRunner, Scenario};
+use prft_lab::{registry, report, BatchRunner, GameExplorer, Scenario, UtilityCache};
 use std::process::ExitCode;
 
 struct Options {
@@ -19,6 +26,10 @@ struct Options {
     format: Format,
     out: Option<String>,
     include_runs: bool,
+    cache: Option<String>,
+    full: bool,
+    eps: f64,
+    seeds_given: bool,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -36,14 +47,27 @@ fn usage() -> ExitCode {
          \x20 list                      list registered scenarios\n\
          \x20 run <scenario> [options]  run one scenario's grid\n\
          \x20 run-all [options]         run every registered scenario\n\
+         \x20 explore list              list registered empirical games\n\
+         \x20 explore run <game> [options]\n\
+         \x20                           sweep a game's strategy space and\n\
+         \x20                           report its equilibria\n\
          \n\
          options:\n\
-         \x20 --seeds N      seeded runs per grid point (default 16)\n\
+         \x20 --seeds N      seeded runs per grid point (default 16;\n\
+         \x20                explore default 8 per profile)\n\
          \x20 --threads T    worker threads, 0 = all cores (default 0)\n\
          \x20 --format F     table | json | csv (default table)\n\
          \x20 --out FILE     write the report to FILE instead of stdout\n\
-         \x20                (run-all writes one FILE-<scenario> per scenario)\n\
-         \x20 --runs         include per-run records in JSON output"
+         \x20                (run-all writes one FILE-<scenario> per\n\
+         \x20                scenario plus a FILE-manifest index)\n\
+         \x20 --runs         include per-run records in JSON output\n\
+         \n\
+         explore options:\n\
+         \x20 --cache DIR    reuse finished profile cells from DIR and\n\
+         \x20                persist new ones (skips already-swept cells)\n\
+         \x20 --full         evaluate every profile even when the game\n\
+         \x20                declares a player symmetry\n\
+         \x20 --eps E        equilibrium tolerance (default 1e-9)"
     );
     ExitCode::from(2)
 }
@@ -55,6 +79,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         format: Format::Table,
         out: None,
         include_runs: false,
+        cache: None,
+        full: false,
+        eps: 1e-9,
+        seeds_given: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -68,6 +96,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.seeds = value("--seeds")?
                     .parse()
                     .map_err(|_| "--seeds must be a number".to_string())?;
+                opts.seeds_given = true;
             }
             "--threads" => {
                 opts.threads = value("--threads")?
@@ -84,6 +113,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--out" => opts.out = Some(value("--out")?),
             "--runs" => opts.include_runs = true,
+            "--cache" => opts.cache = Some(value("--cache")?),
+            "--full" => opts.full = true,
+            "--eps" => {
+                opts.eps = value("--eps")?
+                    .parse()
+                    .map_err(|_| "--eps must be a number".to_string())?;
+            }
             other => return Err(format!("unknown option: {other}")),
         }
     }
@@ -133,6 +169,80 @@ fn out_path_for(out: &Option<String>, scenario: &str, multi: bool) -> Option<Str
     })
 }
 
+fn explore_game(name: &str, opts: &Options) -> Result<(), String> {
+    let Some(game) = prft_lab::find_game(name) else {
+        return Err(format!(
+            "unknown game: {name} (try `prft-lab explore list`)"
+        ));
+    };
+    let seeds = if opts.seeds_given { opts.seeds } else { 8 };
+    // Analytic games are evaluated exactly once per profile; announce what
+    // will actually happen rather than the requested seed count.
+    let analytic = matches!(game.eval, prft_lab::GameEval::Analytic(_));
+    if analytic && opts.seeds_given {
+        eprintln!("note: {} is analytic — --seeds is ignored", game.name);
+    }
+    let mut explorer = GameExplorer::new(BatchRunner::new(opts.threads));
+    if let Some(dir) = &opts.cache {
+        explorer = explorer.with_cache(UtilityCache::new(dir));
+    }
+    if opts.full {
+        explorer = explorer.without_symmetry();
+    }
+    let space = game.space(!opts.full);
+    eprintln!(
+        "exploring {} ({} profiles, {} to evaluate, {} per profile, {} threads)",
+        game.name,
+        space.len(),
+        space.canonical_profiles().len(),
+        if analytic {
+            "exact evaluation".to_string()
+        } else {
+            format!("{seeds} seeds")
+        },
+        BatchRunner::new(opts.threads).threads(),
+    );
+    let exploration = explorer.explore(&game, seeds);
+    // Cost accounting goes to stderr: the report itself is a pure function
+    // of (game, seeds, eps), byte-identical whatever the cache held.
+    eprintln!(
+        "evaluated {} cells, {} from cache, {} by symmetry",
+        exploration.evaluated, exploration.cached, exploration.expanded
+    );
+    let content = match opts.format {
+        Format::Table => report::explore_table(&game, &exploration, opts.eps),
+        Format::Json => report::explore_json(&game, &exploration, opts.eps),
+        Format::Csv => report::explore_csv(&game, &exploration),
+    };
+    emit(content, &opts.out)
+}
+
+fn explore_command(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            let mut table =
+                prft_metrics::AsciiTable::new(vec!["game", "space", "evaluated", "description"])
+                    .with_title("registered games (prft-lab explore run <name>)");
+            for g in prft_lab::game_registry() {
+                let space = g.space(true);
+                table.row(vec![
+                    g.name.to_string(),
+                    space.len().to_string(),
+                    space.canonical_profiles().len().to_string(),
+                    g.description.to_string(),
+                ]);
+            }
+            println!("{}", table.render());
+            Ok(())
+        }
+        Some("run") => match args.get(1) {
+            Some(name) => parse_options(&args[2..]).and_then(|opts| explore_game(name, &opts)),
+            None => Err("explore run needs a game name".to_string()),
+        },
+        _ => Err("usage: prft-lab explore <list | run <game>>".to_string()),
+    }
+}
+
 fn run_scenario(scenario: &Scenario, opts: &Options, out: Option<String>) -> Result<(), String> {
     let runner = BatchRunner::new(opts.threads);
     eprintln!(
@@ -151,6 +261,45 @@ fn run_scenario(scenario: &Scenario, opts: &Options, out: Option<String>) -> Res
         Format::Csv => report::scenario_csv(scenario.name, &reports),
     };
     emit(content, &out)
+}
+
+/// The manifest path for a `run-all --out` base path: the stem plus
+/// `-manifest.json`, whatever the report format was (the manifest itself
+/// is always JSON).
+fn manifest_path_for(out: &str) -> String {
+    let (dir, file) = match out.rsplit_once('/') {
+        Some((dir, file)) => (Some(dir), file),
+        None => (None, out),
+    };
+    let stem = match file.rsplit_once('.') {
+        Some((stem, _)) if !stem.is_empty() => stem,
+        _ => file,
+    };
+    match dir {
+        Some(dir) => format!("{dir}/{stem}-manifest.json"),
+        None => format!("{stem}-manifest.json"),
+    }
+}
+
+/// The `run-all` manifest document: scenario → report file, in run order.
+fn run_all_manifest(seeds: u64, written: &[(String, String)]) -> String {
+    use prft_lab::json::Json;
+    Json::obj([
+        ("command", Json::str("run-all")),
+        ("seeds", Json::u64(seeds)),
+        (
+            "reports",
+            Json::Arr(
+                written
+                    .iter()
+                    .map(|(scenario, file)| {
+                        Json::obj([("scenario", Json::str(scenario)), ("file", Json::str(file))])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .render_pretty()
 }
 
 fn main() -> ExitCode {
@@ -185,12 +334,27 @@ fn main() -> ExitCode {
             }
         }
         "run-all" => parse_options(&args[1..]).and_then(|opts| {
+            let mut written: Vec<(String, String)> = Vec::new();
             for scenario in registry() {
                 let out = out_path_for(&opts.out, scenario.name, true);
+                if let Some(path) = &out {
+                    written.push((scenario.name.to_string(), path.clone()));
+                }
                 run_scenario(&scenario, &opts, out)?;
+            }
+            // A machine-readable index of what was just produced, so
+            // downstream tooling never has to re-derive the per-scenario
+            // file-naming scheme (schema: docs/REPORT_SCHEMA.md).
+            if !written.is_empty() {
+                let manifest_path = manifest_path_for(opts.out.as_ref().expect("out is set"));
+                let manifest = run_all_manifest(opts.seeds, &written);
+                std::fs::write(&manifest_path, manifest)
+                    .map_err(|e| format!("writing {manifest_path}: {e}"))?;
+                eprintln!("wrote {manifest_path}");
             }
             Ok(())
         }),
+        "explore" => explore_command(&args[1..]),
         "--help" | "-h" | "help" => {
             usage();
             Ok(())
@@ -211,7 +375,35 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::out_path_for;
+    use super::{manifest_path_for, out_path_for, run_all_manifest};
+
+    #[test]
+    fn manifest_paths_are_always_json() {
+        assert_eq!(manifest_path_for("report.json"), "report-manifest.json");
+        assert_eq!(manifest_path_for("nightly.csv"), "nightly-manifest.json");
+        assert_eq!(manifest_path_for("out/report"), "out/report-manifest.json");
+        assert_eq!(
+            manifest_path_for("runs.v2/report.csv"),
+            "runs.v2/report-manifest.json"
+        );
+    }
+
+    #[test]
+    fn manifest_lists_reports_in_run_order() {
+        let m = run_all_manifest(
+            4,
+            &[
+                ("honest-sync".into(), "report-honest-sync.json".into()),
+                ("gst-sweep".into(), "report-gst-sweep.json".into()),
+            ],
+        );
+        assert!(m.contains("\"command\": \"run-all\""));
+        assert!(m.contains("\"seeds\": 4"));
+        let honest = m.find("honest-sync").unwrap();
+        let gst = m.find("gst-sweep").unwrap();
+        assert!(honest < gst, "run order preserved");
+        assert!(m.contains("\"file\": \"report-gst-sweep.json\""));
+    }
 
     #[test]
     fn out_paths_splice_only_the_filename() {

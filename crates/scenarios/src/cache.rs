@@ -1,0 +1,234 @@
+//! The explorer's on-disk utility cache.
+//!
+//! A sweep cell is expensive (seeds × simulated committee runs) but pure:
+//! its result is a function of `(profile, spec fingerprint, seed count)`
+//! alone, because the batch runner derives every per-run seed from the
+//! spec's base seed and the run index. The cache persists finished cells
+//! so a re-sweep — or a strictly larger sweep sharing profiles with an
+//! earlier one — only simulates the cells it has never seen.
+//!
+//! Format: one append-only text file per cache scope
+//! (`<dir>/<scope>.cells`), one line per cell:
+//!
+//! ```text
+//! v1 <TAB> fingerprint-hex <TAB> seeds <TAB> profile(csv) <TAB> seats(csv) <TAB> σ <TAB> utilities(csv) <TAB> ci95(csv)
+//! ```
+//!
+//! `seats` records which committee seats the per-player utilities were
+//! read from, so two games sharing a scope (and even a spec) can never
+//! exchange cells measured for different seats.
+//!
+//! Floats are written with Rust's shortest-roundtrip formatting, so a
+//! cache hit reproduces the computed cell *bit-exactly* and cached and
+//! uncached sweeps emit byte-identical reports. Unreadable lines are
+//! treated as misses (the cell is simply recomputed and re-appended); the
+//! last line for a key wins.
+
+use prft_game::{Profile, ProfileStats, SystemState};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The identity of one sweep cell.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// [`crate::ScenarioSpec::fingerprint`] of the cell's spec.
+    pub fingerprint: u64,
+    /// Seeded runs aggregated into the cell.
+    pub seeds: u64,
+    /// The strategy profile the spec realizes.
+    pub profile: Profile,
+    /// Committee seats the per-player utilities were read from.
+    pub seats: Vec<usize>,
+}
+
+/// A directory of per-game cell files.
+#[derive(Debug, Clone)]
+pub struct UtilityCache {
+    dir: PathBuf,
+}
+
+impl UtilityCache {
+    /// A cache rooted at `dir` (created on first write).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        UtilityCache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file(&self, game: &str) -> PathBuf {
+        self.dir.join(format!("{game}.cells"))
+    }
+
+    /// Loads every readable cell for `game` (empty when the file does not
+    /// exist yet). Later lines shadow earlier ones.
+    pub fn load(&self, game: &str) -> BTreeMap<CacheKey, ProfileStats> {
+        let mut cells = BTreeMap::new();
+        let Ok(content) = std::fs::read_to_string(self.file(game)) else {
+            return cells;
+        };
+        for line in content.lines() {
+            if let Some((key, stats)) = parse_line(line) {
+                cells.insert(key, stats);
+            }
+        }
+        cells
+    }
+
+    /// Appends finished cells for `game`, creating the directory and file
+    /// as needed. I/O errors are reported, not fatal — a read-only cache
+    /// directory degrades to cache-off behavior.
+    pub fn append(&self, game: &str, entries: &[(CacheKey, ProfileStats)]) -> std::io::Result<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        std::fs::create_dir_all(&self.dir)?;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.file(game))?;
+        let mut out = String::new();
+        for (key, stats) in entries {
+            out.push_str(&render_line(key, stats));
+            out.push('\n');
+        }
+        file.write_all(out.as_bytes())
+    }
+}
+
+fn csv_f64(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn csv_usize(values: &[usize]) -> String {
+    values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn render_line(key: &CacheKey, stats: &ProfileStats) -> String {
+    format!(
+        "v1\t{:016x}\t{}\t{}\t{}\t{}\t{}\t{}",
+        key.fingerprint,
+        key.seeds,
+        csv_usize(&key.profile),
+        csv_usize(&key.seats),
+        stats.sigma.symbol(),
+        csv_f64(&stats.utilities),
+        csv_f64(&stats.ci95),
+    )
+}
+
+fn parse_line(line: &str) -> Option<(CacheKey, ProfileStats)> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    let [version, fingerprint, seeds, profile, seats, sigma, utilities, ci95] = fields[..] else {
+        return None;
+    };
+    if version != "v1" {
+        return None;
+    }
+    let fingerprint = u64::from_str_radix(fingerprint, 16).ok()?;
+    let seeds: u64 = seeds.parse().ok()?;
+    let profile: Profile = profile
+        .split(',')
+        .map(|s| s.parse().ok())
+        .collect::<Option<_>>()?;
+    let seats: Vec<usize> = seats
+        .split(',')
+        .map(|s| s.parse().ok())
+        .collect::<Option<_>>()?;
+    let sigma = *SystemState::ALL.iter().find(|s| s.symbol() == sigma)?;
+    let utilities: Vec<f64> = utilities
+        .split(',')
+        .map(|s| s.parse().ok())
+        .collect::<Option<_>>()?;
+    let ci95: Vec<f64> = ci95
+        .split(',')
+        .map(|s| s.parse().ok())
+        .collect::<Option<_>>()?;
+    if utilities.len() != ci95.len() || utilities.is_empty() {
+        return None;
+    }
+    Some((
+        CacheKey {
+            fingerprint,
+            seeds,
+            profile,
+            seats,
+        },
+        ProfileStats {
+            utilities,
+            ci95,
+            seeds,
+            sigma,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> ProfileStats {
+        ProfileStats {
+            utilities: vec![0.5, -10.25, 1.0 / 3.0],
+            ci95: vec![0.0, 0.125, 0.001],
+            seeds: 4,
+            sigma: SystemState::Fork,
+        }
+    }
+
+    fn key() -> CacheKey {
+        CacheKey {
+            fingerprint: 0xdead_beef_0bad_f00d,
+            seeds: 4,
+            profile: vec![0, 2, 1],
+            seats: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn lines_round_trip_bit_exactly() {
+        let line = render_line(&key(), &stats());
+        let (k, s) = parse_line(&line).expect("parses");
+        assert_eq!(k, key());
+        assert_eq!(s, stats());
+    }
+
+    #[test]
+    fn malformed_lines_are_misses() {
+        assert!(parse_line("").is_none());
+        assert!(parse_line("v0\tffff\t1\t0\t0\tσ_0\t1\t0").is_none());
+        assert!(parse_line("v1\tnot-hex\t1\t0\t0\tσ_0\t1\t0").is_none());
+        assert!(parse_line("v1\tffff\t1\t0\t0\tσ_??\t1\t0").is_none());
+        // Arity mismatch between utilities and CIs.
+        assert!(parse_line("v1\tffff\t1\t0\t0\tσ_0\t1,2\t0").is_none());
+        // A pre-seats line (the old 7-field shape) is a miss, not a panic.
+        assert!(parse_line("v1\tffff\t1\t0\tσ_0\t1\t0").is_none());
+    }
+
+    #[test]
+    fn missing_file_loads_empty_and_append_creates() {
+        let dir = std::env::temp_dir().join(format!("prft-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = UtilityCache::new(&dir);
+        assert!(cache.load("g").is_empty());
+        cache.append("g", &[(key(), stats())]).expect("append");
+        let loaded = cache.load("g");
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded.get(&key()), Some(&stats()));
+        // Appending the same key again shadows, not duplicates.
+        cache.append("g", &[(key(), stats())]).expect("append");
+        assert_eq!(cache.load("g").len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,358 @@
+//! The empirical game explorer: profile space → scenario spec → batch
+//! runs → utility table.
+//!
+//! The paper's equilibrium claims (Lemma 4's DSIC, Table 2's payoffs,
+//! Theorem 3's trap equilibria) are statements over *strategy profiles*. A
+//! [`GameDef`] declares such a game: which committee seats are the rational
+//! players, which strategies each may play, and how one profile becomes a
+//! runnable [`ScenarioSpec`]. The [`GameExplorer`] then sweeps the space:
+//!
+//! 1. **Symmetry reduction** — profiles equivalent under a declared player
+//!    symmetry are evaluated once ([`prft_game::ProfileSpace`]); the full
+//!    table is reconstructed by permuting per-player utilities back.
+//! 2. **Caching** — each cell is keyed by `(profile, spec fingerprint,
+//!    seeds)` in an on-disk [`UtilityCache`]; re-sweeps only simulate new
+//!    cells, and a hit reproduces the computed cell bit-exactly.
+//! 3. **Deterministic parallelism** — cells × seeds are flattened into one
+//!    work list and fanned through [`par_map`] with the batch runner's
+//!    order-independent seeding, so `--threads 1` and `--threads 8`
+//!    produce byte-identical utility tables.
+//!
+//! The finished [`prft_game::UtilityTable`] carries per-cell 95% CIs, and
+//! its Nash/DSIC certificates report whether each verdict is robust to
+//! them.
+
+use crate::build::run_one;
+use crate::cache::{CacheKey, UtilityCache};
+use crate::record::BatchReport;
+use crate::runner::{derive_seed, par_map, BatchRunner};
+use crate::spec::ScenarioSpec;
+use prft_game::{Profile, ProfileSpace, ProfileStats, SystemState, UtilityTable};
+use std::collections::BTreeMap;
+
+/// How a game's profiles are evaluated.
+pub enum GameEval {
+    /// Map the profile to a committee spec and simulate it; player `p` of
+    /// the game reads the measured utility of committee seat `players[p]`.
+    /// The spec must measure utilities ([`ScenarioSpec::utility`]).
+    Simulated {
+        /// Committee seat of each game player.
+        players: Vec<usize>,
+        /// Profile → runnable spec.
+        spec_of: fn(&Profile) -> ScenarioSpec,
+    },
+    /// Closed-form evaluation (no simulation; seeds are ignored and cells
+    /// carry zero CI).
+    Analytic(fn(&Profile) -> (Vec<f64>, SystemState)),
+}
+
+/// A declarative empirical game the explorer can sweep (`prft-lab explore
+/// run <name>`).
+pub struct GameDef {
+    /// Registry name.
+    pub name: &'static str,
+    /// One-line description for `prft-lab explore list`.
+    pub description: &'static str,
+    /// Per-player strategy labels (`strategies[p][s]`), defining both the
+    /// arity of the space and the names reports print.
+    pub strategies: Vec<Vec<&'static str>>,
+    /// Declared symmetry groups: sets of players whose identities do not
+    /// matter to the game. Only declare what the simulation really honors —
+    /// leader rotation, partition sides, and fork groups all break seat
+    /// interchangeability.
+    pub symmetry: Vec<Vec<usize>>,
+    /// The profile every player "should" play (strategy index per player);
+    /// the DSIC verdict asks whether each component is dominant.
+    pub honest: Profile,
+    /// Cache namespace. Games sharing `spec_of` may share a scope, so a
+    /// wider sweep reuses the cells a narrower one already paid for.
+    /// Cells are keyed by spec fingerprint *and* the player-seat vector,
+    /// so scope sharing can never serve a stale cell or one measured for
+    /// different seats.
+    pub cache_scope: &'static str,
+    /// How profiles are evaluated.
+    pub eval: GameEval,
+}
+
+impl GameDef {
+    /// The game's profile space, honoring declared symmetry when
+    /// `use_symmetry` is set.
+    pub fn space(&self, use_symmetry: bool) -> ProfileSpace {
+        let mut space = ProfileSpace::new(self.strategies.iter().map(Vec::len).collect());
+        if use_symmetry {
+            for group in &self.symmetry {
+                space = space.with_symmetry(group.iter().copied());
+            }
+        }
+        space
+    }
+
+    /// Number of game players.
+    pub fn players(&self) -> usize {
+        self.strategies.len()
+    }
+
+    /// The label of `player`'s strategy `s`.
+    pub fn label(&self, player: usize, s: usize) -> &'static str {
+        self.strategies[player][s]
+    }
+
+    /// Formats a profile with strategy labels: `(π_0, π_abs, π_fork)`.
+    pub fn profile_label(&self, profile: &Profile) -> String {
+        let parts: Vec<&str> = profile
+            .iter()
+            .enumerate()
+            .map(|(p, &s)| self.label(p, s))
+            .collect();
+        format!("({})", parts.join(", "))
+    }
+}
+
+/// A finished sweep: the complete utility table plus cost accounting.
+pub struct Exploration {
+    /// The complete measured game.
+    pub table: UtilityTable,
+    /// Seeded runs behind each simulated cell.
+    pub seeds: u64,
+    /// Cells simulated by this sweep.
+    pub evaluated: usize,
+    /// Cells served from the on-disk cache.
+    pub cached: usize,
+    /// Cells filled by symmetry expansion instead of simulation.
+    pub expanded: usize,
+}
+
+/// Sweeps [`GameDef`]s into utility tables through the batch engine.
+pub struct GameExplorer {
+    runner: BatchRunner,
+    cache: Option<UtilityCache>,
+    use_symmetry: bool,
+}
+
+impl GameExplorer {
+    /// An explorer fanning work through `runner`, with no cache and
+    /// symmetry reduction on.
+    pub fn new(runner: BatchRunner) -> Self {
+        GameExplorer {
+            runner,
+            cache: None,
+            use_symmetry: true,
+        }
+    }
+
+    /// Persists (and reuses) finished cells in `cache`.
+    #[must_use]
+    pub fn with_cache(mut self, cache: UtilityCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Evaluates every profile even when the game declares symmetry (the
+    /// cross-check mode the symmetry tests use).
+    #[must_use]
+    pub fn without_symmetry(mut self) -> Self {
+        self.use_symmetry = false;
+        self
+    }
+
+    /// Sweeps `game`, simulating `seeds` runs per evaluated cell.
+    ///
+    /// # Panics
+    /// Panics if a simulated game's spec does not measure utilities or
+    /// names a committee seat outside the committee.
+    pub fn explore(&self, game: &GameDef, seeds: u64) -> Exploration {
+        let space = game.space(self.use_symmetry);
+        let targets = space.canonical_profiles();
+        let expanded = space.len() - targets.len();
+        match &game.eval {
+            GameEval::Analytic(eval) => {
+                let mut cells = BTreeMap::new();
+                for profile in &targets {
+                    let (utilities, sigma) = eval(profile);
+                    assert_eq!(utilities.len(), game.players(), "one utility per player");
+                    cells.insert(
+                        profile.clone(),
+                        ProfileStats {
+                            ci95: vec![0.0; game.players()],
+                            seeds: 1,
+                            utilities,
+                            sigma,
+                        },
+                    );
+                }
+                Exploration {
+                    table: UtilityTable::from_canonical(space, &cells),
+                    seeds: 1,
+                    evaluated: targets.len(),
+                    cached: 0,
+                    expanded,
+                }
+            }
+            GameEval::Simulated { players, spec_of } => {
+                self.explore_simulated(game, space, targets, expanded, players, *spec_of, seeds)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn explore_simulated(
+        &self,
+        game: &GameDef,
+        space: ProfileSpace,
+        targets: Vec<Profile>,
+        expanded: usize,
+        players: &[usize],
+        spec_of: fn(&Profile) -> ScenarioSpec,
+        seeds: u64,
+    ) -> Exploration {
+        let seeds = seeds.max(1);
+        let known = self
+            .cache
+            .as_ref()
+            .map(|c| c.load(game.cache_scope))
+            .unwrap_or_default();
+
+        let mut cells: BTreeMap<Profile, ProfileStats> = BTreeMap::new();
+        let mut misses: Vec<(Profile, ScenarioSpec, CacheKey)> = Vec::new();
+        for profile in &targets {
+            let spec = spec_of(profile);
+            assert!(
+                spec.utility.is_some(),
+                "game '{}' spec for {profile:?} must measure utilities",
+                game.name
+            );
+            let key = CacheKey {
+                fingerprint: spec.fingerprint(),
+                seeds,
+                profile: profile.clone(),
+                seats: players.to_vec(),
+            };
+            match known.get(&key) {
+                Some(stats) if stats.utilities.len() == game.players() => {
+                    cells.insert(profile.clone(), stats.clone());
+                }
+                _ => misses.push((profile.clone(), spec, key)),
+            }
+        }
+        let cached = cells.len();
+
+        // Flatten cells × seeds into one work list so many small cells
+        // still saturate the pool; per-run seeds depend only on (spec base
+        // seed, seed index), so scheduling cannot perturb any run.
+        let work: Vec<(usize, u64)> = (0..misses.len())
+            .flat_map(|cell| (0..seeds).map(move |i| (cell, i)))
+            .collect();
+        let records = par_map(self.runner.threads(), &work, |_, &(cell, i)| {
+            let spec = &misses[cell].1;
+            run_one(spec, derive_seed(spec.base_seed, i))
+        });
+
+        let mut fresh: Vec<(CacheKey, ProfileStats)> = Vec::new();
+        for (cell, chunk) in records.chunks(seeds as usize).enumerate() {
+            let (profile, spec, key) = &misses[cell];
+            let report = BatchReport::from_records(spec.label.clone(), spec.n, chunk.to_vec());
+            let stats = ProfileStats {
+                utilities: players
+                    .iter()
+                    .map(|&seat| {
+                        report
+                            .utilities
+                            .get(seat)
+                            .unwrap_or_else(|| {
+                                panic!("game '{}': no seat {seat} in n={}", game.name, spec.n)
+                            })
+                            .mean
+                    })
+                    .collect(),
+                ci95: players
+                    .iter()
+                    .map(|&seat| report.utilities[seat].ci95)
+                    .collect(),
+                seeds,
+                sigma: report.modal_sigma(),
+            };
+            cells.insert(profile.clone(), stats.clone());
+            fresh.push((key.clone(), stats));
+        }
+        if let Some(cache) = &self.cache {
+            if let Err(e) = cache.append(game.cache_scope, &fresh) {
+                eprintln!("warning: utility cache write failed: {e}");
+            }
+        }
+
+        Exploration {
+            evaluated: misses.len(),
+            table: UtilityTable::from_canonical(space, &cells),
+            seeds,
+            cached,
+            expanded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Role, UtilitySpec};
+    use prft_game::Theta;
+
+    fn tiny_game() -> GameDef {
+        // Seats 4 and 5 of n = 6 choose {π_0, π_abs}; utilities depend only
+        // on how many abstain, so the seats are genuinely symmetric.
+        GameDef {
+            name: "tiny-abstain",
+            cache_scope: "tiny-abstain",
+            description: "test game",
+            strategies: vec![vec!["π_0", "π_abs"]; 2],
+            symmetry: vec![vec![0, 1]],
+            honest: vec![0, 0],
+            eval: GameEval::Simulated {
+                players: vec![4, 5],
+                spec_of: |profile| {
+                    let mut spec = ScenarioSpec::new(format!("{profile:?}"), 6, 2)
+                        .base_seed(0x7e57)
+                        .utility(UtilitySpec::standard(Theta::LivenessAttacking, 2))
+                        .horizon(150_000);
+                    for (i, &s) in profile.iter().enumerate() {
+                        if s == 1 {
+                            spec = spec.role(4 + i, Role::Abstain);
+                        }
+                    }
+                    spec
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn simulated_sweep_fills_the_table() {
+        let out = GameExplorer::new(BatchRunner::new(2)).explore(&tiny_game(), 2);
+        assert!(out.table.is_complete());
+        assert_eq!(out.evaluated, 3, "C(3, 2) canonical profiles");
+        assert_eq!(out.expanded, 1, "(1,0) is the mirror of (0,1)");
+        assert_eq!(out.cached, 0);
+        // Two abstainers of six jam the quorum: θ=3 profits.
+        let jam = out.table.utilities(&vec![1, 1]);
+        assert!(jam[0] > 0.0 && jam[1] > 0.0);
+        assert_eq!(out.table.utilities(&vec![0, 0]), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn analytic_games_skip_simulation() {
+        let game = GameDef {
+            name: "matching-pennies",
+            cache_scope: "matching-pennies",
+            description: "test game",
+            strategies: vec![vec!["H", "T"]; 2],
+            symmetry: vec![],
+            honest: vec![0, 0],
+            eval: GameEval::Analytic(|p| {
+                let win = if p[0] == p[1] { 1.0 } else { -1.0 };
+                (vec![win, -win], SystemState::HonestExecution)
+            }),
+        };
+        let out = GameExplorer::new(BatchRunner::new(1)).explore(&game, 99);
+        assert_eq!(out.evaluated, 4);
+        assert!(out.table.nash_equilibria(0.0).is_empty(), "no pure NE");
+    }
+}

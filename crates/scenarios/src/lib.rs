@@ -18,8 +18,13 @@
 //! * [`RunRecord`] / [`BatchReport`] / [`Aggregate`] — per-run observables
 //!   and their mean/min/max/CI aggregates plus σ-state histograms;
 //! * [`report`] — JSON, CSV, and terminal emission;
+//! * [`GameExplorer`] / [`GameDef`] / [`game_registry`] — the empirical
+//!   game-exploration engine: profile space → spec → utilities, with
+//!   symmetry reduction, an on-disk [`UtilityCache`], and CI-aware
+//!   equilibrium reports (see `docs/REPORT_SCHEMA.md`);
 //! * the `prft-lab` binary — `prft-lab list`, `prft-lab run <scenario>
-//!   --seeds N --threads T [--format json|csv|table] [--out FILE]`.
+//!   --seeds N --threads T [--format json|csv|table] [--out FILE]`, and
+//!   `prft-lab explore run <game>` for equilibrium sweeps.
 //!
 //! The `prft-bench` experiment binaries are thin formatters over this
 //! crate: each defines (or references) scenario specs and drives them
@@ -41,6 +46,9 @@
 #![warn(missing_docs)]
 
 mod build;
+mod cache;
+mod explore;
+mod games;
 pub mod json;
 mod record;
 mod registry;
@@ -52,6 +60,9 @@ pub use build::{
     build_sim, classify_sim, classify_watched, discounted_utility, measure_utility_for, run_one,
     summarize,
 };
+pub use cache::{CacheKey, UtilityCache};
+pub use explore::{Exploration, GameDef, GameEval, GameExplorer};
+pub use games::{find_game, game_registry};
 pub use record::{Aggregate, BatchReport, RunRecord};
 pub use registry::{find, registry, Scenario};
 pub use runner::{derive_seed, effective_threads, par_map, BatchRunner};

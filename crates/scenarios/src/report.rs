@@ -1,9 +1,11 @@
 //! Report emission: JSON documents, CSV tables, and terminal summaries
-//! over one scenario's batch reports.
+//! over one scenario's batch reports, plus the equilibrium reports of
+//! `prft-lab explore` (schemas documented in `docs/REPORT_SCHEMA.md`).
 
+use crate::explore::{Exploration, GameDef};
 use crate::json::Json;
 use crate::record::BatchReport;
-use prft_game::SystemState;
+use prft_game::{Confidence, SystemState};
 use prft_metrics::AsciiTable;
 
 /// The JSON document for one scenario run (`prft-lab run <name>`).
@@ -117,6 +119,241 @@ pub fn scenario_table(scenario: &str, seeds: u64, reports: &[BatchReport]) -> St
     table.render()
 }
 
+fn confidence_str(c: Confidence) -> &'static str {
+    match c {
+        Confidence::Certified => "certified",
+        Confidence::Tentative => "tentative",
+    }
+}
+
+fn f64_arr(values: &[f64]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::Num(v)).collect())
+}
+
+fn profile_arr(profile: &[usize]) -> Json {
+    Json::Arr(profile.iter().map(|&s| Json::u64(s as u64)).collect())
+}
+
+/// The equilibrium-report JSON for one explored game (`prft-lab explore
+/// run <name> --format json`).
+///
+/// Everything in the document is a pure function of `(game, seeds, eps)` —
+/// cache state and thread count never appear, so cached and uncached
+/// sweeps at any `--threads` emit byte-identical reports.
+pub fn explore_json(game: &GameDef, exploration: &Exploration, eps: f64) -> String {
+    let table = &exploration.table;
+    let cells: Vec<Json> = table
+        .cells()
+        .map(|(profile, stats)| {
+            Json::obj([
+                ("profile", profile_arr(profile)),
+                ("label", Json::str(game.profile_label(profile))),
+                ("sigma", Json::str(stats.sigma.symbol())),
+                ("utilities", f64_arr(&stats.utilities)),
+                ("ci95", f64_arr(&stats.ci95)),
+                ("seeds", Json::u64(stats.seeds)),
+            ])
+        })
+        .collect();
+    let nash: Vec<Json> = table
+        .nash_equilibria(eps)
+        .into_iter()
+        .map(|profile| {
+            let cert = table.certify_nash(&profile, eps);
+            Json::obj([
+                ("profile", profile_arr(&profile)),
+                ("label", Json::str(game.profile_label(&profile))),
+                ("confidence", Json::str(confidence_str(cert.confidence))),
+                ("worst_gain", Json::Num(cert.worst_gain)),
+            ])
+        })
+        .collect();
+    let mut dominant = Vec::new();
+    for player in 0..game.players() {
+        for s in 0..game.strategies[player].len() {
+            let cert = table.certify_dominant(player, s, eps);
+            dominant.push(Json::obj([
+                ("player", Json::u64(player as u64)),
+                ("strategy", Json::u64(s as u64)),
+                ("label", Json::str(game.label(player, s))),
+                ("dominant", Json::Bool(cert.holds)),
+                ("confidence", Json::str(confidence_str(cert.confidence))),
+                ("worst_gain", Json::Num(cert.worst_gain)),
+            ]));
+        }
+    }
+    let dsic_certs: Vec<_> = (0..game.players())
+        .map(|p| table.certify_dominant(p, game.honest[p], eps))
+        .collect();
+    let dsic = Json::obj([
+        ("profile", profile_arr(&game.honest)),
+        ("label", Json::str(game.profile_label(&game.honest))),
+        ("holds", Json::Bool(dsic_certs.iter().all(|c| c.holds))),
+        (
+            "confidence",
+            Json::str(
+                if dsic_certs
+                    .iter()
+                    .all(|c| c.confidence == Confidence::Certified)
+                {
+                    "certified"
+                } else {
+                    "tentative"
+                },
+            ),
+        ),
+    ]);
+    let regret = Json::Arr(
+        table
+            .regret_matrix()
+            .iter()
+            .map(|row| f64_arr(row))
+            .collect(),
+    );
+    Json::obj([
+        ("game", Json::str(game.name)),
+        ("seeds", Json::u64(exploration.seeds)),
+        ("eps", Json::Num(eps)),
+        ("players", Json::u64(game.players() as u64)),
+        (
+            "strategies",
+            Json::Arr(
+                game.strategies
+                    .iter()
+                    .map(|s| Json::Arr(s.iter().map(|&l| Json::str(l)).collect()))
+                    .collect(),
+            ),
+        ),
+        (
+            "symmetry",
+            Json::Arr(
+                game.symmetry
+                    .iter()
+                    .map(|g| Json::Arr(g.iter().map(|&p| Json::u64(p as u64)).collect()))
+                    .collect(),
+            ),
+        ),
+        ("cells", Json::Arr(cells)),
+        ("nash", Json::Arr(nash)),
+        ("dominant", Json::Arr(dominant)),
+        ("dsic", dsic),
+        ("regret", regret),
+    ])
+    .render_pretty()
+}
+
+/// CSV over the explored cells: one row per profile, per-player utility
+/// and CI columns.
+pub fn explore_csv(game: &GameDef, exploration: &Exploration) -> String {
+    let mut out = String::from("game,profile,label,sigma,seeds");
+    for p in 0..game.players() {
+        out.push_str(&format!(",u{p},ci{p}"));
+    }
+    out.push('\n');
+    for (profile, stats) in exploration.table.cells() {
+        let profile_str = profile
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("-");
+        out.push_str(&format!(
+            "{},{},{},{},{}",
+            csv_field(game.name),
+            profile_str,
+            csv_field(&game.profile_label(profile)),
+            stats.sigma.symbol(),
+            stats.seeds,
+        ));
+        for p in 0..game.players() {
+            out.push_str(&format!(",{},{}", stats.utilities[p], stats.ci95[p]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Human-readable equilibrium report for the terminal.
+pub fn explore_table(game: &GameDef, exploration: &Exploration, eps: f64) -> String {
+    let table = &exploration.table;
+    let mut out = String::new();
+
+    let mut headers = vec!["profile".to_string(), "σ".to_string()];
+    for p in 0..game.players() {
+        headers.push(format!("U(P{p})"));
+    }
+    let mut cells =
+        AsciiTable::new(headers.iter().map(String::as_str).collect()).with_title(&format!(
+            "{} — {} profiles × {} seeds",
+            game.name,
+            table.space().len(),
+            exploration.seeds
+        ));
+    for (profile, stats) in table.cells() {
+        let mut row = vec![game.profile_label(profile), stats.sigma.symbol().into()];
+        for p in 0..game.players() {
+            row.push(if stats.ci95[p] > 0.0 {
+                format!("{:.3}±{:.3}", stats.utilities[p], stats.ci95[p])
+            } else {
+                format!("{:.3}", stats.utilities[p])
+            });
+        }
+        cells.row(row);
+    }
+    out.push_str(&cells.render());
+    out.push('\n');
+
+    let ne = table.nash_equilibria(eps);
+    out.push_str(&format!("\nPure Nash equilibria (ε = {eps}):\n"));
+    if ne.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    for profile in &ne {
+        let cert = table.certify_nash(profile, eps);
+        out.push_str(&format!(
+            "  {}  [{}; worst deviation gain {:.3}]\n",
+            game.profile_label(profile),
+            confidence_str(cert.confidence),
+            cert.worst_gain,
+        ));
+    }
+
+    let mut dom = AsciiTable::new(vec![
+        "player",
+        "strategy",
+        "dominant",
+        "confidence",
+        "max regret",
+    ])
+    .with_title("Dominance and regret (per player × strategy)");
+    for (player, regrets) in table.regret_matrix().iter().enumerate() {
+        for (s, &regret) in regrets.iter().enumerate() {
+            let cert = table.certify_dominant(player, s, eps);
+            dom.row(vec![
+                format!("P{player}"),
+                game.label(player, s).to_string(),
+                if cert.holds { "✓" } else { "✗" }.to_string(),
+                confidence_str(cert.confidence).to_string(),
+                format!("{regret:.3}"),
+            ]);
+        }
+    }
+    out.push('\n');
+    out.push_str(&dom.render());
+    out.push('\n');
+
+    let dsic_holds = (0..game.players()).all(|p| table.is_dominant(p, game.honest[p], eps));
+    out.push_str(&format!(
+        "\nDSIC at {}: {}\n",
+        game.profile_label(&game.honest),
+        if dsic_holds {
+            "✓ (every component is weakly dominant)"
+        } else {
+            "✗"
+        },
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +424,29 @@ mod tests {
         let t = scenario_table("s", 1, &[report()]);
         assert!(t.contains("k=1"));
         assert!(t.contains("100%"));
+    }
+
+    #[test]
+    fn explore_reports_render_the_trap_game() {
+        use crate::games::find_game;
+        use crate::runner::BatchRunner;
+        let game = find_game("trap-k3").unwrap();
+        let out = crate::explore::GameExplorer::new(BatchRunner::new(1)).explore(&game, 1);
+        let json = explore_json(&game, &out, 1e-9);
+        assert!(json.contains("\"game\": \"trap-k3\""));
+        assert!(json.contains("\"nash\""));
+        // Theorem 3: both all-fork and all-bait are equilibria.
+        assert!(json.contains("(π_fork, π_fork, π_fork)"));
+        assert!(json.contains("(π_bait, π_bait, π_bait)"));
+        let csv = explore_csv(&game, &out);
+        assert_eq!(csv.lines().count(), 1 + 8, "header + 2^3 profiles");
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("u0,ci0,u1,ci1,u2,ci2"));
+        let table = explore_table(&game, &out, 1e-9);
+        assert!(table.contains("Pure Nash equilibria"));
+        assert!(table.contains("DSIC"));
     }
 }

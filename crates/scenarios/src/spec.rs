@@ -285,6 +285,23 @@ impl ScenarioSpec {
         self
     }
 
+    /// A stable 64-bit fingerprint of the complete spec, used to key the
+    /// explorer's on-disk utility cache: any change to any field (committee
+    /// size, roles, synchrony, economics, base seed, …) changes the
+    /// fingerprint, so stale cache cells can never be served for an edited
+    /// game. FNV-1a over the derived `Debug` encoding plus a format-version
+    /// salt (bump the salt when the spec vocabulary changes shape).
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in format!("spec-v1|{self:?}").bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+
     /// The role assigned to `index` (honest when unlisted; last write wins).
     pub fn role_of(&self, index: usize) -> Role {
         self.roles
@@ -320,6 +337,33 @@ mod tests {
             .role(1, Role::Crash);
         assert_eq!(spec.role_of(0), Role::Honest);
         assert_eq!(spec.role_of(1), Role::Crash);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_field() {
+        let base = ScenarioSpec::new("x", 4, 1);
+        assert_eq!(
+            base.fingerprint(),
+            ScenarioSpec::new("x", 4, 1).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            ScenarioSpec::new("y", 4, 1).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            ScenarioSpec::new("x", 5, 1).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            ScenarioSpec::new("x", 4, 1).base_seed(7).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            ScenarioSpec::new("x", 4, 1)
+                .role(1, Role::Abstain)
+                .fingerprint()
+        );
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! The game explorer's contracts: symmetry reduction reproduces the full
+//! sweep, the on-disk cache turns re-sweeps into pure reads (and wider
+//! sweeps into partial reads), and thread count never changes a report
+//! byte.
+
+use prft_lab::{
+    find_game, report, BatchRunner, GameDef, GameEval, GameExplorer, Role, ScenarioSpec,
+    UtilityCache, UtilitySpec,
+};
+use std::path::PathBuf;
+
+/// A scratch cache directory unique to this test process.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("prft-explore-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A cheap simulated game sharing the `abstain-quorum` committee shape:
+/// two never-leading seats of n = 6 choose {π_0, π_abs}.
+fn pair_game(wide: bool) -> GameDef {
+    fn spec_of(profile: &prft_game::Profile) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new(format!("{profile:?}"), 6, 2)
+            .base_seed(0xca5e)
+            .utility(UtilitySpec::standard(
+                prft_game::Theta::LivenessAttacking,
+                2,
+            ))
+            .horizon(150_000);
+        for (i, &s) in profile.iter().enumerate() {
+            match s {
+                0 => {}
+                1 => spec = spec.role(4 + i, Role::Abstain),
+                2 => spec = spec.role(4 + i, Role::Crash),
+                _ => unreachable!(),
+            }
+        }
+        spec
+    }
+    let strategies = if wide {
+        vec![vec!["π_0", "π_abs", "crash"]; 2]
+    } else {
+        vec![vec!["π_0", "π_abs"]; 2]
+    };
+    GameDef {
+        name: if wide { "pair-wide" } else { "pair" },
+        description: "test game",
+        strategies,
+        symmetry: vec![],
+        honest: vec![0, 0],
+        cache_scope: "pair",
+        eval: GameEval::Simulated {
+            players: vec![4, 5],
+            spec_of,
+        },
+    }
+}
+
+#[test]
+fn symmetry_reduction_reproduces_the_full_sweep() {
+    // `abstain-quorum` declares its three seats interchangeable; the
+    // reduced sweep (4 cells) must reproduce the full sweep (8 cells)
+    // cell-for-cell — utilities, CIs, and σ states alike.
+    let game = find_game("abstain-quorum").expect("registered game");
+    let reduced = GameExplorer::new(BatchRunner::new(2)).explore(&game, 3);
+    let full = GameExplorer::new(BatchRunner::new(2))
+        .without_symmetry()
+        .explore(&game, 3);
+    assert_eq!(reduced.evaluated, 4, "C(4, 3) canonical profiles");
+    assert_eq!(reduced.expanded, 4);
+    assert_eq!(full.evaluated, 8);
+    assert_eq!(full.expanded, 0);
+    for (profile, full_stats) in full.table.cells() {
+        assert_eq!(
+            reduced.table.get(profile),
+            Some(full_stats),
+            "cell {profile:?} diverges between reduced and full sweeps"
+        );
+    }
+    // And the rendered equilibrium reports are byte-identical.
+    assert_eq!(
+        report::explore_json(&game, &reduced, 1e-9),
+        report::explore_json(&game, &full, 1e-9)
+    );
+}
+
+#[test]
+fn cache_turns_resweeps_into_hits() {
+    let dir = scratch_dir("hits");
+    let cache = UtilityCache::new(&dir);
+    let game = pair_game(false);
+    let runner = BatchRunner::new(2);
+
+    let cold = GameExplorer::new(runner)
+        .with_cache(cache.clone())
+        .explore(&game, 2);
+    assert_eq!(
+        (cold.evaluated, cold.cached),
+        (4, 0),
+        "cold sweep simulates"
+    );
+
+    let warm = GameExplorer::new(runner)
+        .with_cache(cache.clone())
+        .explore(&game, 2);
+    assert_eq!(
+        (warm.evaluated, warm.cached),
+        (0, 4),
+        "re-sweep is pure reads"
+    );
+    assert_eq!(
+        report::explore_json(&game, &cold, 1e-9),
+        report::explore_json(&game, &warm, 1e-9),
+        "a cache hit reproduces the computed report byte-exactly"
+    );
+
+    // A different seed count is a different cell: misses again.
+    let reseeded = GameExplorer::new(runner)
+        .with_cache(cache.clone())
+        .explore(&game, 3);
+    assert_eq!((reseeded.evaluated, reseeded.cached), (4, 0));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wider_sweep_reuses_narrow_cells_through_the_shared_scope() {
+    let dir = scratch_dir("widen");
+    let cache = UtilityCache::new(&dir);
+    let runner = BatchRunner::new(2);
+
+    let narrow = GameExplorer::new(runner)
+        .with_cache(cache.clone())
+        .explore(&pair_game(false), 2);
+    assert_eq!((narrow.evaluated, narrow.cached), (4, 0));
+
+    // The 3×3 widening shares `spec_of`, seats, and cache scope: its 2×2
+    // sub-square is already on disk, only the 5 new cells simulate.
+    let wide = GameExplorer::new(runner)
+        .with_cache(cache.clone())
+        .explore(&pair_game(true), 2);
+    assert_eq!((wide.evaluated, wide.cached), (5, 4));
+
+    // The shared cells agree with the narrow sweep.
+    for profile in [vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]] {
+        assert_eq!(narrow.table.get(&profile), wide.table.get(&profile));
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_lines_degrade_to_misses() {
+    let dir = scratch_dir("corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("pair.cells"), "not a cache line\nv1\tbroken\n").unwrap();
+    let out = GameExplorer::new(BatchRunner::new(1))
+        .with_cache(UtilityCache::new(&dir))
+        .explore(&pair_game(false), 2);
+    assert_eq!((out.evaluated, out.cached), (4, 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explore_reports_are_thread_count_invariant() {
+    // The acceptance criterion: `--threads 1` and `--threads 8` produce
+    // byte-identical equilibrium reports, in every format.
+    let game = find_game("abstain-quorum").expect("registered game");
+    let serial = GameExplorer::new(BatchRunner::new(1)).explore(&game, 4);
+    let parallel = GameExplorer::new(BatchRunner::new(8)).explore(&game, 4);
+    assert_eq!(
+        report::explore_json(&game, &serial, 1e-9),
+        report::explore_json(&game, &parallel, 1e-9)
+    );
+    assert_eq!(
+        report::explore_csv(&game, &serial),
+        report::explore_csv(&game, &parallel)
+    );
+    assert_eq!(
+        report::explore_table(&game, &serial, 1e-9),
+        report::explore_table(&game, &parallel, 1e-9)
+    );
+}
+
+#[test]
+fn registered_trap_game_reproduces_theorem_3() {
+    let game = find_game("trap-k3").expect("registered game");
+    let out = GameExplorer::new(BatchRunner::new(2)).explore(&game, 1);
+    let ne = out.table.nash_equilibria(1e-9);
+    assert!(ne.contains(&vec![0, 0, 0]), "all-fork is a NE");
+    assert!(ne.contains(&vec![1, 1, 1]), "all-bait is a NE");
+    // G/k for the forkers; the focal analysis lives in to_game().
+    let fork_u = out.table.utilities(&vec![0, 0, 0]);
+    assert!((fork_u[0] - 8.0 / 3.0).abs() < 1e-12);
+    let eg = out.table.to_game();
+    assert_eq!(
+        eg.focal_among(&ne, &[0, 1, 2]).unwrap(),
+        &vec![0, 0, 0],
+        "the insecure equilibrium is focal"
+    );
+}
