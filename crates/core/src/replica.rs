@@ -234,6 +234,15 @@ impl Replica {
         self.phase
     }
 
+    /// Swaps this replica's strategy at runtime, returning the previous
+    /// one. The protocol state machine is untouched — only the decision
+    /// points change — which is exactly the paper's mid-stream deviation
+    /// model (a colluder defecting to `π_0`, an honest player turning
+    /// `π_abs`): the player keeps its keys, chain, and round position.
+    pub fn set_behavior(&mut self, behavior: Box<dyn Behavior>) -> Box<dyn Behavior> {
+        std::mem::replace(&mut self.behavior, behavior)
+    }
+
     /// The strategy label of this replica's behavior.
     pub fn behavior_label(&self) -> &'static str {
         self.behavior.label()

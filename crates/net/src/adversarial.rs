@@ -5,9 +5,17 @@
 //! finer control — e.g. "delay every message *from honest players to the
 //! other half* but let collusion traffic race ahead". [`TargetedDelay`]
 //! wraps a base model and adds rule-based extra delay.
+//!
+//! The rule set lives behind a shared [`DelayRuleHandle`], so a driver can
+//! keep adding rules *after* the simulation has taken ownership of the
+//! model — the timeline executor in `prft-lab` schedules `AddDelayRule`
+//! events at deterministic ticks between run segments. Because rules carry
+//! their own absolute windows and rule evaluation draws no randomness,
+//! mid-run additions cannot perturb determinism.
 
 use prft_sim::{LinkModel, SimRng, SimTime};
 use prft_types::NodeId;
+use std::sync::{Arc, Mutex};
 
 /// One scheduling rule: during `[from_time, until_time)`, messages matching
 /// the (sender, receiver) pattern get `extra` ticks of added delay.
@@ -68,10 +76,33 @@ impl DelayRule {
     }
 }
 
+/// A cloneable handle onto a [`TargetedDelay`]'s live rule set: the way to
+/// add rules after the wrapped model has been moved into a simulation.
+#[derive(Clone)]
+pub struct DelayRuleHandle {
+    rules: Arc<Mutex<Vec<DelayRule>>>,
+}
+
+impl DelayRuleHandle {
+    /// Adds a scheduling rule to the live model.
+    pub fn add_rule(&self, rule: DelayRule) {
+        self.rules.lock().expect("delay rules").push(rule);
+    }
+
+    /// Number of rules currently installed.
+    pub fn rule_count(&self) -> usize {
+        self.rules.lock().expect("delay rules").len()
+    }
+}
+
 /// A [`LinkModel`] wrapper applying [`DelayRule`]s on top of a base model.
+///
+/// Composes by wrapping: the base may itself be a `PartitionedNet` over a
+/// synchrony flavour, in which case rules match on the original *send*
+/// time and the extra delay lands on top of any partition hold.
 pub struct TargetedDelay {
     inner: Box<dyn LinkModel>,
-    rules: Vec<DelayRule>,
+    rules: Arc<Mutex<Vec<DelayRule>>>,
 }
 
 impl TargetedDelay {
@@ -79,14 +110,22 @@ impl TargetedDelay {
     pub fn new(inner: Box<dyn LinkModel>) -> Self {
         TargetedDelay {
             inner,
-            rules: Vec::new(),
+            rules: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
     /// Adds a scheduling rule.
     pub fn add_rule(&mut self, rule: DelayRule) -> &mut Self {
-        self.rules.push(rule);
+        self.rules.lock().expect("delay rules").push(rule);
         self
+    }
+
+    /// A handle for adding rules after this model has been boxed into a
+    /// simulation (mid-run rule installation).
+    pub fn handle(&self) -> DelayRuleHandle {
+        DelayRuleHandle {
+            rules: Arc::clone(&self.rules),
+        }
     }
 }
 
@@ -95,6 +134,8 @@ impl LinkModel for TargetedDelay {
         let base = self.inner.deliver_at(from, to, sent, rng);
         let extra: u64 = self
             .rules
+            .lock()
+            .expect("delay rules")
             .iter()
             .filter(|r| r.matches(from, to, sent))
             .map(|r| r.extra.0)
@@ -160,6 +201,48 @@ mod tests {
             SimTime(50),
         ));
         assert_eq!(delivery(&mut net, 0, 2, 100), 102, "window is exclusive");
+    }
+
+    #[test]
+    fn handle_adds_rules_to_a_live_model() {
+        let mut net = TargetedDelay::new(Box::new(ConstantDelay(SimTime(2))));
+        let handle = net.handle();
+        assert_eq!(handle.rule_count(), 0);
+        // Simulate "the model is already owned elsewhere": add via handle.
+        handle.add_rule(DelayRule::slow_sender(
+            NodeId(0),
+            SimTime(0),
+            SimTime(100),
+            SimTime(50),
+        ));
+        assert_eq!(handle.rule_count(), 1);
+        assert_eq!(delivery(&mut net, 0, 2, 10), 62);
+        assert_eq!(delivery(&mut net, 1, 2, 10), 12);
+    }
+
+    #[test]
+    fn composes_over_a_partition_stack() {
+        use crate::{PartitionWindow, PartitionedNet};
+        // sync base → partition → targeted delay: rule matches on the
+        // original send time; extra delay lands after the partition hold.
+        let mut partitioned = PartitionedNet::new(Box::new(ConstantDelay(SimTime(1))));
+        partitioned.add_window(PartitionWindow::split(
+            SimTime(0),
+            SimTime(100),
+            vec![vec![NodeId(0)], vec![NodeId(1)]],
+        ));
+        let mut net = TargetedDelay::new(Box::new(partitioned));
+        net.add_rule(DelayRule::slow_sender(
+            NodeId(0),
+            SimTime(0),
+            SimTime(50),
+            SimTime(7),
+        ));
+        // Sent at 10 (inside the rule window): held to 100, inner delay 1,
+        // plus the targeted 7.
+        assert_eq!(delivery(&mut net, 0, 1, 10), 108);
+        // Sent at 60 (rule expired): partition hold only.
+        assert_eq!(delivery(&mut net, 0, 1, 60), 101);
     }
 
     #[test]

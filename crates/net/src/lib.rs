@@ -43,6 +43,6 @@ mod adversarial;
 mod delay;
 mod partition;
 
-pub use adversarial::{DelayRule, TargetedDelay};
+pub use adversarial::{DelayRule, DelayRuleHandle, TargetedDelay};
 pub use delay::{AsynchronousNet, PartiallySynchronousNet, SynchronousNet};
 pub use partition::{PartitionWindow, PartitionedNet};

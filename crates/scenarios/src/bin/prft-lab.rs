@@ -2,7 +2,7 @@
 //! registered empirical games.
 //!
 //! ```text
-//! prft-lab list
+//! prft-lab list [--timeline]
 //! prft-lab run <scenario> [--seeds N] [--threads T]
 //!                         [--format table|json|csv] [--out FILE] [--runs]
 //! prft-lab run-all [--seeds N] [--threads T] [--out FILE]
@@ -44,7 +44,9 @@ fn usage() -> ExitCode {
         "usage: prft-lab <command>\n\
          \n\
          commands:\n\
-         \x20 list                      list registered scenarios\n\
+         \x20 list [--timeline]         list registered scenarios\n\
+         \x20                           (--timeline adds a column showing\n\
+         \x20                           which carry fault schedules)\n\
          \x20 run <scenario> [options]  run one scenario's grid\n\
          \x20 run-all [options]         run every registered scenario\n\
          \x20 explore list              list registered empirical games\n\
@@ -223,7 +225,11 @@ fn explore_command(args: &[String]) -> Result<(), String> {
             let mut table =
                 prft_metrics::AsciiTable::new(vec!["game", "space", "evaluated", "description"])
                     .with_title("registered games (prft-lab explore run <name>)");
-            for g in prft_lab::game_registry() {
+            // Stable name order: the listing is diffable whatever the
+            // registry's declaration order becomes.
+            let mut games = prft_lab::game_registry();
+            games.sort_by_key(|g| g.name);
+            for g in games {
                 let space = g.space(true);
                 table.row(vec![
                     g.name.to_string(),
@@ -241,6 +247,47 @@ fn explore_command(args: &[String]) -> Result<(), String> {
         },
         _ => Err("usage: prft-lab explore <list | run <game>>".to_string()),
     }
+}
+
+/// Renders the `--timeline` column for one scenario: the number of
+/// scheduled events across its grid, or a dash for static scenarios.
+fn timeline_cell(scenario: &Scenario) -> String {
+    let events: usize = scenario.specs.iter().map(|s| s.schedule.len()).sum();
+    match events {
+        0 => "—".to_string(),
+        1 => "1 event".to_string(),
+        n => format!("{n} events"),
+    }
+}
+
+fn list_scenarios(args: &[String]) -> Result<(), String> {
+    let mut timeline = false;
+    for arg in args {
+        if arg == "--timeline" {
+            timeline = true;
+        } else {
+            return Err(format!(
+                "unknown list option: {arg} (the only list option is --timeline)"
+            ));
+        }
+    }
+    let headers = if timeline {
+        vec!["scenario", "grid", "timeline", "description"]
+    } else {
+        vec!["scenario", "grid", "description"]
+    };
+    let mut table = prft_metrics::AsciiTable::new(headers)
+        .with_title("registered scenarios (prft-lab run <name>)");
+    for s in registry() {
+        let mut row = vec![s.name.to_string(), s.specs.len().to_string()];
+        if timeline {
+            row.push(timeline_cell(&s));
+        }
+        row.push(s.description.to_string());
+        table.row(row);
+    }
+    println!("{}", table.render());
+    Ok(())
 }
 
 fn run_scenario(scenario: &Scenario, opts: &Options, out: Option<String>) -> Result<(), String> {
@@ -308,19 +355,7 @@ fn main() -> ExitCode {
         return usage();
     };
     let result = match command.as_str() {
-        "list" => {
-            let mut table = prft_metrics::AsciiTable::new(vec!["scenario", "grid", "description"])
-                .with_title("registered scenarios (prft-lab run <name>)");
-            for s in registry() {
-                table.row(vec![
-                    s.name.to_string(),
-                    s.specs.len().to_string(),
-                    s.description.to_string(),
-                ]);
-            }
-            println!("{}", table.render());
-            Ok(())
-        }
+        "list" => list_scenarios(&args[1..]),
         "run" => {
             let Some(name) = args.get(1) else {
                 return usage();
@@ -375,7 +410,29 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::{manifest_path_for, out_path_for, run_all_manifest};
+    use super::{manifest_path_for, out_path_for, run_all_manifest, timeline_cell};
+
+    #[test]
+    fn timeline_cells_count_scheduled_events() {
+        use prft_lab::{Scenario, ScenarioSpec, TimelineEvent};
+        let static_scenario = Scenario {
+            name: "s",
+            description: "d",
+            specs: vec![ScenarioSpec::new("x", 4, 1)],
+        };
+        assert_eq!(timeline_cell(&static_scenario), "—");
+        let scheduled = Scenario {
+            name: "t",
+            description: "d",
+            specs: vec![
+                ScenarioSpec::new("x", 4, 1).at(5, TimelineEvent::Crash(0)),
+                ScenarioSpec::new("y", 4, 1)
+                    .at(5, TimelineEvent::Crash(0))
+                    .at(9, TimelineEvent::Recover(0)),
+            ],
+        };
+        assert_eq!(timeline_cell(&scheduled), "3 events");
+    }
 
     #[test]
     fn manifest_paths_are_always_json() {

@@ -1,20 +1,40 @@
-//! Turning a [`ScenarioSpec`] into a live simulation and a finished run
-//! into a [`RunRecord`]. This is the one place in the workspace that
-//! assembles committees for experiments — the `prft-bench` binaries and the
-//! `prft-lab` CLI both come through here.
+//! Turning a [`ScenarioSpec`] into a live simulation, executing its
+//! timeline schedule, and turning a finished run into a [`RunRecord`].
+//! This is the one place in the workspace that assembles committees for
+//! experiments — the `prft-bench` binaries and the `prft-lab` CLI both
+//! come through here.
+//!
+//! ## The timeline run loop
+//!
+//! A spec without a schedule runs in one `run_until(horizon)` segment,
+//! exactly as before. A spec *with* a schedule is executed as alternating
+//! segments: for each scheduled tick `t` (ascending; ties in insertion
+//! order) the loop runs the simulation up to — but excluding — `t`
+//! ([`Simulation::run_before`]), applies every event scheduled at `t`,
+//! then continues. Scheduled events therefore take effect "at the start
+//! of tick `t`", before any same-tick protocol traffic, and the whole run
+//! stays bit-deterministic: segment boundaries are pure functions of the
+//! spec, and no scheduled event draws randomness.
+//!
+//! Partition sugar ([`TimelineEvent::PartitionStart`]/`PartitionEnd`) is
+//! resolved statically into [`PartitionSpec`] windows at network-build
+//! time — partitions are window-based in `prft-net`, so they need no
+//! runtime action.
 
 use crate::record::RunRecord;
-use crate::spec::{Role, ScenarioSpec, Synchrony, UtilitySpec};
+use crate::spec::{PartitionSpec, Role, ScenarioSpec, Synchrony, TimelineEvent, UtilitySpec};
 use prft_adversary::{
     blackboard, Abstain, Blackboard, DoubleVoter, EquivocatingLeader, ForkColluder, GarbageVoter,
     PartialCensor, SilentLeader,
 };
 use prft_core::analysis::{analyze, honest_ids, tx_finalized_everywhere, tx_included_anywhere};
-use prft_core::{BallotAction, Behavior, Config, Harness, NetworkChoice, ProposeAction, Replica};
+use prft_core::{
+    BallotAction, Behavior, Config, Harness, Honest, NetworkChoice, ProposeAction, Replica,
+};
 use prft_game::{PayoffTable, SystemState};
 use prft_metrics::{classify, StateObservation};
-use prft_net::{PartitionWindow, PartitionedNet};
-use prft_sim::{LinkModel, SimTime, Simulation};
+use prft_net::{DelayRule, DelayRuleHandle, PartitionWindow, PartitionedNet, TargetedDelay};
+use prft_sim::{LinkModel, RunOutcome, SimTime, Simulation};
 use prft_types::{Block, Digest, NodeId, Round, Transaction, TxId};
 use std::collections::HashSet;
 
@@ -41,7 +61,58 @@ impl Behavior for VcSpammer {
     }
 }
 
-fn network_model(spec: &ScenarioSpec) -> NetworkChoice {
+/// Expands the schedule's partition sugar into explicit windows:
+/// `PartitionStart` opens at its tick, `PartitionEnd` closes the most
+/// recently opened (still open) scheduled partition, and anything left
+/// open runs to the horizon.
+///
+/// # Panics
+/// Panics on a `PartitionEnd` with no open scheduled partition.
+fn scheduled_partitions(spec: &ScenarioSpec) -> Vec<PartitionSpec> {
+    let mut sugar: Vec<(u64, &TimelineEvent)> = spec
+        .schedule
+        .iter()
+        .filter(|(_, e)| e.is_partition_sugar())
+        .map(|(t, e)| (*t, e))
+        .collect();
+    // Stable sort: same-tick sugar stays in insertion order. Open
+    // partitions are half-built windows (end = horizon); PartitionEnd
+    // tightens the most recent one still open.
+    sugar.sort_by_key(|(t, _)| *t);
+    let mut open: Vec<PartitionSpec> = Vec::new();
+    let mut windows = Vec::new();
+    for (tick, event) in sugar {
+        match event {
+            TimelineEvent::PartitionStart { groups, bridges } => {
+                open.push(PartitionSpec {
+                    start: tick,
+                    end: spec.horizon,
+                    groups: groups.clone(),
+                    bridges: bridges.clone(),
+                });
+            }
+            TimelineEvent::PartitionEnd => {
+                let mut window = open
+                    .pop()
+                    .expect("PartitionEnd without an open scheduled partition");
+                window.end = tick;
+                if window.end > window.start {
+                    windows.push(window);
+                }
+            }
+            _ => unreachable!("filtered to partition sugar"),
+        }
+    }
+    windows.extend(open.into_iter().filter(|w| w.end > w.start));
+    windows
+}
+
+/// Builds the link-model stack for `spec`: base synchrony flavour, wrapped
+/// by a [`PartitionedNet`] when any partition window exists (explicit or
+/// scheduled sugar), wrapped by a [`TargetedDelay`] when the schedule
+/// installs delay rules. Returns the handle for mid-run rule additions
+/// alongside the model.
+fn network_model(spec: &ScenarioSpec) -> (NetworkChoice, Option<DelayRuleHandle>) {
     let base: Box<dyn LinkModel> = match spec.synchrony {
         Synchrony::Synchronous { delta } => Box::new(prft_net::SynchronousNet::new(SimTime(delta))),
         Synchrony::PartiallySynchronous { gst, delta } => Box::new(
@@ -49,29 +120,43 @@ fn network_model(spec: &ScenarioSpec) -> NetworkChoice {
         ),
         Synchrony::Asynchronous => Box::new(prft_net::AsynchronousNet::typical()),
     };
-    if spec.partitions.is_empty() {
-        return NetworkChoice::Custom(base);
+    let mut windows: Vec<PartitionSpec> = spec.partitions.clone();
+    windows.extend(scheduled_partitions(spec));
+    let partitioned: Box<dyn LinkModel> = if windows.is_empty() {
+        base
+    } else {
+        let mut net = PartitionedNet::new(base);
+        for p in &windows {
+            let groups: Vec<Vec<NodeId>> = p
+                .groups
+                .iter()
+                .map(|g| g.iter().map(|&i| NodeId(i)).collect())
+                .collect();
+            let window = if p.bridges.is_empty() {
+                PartitionWindow::split(SimTime(p.start), SimTime(p.end), groups)
+            } else {
+                PartitionWindow::split_with_bridges(
+                    SimTime(p.start),
+                    SimTime(p.end),
+                    groups,
+                    p.bridges.iter().map(|&i| NodeId(i)).collect(),
+                )
+            };
+            net.add_window(window);
+        }
+        Box::new(net)
+    };
+    let needs_delay = spec
+        .schedule
+        .iter()
+        .any(|(_, e)| matches!(e, TimelineEvent::AddDelayRule { .. }));
+    if needs_delay {
+        let targeted = TargetedDelay::new(partitioned);
+        let handle = targeted.handle();
+        (NetworkChoice::Custom(Box::new(targeted)), Some(handle))
+    } else {
+        (NetworkChoice::Custom(partitioned), None)
     }
-    let mut net = PartitionedNet::new(base);
-    for p in &spec.partitions {
-        let groups: Vec<Vec<NodeId>> = p
-            .groups
-            .iter()
-            .map(|g| g.iter().map(|&i| NodeId(i)).collect())
-            .collect();
-        let window = if p.bridges.is_empty() {
-            PartitionWindow::split(SimTime(p.start), SimTime(p.end), groups)
-        } else {
-            PartitionWindow::split_with_bridges(
-                SimTime(p.start),
-                SimTime(p.end),
-                groups,
-                p.bridges.iter().map(|&i| NodeId(i)).collect(),
-            )
-        };
-        net.add_window(window);
-    }
-    NetworkChoice::Custom(Box::new(net))
 }
 
 fn behavior_for(
@@ -115,9 +200,17 @@ fn behavior_for(
     }
 }
 
-/// Builds the simulation for `spec` under one derived `seed`. Crash roles
-/// are applied before returning, so the caller only needs to run it.
-pub fn build_sim(spec: &ScenarioSpec, seed: u64) -> Simulation<Replica> {
+/// A built simulation plus the shared state the timeline executor needs:
+/// the fork blackboard (scheduled colluders must join the *same* board as
+/// the initial ones) and the live delay-rule handle.
+struct Built {
+    sim: Simulation<Replica>,
+    board: Option<Blackboard>,
+    collusion: HashSet<NodeId>,
+    delay: Option<DelayRuleHandle>,
+}
+
+fn build(spec: &ScenarioSpec, seed: u64) -> Built {
     let mut cfg = Config::for_committee(spec.n).with_max_rounds(spec.max_rounds);
     if let Some(t) = spec.phase_timeout {
         cfg = cfg.with_timeout(SimTime(t));
@@ -128,15 +221,15 @@ pub fn build_sim(spec: &ScenarioSpec, seed: u64) -> Simulation<Replica> {
     } else {
         None
     };
-    let collusion: HashSet<NodeId> = (0..spec.n)
-        .filter(|&i| matches!(spec.role_of(i), Role::PartialCensor))
-        .map(NodeId)
-        .collect();
+    // Collusion spans the whole run: players censoring at any scheduled
+    // point count as coalition members from the start.
+    let collusion: HashSet<NodeId> = spec.censor_collusion().into_iter().map(NodeId).collect();
+    let (network, delay) = network_model(spec);
 
     let mut h = Harness::new(spec.n, seed)
         .config(cfg)
         .accountable(spec.accountable)
-        .network(network_model(spec));
+        .network(network);
     if let Some(tau) = spec.tau_override {
         h = h.tau(tau);
     }
@@ -146,18 +239,136 @@ pub fn build_sim(spec: &ScenarioSpec, seed: u64) -> Simulation<Replica> {
             Transaction::new(tx.id, NodeId(tx.to.unwrap_or(0)), tx.payload.clone()),
         );
     }
-    let behaviors: Vec<(NodeId, Box<dyn Behavior>)> = (0..spec.n)
-        .filter_map(|i| {
-            behavior_for(spec, &spec.role_of(i), &board, &collusion).map(|b| (NodeId(i), b))
+    // Roles resolved once into a dense vector — no per-seat reverse scans.
+    let roles = spec.resolved_roles();
+    let behaviors: Vec<(NodeId, Box<dyn Behavior>)> = roles
+        .iter()
+        .enumerate()
+        .filter_map(|(i, role)| {
+            behavior_for(spec, role, &board, &collusion).map(|b| (NodeId(i), b))
         })
         .collect();
     let mut sim = h.with_behaviors(behaviors).build();
-    for i in 0..spec.n {
-        if matches!(spec.role_of(i), Role::Crash) {
+    for (i, role) in roles.iter().enumerate() {
+        if matches!(role, Role::Crash) {
             sim.crash(NodeId(i));
         }
     }
-    sim
+    Built {
+        sim,
+        board,
+        collusion,
+        delay,
+    }
+}
+
+/// Builds the simulation for `spec` under one derived `seed`. Crash roles
+/// are applied before returning. The spec's timeline schedule is **not**
+/// executed — callers driving the simulation by hand get the t = 0 state;
+/// use [`run_sim`] (or [`run_one`]) to run a spec schedule and all.
+pub fn build_sim(spec: &ScenarioSpec, seed: u64) -> Simulation<Replica> {
+    build(spec, seed).sim
+}
+
+/// Applies one scheduled event at the start of `tick`.
+fn apply_event(spec: &ScenarioSpec, built: &mut Built, tick: u64, event: &TimelineEvent) {
+    match event {
+        TimelineEvent::Crash(player) => built.sim.crash(NodeId(*player)),
+        TimelineEvent::Recover(player) => built.sim.recover(NodeId(*player)),
+        TimelineEvent::SetRole(player, role) => {
+            if matches!(role, Role::Crash) {
+                built.sim.crash(NodeId(*player));
+            } else {
+                let behavior = behavior_for(spec, role, &built.board, &built.collusion)
+                    .unwrap_or_else(|| Box::new(Honest));
+                built.sim.node_mut(NodeId(*player)).set_behavior(behavior);
+            }
+        }
+        TimelineEvent::AddDelayRule {
+            from,
+            to,
+            extra,
+            window,
+        } => {
+            let handle = built
+                .delay
+                .as_ref()
+                .expect("network_model installs TargetedDelay for scheduled rules");
+            handle.add_rule(DelayRule {
+                from: from.map(NodeId),
+                to: to.map(NodeId),
+                from_time: SimTime(tick),
+                until_time: SimTime(tick.saturating_add(*window)),
+                extra: SimTime(*extra),
+            });
+        }
+        TimelineEvent::InjectTx(tx) => {
+            let transaction =
+                Transaction::new(tx.id, NodeId(tx.to.unwrap_or(0)), tx.payload.clone());
+            match tx.to {
+                Some(player) => {
+                    built
+                        .sim
+                        .node_mut(NodeId(player))
+                        .mempool_mut()
+                        .submit(transaction);
+                }
+                None => {
+                    for i in 0..spec.n {
+                        built
+                            .sim
+                            .node_mut(NodeId(i))
+                            .mempool_mut()
+                            .submit(transaction.clone());
+                    }
+                }
+            }
+        }
+        TimelineEvent::PartitionStart { .. } | TimelineEvent::PartitionEnd => {
+            unreachable!("partition sugar is resolved at network build time")
+        }
+    }
+}
+
+/// Runs `built` to the spec's horizon, interleaving scheduled events with
+/// [`Simulation::run_before`] segments in tick order (ties broken by
+/// insertion index). Returns the outcome of the final segment, or
+/// [`RunOutcome::EventLimit`] as soon as any segment trips the valve.
+fn execute_schedule(spec: &ScenarioSpec, built: &mut Built) -> RunOutcome {
+    let mut events: Vec<(u64, &TimelineEvent)> = spec
+        .schedule
+        .iter()
+        .filter(|(tick, e)| !e.is_partition_sugar() && *tick <= spec.horizon)
+        .map(|(t, e)| (*t, e))
+        .collect();
+    events.sort_by_key(|(t, _)| *t); // stable: same-tick in insertion order
+    let mut i = 0;
+    while i < events.len() {
+        let tick = events[i].0;
+        if tick > 0 && built.sim.run_before(SimTime(tick)) == RunOutcome::EventLimit {
+            return RunOutcome::EventLimit;
+        }
+        while i < events.len() && events[i].0 == tick {
+            apply_event(spec, built, tick, events[i].1);
+            i += 1;
+        }
+    }
+    built.sim.run_until(SimTime(spec.horizon))
+}
+
+/// Builds one seeded simulation of `spec`, executes its timeline schedule
+/// to the horizon, and returns the finished simulation with the run
+/// outcome. `configure` runs on the freshly built simulation before any
+/// event is processed (e.g. `|sim| sim.set_tracing(true)`).
+pub fn run_sim(
+    spec: &ScenarioSpec,
+    seed: u64,
+    configure: impl FnOnce(&mut Simulation<Replica>),
+) -> (Simulation<Replica>, RunOutcome) {
+    let mut built = build(spec, seed);
+    configure(&mut built.sim);
+    let outcome = execute_schedule(spec, &mut built);
+    (built.sim, outcome)
 }
 
 /// Classifies the σ state of a finished run, watching `watched` for
@@ -220,10 +431,10 @@ pub fn measure_utility_for(
     }
 }
 
-/// Builds, runs, and summarizes one seeded run of `spec`.
+/// Builds, runs (timeline schedule included), and summarizes one seeded
+/// run of `spec`.
 pub fn run_one(spec: &ScenarioSpec, seed: u64) -> RunRecord {
-    let mut sim = build_sim(spec, seed);
-    let outcome = sim.run_until(SimTime(spec.horizon));
+    let (sim, outcome) = run_sim(spec, seed, |_| {});
     summarize(spec, &sim, seed, outcome)
 }
 

@@ -8,7 +8,7 @@
 //! specs.
 
 use crate::explore::{GameDef, GameEval};
-use crate::spec::{PartitionSpec, Role, ScenarioSpec, UtilitySpec};
+use crate::spec::{PartitionSpec, Role, ScenarioSpec, TimelineEvent, UtilitySpec};
 use prft_baselines::trap::{TrapGame, TrapStrategy};
 use prft_game::{Profile, Theta, UtilityParams};
 
@@ -37,6 +37,31 @@ fn lemma4_spec(profile: &Profile) -> ScenarioSpec {
             3 => spec.role(1 + i, Role::Crash),
             _ => unreachable!("strategy out of range"),
         };
+    }
+    spec
+}
+
+/// The defection game over the Lemma 4 committee: every rational seat
+/// starts as a fork colluder next to an always-equivocating leader, and
+/// each chooses between *staying* in the collusion and *defecting* to
+/// `π_0` at tick 10 — a strategy only the spec-v2 timeline can express
+/// (a `SetRole` scheduled mid-attack). Tick 10 lands inside round 0,
+/// after the equivocating propose but (for most delay draws) before the
+/// colluders' split commit: a defector usually escapes the double-sign
+/// and with it the collateral burn. This is the paper's "colluders defect
+/// mid-stream" question as an empirical game.
+fn fork_defection_spec(profile: &Profile) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(format!("{profile:?}"), LEMMA4_N, 3)
+        .base_seed(0xdefec7)
+        .role(0, Role::EquivocatingLeader { only_round: None })
+        .roles(1..=3, Role::ForkColluder)
+        .fork_b_group([7, 8])
+        .utility(UtilitySpec::standard(Theta::ForkSeeking, 3))
+        .horizon(600_000);
+    for (i, &s) in profile.iter().enumerate() {
+        if s == 1 {
+            spec = spec.at(10, TimelineEvent::SetRole(1 + i, Role::Honest));
+        }
     }
     spec
 }
@@ -180,6 +205,21 @@ pub fn game_registry() -> Vec<GameDef> {
             },
         },
         GameDef {
+            name: "fork-defection",
+            cache_scope: "fork-defection",
+            description:
+                "timeline game: three colluding seats each choose {stay π_fork, defect to π_0 @ t=10} mid-attack (8 profiles)",
+            strategies: vec![vec!["π_fork", "π_fork→π_0"]; 3],
+            // Same committee as lemma4: the leader schedule breaks seat
+            // interchangeability, so the space is swept in full.
+            symmetry: vec![],
+            honest: vec![1, 1, 1],
+            eval: GameEval::Simulated {
+                players: vec![1, 2, 3],
+                spec_of: fork_defection_spec,
+            },
+        },
+        GameDef {
             name: "trap-k3",
             cache_scope: "trap-k3",
             description:
@@ -231,6 +271,32 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fork_defection_profiles_differ_only_in_their_schedules() {
+        let game = find_game("fork-defection").unwrap();
+        let GameEval::Simulated { spec_of, .. } = game.eval else {
+            panic!("simulated game");
+        };
+        let stay = spec_of(&vec![0, 0, 0]);
+        let defect = spec_of(&vec![1, 1, 1]);
+        assert!(!stay.has_schedule());
+        assert_eq!(defect.schedule.len(), 3);
+        // The schedule alone must separate the cache cells.
+        assert_eq!(stay.roles, defect.roles);
+        assert_ne!(
+            ScenarioSpec {
+                label: String::new(),
+                ..stay
+            }
+            .fingerprint(),
+            ScenarioSpec {
+                label: String::new(),
+                ..defect
+            }
+            .fingerprint()
+        );
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! * [`ScenarioSpec`] — a plain-data description of one committee
 //!   configuration: size, synchrony flavour, partition schedule,
 //!   per-player roles (the strategy space), preloaded transactions,
-//!   protocol overrides, and payoff economics;
+//!   protocol overrides, payoff economics, and — spec v2 — a declarative
+//!   **timeline** of [`TimelineEvent`]s (mid-run crash/recovery, role
+//!   switches, targeted-delay rules, tx injection, partition sugar)
+//!   executed deterministically between run segments;
 //! * [`registry`] — ≥10 named scenarios covering the paper's experiments
 //!   plus new workloads (mixed-rational committees, GST sweeps, partition
 //!   storms, collateral sweeps, committee scaling);
@@ -58,7 +61,7 @@ mod spec;
 
 pub use build::{
     build_sim, classify_sim, classify_watched, discounted_utility, measure_utility_for, run_one,
-    summarize,
+    run_sim, summarize,
 };
 pub use cache::{CacheKey, UtilityCache};
 pub use explore::{Exploration, GameDef, GameEval, GameExplorer};
@@ -66,7 +69,7 @@ pub use games::{find_game, game_registry};
 pub use record::{Aggregate, BatchReport, RunRecord};
 pub use registry::{find, registry, Scenario};
 pub use runner::{derive_seed, effective_threads, par_map, BatchRunner};
-pub use spec::{PartitionSpec, Role, ScenarioSpec, Synchrony, TxSpec, UtilitySpec};
+pub use spec::{PartitionSpec, Role, ScenarioSpec, Synchrony, TimelineEvent, TxSpec, UtilitySpec};
 
 #[cfg(test)]
 mod tests {

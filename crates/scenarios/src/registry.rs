@@ -1,12 +1,15 @@
 //! The named scenario registry: every paper experiment that runs a pRFT
 //! committee, plus workloads beyond the paper (mixed-rational committees,
-//! GST sweeps, partition storms, collateral sweeps, committee scaling).
+//! GST sweeps, partition storms, collateral sweeps, committee scaling,
+//! and the timeline-scheduled dynamic adversaries of spec v2).
 //!
 //! A scenario is a grid of [`ScenarioSpec`]s; `prft-lab run <name>` runs
 //! every grid point over the requested seed count and reports aggregates
 //! per point.
 
-use crate::spec::{PartitionSpec, Role, ScenarioSpec, Synchrony, UtilitySpec};
+use crate::spec::{
+    PartitionSpec, Role, ScenarioSpec, Synchrony, TimelineEvent, TxSpec, UtilitySpec,
+};
 use prft_game::Theta;
 
 /// A named, described grid of scenario specs.
@@ -241,6 +244,126 @@ pub fn registry() -> Vec<Scenario> {
                 .collect(),
         },
         Scenario {
+            name: "crash-churn",
+            description:
+                "timeline: rolling crash/recover churn (≤2 down at once) — liveness must survive",
+            specs: vec![ScenarioSpec::new("churn", 9, 5)
+                .base_seed(0xc42c)
+                .synchrony(Synchrony::PartiallySynchronous {
+                    gst: 2_000,
+                    delta: 10,
+                })
+                .at(5_000, TimelineEvent::Crash(7))
+                .at(5_000, TimelineEvent::Crash(8))
+                .at(60_000, TimelineEvent::Recover(7))
+                .at(60_000, TimelineEvent::Recover(8))
+                .at(120_000, TimelineEvent::Crash(5))
+                .at(120_000, TimelineEvent::Crash(6))
+                .at(180_000, TimelineEvent::Recover(5))
+                .at(180_000, TimelineEvent::Recover(6))
+                .horizon(3_000_000)],
+        },
+        Scenario {
+            name: "delay-until-gst",
+            description:
+                "timeline: targeted delay rules slow the first leaders' outbound traffic until GST",
+            specs: vec![ScenarioSpec::new("slow-leaders-0-1", 8, 4)
+                .base_seed(0xde1a)
+                .synchrony(Synchrony::PartiallySynchronous {
+                    gst: 2_000,
+                    delta: 10,
+                })
+                .at(
+                    0,
+                    TimelineEvent::AddDelayRule {
+                        from: Some(0),
+                        to: None,
+                        extra: 1_500,
+                        window: 2_000,
+                    },
+                )
+                .at(
+                    0,
+                    TimelineEvent::AddDelayRule {
+                        from: Some(1),
+                        to: None,
+                        extra: 1_500,
+                        window: 2_000,
+                    },
+                )
+                .horizon(400_000)],
+        },
+        Scenario {
+            name: "colluder-defection",
+            description:
+                "timeline: two of three fork colluders defect to π_0 mid-attack (Lemma 4, dynamic)",
+            specs: vec![fork_attack_spec("defect@500", 9, 3, 10.0)
+                .at(500, TimelineEvent::SetRole(2, Role::Honest))
+                .at(500, TimelineEvent::SetRole(3, Role::Honest))],
+        },
+        Scenario {
+            name: "late-tx-flood",
+            description:
+                "timeline: a watched tx plus a flood injected mid-run into a censoring committee",
+            specs: vec![{
+                let mut spec = ScenarioSpec::new("flood@1000", 4, 12)
+                    .base_seed(0xf100d)
+                    .roles(0..2, Role::PartialCensor)
+                    .tx(1, None, b"background-1")
+                    .tx(2, None, b"background-2")
+                    .watch([999])
+                    .censor([999])
+                    .utility(UtilitySpec::standard(Theta::CensorSeeking, 12))
+                    .at(
+                        1_000,
+                        TimelineEvent::InjectTx(TxSpec {
+                            id: 999,
+                            to: None,
+                            payload: b"the late censored tx".to_vec(),
+                        }),
+                    );
+                for id in 1_000..1_004u64 {
+                    spec = spec.at(
+                        1_000,
+                        TimelineEvent::InjectTx(TxSpec {
+                            id,
+                            to: None,
+                            payload: b"flood".to_vec(),
+                        }),
+                    );
+                }
+                spec
+            }],
+        },
+        Scenario {
+            name: "scheduled-split",
+            description:
+                "timeline: partition sugar opens and heals two mid-run splits over partial synchrony",
+            specs: vec![ScenarioSpec::new("2-splits", 9, 6)
+                .base_seed(0x59117)
+                .synchrony(Synchrony::PartiallySynchronous {
+                    gst: 500,
+                    delta: 10,
+                })
+                .at(
+                    10_000,
+                    TimelineEvent::PartitionStart {
+                        groups: vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7, 8]],
+                        bridges: vec![],
+                    },
+                )
+                .at(25_000, TimelineEvent::PartitionEnd)
+                .at(
+                    40_000,
+                    TimelineEvent::PartitionStart {
+                        groups: vec![vec![0, 2, 4, 6, 8], vec![1, 3, 5, 7]],
+                        bridges: vec![],
+                    },
+                )
+                .at(55_000, TimelineEvent::PartitionEnd)
+                .horizon(1_000_000)],
+        },
+        Scenario {
             name: "byzantine-noise",
             description:
                 "garbage voters and double-signers inside t0: absorbed (no fork; ≤ t0 convictions, so no Expose)",
@@ -279,5 +402,28 @@ mod tests {
     fn find_known_and_unknown() {
         assert!(find("fork-attack").is_some());
         assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn timeline_scenarios_carry_schedules() {
+        for name in [
+            "crash-churn",
+            "delay-until-gst",
+            "colluder-defection",
+            "late-tx-flood",
+            "scheduled-split",
+        ] {
+            let scenario = find(name).expect("registered");
+            assert!(
+                scenario.specs.iter().all(|s| s.has_schedule()),
+                "{name} must be timeline-driven"
+            );
+        }
+        // … and the static scenarios stay schedule-free.
+        assert!(find("honest-sync")
+            .unwrap()
+            .specs
+            .iter()
+            .all(|s| !s.has_schedule()));
     }
 }

@@ -112,10 +112,38 @@ impl BatchRunner {
     }
 
     /// Runs every grid point of a scenario, each over `seeds` seeds.
-    /// Grid points execute sequentially (each already saturates the pool),
-    /// keeping peak memory proportional to one batch.
+    ///
+    /// The whole grid is flattened into **one** `specs × seeds` work list
+    /// through the single [`par_map`], so a grid of many small points
+    /// saturates the pool instead of draining it once per point (the old
+    /// shape left workers idle at every grid-point tail). Cells are
+    /// index-addressed — cell `s·seeds + i` is spec `s` under
+    /// [`derive_seed`]`(base_s, i)` — and aggregation walks cells in index
+    /// order, so reports stay byte-identical at any thread count *and*
+    /// byte-identical to the old sequential-per-point schedule.
+    ///
+    /// Tradeoff: every cell's record is held until aggregation, so peak
+    /// memory is proportional to `specs × seeds` rather than one batch —
+    /// negligible for every registered grid; revisit alongside the
+    /// ROADMAP's record-streaming item if grids grow to many thousands
+    /// of cells.
     pub fn run_grid(&self, specs: &[ScenarioSpec], seeds: u64) -> Vec<BatchReport> {
-        specs.iter().map(|spec| self.run(spec, seeds)).collect()
+        let cells: Vec<(usize, u64)> = specs
+            .iter()
+            .enumerate()
+            .flat_map(|(s, _)| (0..seeds).map(move |i| (s, i)))
+            .collect();
+        let records: Vec<RunRecord> = par_map(self.threads, &cells, |_, &(s, i)| {
+            run_one(&specs[s], derive_seed(specs[s].base_seed, i))
+        });
+        let mut records = records.into_iter();
+        specs
+            .iter()
+            .map(|spec| {
+                let batch: Vec<RunRecord> = records.by_ref().take(seeds as usize).collect();
+                BatchReport::from_records(spec.label.clone(), spec.n, batch)
+            })
+            .collect()
     }
 
     /// Deterministic parallel map over arbitrary items (see [`par_map`]).

@@ -86,6 +86,72 @@ pub struct TxSpec {
     pub payload: Vec<u8>,
 }
 
+/// One scheduled change to a running committee — the spec-v2 timeline
+/// vocabulary. The paper's adversaries are *dynamic* (T delays targeted
+/// players until GST, colluders defect mid-stream, players crash and come
+/// back); a schedule of `(tick, TimelineEvent)` pairs expresses them
+/// declaratively while keeping [`ScenarioSpec`] plain data.
+///
+/// Events are applied at the *start* of their tick: the run loop processes
+/// every simulation event strictly before the tick, applies the scheduled
+/// events (same-tick events in insertion order), then resumes. This makes
+/// timeline runs exactly as deterministic as static ones.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimelineEvent {
+    /// Crash `player` at the scheduled tick: no further deliveries or
+    /// timers until a [`TimelineEvent::Recover`].
+    Crash(usize),
+    /// Recover a previously crashed `player`: it resumes receiving *new*
+    /// messages (held or in-flight traffic addressed to it while down is
+    /// still dropped on dispatch).
+    Recover(usize),
+    /// Swap `player`'s strategy to `role` from the scheduled tick on —
+    /// mid-run colluder defection (`SetRole(i, Role::Honest)`), late
+    /// abstention, and every other behavioral switch. `Role::Crash` here
+    /// is equivalent to [`TimelineEvent::Crash`].
+    SetRole(usize, Role),
+    /// Add a targeted-delay rule active over `[tick, tick + window)`:
+    /// messages matching the (sender, receiver) pattern — `None` is a
+    /// wildcard — get `extra` ticks of added delay on top of whatever the
+    /// base network (and any partition) imposes.
+    AddDelayRule {
+        /// Matching sender (wildcard if `None`).
+        from: Option<usize>,
+        /// Matching receiver (wildcard if `None`).
+        to: Option<usize>,
+        /// Extra delay in ticks.
+        extra: u64,
+        /// Rule lifetime in ticks from the scheduled tick.
+        window: u64,
+    },
+    /// Inject a transaction into mempools at the scheduled tick (to every
+    /// player when `to` is `None`) — late tx floods under censorship.
+    InjectTx(TxSpec),
+    /// Open a partition at the scheduled tick — sugar over
+    /// [`PartitionSpec`]: the window runs until the matching
+    /// [`TimelineEvent::PartitionEnd`] (or the horizon if never closed).
+    PartitionStart {
+        /// The isolated player groups (player indices).
+        groups: Vec<Vec<usize>>,
+        /// Players bridging every group (byzantine bridges).
+        bridges: Vec<usize>,
+    },
+    /// Close the most recently opened (and still open) scheduled
+    /// partition at the scheduled tick.
+    PartitionEnd,
+}
+
+impl TimelineEvent {
+    /// Whether this event is resolved statically at build time (partition
+    /// sugar) rather than applied by the run loop between segments.
+    pub fn is_partition_sugar(&self) -> bool {
+        matches!(
+            self,
+            TimelineEvent::PartitionStart { .. } | TimelineEvent::PartitionEnd
+        )
+    }
+}
+
 /// Economic parameters for per-player utility measurement (Table 2 payoffs
 /// discounted over the round budget, minus `L` on burn).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,6 +221,9 @@ pub struct ScenarioSpec {
     pub phase_timeout: Option<u64>,
     /// Measure per-player utilities with these economics.
     pub utility: Option<UtilitySpec>,
+    /// The fault & network timeline: `(tick, event)` pairs applied at the
+    /// start of their tick, in insertion order within a tick.
+    pub schedule: Vec<(u64, TimelineEvent)>,
 }
 
 impl ScenarioSpec {
@@ -178,6 +247,7 @@ impl ScenarioSpec {
             accountable: true,
             phase_timeout: None,
             utility: None,
+            schedule: Vec::new(),
         }
     }
 
@@ -285,24 +355,37 @@ impl ScenarioSpec {
         self
     }
 
+    /// Schedules `event` at `tick`. Same-tick events apply in the order
+    /// they were added.
+    #[must_use]
+    pub fn at(mut self, tick: u64, event: TimelineEvent) -> Self {
+        self.schedule.push((tick, event));
+        self
+    }
+
     /// A stable 64-bit fingerprint of the complete spec, used to key the
     /// explorer's on-disk utility cache: any change to any field (committee
-    /// size, roles, synchrony, economics, base seed, …) changes the
-    /// fingerprint, so stale cache cells can never be served for an edited
-    /// game. FNV-1a over the derived `Debug` encoding plus a format-version
-    /// salt (bump the salt when the spec vocabulary changes shape).
+    /// size, roles, synchrony, schedule, economics, base seed, …) changes
+    /// the fingerprint, so stale cache cells can never be served for an
+    /// edited game. FNV-1a over the derived `Debug` encoding plus a
+    /// format-version salt (bump the salt when the spec vocabulary changes
+    /// shape; `spec-v1 → spec-v2` with the timeline schedule, so every
+    /// pre-timeline cache cell reads as a miss, never as a stale hit).
     pub fn fingerprint(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut hash = FNV_OFFSET;
-        for byte in format!("spec-v1|{self:?}").bytes() {
+        for byte in format!("spec-v2|{self:?}").bytes() {
             hash ^= byte as u64;
             hash = hash.wrapping_mul(FNV_PRIME);
         }
         hash
     }
 
-    /// The role assigned to `index` (honest when unlisted; last write wins).
+    /// The role assigned to `index` at t = 0 (honest when unlisted; last
+    /// write wins). One-off lookup; bulk consumers (the sim builder)
+    /// resolve the whole committee once via
+    /// [`ScenarioSpec::resolved_roles`] instead of scanning per seat.
     pub fn role_of(&self, index: usize) -> Role {
         self.roles
             .iter()
@@ -312,11 +395,64 @@ impl ScenarioSpec {
             .unwrap_or(Role::Honest)
     }
 
-    /// Indices of players whose role needs the shared fork blackboard.
-    pub fn uses_fork_blackboard(&self) -> bool {
+    /// The t = 0 role of every seat as a dense vector (index = player),
+    /// resolved in one pass: unlisted seats are honest, last write wins.
+    ///
+    /// # Panics
+    /// Panics if a role names a player outside `0..n`.
+    pub fn resolved_roles(&self) -> Vec<Role> {
+        let mut resolved = vec![Role::Honest; self.n];
+        for (i, role) in &self.roles {
+            assert!(
+                *i < self.n,
+                "role assigned to player {i} but n = {}",
+                self.n
+            );
+            resolved[*i] = role.clone();
+        }
+        resolved
+    }
+
+    /// Every role a player can hold during the run: t = 0 assignments plus
+    /// scheduled [`TimelineEvent::SetRole`] targets.
+    fn all_roles(&self) -> impl Iterator<Item = &Role> {
         self.roles
             .iter()
-            .any(|(_, r)| matches!(r, Role::ForkColluder | Role::EquivocatingLeader { .. }))
+            .map(|(_, r)| r)
+            .chain(self.schedule.iter().filter_map(|(_, e)| match e {
+                TimelineEvent::SetRole(_, r) => Some(r),
+                _ => None,
+            }))
+    }
+
+    /// Whether any player's role (initial or scheduled) needs the shared
+    /// fork blackboard.
+    pub fn uses_fork_blackboard(&self) -> bool {
+        self.all_roles()
+            .any(|r| matches!(r, Role::ForkColluder | Role::EquivocatingLeader { .. }))
+    }
+
+    /// Players who censor at any point of the run (initial or scheduled
+    /// `π_pc` assignments) — the censor collusion set.
+    pub fn censor_collusion(&self) -> Vec<usize> {
+        let mut members: Vec<usize> = self
+            .roles
+            .iter()
+            .filter(|(_, r)| matches!(r, Role::PartialCensor))
+            .map(|(i, _)| *i)
+            .chain(self.schedule.iter().filter_map(|(_, e)| match e {
+                TimelineEvent::SetRole(i, Role::PartialCensor) => Some(*i),
+                _ => None,
+            }))
+            .collect();
+        members.sort_unstable();
+        members.dedup();
+        members
+    }
+
+    /// Whether the spec carries a (non-empty) timeline schedule.
+    pub fn has_schedule(&self) -> bool {
+        !self.schedule.is_empty()
     }
 }
 
@@ -377,5 +513,88 @@ mod tests {
                 }
             )
             .uses_fork_blackboard());
+        // A scheduled role switch needs the blackboard too.
+        assert!(ScenarioSpec::new("x", 4, 1)
+            .at(100, TimelineEvent::SetRole(1, Role::ForkColluder))
+            .uses_fork_blackboard());
+    }
+
+    #[test]
+    fn resolved_roles_match_role_of() {
+        let spec = ScenarioSpec::new("x", 4, 1)
+            .role(1, Role::Abstain)
+            .role(1, Role::Crash)
+            .role(3, Role::GarbageVoter);
+        let resolved = spec.resolved_roles();
+        assert_eq!(resolved.len(), 4);
+        for (i, role) in resolved.iter().enumerate() {
+            assert_eq!(*role, spec.role_of(i), "seat {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "but n = 4")]
+    fn out_of_range_role_rejected_at_resolution() {
+        let _ = ScenarioSpec::new("x", 4, 1)
+            .role(9, Role::Abstain)
+            .resolved_roles();
+    }
+
+    #[test]
+    fn at_builder_preserves_insertion_order() {
+        let spec = ScenarioSpec::new("x", 4, 1)
+            .at(50, TimelineEvent::Crash(1))
+            .at(10, TimelineEvent::Crash(2))
+            .at(50, TimelineEvent::Recover(1));
+        assert_eq!(
+            spec.schedule,
+            vec![
+                (50, TimelineEvent::Crash(1)),
+                (10, TimelineEvent::Crash(2)),
+                (50, TimelineEvent::Recover(1)),
+            ]
+        );
+        assert!(spec.has_schedule());
+        assert!(!ScenarioSpec::new("x", 4, 1).has_schedule());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_schedules() {
+        let base = ScenarioSpec::new("x", 4, 1);
+        let crash = base.clone().at(100, TimelineEvent::Crash(1));
+        let crash_later = base.clone().at(200, TimelineEvent::Crash(1));
+        let recover = base.clone().at(100, TimelineEvent::Recover(1));
+        assert_ne!(base.fingerprint(), crash.fingerprint());
+        assert_ne!(crash.fingerprint(), crash_later.fingerprint());
+        assert_ne!(crash.fingerprint(), recover.fingerprint());
+        // Same-tick order is semantic (insertion order), so it fingerprints.
+        let ab = base
+            .clone()
+            .at(5, TimelineEvent::Crash(0))
+            .at(5, TimelineEvent::Recover(0));
+        let ba = base
+            .at(5, TimelineEvent::Recover(0))
+            .at(5, TimelineEvent::Crash(0));
+        assert_ne!(ab.fingerprint(), ba.fingerprint());
+    }
+
+    #[test]
+    fn censor_collusion_merges_initial_and_scheduled() {
+        let spec = ScenarioSpec::new("x", 6, 1)
+            .role(2, Role::PartialCensor)
+            .at(100, TimelineEvent::SetRole(4, Role::PartialCensor))
+            .at(200, TimelineEvent::SetRole(2, Role::Honest));
+        assert_eq!(spec.censor_collusion(), vec![2, 4]);
+    }
+
+    #[test]
+    fn partition_sugar_is_detected() {
+        assert!(TimelineEvent::PartitionStart {
+            groups: vec![],
+            bridges: vec![]
+        }
+        .is_partition_sugar());
+        assert!(TimelineEvent::PartitionEnd.is_partition_sugar());
+        assert!(!TimelineEvent::Crash(0).is_partition_sugar());
     }
 }

@@ -37,6 +37,30 @@ fn parallel_equals_serial_byte_identical() {
 }
 
 #[test]
+fn flattened_grid_is_thread_invariant_and_matches_per_point_runs() {
+    // run_grid flattens specs × seeds into one par_map; whatever the
+    // thread count, the reports must stay byte-identical to each other
+    // *and* to running each grid point on its own.
+    let specs = vec![
+        busy_spec(),
+        busy_spec().base_seed(0x0ddba11),
+        ScenarioSpec::new("honest-point", 5, 2).horizon(200_000),
+    ];
+    const SEEDS: u64 = 5;
+    let serial = BatchRunner::new(1).run_grid(&specs, SEEDS);
+    let parallel = BatchRunner::new(8).run_grid(&specs, SEEDS);
+    assert_eq!(serial, parallel);
+    let s_json = report::scenario_json("grid", SEEDS, &serial, true);
+    let p_json = report::scenario_json("grid", SEEDS, &parallel, true);
+    assert_eq!(s_json, p_json);
+    let per_point: Vec<_> = specs
+        .iter()
+        .map(|s| BatchRunner::new(3).run(s, SEEDS))
+        .collect();
+    assert_eq!(serial, per_point);
+}
+
+#[test]
 fn rerun_is_reproducible() {
     let spec = busy_spec();
     let a = BatchRunner::new(4).run(&spec, 6);

@@ -358,9 +358,29 @@ impl<N: Node> Simulation<N> {
     /// Runs until the queue drains or virtual time would pass `horizon`.
     /// Events at exactly `horizon` are processed.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        self.run_bounded(horizon, true)
+    }
+
+    /// Runs until the queue drains or the next event would occur at or
+    /// after `t`: every event strictly before `t` is processed, events at
+    /// `t` stay pending. This is the segment primitive a scheduled-fault
+    /// driver needs — run up to a boundary, apply external changes
+    /// (crash/recover/inject/swap) "at the start of tick `t`", resume —
+    /// without any off-by-one at `t = 0` and without touching the queue
+    /// order, so determinism is preserved exactly.
+    pub fn run_before(&mut self, t: SimTime) -> RunOutcome {
+        self.run_bounded(t, false)
+    }
+
+    fn run_bounded(&mut self, bound: SimTime, inclusive: bool) -> RunOutcome {
         let mut dispatched = 0u64;
         while let Some(ev) = self.queue.peek() {
-            if ev.at > horizon {
+            let past_bound = if inclusive {
+                ev.at > bound
+            } else {
+                ev.at >= bound
+            };
+            if past_bound {
                 return RunOutcome::HorizonReached;
             }
             if dispatched >= self.event_limit {
@@ -505,6 +525,24 @@ mod tests {
         s.run();
         assert!(s.node(NodeId(1)).received.contains(&(NodeId(9), 42)));
         assert_eq!(s.now(), SimTime(100));
+    }
+
+    #[test]
+    fn run_before_excludes_the_boundary() {
+        let mut s = sim(2);
+        s.inject(SimTime(100), NodeId(9), NodeId(1), TestMsg::Hello(42));
+        // run_before(100) processes the t=0/t=5 start traffic but leaves
+        // the event at exactly 100 pending …
+        assert_eq!(s.run_before(SimTime(100)), RunOutcome::HorizonReached);
+        assert!(!s.node(NodeId(1)).received.contains(&(NodeId(9), 42)));
+        // … and run_before(0) processes nothing at all.
+        let mut fresh = sim(2);
+        assert_eq!(fresh.run_before(SimTime(0)), RunOutcome::HorizonReached);
+        assert_eq!(fresh.now(), SimTime(0));
+        // Crashing between the segments drops the pending boundary event.
+        s.crash(NodeId(1));
+        assert_eq!(s.run_until(SimTime(200)), RunOutcome::Quiescent);
+        assert!(!s.node(NodeId(1)).received.contains(&(NodeId(9), 42)));
     }
 
     #[test]
