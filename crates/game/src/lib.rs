@@ -13,6 +13,15 @@
 //! Nash/DSIC certificates account for per-cell confidence intervals. The
 //! `prft-lab` explorer fills utility tables from simulation batches.
 //!
+//! Beyond pure strategies, the table supports *mixed* play — expected
+//! utilities under independent per-player distributions, with exact
+//! support-enumeration and symmetric-indifference solvers
+//! ([`mixed_analysis`]) — and *best-reply dynamics*
+//! ([`best_reply_path`], [`best_reply_summary`]): deterministic
+//! improvement paths with convergence/cycle detection and attractor
+//! basins, for spaces too large to reason about cell by cell. The
+//! concepts are written up in `docs/GAME_ANALYSIS.md`.
+//!
 //! # Example: the TRAP fork equilibrium (Theorem 3)
 //!
 //! ```
@@ -31,14 +40,23 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+mod dynamics;
 mod empirical;
+mod mixed;
 mod payoff;
 mod repeated;
 mod space;
 mod types;
 mod utility_table;
 
+pub use dynamics::{
+    best_reply_path, best_reply_summary, BestReplyPath, DynamicsOutcome, DynamicsSummary,
+};
 pub use empirical::{EmpiricalGame, Profile};
+pub use mixed::{
+    mixed_analysis, mixture_label, support_equilibria_2p, symmetric_mixed_equilibria,
+    MixedAnalysis, MixedEquilibrium, MixedProfile,
+};
 pub use payoff::{discounted_sum, geometric_total, PayoffTable, UtilityParams};
 pub use repeated::GrimTrigger;
 pub use space::ProfileSpace;

@@ -89,6 +89,19 @@ impl DelayRuleHandle {
         self.rules.lock().expect("delay rules").push(rule);
     }
 
+    /// Removes every installed rule whose `(from, to)` pattern equals the
+    /// given one (both wildcards compare as written, not as "matches"),
+    /// returning how many rules were dropped. Removal takes effect from
+    /// the *next* delivery computed — already-scheduled deliveries keep
+    /// the delay the rule imposed when they were sent, so a mid-run
+    /// removal cannot reorder in-flight traffic.
+    pub fn remove_matching(&self, from: Option<NodeId>, to: Option<NodeId>) -> usize {
+        let mut rules = self.rules.lock().expect("delay rules");
+        let before = rules.len();
+        rules.retain(|r| !(r.from == from && r.to == to));
+        before - rules.len()
+    }
+
     /// Number of rules currently installed.
     pub fn rule_count(&self) -> usize {
         self.rules.lock().expect("delay rules").len()
@@ -218,6 +231,40 @@ mod tests {
         assert_eq!(handle.rule_count(), 1);
         assert_eq!(delivery(&mut net, 0, 2, 10), 62);
         assert_eq!(delivery(&mut net, 1, 2, 10), 12);
+    }
+
+    #[test]
+    fn remove_matching_drops_exact_patterns_only() {
+        let mut net = TargetedDelay::new(Box::new(ConstantDelay(SimTime(2))));
+        let handle = net.handle();
+        handle.add_rule(DelayRule::slow_sender(
+            NodeId(0),
+            SimTime(0),
+            SimTime(100),
+            SimTime(50),
+        ));
+        handle.add_rule(DelayRule::slow_sender(
+            NodeId(0),
+            SimTime(0),
+            SimTime(100),
+            SimTime(7),
+        ));
+        handle.add_rule(DelayRule::slow_receiver(
+            NodeId(2),
+            SimTime(0),
+            SimTime(100),
+            SimTime(5),
+        ));
+        // Pattern mismatch removes nothing.
+        assert_eq!(handle.remove_matching(Some(NodeId(1)), None), 0);
+        assert_eq!(handle.remove_matching(None, None), 0);
+        // The (from=0, to=*) pattern drops both sender rules at once.
+        assert_eq!(handle.remove_matching(Some(NodeId(0)), None), 2);
+        assert_eq!(handle.rule_count(), 1);
+        // The receiver rule survives and still applies.
+        assert_eq!(delivery(&mut net, 0, 2, 10), 17);
+        assert_eq!(handle.remove_matching(None, Some(NodeId(2))), 1);
+        assert_eq!(delivery(&mut net, 0, 2, 10), 12);
     }
 
     #[test]

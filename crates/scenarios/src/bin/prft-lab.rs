@@ -10,14 +10,22 @@
 //! prft-lab explore run <game> [--seeds N] [--threads T]
 //!                             [--format table|json|csv] [--out FILE]
 //!                             [--cache DIR] [--full] [--eps E]
+//!                             [--mixed] [--dynamics]
+//! prft-lab explore run-all [same options as explore run]
 //! ```
 //!
 //! Aggregates are independent of `--threads`: `--threads 1` and
 //! `--threads 8` emit byte-identical JSON, for scenario reports and
-//! equilibrium reports alike. `run-all --out FILE` also writes a
-//! machine-readable manifest mapping each scenario to its report file.
+//! equilibrium reports alike. `run-all --out FILE` (and `explore
+//! run-all --out FILE`) also writes a machine-readable manifest mapping
+//! each scenario (game) to its report file. `explore run-all` sweeps
+//! every registered game as **one** flattened work list, so games
+//! sharing a cache scope evaluate shared cells once (the `shared` count
+//! in the stderr stats).
 
-use prft_lab::{registry, report, BatchRunner, GameExplorer, Scenario, UtilityCache};
+use prft_lab::{
+    registry, report, BatchRunner, Exploration, GameDef, GameExplorer, Scenario, UtilityCache,
+};
 use std::process::ExitCode;
 
 struct Options {
@@ -29,6 +37,8 @@ struct Options {
     cache: Option<String>,
     full: bool,
     eps: f64,
+    mixed: bool,
+    dynamics: bool,
     seeds_given: bool,
 }
 
@@ -53,6 +63,9 @@ fn usage() -> ExitCode {
          \x20 explore run <game> [options]\n\
          \x20                           sweep a game's strategy space and\n\
          \x20                           report its equilibria\n\
+         \x20 explore run-all [options]\n\
+         \x20                           sweep every registered game as one\n\
+         \x20                           batch (shared cells evaluate once)\n\
          \n\
          options:\n\
          \x20 --seeds N      seeded runs per grid point (default 16;\n\
@@ -69,7 +82,11 @@ fn usage() -> ExitCode {
          \x20                persist new ones (skips already-swept cells)\n\
          \x20 --full         evaluate every profile even when the game\n\
          \x20                declares a player symmetry\n\
-         \x20 --eps E        equilibrium tolerance (default 1e-9)"
+         \x20 --eps E        equilibrium tolerance (default 1e-9)\n\
+         \x20 --mixed        append the mixed-strategy equilibrium analysis\n\
+         \x20                (support enumeration / symmetric indifference)\n\
+         \x20 --dynamics     append the best-reply dynamics analysis\n\
+         \x20                (path from honest, attractor basins, cycles)"
     );
     ExitCode::from(2)
 }
@@ -84,6 +101,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         cache: None,
         full: false,
         eps: 1e-9,
+        mixed: false,
+        dynamics: false,
         seeds_given: false,
     };
     let mut it = args.iter();
@@ -117,6 +136,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--runs" => opts.include_runs = true,
             "--cache" => opts.cache = Some(value("--cache")?),
             "--full" => opts.full = true,
+            "--mixed" => opts.mixed = true,
+            "--dynamics" => opts.dynamics = true,
             "--eps" => {
                 opts.eps = value("--eps")?
                     .parse()
@@ -171,6 +192,50 @@ fn out_path_for(out: &Option<String>, scenario: &str, multi: bool) -> Option<Str
     })
 }
 
+/// Builds the configured explorer for the explore subcommands.
+fn explorer_for(opts: &Options) -> GameExplorer {
+    let mut explorer = GameExplorer::new(BatchRunner::new(opts.threads));
+    if let Some(dir) = &opts.cache {
+        explorer = explorer.with_cache(UtilityCache::new(dir));
+    }
+    if opts.full {
+        explorer = explorer.without_symmetry();
+    }
+    explorer
+}
+
+fn report_opts(opts: &Options) -> report::ExploreOpts {
+    report::ExploreOpts {
+        mixed: opts.mixed,
+        dynamics: opts.dynamics,
+    }
+}
+
+/// Emits one game's equilibrium report. Cost accounting goes to stderr:
+/// the report itself is a pure function of (game, seeds, eps, analyses),
+/// byte-identical whatever the cache held or the batch shared.
+fn emit_exploration(
+    game: &GameDef,
+    exploration: &Exploration,
+    opts: &Options,
+    out: Option<String>,
+) -> Result<(), String> {
+    eprintln!(
+        "{}: evaluated {} cells, {} from cache, {} shared, {} by symmetry",
+        game.name,
+        exploration.evaluated,
+        exploration.cached,
+        exploration.shared,
+        exploration.expanded
+    );
+    let content = match opts.format {
+        Format::Table => report::explore_table_with(game, exploration, opts.eps, report_opts(opts)),
+        Format::Json => report::explore_json_with(game, exploration, opts.eps, report_opts(opts)),
+        Format::Csv => report::explore_csv_with(game, exploration, opts.eps, report_opts(opts)),
+    };
+    emit(content, &out)
+}
+
 fn explore_game(name: &str, opts: &Options) -> Result<(), String> {
     let Some(game) = prft_lab::find_game(name) else {
         return Err(format!(
@@ -183,13 +248,6 @@ fn explore_game(name: &str, opts: &Options) -> Result<(), String> {
     let analytic = matches!(game.eval, prft_lab::GameEval::Analytic(_));
     if analytic && opts.seeds_given {
         eprintln!("note: {} is analytic — --seeds is ignored", game.name);
-    }
-    let mut explorer = GameExplorer::new(BatchRunner::new(opts.threads));
-    if let Some(dir) = &opts.cache {
-        explorer = explorer.with_cache(UtilityCache::new(dir));
-    }
-    if opts.full {
-        explorer = explorer.without_symmetry();
     }
     let space = game.space(!opts.full);
     eprintln!(
@@ -204,19 +262,49 @@ fn explore_game(name: &str, opts: &Options) -> Result<(), String> {
         },
         BatchRunner::new(opts.threads).threads(),
     );
-    let exploration = explorer.explore(&game, seeds);
-    // Cost accounting goes to stderr: the report itself is a pure function
-    // of (game, seeds, eps), byte-identical whatever the cache held.
+    let exploration = explorer_for(opts).explore(&game, seeds);
+    emit_exploration(&game, &exploration, opts, opts.out.clone())
+}
+
+/// `explore run-all`: every registered game as one flattened batch.
+fn explore_run_all(opts: &Options) -> Result<(), String> {
+    let games = prft_lab::game_registry();
+    let seeds = if opts.seeds_given { opts.seeds } else { 8 };
     eprintln!(
-        "evaluated {} cells, {} from cache, {} by symmetry",
-        exploration.evaluated, exploration.cached, exploration.expanded
+        "exploring {} games ({} seeds per simulated cell, {} threads, one flattened batch)",
+        games.len(),
+        seeds,
+        BatchRunner::new(opts.threads).threads(),
     );
-    let content = match opts.format {
-        Format::Table => report::explore_table(&game, &exploration, opts.eps),
-        Format::Json => report::explore_json(&game, &exploration, opts.eps),
-        Format::Csv => report::explore_csv(&game, &exploration),
-    };
-    emit(content, &opts.out)
+    let explorations = explorer_for(opts).explore_all(&games, seeds);
+    let mut written: Vec<(String, String)> = Vec::new();
+    for (game, exploration) in games.iter().zip(&explorations) {
+        let out = out_path_for(&opts.out, game.name, true);
+        if let Some(path) = &out {
+            written.push((game.name.to_string(), path.clone()));
+        }
+        emit_exploration(game, exploration, opts, out)?;
+    }
+    write_manifest("explore run-all", seeds, &written, &opts.out)
+}
+
+/// Writes the multi-report manifest next to the per-report files — a
+/// no-op without `--out` (nothing was written to disk to index).
+fn write_manifest(
+    command: &str,
+    seeds: u64,
+    written: &[(String, String)],
+    out: &Option<String>,
+) -> Result<(), String> {
+    if written.is_empty() {
+        return Ok(());
+    }
+    let manifest_path = manifest_path_for(out.as_ref().expect("out is set"));
+    let manifest = manifest_doc(command, seeds, written);
+    std::fs::write(&manifest_path, manifest)
+        .map_err(|e| format!("writing {manifest_path}: {e}"))?;
+    eprintln!("wrote {manifest_path}");
+    Ok(())
 }
 
 fn explore_command(args: &[String]) -> Result<(), String> {
@@ -245,7 +333,8 @@ fn explore_command(args: &[String]) -> Result<(), String> {
             Some(name) => parse_options(&args[2..]).and_then(|opts| explore_game(name, &opts)),
             None => Err("explore run needs a game name".to_string()),
         },
-        _ => Err("usage: prft-lab explore <list | run <game>>".to_string()),
+        Some("run-all") => parse_options(&args[1..]).and_then(|opts| explore_run_all(&opts)),
+        _ => Err("usage: prft-lab explore <list | run <game> | run-all>".to_string()),
     }
 }
 
@@ -328,11 +417,12 @@ fn manifest_path_for(out: &str) -> String {
     }
 }
 
-/// The `run-all` manifest document: scenario → report file, in run order.
-fn run_all_manifest(seeds: u64, written: &[(String, String)]) -> String {
+/// The manifest document for a multi-report command (`run-all`,
+/// `explore run-all`): name → report file, in run order.
+fn manifest_doc(command: &str, seeds: u64, written: &[(String, String)]) -> String {
     use prft_lab::json::Json;
     Json::obj([
-        ("command", Json::str("run-all")),
+        ("command", Json::str(command)),
         ("seeds", Json::u64(seeds)),
         (
             "reports",
@@ -380,14 +470,7 @@ fn main() -> ExitCode {
             // A machine-readable index of what was just produced, so
             // downstream tooling never has to re-derive the per-scenario
             // file-naming scheme (schema: docs/REPORT_SCHEMA.md).
-            if !written.is_empty() {
-                let manifest_path = manifest_path_for(opts.out.as_ref().expect("out is set"));
-                let manifest = run_all_manifest(opts.seeds, &written);
-                std::fs::write(&manifest_path, manifest)
-                    .map_err(|e| format!("writing {manifest_path}: {e}"))?;
-                eprintln!("wrote {manifest_path}");
-            }
-            Ok(())
+            write_manifest("run-all", opts.seeds, &written, &opts.out)
         }),
         "explore" => explore_command(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -410,7 +493,7 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::{manifest_path_for, out_path_for, run_all_manifest, timeline_cell};
+    use super::{manifest_doc, manifest_path_for, out_path_for, timeline_cell};
 
     #[test]
     fn timeline_cells_count_scheduled_events() {
@@ -447,7 +530,8 @@ mod tests {
 
     #[test]
     fn manifest_lists_reports_in_run_order() {
-        let m = run_all_manifest(
+        let m = manifest_doc(
+            "run-all",
             4,
             &[
                 ("honest-sync".into(), "report-honest-sync.json".into()),

@@ -146,10 +146,12 @@ fn network_model(spec: &ScenarioSpec) -> (NetworkChoice, Option<DelayRuleHandle>
         }
         Box::new(net)
     };
-    let needs_delay = spec
-        .schedule
-        .iter()
-        .any(|(_, e)| matches!(e, TimelineEvent::AddDelayRule { .. }));
+    let needs_delay = spec.schedule.iter().any(|(_, e)| {
+        matches!(
+            e,
+            TimelineEvent::AddDelayRule { .. } | TimelineEvent::RemoveDelayRule { .. }
+        )
+    });
     if needs_delay {
         let targeted = TargetedDelay::new(partitioned);
         let handle = targeted.handle();
@@ -301,6 +303,13 @@ fn apply_event(spec: &ScenarioSpec, built: &mut Built, tick: u64, event: &Timeli
                 until_time: SimTime(tick.saturating_add(*window)),
                 extra: SimTime(*extra),
             });
+        }
+        TimelineEvent::RemoveDelayRule { from, to } => {
+            let handle = built
+                .delay
+                .as_ref()
+                .expect("network_model installs TargetedDelay for scheduled rules");
+            handle.remove_matching(from.map(NodeId), to.map(NodeId));
         }
         TimelineEvent::InjectTx(tx) => {
             let transaction =

@@ -118,6 +118,10 @@ pub struct Exploration {
     pub evaluated: usize,
     /// Cells served from the on-disk cache.
     pub cached: usize,
+    /// Cells served from an identical cell another game in the same
+    /// [`GameExplorer::explore_all`] batch already evaluated (cross-game
+    /// reuse through a shared cache scope, no disk round-trip needed).
+    pub shared: usize,
     /// Cells filled by symmetry expansion instead of simulation.
     pub expanded: usize,
 }
@@ -161,132 +165,240 @@ impl GameExplorer {
     /// Panics if a simulated game's spec does not measure utilities or
     /// names a committee seat outside the committee.
     pub fn explore(&self, game: &GameDef, seeds: u64) -> Exploration {
-        let space = game.space(self.use_symmetry);
-        let targets = space.canonical_profiles();
-        let expanded = space.len() - targets.len();
-        match &game.eval {
-            GameEval::Analytic(eval) => {
-                let mut cells = BTreeMap::new();
-                for profile in &targets {
-                    let (utilities, sigma) = eval(profile);
-                    assert_eq!(utilities.len(), game.players(), "one utility per player");
-                    cells.insert(
-                        profile.clone(),
-                        ProfileStats {
-                            ci95: vec![0.0; game.players()],
-                            seeds: 1,
-                            utilities,
-                            sigma,
-                        },
-                    );
-                }
-                Exploration {
-                    table: UtilityTable::from_canonical(space, &cells),
-                    seeds: 1,
-                    evaluated: targets.len(),
-                    cached: 0,
-                    expanded,
-                }
-            }
-            GameEval::Simulated { players, spec_of } => {
-                self.explore_simulated(game, space, targets, expanded, players, *spec_of, seeds)
-            }
-        }
+        self.explore_all(std::slice::from_ref(game), seeds)
+            .pop()
+            .expect("one exploration per game")
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn explore_simulated(
-        &self,
-        game: &GameDef,
-        space: ProfileSpace,
-        targets: Vec<Profile>,
-        expanded: usize,
-        players: &[usize],
-        spec_of: fn(&Profile) -> ScenarioSpec,
-        seeds: u64,
-    ) -> Exploration {
-        let seeds = seeds.max(1);
-        let known = self
-            .cache
-            .as_ref()
-            .map(|c| c.load(game.cache_scope))
-            .unwrap_or_default();
+    /// Sweeps several games as **one** batch: every cache-missing cell
+    /// across all the games is collected into a single flattened
+    /// `cells × seeds` work list and fanned through one [`par_map`], so a
+    /// `run-all`-style batch of many small games saturates the pool the
+    /// same way one big game does. Results come back in `games` order.
+    ///
+    /// Games sharing a cache scope (and therefore a `spec_of` and seat
+    /// vector — the [`CacheKey`] enforces agreement) additionally share
+    /// *work*: a cell two games both need is simulated once, counted as
+    /// `evaluated` for the first game and `shared` for the rest, even
+    /// with no on-disk cache attached. Per-run seeds depend only on
+    /// `(spec base seed, seed index)`, so neither the batching nor the
+    /// thread count can perturb any run: the per-game reports are
+    /// byte-identical to sweeping each game alone.
+    ///
+    /// # Panics
+    /// Panics if a simulated game's spec does not measure utilities or
+    /// names a committee seat outside the committee.
+    pub fn explore_all(&self, games: &[GameDef], seeds: u64) -> Vec<Exploration> {
+        let sim_seeds = seeds.max(1);
 
-        let mut cells: BTreeMap<Profile, ProfileStats> = BTreeMap::new();
-        let mut misses: Vec<(Profile, ScenarioSpec, CacheKey)> = Vec::new();
-        for profile in &targets {
-            let spec = spec_of(profile);
-            assert!(
-                spec.utility.is_some(),
-                "game '{}' spec for {profile:?} must measure utilities",
-                game.name
-            );
-            let key = CacheKey {
-                fingerprint: spec.fingerprint(),
-                seeds,
-                profile: profile.clone(),
-                seats: players.to_vec(),
-            };
-            match known.get(&key) {
-                Some(stats) if stats.utilities.len() == game.players() => {
-                    cells.insert(profile.clone(), stats.clone());
+        // One cache load per scope, shared by every game using it.
+        let mut known: BTreeMap<&str, BTreeMap<CacheKey, ProfileStats>> = BTreeMap::new();
+        if let Some(cache) = &self.cache {
+            for game in games {
+                if matches!(game.eval, GameEval::Simulated { .. }) {
+                    known
+                        .entry(game.cache_scope)
+                        .or_insert_with(|| cache.load(game.cache_scope));
                 }
-                _ => misses.push((profile.clone(), spec, key)),
             }
         }
-        let cached = cells.len();
 
-        // Flatten cells × seeds into one work list so many small cells
-        // still saturate the pool; per-run seeds depend only on (spec base
-        // seed, seed index), so scheduling cannot perturb any run.
-        let work: Vec<(usize, u64)> = (0..misses.len())
-            .flat_map(|cell| (0..seeds).map(move |i| (cell, i)))
+        /// Where one target cell's stats come from.
+        enum Source {
+            /// Served from the on-disk cache.
+            Cached(ProfileStats),
+            /// Simulated by this batch (index into the work list).
+            Fresh(usize),
+            /// Same work another game in this batch already claimed.
+            Shared(usize),
+        }
+        struct Plan {
+            space: ProfileSpace,
+            expanded: usize,
+            sources: Vec<(Profile, Source)>,
+        }
+        struct WorkCell {
+            spec: ScenarioSpec,
+            key: CacheKey,
+            scope: &'static str,
+            game: &'static str,
+        }
+
+        let mut work: Vec<WorkCell> = Vec::new();
+        let mut index_of: BTreeMap<(&str, CacheKey), usize> = BTreeMap::new();
+        let mut results: Vec<Option<Exploration>> = Vec::with_capacity(games.len());
+        let mut plans: Vec<Option<Plan>> = Vec::with_capacity(games.len());
+
+        for game in games {
+            let space = game.space(self.use_symmetry);
+            let targets = space.canonical_profiles();
+            let expanded = space.len() - targets.len();
+            match &game.eval {
+                GameEval::Analytic(eval) => {
+                    let mut cells = BTreeMap::new();
+                    for profile in &targets {
+                        let (utilities, sigma) = eval(profile);
+                        assert_eq!(utilities.len(), game.players(), "one utility per player");
+                        cells.insert(
+                            profile.clone(),
+                            ProfileStats {
+                                ci95: vec![0.0; game.players()],
+                                seeds: 1,
+                                utilities,
+                                sigma,
+                            },
+                        );
+                    }
+                    results.push(Some(Exploration {
+                        table: UtilityTable::from_canonical(space, &cells),
+                        seeds: 1,
+                        evaluated: targets.len(),
+                        cached: 0,
+                        shared: 0,
+                        expanded,
+                    }));
+                    plans.push(None);
+                }
+                GameEval::Simulated { players, spec_of } => {
+                    let cached_cells = known.get(game.cache_scope);
+                    let mut sources = Vec::with_capacity(targets.len());
+                    for profile in &targets {
+                        let spec = spec_of(profile);
+                        assert!(
+                            spec.utility.is_some(),
+                            "game '{}' spec for {profile:?} must measure utilities",
+                            game.name
+                        );
+                        let key = CacheKey {
+                            fingerprint: spec.fingerprint(),
+                            seeds: sim_seeds,
+                            profile: profile.clone(),
+                            seats: players.to_vec(),
+                        };
+                        let source = match cached_cells.and_then(|c| c.get(&key)) {
+                            Some(stats) if stats.utilities.len() == game.players() => {
+                                Source::Cached(stats.clone())
+                            }
+                            _ => match index_of.get(&(game.cache_scope, key.clone())) {
+                                Some(&cell) => Source::Shared(cell),
+                                None => {
+                                    let cell = work.len();
+                                    index_of.insert((game.cache_scope, key.clone()), cell);
+                                    work.push(WorkCell {
+                                        spec,
+                                        key,
+                                        scope: game.cache_scope,
+                                        game: game.name,
+                                    });
+                                    Source::Fresh(cell)
+                                }
+                            },
+                        };
+                        sources.push((profile.clone(), source));
+                    }
+                    results.push(None);
+                    plans.push(Some(Plan {
+                        space,
+                        expanded,
+                        sources,
+                    }));
+                }
+            }
+        }
+
+        // Flatten every missing cell of every game × seeds into one work
+        // list so many small cells (and many small games) still saturate
+        // the pool; per-run seeds depend only on (spec base seed, seed
+        // index), so scheduling cannot perturb any run.
+        let flat: Vec<(usize, u64)> = (0..work.len())
+            .flat_map(|cell| (0..sim_seeds).map(move |i| (cell, i)))
             .collect();
-        let records = par_map(self.runner.threads(), &work, |_, &(cell, i)| {
-            let spec = &misses[cell].1;
+        let records = par_map(self.runner.threads(), &flat, |_, &(cell, i)| {
+            let spec = &work[cell].spec;
             run_one(spec, derive_seed(spec.base_seed, i))
         });
 
-        let mut fresh: Vec<(CacheKey, ProfileStats)> = Vec::new();
-        for (cell, chunk) in records.chunks(seeds as usize).enumerate() {
-            let (profile, spec, key) = &misses[cell];
+        let mut computed: Vec<ProfileStats> = Vec::with_capacity(work.len());
+        for (cell, chunk) in records.chunks(sim_seeds as usize).enumerate() {
+            let WorkCell {
+                spec, key, game, ..
+            } = &work[cell];
             let report = BatchReport::from_records(spec.label.clone(), spec.n, chunk.to_vec());
-            let stats = ProfileStats {
-                utilities: players
+            computed.push(ProfileStats {
+                utilities: key
+                    .seats
                     .iter()
                     .map(|&seat| {
                         report
                             .utilities
                             .get(seat)
                             .unwrap_or_else(|| {
-                                panic!("game '{}': no seat {seat} in n={}", game.name, spec.n)
+                                panic!("game '{game}': no seat {seat} in n={}", spec.n)
                             })
                             .mean
                     })
                     .collect(),
-                ci95: players
+                ci95: key
+                    .seats
                     .iter()
                     .map(|&seat| report.utilities[seat].ci95)
                     .collect(),
-                seeds,
+                seeds: sim_seeds,
                 sigma: report.modal_sigma(),
-            };
-            cells.insert(profile.clone(), stats.clone());
-            fresh.push((key.clone(), stats));
+            });
         }
+
+        // Persist every freshly computed cell, grouped per scope, in work
+        // order (deterministic file contents whatever the thread count).
         if let Some(cache) = &self.cache {
-            if let Err(e) = cache.append(game.cache_scope, &fresh) {
-                eprintln!("warning: utility cache write failed: {e}");
+            let mut by_scope: BTreeMap<&str, Vec<(CacheKey, ProfileStats)>> = BTreeMap::new();
+            for (cell, w) in work.iter().enumerate() {
+                by_scope
+                    .entry(w.scope)
+                    .or_default()
+                    .push((w.key.clone(), computed[cell].clone()));
+            }
+            for (scope, entries) in by_scope {
+                if let Err(e) = cache.append(scope, &entries) {
+                    eprintln!("warning: utility cache write failed: {e}");
+                }
             }
         }
 
-        Exploration {
-            evaluated: misses.len(),
-            table: UtilityTable::from_canonical(space, &cells),
-            seeds,
-            cached,
-            expanded,
+        for (slot, plan) in results.iter_mut().zip(plans) {
+            let Some(plan) = plan else { continue };
+            let mut cells = BTreeMap::new();
+            let (mut evaluated, mut cached, mut shared) = (0, 0, 0);
+            for (profile, source) in plan.sources {
+                let stats = match source {
+                    Source::Cached(stats) => {
+                        cached += 1;
+                        stats
+                    }
+                    Source::Fresh(cell) => {
+                        evaluated += 1;
+                        computed[cell].clone()
+                    }
+                    Source::Shared(cell) => {
+                        shared += 1;
+                        computed[cell].clone()
+                    }
+                };
+                cells.insert(profile, stats);
+            }
+            *slot = Some(Exploration {
+                table: UtilityTable::from_canonical(plan.space, &cells),
+                seeds: sim_seeds,
+                evaluated,
+                cached,
+                shared,
+                expanded: plan.expanded,
+            });
         }
+        results
+            .into_iter()
+            .map(|r| r.expect("every game explored"))
+            .collect()
     }
 }
 

@@ -229,6 +229,19 @@ pub fn game_registry() -> Vec<GameDef> {
             honest: vec![1, 1, 1],
             eval: GameEval::Analytic(trap_eval),
         },
+        GameDef {
+            name: "matching-pennies",
+            cache_scope: "matching-pennies",
+            description:
+                "analytic 2×2 reference: zero-sum matching game with no pure NE and the unique mixed NE (1/2, 1/2)",
+            strategies: vec![vec!["heads", "tails"]; 2],
+            symmetry: vec![],
+            honest: vec![0, 0],
+            eval: GameEval::Analytic(|p| {
+                let win = if p[0] == p[1] { 1.0 } else { -1.0 };
+                (vec![win, -win], prft_game::SystemState::HonestExecution)
+            }),
+        },
     ]
 }
 

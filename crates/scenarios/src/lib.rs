@@ -23,11 +23,17 @@
 //! * [`report`] — JSON, CSV, and terminal emission;
 //! * [`GameExplorer`] / [`GameDef`] / [`game_registry`] — the empirical
 //!   game-exploration engine: profile space → spec → utilities, with
-//!   symmetry reduction, an on-disk [`UtilityCache`], and CI-aware
-//!   equilibrium reports (see `docs/REPORT_SCHEMA.md`);
+//!   symmetry reduction, an on-disk [`UtilityCache`], CI-aware
+//!   equilibrium reports, optional mixed-strategy and best-reply-dynamics
+//!   analyses, and a multi-game batch mode
+//!   ([`GameExplorer::explore_all`]) that shares cells across games with
+//!   a common cache scope (see `docs/REPORT_SCHEMA.md` and
+//!   `docs/GAME_ANALYSIS.md`);
 //! * the `prft-lab` binary — `prft-lab list`, `prft-lab run <scenario>
-//!   --seeds N --threads T [--format json|csv|table] [--out FILE]`, and
-//!   `prft-lab explore run <game>` for equilibrium sweeps.
+//!   --seeds N --threads T [--format json|csv|table] [--out FILE]`,
+//!   `prft-lab explore run <game> [--mixed] [--dynamics]` for
+//!   equilibrium sweeps, and `prft-lab explore run-all` for one
+//!   flattened batch over every registered game.
 //!
 //! The `prft-bench` experiment binaries are thin formatters over this
 //! crate: each defines (or references) scenario specs and drives them

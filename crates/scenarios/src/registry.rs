@@ -294,6 +294,45 @@ pub fn registry() -> Vec<Scenario> {
                 .horizon(400_000)],
         },
         Scenario {
+            name: "delay-lift",
+            description:
+                "timeline: an open-ended delay on the first leader is lifted at GST (RemoveDelayRule) vs never lifted",
+            specs: {
+                // An AddDelayRule with an effectively unbounded window —
+                // only the scheduled RemoveDelayRule can end it ("T stops
+                // delaying at GST", the honest reading of partial
+                // synchrony the window-based rule cannot express).
+                let slowed = |label: &str| {
+                    ScenarioSpec::new(label, 8, 4)
+                        .base_seed(0xd11f7)
+                        .synchrony(Synchrony::PartiallySynchronous {
+                            gst: 2_000,
+                            delta: 10,
+                        })
+                        .at(
+                            0,
+                            TimelineEvent::AddDelayRule {
+                                from: Some(0),
+                                to: None,
+                                extra: 1_500,
+                                window: u64::MAX,
+                            },
+                        )
+                        .horizon(400_000)
+                };
+                vec![
+                    slowed("lift@gst").at(
+                        2_000,
+                        TimelineEvent::RemoveDelayRule {
+                            from: Some(0),
+                            to: None,
+                        },
+                    ),
+                    slowed("never-lifted"),
+                ]
+            },
+        },
+        Scenario {
             name: "colluder-defection",
             description:
                 "timeline: two of three fork colluders defect to π_0 mid-attack (Lemma 4, dynamic)",
@@ -409,6 +448,7 @@ mod tests {
         for name in [
             "crash-churn",
             "delay-until-gst",
+            "delay-lift",
             "colluder-defection",
             "late-tx-flood",
             "scheduled-split",

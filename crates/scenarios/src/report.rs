@@ -5,8 +5,24 @@
 use crate::explore::{Exploration, GameDef};
 use crate::json::Json;
 use crate::record::BatchReport;
-use prft_game::{Confidence, SystemState};
+use prft_game::{
+    best_reply_path, best_reply_summary, mixed_analysis, mixture_label, Confidence,
+    DynamicsOutcome, MixedAnalysis, SystemState, UtilityTable,
+};
 use prft_metrics::AsciiTable;
+
+/// Which optional analyses an equilibrium report includes — the
+/// `--mixed` / `--dynamics` flags of `prft-lab explore`. Both analyses
+/// are pure functions of the finished utility table, so enabling them
+/// never perturbs the base report and stays byte-identical at any thread
+/// count or cache state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreOpts {
+    /// Append the mixed-strategy equilibrium analysis.
+    pub mixed: bool,
+    /// Append the best-reply dynamics analysis.
+    pub dynamics: bool,
+}
 
 /// The JSON document for one scenario run (`prft-lab run <name>`).
 ///
@@ -134,13 +150,120 @@ fn profile_arr(profile: &[usize]) -> Json {
     Json::Arr(profile.iter().map(|&s| Json::u64(s as u64)).collect())
 }
 
+/// The rendered label of a mixed profile, using the game's strategy
+/// names: `(0.539·π_fork + 0.461·π_bait, …)`.
+fn mixed_label(game: &GameDef, distributions: &[Vec<f64>]) -> String {
+    mixture_label(distributions, |p, s| game.label(p, s).to_string())
+}
+
+fn outcome_str(outcome: DynamicsOutcome) -> &'static str {
+    match outcome {
+        DynamicsOutcome::Converged => "converged",
+        DynamicsOutcome::Cycled => "cycled",
+    }
+}
+
+/// The `mixed` JSON section: solver method plus verified strictly mixed
+/// equilibria (pure equilibria stay in `nash`).
+fn mixed_json(game: &GameDef, analysis: &MixedAnalysis) -> Json {
+    Json::obj([
+        ("method", Json::str(analysis.method)),
+        (
+            "equilibria",
+            Json::Arr(
+                analysis
+                    .equilibria
+                    .iter()
+                    .map(|eq| {
+                        Json::obj([
+                            (
+                                "distributions",
+                                Json::Arr(eq.distributions.iter().map(|d| f64_arr(d)).collect()),
+                            ),
+                            ("label", Json::str(mixed_label(game, &eq.distributions))),
+                            ("expected", f64_arr(&eq.expected)),
+                            ("regret", Json::Num(eq.regret)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The `dynamics` JSON section: the deterministic best-reply path from
+/// the game's honest profile plus the whole-space attractor summary.
+fn dynamics_json(game: &GameDef, table: &UtilityTable, eps: f64) -> Json {
+    let from_honest = best_reply_path(table, game.honest.clone(), eps);
+    let summary = best_reply_summary(table, eps);
+    Json::obj([
+        (
+            "from_honest",
+            Json::obj([
+                (
+                    "path",
+                    Json::Arr(from_honest.path.iter().map(|p| profile_arr(p)).collect()),
+                ),
+                (
+                    "labels",
+                    Json::Arr(
+                        from_honest
+                            .path
+                            .iter()
+                            .map(|p| Json::str(game.profile_label(p)))
+                            .collect(),
+                    ),
+                ),
+                ("outcome", Json::str(outcome_str(from_honest.outcome))),
+                ("steps", Json::u64(from_honest.steps() as u64)),
+                (
+                    "cycle_start",
+                    match from_honest.cycle_start {
+                        Some(i) => Json::u64(i as u64),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+        ),
+        (
+            "attractors",
+            Json::Arr(
+                summary
+                    .attractors
+                    .iter()
+                    .map(|(profile, basin)| {
+                        Json::obj([
+                            ("profile", profile_arr(profile)),
+                            ("label", Json::str(game.profile_label(profile))),
+                            ("basin", Json::u64(*basin as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("cycling_starts", Json::u64(summary.cycling_starts as u64)),
+        ("longest_path", Json::u64(summary.longest_path as u64)),
+    ])
+}
+
 /// The equilibrium-report JSON for one explored game (`prft-lab explore
-/// run <name> --format json`).
-///
-/// Everything in the document is a pure function of `(game, seeds, eps)` —
-/// cache state and thread count never appear, so cached and uncached
-/// sweeps at any `--threads` emit byte-identical reports.
+/// run <name> --format json`), without the optional analyses.
 pub fn explore_json(game: &GameDef, exploration: &Exploration, eps: f64) -> String {
+    explore_json_with(game, exploration, eps, ExploreOpts::default())
+}
+
+/// The equilibrium-report JSON for one explored game, with the optional
+/// `mixed` / `dynamics` sections selected by `opts`.
+///
+/// Everything in the document is a pure function of `(game, seeds, eps,
+/// opts)` — cache state and thread count never appear, so cached and
+/// uncached sweeps at any `--threads` emit byte-identical reports.
+pub fn explore_json_with(
+    game: &GameDef,
+    exploration: &Exploration,
+    eps: f64,
+    opts: ExploreOpts,
+) -> String {
     let table = &exploration.table;
     let cells: Vec<Json> = table
         .cells()
@@ -210,7 +333,7 @@ pub fn explore_json(game: &GameDef, exploration: &Exploration, eps: f64) -> Stri
             .map(|row| f64_arr(row))
             .collect(),
     );
-    Json::obj([
+    let mut doc: Vec<(&str, Json)> = vec![
         ("game", Json::str(game.name)),
         ("seeds", Json::u64(exploration.seeds)),
         ("eps", Json::Num(eps)),
@@ -238,13 +361,83 @@ pub fn explore_json(game: &GameDef, exploration: &Exploration, eps: f64) -> Stri
         ("dominant", Json::Arr(dominant)),
         ("dsic", dsic),
         ("regret", regret),
-    ])
-    .render_pretty()
+    ];
+    if opts.mixed {
+        doc.push(("mixed", mixed_json(game, &mixed_analysis(table, eps))));
+    }
+    if opts.dynamics {
+        doc.push(("dynamics", dynamics_json(game, table, eps)));
+    }
+    Json::obj(doc).render_pretty()
 }
 
 /// CSV over the explored cells: one row per profile, per-player utility
 /// and CI columns.
 pub fn explore_csv(game: &GameDef, exploration: &Exploration) -> String {
+    explore_csv_with(game, exploration, 1e-9, ExploreOpts::default())
+}
+
+/// [`explore_csv`] plus the optional analyses: each enabled analysis
+/// appends, after a blank line, its own header + rows (a multi-table CSV
+/// file; `docs/REPORT_SCHEMA.md` documents the blocks).
+pub fn explore_csv_with(
+    game: &GameDef,
+    exploration: &Exploration,
+    eps: f64,
+    opts: ExploreOpts,
+) -> String {
+    let mut out = cells_csv(game, exploration);
+    if opts.mixed {
+        let analysis = mixed_analysis(&exploration.table, eps);
+        out.push('\n');
+        out.push_str("game,method,label,regret");
+        for p in 0..game.players() {
+            out.push_str(&format!(",eu{p}"));
+        }
+        out.push('\n');
+        for eq in &analysis.equilibria {
+            out.push_str(&format!(
+                "{},{},{},{}",
+                csv_field(game.name),
+                analysis.method,
+                csv_field(&mixed_label(game, &eq.distributions)),
+                eq.regret,
+            ));
+            for p in 0..game.players() {
+                out.push_str(&format!(",{}", eq.expected[p]));
+            }
+            out.push('\n');
+        }
+    }
+    if opts.dynamics {
+        let summary = best_reply_summary(&exploration.table, eps);
+        out.push('\n');
+        out.push_str("game,attractor,label,basin\n");
+        for (profile, basin) in &summary.attractors {
+            let profile_str = profile
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join("-");
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                csv_field(game.name),
+                profile_str,
+                csv_field(&game.profile_label(profile)),
+                basin,
+            ));
+        }
+        out.push_str(&format!(
+            "{},cycling,—,{}\n",
+            csv_field(game.name),
+            summary.cycling_starts,
+        ));
+    }
+    out
+}
+
+/// The base cell block of the equilibrium CSV.
+fn cells_csv(game: &GameDef, exploration: &Exploration) -> String {
     let mut out = String::from("game,profile,label,sigma,seeds");
     for p in 0..game.players() {
         out.push_str(&format!(",u{p},ci{p}"));
@@ -274,6 +467,16 @@ pub fn explore_csv(game: &GameDef, exploration: &Exploration) -> String {
 
 /// Human-readable equilibrium report for the terminal.
 pub fn explore_table(game: &GameDef, exploration: &Exploration, eps: f64) -> String {
+    explore_table_with(game, exploration, eps, ExploreOpts::default())
+}
+
+/// [`explore_table`] plus the optional mixed/dynamics sections.
+pub fn explore_table_with(
+    game: &GameDef,
+    exploration: &Exploration,
+    eps: f64,
+    opts: ExploreOpts,
+) -> String {
     let table = &exploration.table;
     let mut out = String::new();
 
@@ -351,6 +554,72 @@ pub fn explore_table(game: &GameDef, exploration: &Exploration, eps: f64) -> Str
             "✗"
         },
     ));
+
+    if opts.mixed {
+        let analysis = mixed_analysis(table, eps);
+        out.push_str(&format!(
+            "\nMixed equilibria ({}, ε = {eps}):\n",
+            analysis.method
+        ));
+        if analysis.equilibria.is_empty() {
+            out.push_str(if analysis.method == "unsupported" {
+                "  (no exact solver for this game shape — see the dynamics analysis)\n"
+            } else {
+                "  (none beyond the pure equilibria above)\n"
+            });
+        }
+        for eq in &analysis.equilibria {
+            let expected = eq
+                .expected
+                .iter()
+                .map(|u| format!("{u:.3}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "  {}  [expected: {expected}; regret {:.3e}]\n",
+                mixed_label(game, &eq.distributions),
+                eq.regret,
+            ));
+        }
+    }
+
+    if opts.dynamics {
+        let from_honest = best_reply_path(table, game.honest.clone(), eps);
+        let summary = best_reply_summary(table, eps);
+        out.push_str(&format!("\nBest-reply dynamics (ε = {eps}):\n"));
+        let trail = from_honest
+            .path
+            .iter()
+            .map(|p| game.profile_label(p))
+            .collect::<Vec<_>>()
+            .join(" → ");
+        match from_honest.outcome {
+            DynamicsOutcome::Converged => out.push_str(&format!(
+                "  from honest: converged in {} step(s): {trail}\n",
+                from_honest.steps(),
+            )),
+            DynamicsOutcome::Cycled => out.push_str(&format!(
+                "  from honest: cycles (first repeat at step {}): {trail}\n",
+                from_honest.cycle_start.unwrap_or(0),
+            )),
+        }
+        if summary.attractors.is_empty() {
+            out.push_str("  attractors: (none — every start cycles)\n");
+        } else {
+            out.push_str("  attractors (basin / starts):\n");
+            let total = table.space().len();
+            for (profile, basin) in &summary.attractors {
+                out.push_str(&format!(
+                    "    {}  {basin}/{total}\n",
+                    game.profile_label(profile)
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "  cycling starts: {}; longest path: {} step(s)\n",
+            summary.cycling_starts, summary.longest_path
+        ));
+    }
     out
 }
 

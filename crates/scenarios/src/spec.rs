@@ -124,6 +124,19 @@ pub enum TimelineEvent {
         /// Rule lifetime in ticks from the scheduled tick.
         window: u64,
     },
+    /// Remove every live delay rule whose `(from, to)` pattern equals the
+    /// given one — the inverse of [`TimelineEvent::AddDelayRule`], so a
+    /// schedule can *lift* an attack instead of waiting out its window
+    /// ("T stops delaying at GST"). Deliveries already scheduled keep the
+    /// delay they were sent under; only future sends feel the removal.
+    /// Removing a pattern nothing matches is a no-op.
+    RemoveDelayRule {
+        /// Matching sender pattern of the rules to drop (`None` = the
+        /// wildcard pattern, compared as written).
+        from: Option<usize>,
+        /// Matching receiver pattern of the rules to drop.
+        to: Option<usize>,
+    },
     /// Inject a transaction into mempools at the scheduled tick (to every
     /// player when `to` is `None`) — late tx floods under censorship.
     InjectTx(TxSpec),

@@ -199,3 +199,130 @@ fn registered_trap_game_reproduces_theorem_3() {
         "the insecure equilibrium is focal"
     );
 }
+
+#[test]
+fn batch_sweeps_share_cells_across_scope_mates() {
+    // One explore_all batch over the narrow and wide pair games (shared
+    // cache scope, no disk cache): the 2×2 sub-square is simulated once
+    // and *shared* into the wide game, and each per-game report is
+    // byte-identical to sweeping that game alone.
+    let runner = BatchRunner::new(2);
+    let games = [pair_game(false), pair_game(true)];
+    let both = GameExplorer::new(runner).explore_all(&games, 2);
+    assert_eq!(
+        (both[0].evaluated, both[0].cached, both[0].shared),
+        (4, 0, 0)
+    );
+    assert_eq!(
+        (both[1].evaluated, both[1].cached, both[1].shared),
+        (5, 0, 4),
+        "the wide game reuses the narrow game's 4 cells in-batch"
+    );
+    for (game, batched) in games.iter().zip(&both) {
+        let alone = GameExplorer::new(runner).explore(game, 2);
+        assert_eq!(
+            report::explore_json(game, batched, 1e-9),
+            report::explore_json(game, &alone, 1e-9),
+            "{}: batching must not change the report",
+            game.name
+        );
+    }
+    // And the batch itself is thread-count invariant.
+    let serial = GameExplorer::new(BatchRunner::new(1)).explore_all(&games, 2);
+    for (game, (s, p)) in games.iter().zip(serial.iter().zip(&both)) {
+        assert_eq!(
+            report::explore_json(game, s, 1e-9),
+            report::explore_json(game, p, 1e-9),
+            "{}: T=1 vs T=2 batch",
+            game.name
+        );
+    }
+}
+
+#[test]
+fn batch_sweeps_mix_analytic_and_simulated_games() {
+    let games = [pair_game(false), find_game("trap-k3").expect("registered")];
+    let out = GameExplorer::new(BatchRunner::new(2)).explore_all(&games, 1);
+    assert!(out[0].table.is_complete());
+    assert!(out[1].table.is_complete());
+    assert_eq!(out[1].seeds, 1, "analytic cells are exact");
+    assert!(out[1].table.nash_equilibria(1e-9).contains(&vec![0, 0, 0]));
+}
+
+#[test]
+fn mixed_and_dynamics_reports_are_thread_count_invariant() {
+    // The --mixed/--dynamics analyses are pure functions of the finished
+    // table, so T=1 and T=8 sweeps emit byte-identical documents in every
+    // format, sections included.
+    let game = find_game("abstain-quorum").expect("registered game");
+    let opts = report::ExploreOpts {
+        mixed: true,
+        dynamics: true,
+    };
+    let serial = GameExplorer::new(BatchRunner::new(1)).explore(&game, 4);
+    let parallel = GameExplorer::new(BatchRunner::new(8)).explore(&game, 4);
+    assert_eq!(
+        report::explore_json_with(&game, &serial, 1e-9, opts),
+        report::explore_json_with(&game, &parallel, 1e-9, opts)
+    );
+    assert_eq!(
+        report::explore_csv_with(&game, &serial, 1e-9, opts),
+        report::explore_csv_with(&game, &parallel, 1e-9, opts)
+    );
+    assert_eq!(
+        report::explore_table_with(&game, &serial, 1e-9, opts),
+        report::explore_table_with(&game, &parallel, 1e-9, opts)
+    );
+    let json = report::explore_json_with(&game, &serial, 1e-9, opts);
+    assert!(json.contains("\"mixed\""));
+    assert!(json.contains("\"dynamics\""));
+}
+
+#[test]
+fn matching_pennies_mixed_equilibrium_is_exact() {
+    // The acceptance criterion: the 2×2 reference game's analytic mixed
+    // equilibrium (1/2, 1/2) is found to within 1e-6.
+    let game = find_game("matching-pennies").expect("registered game");
+    let out = GameExplorer::new(BatchRunner::new(1)).explore(&game, 1);
+    assert!(out.table.nash_equilibria(0.0).is_empty(), "no pure NE");
+    let analysis = prft_game::mixed_analysis(&out.table, 1e-9);
+    assert_eq!(analysis.method, "support-enumeration");
+    assert_eq!(analysis.equilibria.len(), 1);
+    for dist in &analysis.equilibria[0].distributions {
+        assert!((dist[0] - 0.5).abs() < 1e-6);
+        assert!((dist[1] - 0.5).abs() < 1e-6);
+    }
+    let json = report::explore_json_with(
+        &game,
+        &out,
+        1e-9,
+        report::ExploreOpts {
+            mixed: true,
+            dynamics: true,
+        },
+    );
+    assert!(json.contains("0.5"), "the mixture reaches the report");
+    assert!(json.contains("\"cycling_starts\": 4"), "pennies cycles");
+}
+
+#[test]
+fn trap_k3_interior_equilibrium_matches_the_closed_form() {
+    // Cross-check against the hand-solved indifference system:
+    // 21p² − 41p + 16 = 0 ⇒ p* = (41 − √337)/42 ≈ 0.539106.
+    let game = find_game("trap-k3").expect("registered game");
+    let out = GameExplorer::new(BatchRunner::new(1)).explore(&game, 1);
+    let found = prft_game::symmetric_mixed_equilibria(&out.table, 1e-9);
+    assert_eq!(found.len(), 1);
+    let expected = (41.0 - 337.0_f64.sqrt()) / 42.0;
+    for dist in &found[0].distributions {
+        assert!((dist[0] - expected).abs() < 1e-9);
+    }
+    // Dynamics quantify "the insecure equilibrium is focal": the all-fork
+    // basin captures most starts.
+    let summary = prft_game::best_reply_summary(&out.table, 1e-9);
+    assert_eq!(
+        summary.attractors,
+        vec![(vec![0, 0, 0], 6), (vec![1, 1, 1], 2)],
+        "6 of 8 starts best-reply into the fork equilibrium"
+    );
+}

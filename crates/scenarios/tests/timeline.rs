@@ -166,6 +166,57 @@ fn set_role_swaps_the_live_behavior() {
 }
 
 #[test]
+fn remove_delay_rule_lifts_the_slowdown() {
+    // An AddDelayRule with an unbounded window that only a scheduled
+    // RemoveDelayRule can end.
+    let slowed = |label: &str| {
+        ScenarioSpec::new(label, 8, 4)
+            .base_seed(0xd11f7)
+            .synchrony(Synchrony::PartiallySynchronous {
+                gst: 2_000,
+                delta: 10,
+            })
+            .at(
+                0,
+                TimelineEvent::AddDelayRule {
+                    from: Some(0),
+                    to: None,
+                    extra: 1_500,
+                    window: u64::MAX,
+                },
+            )
+            .horizon(400_000)
+    };
+    let lifted = slowed("lift").at(
+        2_000,
+        TimelineEvent::RemoveDelayRule {
+            from: Some(0),
+            to: None,
+        },
+    );
+    let never = slowed("never");
+    assert_ne!(
+        trace_of(&lifted, 42),
+        trace_of(&never, 42),
+        "the removal must reach the live rule set"
+    );
+    // A removal replays identically to itself …
+    assert_eq!(trace_of(&lifted, 42), trace_of(&lifted, 42));
+    // … removing a pattern nothing matches is a runtime no-op …
+    let no_match = slowed("no-match").at(
+        2_000,
+        TimelineEvent::RemoveDelayRule {
+            from: Some(5),
+            to: Some(2),
+        },
+    );
+    assert_eq!(trace_of(&no_match, 42), trace_of(&never, 42));
+    // … but still a different spec: the cache must keep them apart.
+    assert_ne!(no_match.fingerprint(), never.fingerprint());
+    assert_ne!(lifted.fingerprint(), never.fingerprint());
+}
+
+#[test]
 fn registry_timeline_scenarios_hold_their_headlines() {
     let runner = BatchRunner::all_cores();
     // crash-churn: rolling ≤2-of-9 crashes never cost liveness/agreement.
@@ -188,4 +239,16 @@ fn registry_timeline_scenarios_hold_their_headlines() {
             "censors must keep the late tx out"
         );
     }
+    // delay-lift: both grid points keep agreement and full height, and
+    // lifting the rule at GST visibly changes the runs vs never lifting.
+    let lift = prft_lab::find("delay-lift").expect("registered");
+    let reports = runner.run_grid(&lift.specs, 8);
+    for report in &reports {
+        assert_eq!(report.agreement_rate, 1.0, "{}", report.label);
+        assert!(report.min_final_height.mean >= 3.0, "{}", report.label);
+    }
+    assert_ne!(
+        reports[0].total_messages, reports[1].total_messages,
+        "the lifted rule must change message flow"
+    );
 }
