@@ -1,0 +1,311 @@
+//! The `prft-bench` binary: engine micro-benchmarks with machine-readable
+//! output, seeding the repo's recorded perf trajectory (`BENCH_*.json`).
+//!
+//! ```text
+//! prft-bench queue [--quick] [--out FILE] [--repeats R]
+//! ```
+//!
+//! `queue` sweeps committee sizes n ∈ {16, 64, 128, 256} × both event-queue
+//! backends (heap reference, calendar) over a queue-bound flood workload
+//! (every node broadcasts through a jittered link until a per-node round
+//! budget drains; queue depth is ~n², which is exactly the pressure a
+//! large-n pRFT committee puts on the engine) and reports events/sec, wall
+//! time, and peak queue depth per point. `--quick` shrinks the sweep to
+//! n ∈ {16, 128} with fewer events for CI smoke use.
+//!
+//! The workload is deterministic (seeded link jitter), so both backends
+//! dispatch the **same** events in the same order — the wall-clock delta
+//! is pure queue cost. The binary exits non-zero if the calendar backend
+//! fails to at least match the heap backend at the largest swept n, which
+//! is what lets CI grep a PASS line instead of parsing JSON.
+//!
+//! Schema of the emitted JSON: see `docs/PERFORMANCE.md`.
+
+use prft_lab::json::Json;
+use prft_sim::{
+    Context, LinkModel, Node, QueueBackend, SimRng, SimTime, Simulation, TimerId, WireMessage,
+};
+use prft_types::NodeId;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// A 64-byte inline payload: big enough that moving messages through a
+/// sifting heap is visible, small enough to stay allocation-free.
+#[derive(Clone)]
+struct FloodMsg([u64; 8]);
+
+impl WireMessage for FloodMsg {
+    fn kind(&self) -> &'static str {
+        "Flood"
+    }
+    fn wire_bytes(&self) -> usize {
+        64
+    }
+}
+
+/// Jittered constant-delay link: `base + U[0, spread)` ticks, drawn from
+/// the engine RNG, so deliveries spread across ticks (the calendar queue
+/// sees many occupied buckets, not one burst bucket).
+struct JitterLink {
+    base: u64,
+    spread: u64,
+}
+
+impl LinkModel for JitterLink {
+    fn deliver_at(&mut self, _f: NodeId, _t: NodeId, sent: SimTime, rng: &mut SimRng) -> SimTime {
+        SimTime(sent.0 + self.base + rng.below(self.spread))
+    }
+}
+
+/// Flood node: broadcasts on start; every time it has heard `n` messages
+/// it broadcasts again, until its round budget drains. Keeps ~n² events
+/// in flight for the whole run.
+struct FloodNode {
+    n: usize,
+    rounds_left: u64,
+    heard: usize,
+}
+
+impl Node for FloodNode {
+    type Msg = FloodMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<FloodMsg>) {
+        ctx.broadcast(FloodMsg([ctx.me().0 as u64; 8]));
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<FloodMsg>, _from: NodeId, msg: FloodMsg) {
+        self.heard += 1;
+        if self.heard >= self.n && self.rounds_left > 0 {
+            self.heard = 0;
+            self.rounds_left -= 1;
+            ctx.broadcast(FloodMsg([msg.0[0].wrapping_add(1); 8]));
+        }
+    }
+
+    fn on_timer(&mut self, _: &mut Context<FloodMsg>, _: TimerId) {}
+}
+
+/// One measured point of the sweep.
+struct Point {
+    n: usize,
+    backend: QueueBackend,
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    peak_depth: usize,
+}
+
+/// Runs the flood once and returns (events, wall seconds, peak depth).
+/// The event count is a pure function of (n, rounds, seed) — identical
+/// across backends, which the caller asserts.
+fn run_flood(n: usize, rounds: u64, backend: QueueBackend, seed: u64) -> (u64, f64, usize) {
+    let nodes = (0..n)
+        .map(|_| FloodNode {
+            n,
+            rounds_left: rounds,
+            heard: 0,
+        })
+        .collect();
+    let link = Box::new(JitterLink {
+        base: 8,
+        spread: 48,
+    });
+    let mut sim = Simulation::with_backend(nodes, link, seed, backend);
+    let t0 = Instant::now();
+    sim.run();
+    let wall = t0.elapsed().as_secs_f64();
+    (sim.events_dispatched(), wall, sim.peak_queue_depth())
+}
+
+/// Measures one (n, backend) point: best-of-`repeats` wall time (the
+/// event count and peak depth are deterministic; only wall time jitters).
+fn measure(n: usize, rounds: u64, backend: QueueBackend, repeats: u32) -> Point {
+    let mut best_wall = f64::INFINITY;
+    let mut events = 0;
+    let mut peak = 0;
+    for _ in 0..repeats {
+        let (e, w, p) = run_flood(n, rounds, backend, 0xbe9c);
+        best_wall = best_wall.min(w);
+        events = e;
+        peak = p;
+    }
+    Point {
+        n,
+        backend,
+        events,
+        wall_secs: best_wall,
+        events_per_sec: events as f64 / best_wall,
+        peak_depth: peak,
+    }
+}
+
+/// Per-n round budget targeting `target_events` total dispatched events,
+/// so every n gets a comparable measurement window.
+fn rounds_for(n: usize, target_events: u64) -> u64 {
+    (target_events / (n * n) as u64).max(2)
+}
+
+fn queue_bench(quick: bool, repeats: u32, out: Option<&str>) -> ExitCode {
+    let (ns, target): (&[usize], u64) = if quick {
+        (&[16, 128], 400_000)
+    } else {
+        (&[16, 64, 128, 256], 3_000_000)
+    };
+    let mut points: Vec<Point> = Vec::new();
+    for &n in ns {
+        let rounds = rounds_for(n, target);
+        for backend in QueueBackend::ALL {
+            let p = measure(n, rounds, backend, repeats);
+            eprintln!(
+                "n={:>3} {:>8}: {:>9} events in {:>8.1}ms  ({:>11.0} events/s, peak depth {})",
+                p.n,
+                p.backend.name(),
+                p.events,
+                p.wall_secs * 1e3,
+                p.events_per_sec,
+                p.peak_depth
+            );
+            points.push(p);
+        }
+        // Both backends must have dispatched the identical event stream.
+        let [heap_point, cal_point] = &points[points.len() - 2..] else {
+            unreachable!("two backends just measured");
+        };
+        assert_eq!(
+            heap_point.events, cal_point.events,
+            "backends dispatched different event counts — determinism bug"
+        );
+    }
+    // The acceptance line CI greps: calendar vs heap at the largest n.
+    let largest = *ns.last().expect("non-empty sweep");
+    let eps_of = |backend: QueueBackend| {
+        points
+            .iter()
+            .find(|p| p.n == largest && p.backend == backend)
+            .expect("measured")
+            .events_per_sec
+    };
+    let ratio = eps_of(QueueBackend::Calendar) / eps_of(QueueBackend::Heap);
+    let pass = ratio >= 1.0;
+    eprintln!(
+        "check: n={largest} calendar/heap = {ratio:.2}x ({})",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let doc = Json::obj([
+        ("bench", Json::str("queue")),
+        ("workload", Json::str("flood")),
+        ("quick", Json::Bool(quick)),
+        ("repeats", Json::u64(repeats as u64)),
+        ("target_events", Json::u64(target)),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("n", Json::u64(p.n as u64)),
+                            ("backend", Json::str(p.backend.name())),
+                            ("events", Json::u64(p.events)),
+                            ("wall_ms", Json::Num(p.wall_secs * 1e3)),
+                            ("events_per_sec", Json::Num(p.events_per_sec)),
+                            ("peak_queue_depth", Json::u64(p.peak_depth as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "speedup",
+            Json::Arr(
+                ns.iter()
+                    .map(|&n| {
+                        let of = |b: QueueBackend| {
+                            points
+                                .iter()
+                                .find(|p| p.n == n && p.backend == b)
+                                .expect("measured")
+                                .events_per_sec
+                        };
+                        Json::obj([
+                            ("n", Json::u64(n as u64)),
+                            (
+                                "calendar_over_heap",
+                                Json::Num(of(QueueBackend::Calendar) / of(QueueBackend::Heap)),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let rendered = doc.render_pretty();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: prft-bench queue [--quick] [--out FILE] [--repeats R]\n\
+         \n\
+         Sweeps committee sizes × event-queue backends over a queue-bound\n\
+         flood workload and emits a BENCH_queue.json document (schema:\n\
+         docs/PERFORMANCE.md). Exits non-zero if the calendar backend is\n\
+         slower than the heap reference at the largest swept n.\n\
+         \n\
+         options:\n\
+         \x20 --quick      small sweep (n = 16, 128) for CI smoke\n\
+         \x20 --out FILE   write the JSON to FILE instead of stdout\n\
+         \x20 --repeats R  best-of-R wall times per point (default 3)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    match command.as_str() {
+        "queue" => {
+            let mut quick = false;
+            let mut out: Option<String> = None;
+            let mut repeats = 3u32;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--quick" => quick = true,
+                    "--out" => match it.next() {
+                        Some(path) => out = Some(path.clone()),
+                        None => return usage(),
+                    },
+                    "--repeats" => match it.next().and_then(|r| r.parse().ok()) {
+                        Some(r) if r > 0 => repeats = r,
+                        _ => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            queue_bench(quick, repeats, out.as_deref())
+        }
+        "--help" | "-h" | "help" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

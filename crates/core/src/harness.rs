@@ -8,7 +8,7 @@ use prft_crypto::KeyRegistry;
 use prft_net::{
     AsynchronousNet, PartiallySynchronousNet, PartitionWindow, PartitionedNet, SynchronousNet,
 };
-use prft_sim::{LinkModel, SimTime, Simulation};
+use prft_sim::{LinkModel, QueueBackend, SimTime, Simulation};
 use prft_types::{NodeId, Transaction};
 use std::collections::HashMap;
 
@@ -55,6 +55,7 @@ pub struct Harness {
     seed: u64,
     cfg: Config,
     network: Option<NetworkChoice>,
+    queue: QueueBackend,
     behaviors: HashMap<NodeId, Box<dyn Behavior>>,
     pending_txs: Vec<(Option<NodeId>, Transaction)>,
 }
@@ -67,9 +68,18 @@ impl Harness {
             seed,
             cfg: Config::for_committee(n),
             network: None,
+            queue: QueueBackend::default(),
             behaviors: HashMap::new(),
             pending_txs: Vec::new(),
         }
+    }
+
+    /// Selects the event-queue backend the simulation drains. Results are
+    /// byte-identical across backends; this only changes speed.
+    #[must_use]
+    pub fn queue(mut self, backend: QueueBackend) -> Self {
+        self.queue = backend;
+        self
     }
 
     /// Overrides the protocol configuration wholesale.
@@ -199,6 +209,6 @@ impl Harness {
             .network
             .take()
             .unwrap_or(NetworkChoice::Synchronous { delta: SimTime(10) });
-        Simulation::new(replicas, network.into_model(), self.seed)
+        Simulation::with_backend(replicas, network.into_model(), self.seed, self.queue)
     }
 }

@@ -24,7 +24,8 @@
 //! in the stderr stats).
 
 use prft_lab::{
-    registry, report, BatchRunner, Exploration, GameDef, GameExplorer, Scenario, UtilityCache,
+    registry, report, BatchRunner, Exploration, GameDef, GameExplorer, QueueBackend, Scenario,
+    ScenarioSpec, UtilityCache,
 };
 use std::process::ExitCode;
 
@@ -40,6 +41,7 @@ struct Options {
     mixed: bool,
     dynamics: bool,
     seeds_given: bool,
+    queue: Option<QueueBackend>,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -76,6 +78,9 @@ fn usage() -> ExitCode {
          \x20                (run-all writes one FILE-<scenario> per\n\
          \x20                scenario plus a FILE-manifest index)\n\
          \x20 --runs         include per-run records in JSON output\n\
+         \x20 --queue B      event-queue backend: calendar (default) |\n\
+         \x20                heap (reference); results are byte-identical\n\
+         \x20                across backends (run / run-all only)\n\
          \n\
          explore options:\n\
          \x20 --cache DIR    reuse finished profile cells from DIR and\n\
@@ -104,6 +109,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         mixed: false,
         dynamics: false,
         seeds_given: false,
+        queue: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -133,6 +139,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 };
             }
             "--out" => opts.out = Some(value("--out")?),
+            "--queue" => {
+                let name = value("--queue")?;
+                opts.queue = Some(QueueBackend::parse(&name).ok_or_else(|| {
+                    format!("unknown queue backend: {name} (use heap | calendar)")
+                })?);
+            }
             "--runs" => opts.include_runs = true,
             "--cache" => opts.cache = Some(value("--cache")?),
             "--full" => opts.full = true,
@@ -307,6 +319,17 @@ fn write_manifest(
     Ok(())
 }
 
+/// `--queue` applies to `run`/`run-all` only; explore builds its specs
+/// from game definitions. Reject rather than silently ignore it.
+fn reject_queue_flag(opts: &Options) -> Result<(), String> {
+    match opts.queue {
+        Some(_) => Err("--queue applies to run/run-all only (explore reports are \
+             byte-identical across backends anyway)"
+            .to_string()),
+        None => Ok(()),
+    }
+}
+
 fn explore_command(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("list") => {
@@ -330,10 +353,16 @@ fn explore_command(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("run") => match args.get(1) {
-            Some(name) => parse_options(&args[2..]).and_then(|opts| explore_game(name, &opts)),
+            Some(name) => parse_options(&args[2..]).and_then(|opts| {
+                reject_queue_flag(&opts)?;
+                explore_game(name, &opts)
+            }),
             None => Err("explore run needs a game name".to_string()),
         },
-        Some("run-all") => parse_options(&args[1..]).and_then(|opts| explore_run_all(&opts)),
+        Some("run-all") => parse_options(&args[1..]).and_then(|opts| {
+            reject_queue_flag(&opts)?;
+            explore_run_all(&opts)
+        }),
         _ => Err("usage: prft-lab explore <list | run <game> | run-all>".to_string()),
     }
 }
@@ -382,13 +411,28 @@ fn list_scenarios(args: &[String]) -> Result<(), String> {
 fn run_scenario(scenario: &Scenario, opts: &Options, out: Option<String>) -> Result<(), String> {
     let runner = BatchRunner::new(opts.threads);
     eprintln!(
-        "running {} ({} grid points × {} seeds, {} threads)",
+        "running {} ({} grid points × {} seeds, {} threads{})",
         scenario.name,
         scenario.specs.len(),
         opts.seeds,
-        runner.threads()
+        runner.threads(),
+        match opts.queue {
+            Some(b) => format!(", {b} queue"),
+            None => String::new(),
+        }
     );
-    let reports = runner.run_grid(&scenario.specs, opts.seeds);
+    // `--queue` overrides every grid point's backend; reports come out
+    // byte-identical either way (CI diffs them), so this is purely a
+    // speed/debugging knob.
+    let specs: Vec<ScenarioSpec> = match opts.queue {
+        Some(backend) => scenario
+            .specs
+            .iter()
+            .map(|s| s.clone().queue(backend))
+            .collect(),
+        None => scenario.specs.clone(),
+    };
+    let reports = runner.run_grid(&specs, opts.seeds);
     let content = match opts.format {
         Format::Table => report::scenario_table(scenario.name, opts.seeds, &reports),
         Format::Json => {

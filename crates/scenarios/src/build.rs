@@ -231,7 +231,8 @@ fn build(spec: &ScenarioSpec, seed: u64) -> Built {
     let mut h = Harness::new(spec.n, seed)
         .config(cfg)
         .accountable(spec.accountable)
-        .network(network);
+        .network(network)
+        .queue(spec.queue);
     if let Some(tau) = spec.tau_override {
         h = h.tau(tau);
     }

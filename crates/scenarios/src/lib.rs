@@ -72,6 +72,7 @@ pub use build::{
 pub use cache::{CacheKey, UtilityCache};
 pub use explore::{Exploration, GameDef, GameEval, GameExplorer};
 pub use games::{find_game, game_registry};
+pub use prft_sim::QueueBackend;
 pub use record::{Aggregate, BatchReport, RunRecord};
 pub use registry::{find, registry, Scenario};
 pub use runner::{derive_seed, effective_threads, par_map, BatchRunner};

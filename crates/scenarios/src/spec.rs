@@ -5,6 +5,7 @@
 //! and build an independent simulation per seed.
 
 use prft_game::Theta;
+use prft_sim::QueueBackend;
 
 /// Which synchrony flavour the run executes under (Section 3.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -237,6 +238,11 @@ pub struct ScenarioSpec {
     /// The fault & network timeline: `(tick, event)` pairs applied at the
     /// start of their tick, in insertion order within a tick.
     pub schedule: Vec<(u64, TimelineEvent)>,
+    /// Which event-queue backend drains the run. **Not** part of the
+    /// fingerprint: pop order (and with it every observable) is pinned
+    /// byte-identical across backends, so this knob selects an execution
+    /// strategy, never a semantics (see `docs/PERFORMANCE.md`).
+    pub queue: QueueBackend,
 }
 
 impl ScenarioSpec {
@@ -261,7 +267,17 @@ impl ScenarioSpec {
             phase_timeout: None,
             utility: None,
             schedule: Vec::new(),
+            queue: QueueBackend::default(),
         }
+    }
+
+    /// Selects the event-queue backend (default: calendar). Results never
+    /// depend on it — the backend-equivalence tests pin byte-identity —
+    /// so it does not fingerprint.
+    #[must_use]
+    pub fn queue(mut self, backend: QueueBackend) -> Self {
+        self.queue = backend;
+        self
     }
 
     /// Sets the synchrony flavour.
@@ -382,13 +398,21 @@ impl ScenarioSpec {
     /// the fingerprint, so stale cache cells can never be served for an
     /// edited game. FNV-1a over the derived `Debug` encoding plus a
     /// format-version salt (bump the salt when the spec vocabulary changes
-    /// shape; `spec-v1 → spec-v2` with the timeline schedule, so every
-    /// pre-timeline cache cell reads as a miss, never as a stale hit).
+    /// shape; `spec-v1 → spec-v2` with the timeline schedule, `spec-v2 →
+    /// spec-v3` with the queue-backend knob, so every pre-change cache
+    /// cell reads as a miss, never as a stale hit).
+    ///
+    /// The `queue` backend is deliberately **canonicalized away** before
+    /// hashing: the backend-equivalence tests pin every run observable
+    /// byte-identical across backends, so two specs differing only in
+    /// `queue` describe the same experiment and must share cache cells.
     pub fn fingerprint(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut canonical = self.clone();
+        canonical.queue = QueueBackend::default();
         let mut hash = FNV_OFFSET;
-        for byte in format!("spec-v2|{self:?}").bytes() {
+        for byte in format!("spec-v3|{canonical:?}").bytes() {
             hash ^= byte as u64;
             hash = hash.wrapping_mul(FNV_PRIME);
         }
@@ -589,6 +613,25 @@ mod tests {
             .at(5, TimelineEvent::Recover(0))
             .at(5, TimelineEvent::Crash(0));
         assert_ne!(ab.fingerprint(), ba.fingerprint());
+    }
+
+    #[test]
+    fn queue_backend_is_fingerprint_neutral() {
+        // The backend changes execution strategy, never results, so two
+        // specs differing only in `queue` must share explorer cache cells
+        // (equal fingerprints) while still comparing unequal as data.
+        let calendar = ScenarioSpec::new("x", 4, 1).queue(QueueBackend::Calendar);
+        let heap = ScenarioSpec::new("x", 4, 1).queue(QueueBackend::Heap);
+        assert_eq!(calendar.fingerprint(), heap.fingerprint());
+        assert_ne!(calendar, heap);
+        // …but every *semantic* field still fingerprints (guard against
+        // the canonical clone accidentally widening the exclusion).
+        assert_ne!(
+            heap.fingerprint(),
+            ScenarioSpec::new("x", 5, 1)
+                .queue(QueueBackend::Heap)
+                .fingerprint()
+        );
     }
 
     #[test]

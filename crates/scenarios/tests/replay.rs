@@ -10,7 +10,7 @@
 //! adversarially-busy scenario shape.
 
 use prft_game::Theta;
-use prft_lab::{Role, ScenarioSpec, UtilitySpec};
+use prft_lab::{QueueBackend, Role, ScenarioSpec, TimelineEvent, UtilitySpec};
 use prft_sim::SimTime;
 
 fn fork_spec() -> ScenarioSpec {
@@ -32,6 +32,17 @@ fn trace_of(spec: &ScenarioSpec, seed: u64) -> Vec<(u64, usize, usize, &'static 
     let mut sim = prft_lab::build_sim(spec, seed);
     sim.set_tracing(true);
     sim.run_until(SimTime(spec.horizon));
+    sim.trace()
+        .entries()
+        .iter()
+        .map(|e| (e.at.0, e.from.0, e.to.0, e.kind))
+        .collect()
+}
+
+/// Like [`trace_of`], but executes the spec's timeline schedule (the
+/// `run_sim` path), so crash/recover events actually fire.
+fn scheduled_trace_of(spec: &ScenarioSpec, seed: u64) -> Vec<(u64, usize, usize, &'static str)> {
+    let (sim, _) = prft_lab::run_sim(spec, seed, |sim| sim.set_tracing(true));
     sim.trace()
         .entries()
         .iter()
@@ -61,4 +72,52 @@ fn equal_specs_share_dynamics_whatever_their_economics() {
         ..fork_spec()
     };
     assert_eq!(trace_of(&cheap, 7), trace_of(&expensive, 7));
+}
+
+/// A spec that hammers the engine's crash/cancel bookkeeping: rolling
+/// crash/recover churn makes the `crashed` set churn mid-run and drives
+/// phase-timeout timers (and their cancellations) hard.
+fn churn_spec() -> ScenarioSpec {
+    ScenarioSpec::new("churn-probe", 9, 4)
+        .base_seed(0xc4a5)
+        .role(8, Role::Abstain)
+        .phase_timeout(400)
+        .at(3_000, TimelineEvent::Crash(6))
+        .at(3_000, TimelineEvent::Crash(7))
+        .at(40_000, TimelineEvent::Recover(6))
+        .at(90_000, TimelineEvent::Recover(7))
+        .horizon(400_000)
+}
+
+#[test]
+fn crash_and_cancel_bookkeeping_replays_identically() {
+    // PR-5 determinism audit companion: the engine's `crashed` and
+    // `cancelled` sets moved from `HashSet` to `BTreeSet`. They are only
+    // ever probed, never iterated — but this pins the invariant the same
+    // way the PR-1 `replica.rs` fix is pinned, so a future iteration over
+    // either set cannot quietly reintroduce per-instance hash-order
+    // nondeterminism. The scenario crashes and recovers players mid-run
+    // (churning `crashed`) under a tight phase timeout (churning timer
+    // cancellations).
+    let spec = churn_spec();
+    let a = scheduled_trace_of(&spec, 13);
+    let b = scheduled_trace_of(&spec, 13);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "crash/cancel-heavy run must replay the same trace");
+}
+
+#[test]
+fn queue_backends_drain_identical_traces() {
+    // The tentpole invariant at the trace level (stronger than report
+    // identity): heap and calendar backends deliver every message at the
+    // same tick, in the same order, for an adversarially busy fork run
+    // *and* for the crash/cancel churn run.
+    for spec in [fork_spec(), churn_spec()] {
+        let heap = spec.clone().queue(QueueBackend::Heap);
+        let calendar = spec.clone().queue(QueueBackend::Calendar);
+        let h = scheduled_trace_of(&heap, 21);
+        let c = scheduled_trace_of(&calendar, 21);
+        assert!(!h.is_empty());
+        assert_eq!(h, c, "{}: backends diverged", spec.label);
+    }
 }

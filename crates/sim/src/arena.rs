@@ -1,0 +1,125 @@
+//! Slab arena for in-flight message payloads.
+//!
+//! The event queue used to carry every `N::Msg` inline, so each heap
+//! sift-up moved whole protocol messages (blocks, signatures, payload
+//! bytes) around memory, and every push/pop churned the allocator at
+//! large n. Instead, the engine now parks the payload in an [`Arena`] and
+//! queues a 4-byte [`MsgRef`]; events become small PODs whatever the
+//! protocol's message type, and freed slots are recycled so steady-state
+//! traffic allocates nothing.
+//!
+//! The arena is strictly engine-internal bookkeeping: a message is
+//! inserted when its delivery event is scheduled and taken exactly once
+//! when the event is dispatched (or discarded for a crashed receiver), so
+//! occupancy equals the number of in-flight deliveries.
+
+/// Handle to a parked message (index into the arena's slot table).
+///
+/// `u32` bounds *live* messages at ~4 billion; queue depth is ~n², so even
+/// the largest committees stay far below that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgRef(u32);
+
+/// A slab of `M` with free-list recycling.
+#[derive(Debug)]
+pub struct Arena<M> {
+    slots: Vec<Option<M>>,
+    free: Vec<u32>,
+}
+
+impl<M> Arena<M> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Parks `msg`, returning its handle. Reuses a freed slot when one
+    /// exists; only grows when occupancy hits a new high-water mark.
+    pub fn insert(&mut self, msg: M) -> MsgRef {
+        match self.free.pop() {
+            Some(idx) => {
+                debug_assert!(self.slots[idx as usize].is_none(), "free slot occupied");
+                self.slots[idx as usize] = Some(msg);
+                MsgRef(idx)
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("arena capacity exceeded u32");
+                self.slots.push(Some(msg));
+                MsgRef(idx)
+            }
+        }
+    }
+
+    /// Takes the message back out, freeing its slot for reuse.
+    ///
+    /// # Panics
+    /// Panics if the handle was already taken (every handle is
+    /// single-use).
+    pub fn take(&mut self, r: MsgRef) -> M {
+        let msg = self.slots[r.0 as usize]
+            .take()
+            .expect("message taken twice or never parked");
+        self.free.push(r.0);
+        msg
+    }
+
+    /// Number of currently parked messages.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Whether no message is parked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark: the most slots the arena has ever needed at once.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl<M> Default for Arena<M> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_take_round_trips() {
+        let mut a = Arena::new();
+        let x = a.insert("x");
+        let y = a.insert("y");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.take(x), "x");
+        assert_eq!(a.take(y), "y");
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut a = Arena::new();
+        let x = a.insert(1u32);
+        a.take(x);
+        let y = a.insert(2);
+        // The freed slot was reused: no capacity growth.
+        assert_eq!(a.capacity(), 1);
+        assert_eq!(a.take(y), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "taken twice")]
+    fn double_take_panics() {
+        let mut a = Arena::new();
+        let x = a.insert(7u8);
+        a.take(x);
+        a.take(x);
+    }
+}

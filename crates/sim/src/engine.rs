@@ -1,9 +1,15 @@
 //! The discrete-event engine: event queue, node dispatch, timers, crashes.
+//!
+//! The queue itself is pluggable (see [`crate::queue`]): the engine keys
+//! every event by `(time, insertion sequence)` and drains whichever
+//! [`EventQueue`] backend the simulation was built with. Message payloads
+//! are parked in an [`Arena`] while in flight, so queued events are small
+//! PODs regardless of the protocol's message type.
 
-use crate::{Meter, SimRng, SimTime, Trace, TraceEntry, WireMessage};
+use crate::queue::{EventQueue, QueueBackend};
+use crate::{Arena, Meter, MsgRef, SimRng, SimTime, Trace, TraceEntry, WireMessage};
 use prft_types::NodeId;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BTreeSet;
 
 /// Handle to a pending timer, returned by [`Context::set_timer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -147,65 +153,70 @@ pub enum RunOutcome {
     EventLimit,
 }
 
-enum EventKind<M> {
-    Deliver { from: NodeId, msg: M },
+/// What a queued event does when dispatched. Delivery payloads live in
+/// the simulation's [`Arena`]; the queue only carries the 4-byte handle.
+enum EventKind {
+    Deliver { from: NodeId, msg: MsgRef },
     Timer(TimerId),
     Start,
 }
 
-struct Event<M> {
-    at: SimTime,
-    seq: u64,
+/// The queue item: destination plus action. The `(at, seq)` key lives in
+/// the queue itself.
+struct EventBody {
     to: NodeId,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first. Ties break by
-        // insertion sequence so runs are fully deterministic.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+    kind: EventKind,
 }
 
 /// The simulation: `n` nodes, a link model, an event queue, and meters.
 pub struct Simulation<N: Node> {
     nodes: Vec<N>,
     link: Box<dyn LinkModel>,
-    queue: BinaryHeap<Event<N::Msg>>,
+    backend: QueueBackend,
+    queue: Box<dyn EventQueue<EventBody>>,
+    arena: Arena<N::Msg>,
     now: SimTime,
     seq: u64,
     next_timer: u64,
-    cancelled: HashSet<TimerId>,
-    crashed: HashSet<NodeId>,
+    // Determinism audit (see the PR-1 `replica.rs` regression): these sets
+    // are only ever probed (`contains`/`insert`/`remove`), never iterated,
+    // so a `HashSet` would be replay-safe today — but `BTreeSet` makes the
+    // ordered iteration *guarantee* structural, so a future `for` loop over
+    // them cannot quietly reintroduce per-instance hash-order randomness.
+    cancelled: BTreeSet<TimerId>,
+    crashed: BTreeSet<NodeId>,
     rng: SimRng,
     node_rngs: Vec<SimRng>,
     meter: Meter,
     trace: Trace,
+    events_dispatched: u64,
+    peak_queue_depth: usize,
     /// Safety valve: maximum number of dispatched events per `run` call.
     pub event_limit: u64,
 }
 
 impl<N: Node> Simulation<N> {
-    /// Builds a simulation over `nodes` with the given link model and seed.
+    /// Builds a simulation over `nodes` with the given link model and
+    /// seed, draining the default queue backend.
     ///
     /// # Panics
     /// Panics if `nodes` is empty.
     pub fn new(nodes: Vec<N>, link: Box<dyn LinkModel>, seed: u64) -> Self {
+        Simulation::with_backend(nodes, link, seed, QueueBackend::default())
+    }
+
+    /// Builds a simulation draining the given queue `backend`. The backend
+    /// never changes results — pop order is pinned identical across
+    /// backends — only speed.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty.
+    pub fn with_backend(
+        nodes: Vec<N>,
+        link: Box<dyn LinkModel>,
+        seed: u64,
+        backend: QueueBackend,
+    ) -> Self {
         assert!(!nodes.is_empty(), "committee must be non-empty");
         let root = SimRng::new(seed);
         let node_rngs = (0..nodes.len()).map(|i| root.fork(1 + i as u64)).collect();
@@ -213,16 +224,20 @@ impl<N: Node> Simulation<N> {
         let mut sim = Simulation {
             nodes,
             link,
-            queue: BinaryHeap::new(),
+            backend,
+            queue: backend.build(),
+            arena: Arena::new(),
             now: SimTime::ZERO,
             seq: 0,
             next_timer: 0,
-            cancelled: HashSet::new(),
-            crashed: HashSet::new(),
+            cancelled: BTreeSet::new(),
+            crashed: BTreeSet::new(),
             rng: root.fork(0),
             node_rngs,
             meter: Meter::new(),
             trace: Trace::new(),
+            events_dispatched: 0,
+            peak_queue_depth: 0,
             event_limit: 50_000_000,
         };
         for i in 0..n {
@@ -231,10 +246,11 @@ impl<N: Node> Simulation<N> {
         sim
     }
 
-    fn push(&mut self, at: SimTime, to: NodeId, kind: EventKind<N::Msg>) {
+    fn push(&mut self, at: SimTime, to: NodeId, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Event { at, seq, to, kind });
+        self.queue.push(at, seq, EventBody { to, kind });
+        self.peak_queue_depth = self.peak_queue_depth.max(self.queue.len());
     }
 
     /// Number of nodes.
@@ -265,6 +281,33 @@ impl<N: Node> Simulation<N> {
     /// The message meter.
     pub fn meter(&self) -> &Meter {
         &self.meter
+    }
+
+    /// Which event-queue backend this simulation drains.
+    pub fn queue_backend(&self) -> QueueBackend {
+        self.backend
+    }
+
+    /// Number of events currently pending in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The deepest the event queue has ever been (bench observability).
+    pub fn peak_queue_depth(&self) -> usize {
+        self.peak_queue_depth
+    }
+
+    /// Total events dispatched across every `run`/`step` call so far
+    /// (discarded events — crashed receivers, cancelled timers — are not
+    /// dispatched and do not count).
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
+    /// Number of messages currently in flight (parked in the arena).
+    pub fn in_flight_messages(&self) -> usize {
+        self.arena.len()
     }
 
     /// Resets the meter (e.g. after warm-up rounds).
@@ -302,11 +345,21 @@ impl<N: Node> Simulation<N> {
     /// transaction), delivered to `to` at absolute time `at` claiming sender
     /// `from`.
     pub fn inject(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: N::Msg) {
+        let msg = self.arena.insert(msg);
         self.push(at.max(self.now), to, EventKind::Deliver { from, msg });
     }
 
+    /// Frees engine-side resources of an event dropped without dispatch
+    /// (crashed receiver): a parked delivery payload must release its
+    /// arena slot.
+    fn discard(&mut self, kind: EventKind) {
+        if let EventKind::Deliver { msg, .. } = kind {
+            drop(self.arena.take(msg));
+        }
+    }
+
     /// Runs a node callback and converts its buffered actions into events.
-    fn dispatch(&mut self, to: NodeId, kind: EventKind<N::Msg>) {
+    fn dispatch(&mut self, to: NodeId, kind: EventKind) {
         let mut ctx = Context {
             me: to,
             n: self.nodes.len(),
@@ -317,7 +370,10 @@ impl<N: Node> Simulation<N> {
         };
         match kind {
             EventKind::Start => self.nodes[to.0].on_start(&mut ctx),
-            EventKind::Deliver { from, msg } => self.nodes[to.0].on_message(&mut ctx, from, msg),
+            EventKind::Deliver { from, msg } => {
+                let msg = self.arena.take(msg);
+                self.nodes[to.0].on_message(&mut ctx, from, msg)
+            }
             EventKind::Timer(id) => self.nodes[to.0].on_timer(&mut ctx, id),
         }
         let actions = ctx.actions;
@@ -338,6 +394,7 @@ impl<N: Node> Simulation<N> {
                         to: dest,
                         kind: msg.kind(),
                     });
+                    let msg = self.arena.insert(msg);
                     self.push(at, dest, EventKind::Deliver { from: to, msg });
                 }
                 Action::SetTimer { id, fires } => {
@@ -374,48 +431,48 @@ impl<N: Node> Simulation<N> {
 
     fn run_bounded(&mut self, bound: SimTime, inclusive: bool) -> RunOutcome {
         let mut dispatched = 0u64;
-        while let Some(ev) = self.queue.peek() {
-            let past_bound = if inclusive {
-                ev.at > bound
-            } else {
-                ev.at >= bound
-            };
+        while let Some((at, _seq)) = self.queue.peek_key() {
+            let past_bound = if inclusive { at > bound } else { at >= bound };
             if past_bound {
                 return RunOutcome::HorizonReached;
             }
             if dispatched >= self.event_limit {
                 return RunOutcome::EventLimit;
             }
-            let ev = self.queue.pop().expect("peeked");
-            debug_assert!(ev.at >= self.now, "time must be monotone");
-            self.now = ev.at;
-            if self.crashed.contains(&ev.to) {
-                continue; // crashed nodes see nothing
+            let (at, _, body) = self.queue.pop().expect("peeked");
+            debug_assert!(at >= self.now, "time must be monotone");
+            self.now = at;
+            if self.crashed.contains(&body.to) {
+                self.discard(body.kind); // crashed nodes see nothing
+                continue;
             }
-            if let EventKind::Timer(id) = &ev.kind {
+            if let EventKind::Timer(id) = &body.kind {
                 if self.cancelled.remove(id) {
                     continue;
                 }
             }
             dispatched += 1;
-            self.dispatch(ev.to, ev.kind);
+            self.events_dispatched += 1;
+            self.dispatch(body.to, body.kind);
         }
         RunOutcome::Quiescent
     }
 
     /// Processes exactly one event if one exists at or before `horizon`.
     pub fn step(&mut self) -> bool {
-        if let Some(ev) = self.queue.pop() {
-            self.now = ev.at;
-            if self.crashed.contains(&ev.to) {
+        if let Some((at, _, body)) = self.queue.pop() {
+            self.now = at;
+            if self.crashed.contains(&body.to) {
+                self.discard(body.kind);
                 return true;
             }
-            if let EventKind::Timer(id) = &ev.kind {
+            if let EventKind::Timer(id) = &body.kind {
                 if self.cancelled.remove(id) {
                     return true;
                 }
             }
-            self.dispatch(ev.to, ev.kind);
+            self.events_dispatched += 1;
+            self.dispatch(body.to, body.kind);
             true
         } else {
             false
@@ -645,6 +702,50 @@ mod tests {
             s.trace().entries().to_vec()
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn backends_produce_identical_traces() {
+        let run = |backend: QueueBackend| {
+            let mut s: Simulation<Echo> = Simulation::with_backend(
+                (0..6).map(|_| Echo::new()).collect(),
+                Box::new(ConstantDelay(SimTime(3))),
+                11,
+                backend,
+            );
+            s.set_tracing(true);
+            s.inject(SimTime(40), NodeId(9), NodeId(2), TestMsg::Hello(7));
+            s.run();
+            (s.trace().entries().to_vec(), s.events_dispatched())
+        };
+        let heap = run(QueueBackend::Heap);
+        let calendar = run(QueueBackend::Calendar);
+        assert_eq!(heap, calendar);
+        assert!(heap.1 > 0);
+    }
+
+    #[test]
+    fn engine_counters_track_queue_pressure() {
+        let mut s = sim(4);
+        assert_eq!(s.queue_backend(), QueueBackend::Calendar);
+        // Four Start events are pending before the run.
+        assert_eq!(s.queue_len(), 4);
+        s.run();
+        assert_eq!(s.queue_len(), 0);
+        // 4 starts + 4 deliveries dispatched; the broadcast put 4
+        // deliveries on top of 3 remaining starts.
+        assert_eq!(s.events_dispatched(), 8);
+        assert_eq!(s.peak_queue_depth(), 7);
+        assert_eq!(s.in_flight_messages(), 0, "arena drained with the queue");
+    }
+
+    #[test]
+    fn crashed_receiver_frees_parked_messages() {
+        let mut s = sim(3);
+        s.crash(NodeId(2));
+        s.run();
+        // The broadcast to the crashed node was discarded, not leaked.
+        assert_eq!(s.in_flight_messages(), 0);
     }
 
     #[test]

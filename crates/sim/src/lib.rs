@@ -5,8 +5,11 @@
 //! provides the substrate those runs execute on:
 //!
 //! * a seeded, reproducible PRNG ([`SimRng`], SplitMix64 → Xoshiro256**);
-//! * virtual time ([`SimTime`]) and a totally ordered event queue — two runs
-//!   with the same seed produce byte-identical traces;
+//! * virtual time ([`SimTime`]) and a totally ordered, **pluggable** event
+//!   queue ([`EventQueue`]: the reference [`HeapQueue`] and the fast
+//!   [`CalendarQueue`], selected by [`QueueBackend`]) with in-flight
+//!   message payloads parked in an [`Arena`] — two runs with the same seed
+//!   produce byte-identical traces, whichever backend drains them;
 //! * the [`Node`] trait protocols implement, with a [`Context`] for sending,
 //!   broadcasting, and timer management;
 //! * message metering (per-kind counts and κ-scaled byte sizes via
@@ -56,14 +59,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod engine;
 mod meter;
+pub mod queue;
 mod rng;
 mod time;
 mod trace;
 
+pub use arena::{Arena, MsgRef};
 pub use engine::{Context, LinkModel, Node, RunOutcome, Simulation, TimerId};
 pub use meter::{KindStats, Meter, WireMessage};
+pub use queue::{CalendarQueue, EventQueue, HeapQueue, QueueBackend};
 pub use rng::SimRng;
 pub use time::SimTime;
 pub use trace::{Trace, TraceEntry};
