@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! prft-bench queue [--quick] [--out FILE] [--repeats R]
+//! prft-bench profile [--quick] [--out FILE]
 //! ```
 //!
 //! `queue` sweeps committee sizes n ∈ {16, 64, 128, 256} × both event-queue
@@ -12,6 +13,16 @@
 //! large-n pRFT committee puts on the engine) and reports events/sec, wall
 //! time, and peak queue depth per point. `--quick` shrinks the sweep to
 //! n ∈ {16, 128} with fewer events for CI smoke use.
+//!
+//! `profile` runs honest pRFT committees (accountable and non-accountable,
+//! n ∈ {16, 64}; `--quick` shrinks to n ∈ {8, 16}) and reports where the
+//! work goes: signature verifies, fan-out clone bytes, events dispatched,
+//! wall time — plus per-scope wall-clock timers when built with
+//! `--features profiling`. The verify count for the accountable points is
+//! checked against the analytic per-round prediction (the O(n³κ)
+//! communication bound of Table 3 shows up here as an O(n·q²) verify term
+//! from commit-certificate re-validation in the Reveal phase); the check
+//! line CI greps fails if measurement drifts >10% from the model.
 //!
 //! The workload is deterministic (seeded link jitter), so both backends
 //! dispatch the **same** events in the same order — the wall-clock delta
@@ -258,19 +269,237 @@ fn queue_bench(quick: bool, repeats: u32, out: Option<&str>) -> ExitCode {
     }
 }
 
+/// One measured point of the profile sweep: an honest committee of `n`
+/// run to `rounds` blocks, with the observability registry snapshot and
+/// the analytic verify prediction beside the measurement.
+struct ProfilePoint {
+    n: usize,
+    accountable: bool,
+    rounds: u64,
+    wall_secs: f64,
+    obs: prft_sim::ObsRegistry,
+    predicted_verifies: u64,
+}
+
+/// Analytic signature-verify count for one honest run: `rounds` rounds,
+/// committee `n`, quorum `q = n − t0`, `t0 = ⌈n/4⌉ − 1`.
+///
+/// Per replica per round, from the handler structure (each broadcast is
+/// self-delivered, so a phase's quorum of n senders lands n messages on
+/// every replica; messages from *past* rounds are dropped unverified —
+/// except Finals — so a phase that advances the round leaves its tail
+/// unchecked):
+/// * Propose: 1 (leader ballot);
+/// * Vote: n votes × (ballot + attached propose `s_pro`) = 2n;
+/// * Commit: each commit costs ballot + certificate (commit + q votes)
+///   = q + 2. Non-accountable rounds finalize at the commit quorum, so
+///   only q commits are checked: q(q+2). Accountable rounds stay open
+///   through Reveal, so all n are: n(q+2);
+/// * Reveal (accountable only): each reveal carries q commit
+///   certificates of q + 1 signatures each, and the round advances at
+///   the reveal quorum: q(1 + q(q+1)) — the O(n·q²) ≈ O(n³/
+///   replica-round) term that dominates at scale, the verify-side twin
+///   of Table 3's O(n³κ) communication bound;
+/// * Final: 1 each; Finals act across rounds, so each non-final round
+///   contributes n (the last round's tail hits passive replicas).
+///
+/// The constant factors are derived, not fitted; the `profile` check
+/// fails if measurement drifts more than 10% from this model.
+fn predicted_verifies(n: usize, rounds: u64, accountable: bool) -> u64 {
+    let n64 = n as u64;
+    let t0 = n64.div_ceil(4) - 1;
+    let q = n64 - t0;
+    let per_replica_round = if accountable {
+        1 + 2 * n64 + n64 * (q + 2) + q * (1 + q * (q + 1))
+    } else {
+        1 + 2 * n64 + q * (q + 2)
+    };
+    n64 * (rounds * per_replica_round + rounds.saturating_sub(1) * n64)
+}
+
+/// Runs one honest committee point and snapshots its observability
+/// registry. Hooks and timers are reset first so the registry holds this
+/// run's exact deltas (same contract as the scenario runner).
+fn run_profile_point(n: usize, accountable: bool, rounds: u64) -> ProfilePoint {
+    let spec = prft_lab::ScenarioSpec::new(
+        format!("profile-n{n}-{}", if accountable { "acc" } else { "plain" }),
+        n,
+        rounds,
+    )
+    .accountable(accountable);
+    prft_sim::obs::hooks::reset();
+    prft_sim::obs::profile_reset();
+    let t0 = Instant::now();
+    let (sim, _outcome) =
+        prft_lab::run_sim(&spec, prft_lab::derive_seed(spec.base_seed, 0), |_| {});
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let obs = prft_core::obs::collect(&sim, &prft_sim::obs::hooks::snapshot());
+    // Rounds actually executed (crash-free honest runs complete exactly
+    // `max_rounds`, but read it back rather than assume).
+    let rounds_done = obs.counter("replica.rounds_entered") / n as u64;
+    ProfilePoint {
+        n,
+        accountable,
+        rounds: rounds_done,
+        wall_secs,
+        obs,
+        predicted_verifies: predicted_verifies(n, rounds_done, accountable),
+    }
+}
+
+/// Renders the per-scope wall-clock timer table (empty unless the binary
+/// was built with `--features profiling`).
+fn timers_json() -> Json {
+    Json::obj(
+        prft_sim::obs::profile_snapshot()
+            .into_iter()
+            .map(|(name, stat)| {
+                (
+                    name,
+                    Json::obj([
+                        ("calls", Json::u64(stat.calls)),
+                        ("total_ns", Json::u64(stat.total_ns)),
+                    ]),
+                )
+            }),
+    )
+}
+
+fn profile_bench(quick: bool, out: Option<&str>) -> ExitCode {
+    let ns: &[usize] = if quick { &[8, 16] } else { &[16, 64] };
+    let rounds = 2;
+    let mut points: Vec<(ProfilePoint, Json)> = Vec::new();
+    for &accountable in &[false, true] {
+        for &n in ns {
+            let p = run_profile_point(n, accountable, rounds);
+            let timers = timers_json();
+            let verifies = p.obs.counter("crypto.sig_verifies");
+            eprintln!(
+                "n={:>3} {:>5}: {:>8} verifies (predicted {:>8}), {:>9} clone bytes, \
+                 {:>6} events, {:>7.1}ms",
+                p.n,
+                if p.accountable { "acc" } else { "plain" },
+                verifies,
+                p.predicted_verifies,
+                p.obs.counter("engine.clone_bytes"),
+                p.obs.counter("engine.events_dispatched"),
+                p.wall_secs * 1e3,
+            );
+            points.push((p, timers));
+        }
+    }
+    // The acceptance line CI greps: measured vs analytic verify count at
+    // the largest accountable n.
+    let largest = points
+        .iter()
+        .filter(|(p, _)| p.accountable)
+        .max_by_key(|(p, _)| p.n)
+        .map(|(p, _)| p)
+        .expect("accountable points swept");
+    let measured = largest.obs.counter("crypto.sig_verifies");
+    let predicted = largest.predicted_verifies;
+    let ratio = measured as f64 / predicted as f64;
+    let pass = (ratio - 1.0).abs() <= 0.10;
+    eprintln!(
+        "check: n={} accountable verifies measured/predicted = {ratio:.3} ({})",
+        largest.n,
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let doc = Json::obj([
+        ("bench", Json::str("profile")),
+        ("quick", Json::Bool(quick)),
+        ("rounds", Json::u64(rounds)),
+        (
+            "profiling_enabled",
+            Json::Bool(prft_sim::obs::profiling_enabled()),
+        ),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|(p, timers)| {
+                        Json::obj([
+                            ("n", Json::u64(p.n as u64)),
+                            ("accountable", Json::Bool(p.accountable)),
+                            ("rounds", Json::u64(p.rounds)),
+                            ("wall_ms", Json::Num(p.wall_secs * 1e3)),
+                            (
+                                "sig_verifies",
+                                Json::u64(p.obs.counter("crypto.sig_verifies")),
+                            ),
+                            ("predicted_sig_verifies", Json::u64(p.predicted_verifies)),
+                            (
+                                "clone_bytes",
+                                Json::u64(p.obs.counter("engine.clone_bytes")),
+                            ),
+                            (
+                                "events_dispatched",
+                                Json::u64(p.obs.counter("engine.events_dispatched")),
+                            ),
+                            (
+                                "peak_queue_depth",
+                                Json::u64(p.obs.gauge("engine.peak_queue_depth")),
+                            ),
+                            ("timers", timers.clone()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "check",
+            Json::obj([
+                ("n", Json::u64(largest.n as u64)),
+                ("measured", Json::u64(measured)),
+                ("predicted", Json::u64(predicted)),
+                ("ratio", Json::Num(ratio)),
+                ("pass", Json::Bool(pass)),
+            ]),
+        ),
+    ]);
+    let rendered = doc.render_pretty();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: prft-bench queue [--quick] [--out FILE] [--repeats R]\n\
+         \x20      prft-bench profile [--quick] [--out FILE]\n\
          \n\
-         Sweeps committee sizes × event-queue backends over a queue-bound\n\
-         flood workload and emits a BENCH_queue.json document (schema:\n\
-         docs/PERFORMANCE.md). Exits non-zero if the calendar backend is\n\
-         slower than the heap reference at the largest swept n.\n\
+         queue: sweeps committee sizes × event-queue backends over a\n\
+         queue-bound flood workload and emits a BENCH_queue.json document\n\
+         (schema: docs/PERFORMANCE.md). Exits non-zero if the calendar\n\
+         backend is slower than the heap reference at the largest swept n.\n\
+         \n\
+         profile: runs honest pRFT committees (accountable × plain,\n\
+         n = 16, 64) and emits a BENCH_profile.json document of verify\n\
+         counts, clone bytes, and wall time per point (schema:\n\
+         docs/OBSERVABILITY.md). Build with --features profiling to add\n\
+         per-scope wall-clock timers. Exits non-zero if the measured\n\
+         verify count drifts >10% from the analytic prediction.\n\
          \n\
          options:\n\
-         \x20 --quick      small sweep (n = 16, 128) for CI smoke\n\
+         \x20 --quick      small sweep for CI smoke (queue: n = 16, 128;\n\
+         \x20              profile: n = 8, 16)\n\
          \x20 --out FILE   write the JSON to FILE instead of stdout\n\
-         \x20 --repeats R  best-of-R wall times per point (default 3)"
+         \x20 --repeats R  best-of-R wall times per point (queue only,\n\
+         \x20              default 3)"
     );
     ExitCode::from(2)
 }
@@ -301,6 +530,22 @@ fn main() -> ExitCode {
                 }
             }
             queue_bench(quick, repeats, out.as_deref())
+        }
+        "profile" => {
+            let mut quick = false;
+            let mut out: Option<String> = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--quick" => quick = true,
+                    "--out" => match it.next() {
+                        Some(path) => out = Some(path.clone()),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            profile_bench(quick, out.as_deref())
         }
         "--help" | "-h" | "help" => {
             usage();

@@ -41,6 +41,7 @@ mod collateral;
 mod config;
 mod harness;
 mod messages;
+pub mod obs;
 mod pof;
 mod replica;
 

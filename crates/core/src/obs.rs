@@ -1,0 +1,79 @@
+//! Protocol-level observability assembly: one [`ObsRegistry`] and one
+//! [`ChromeTrace`] per finished run.
+//!
+//! The sim crate owns the mechanics (counters, hooks, trace builder); this
+//! module knows what a *pRFT* run looks like — which replica statistics
+//! become counters, and how phase-transition logs become Perfetto spans.
+//! Both outputs derive solely from the pinned dispatch order, so they are
+//! byte-identical across queue backends and worker thread counts.
+
+use crate::replica::Replica;
+use prft_sim::obs::hooks::HookSnapshot;
+use prft_sim::{ChromeTrace, ObsRegistry, Simulation};
+
+/// Assembles the full counter registry for one finished run: the engine's
+/// `engine.*`/`send.*` counters, the crypto hook deltas captured in
+/// `hooks`, and the per-replica protocol counters (`replica.*`,
+/// `recv.P<i>.<kind>.*`).
+///
+/// `hooks` must be the delta for exactly this run: call
+/// [`prft_sim::obs::hooks::reset`] before building the simulation and
+/// [`prft_sim::obs::hooks::snapshot`] after it finishes, on the thread
+/// that ran it.
+pub fn collect(sim: &Simulation<Replica>, hooks: &HookSnapshot) -> ObsRegistry {
+    let mut reg = sim.observability();
+    reg.add("crypto.sig_verifies", hooks.sig_verifies);
+    reg.add("engine.clone_bytes", hooks.clone_bytes);
+    for replica in sim.nodes() {
+        let stats = replica.stats();
+        reg.add("replica.rounds_entered", stats.rounds_entered);
+        reg.add("replica.view_changes", stats.view_changes);
+        reg.add("replica.fraud_detections", stats.fraud_detections);
+        reg.add("replica.exposes_sent", stats.exposes_sent);
+        reg.add("replica.exposes_applied", stats.exposes_applied);
+        let id = replica.id().0;
+        for (kind, ks) in &stats.recv_msgs {
+            reg.add(&format!("recv.P{id}.{kind}.msgs"), ks.count);
+            reg.add(&format!("recv.P{id}.{kind}.bytes"), ks.bytes);
+        }
+    }
+    reg
+}
+
+/// Builds the Chrome-trace document for one finished run: one track per
+/// replica carrying its phase spans (each phase lasts until the next
+/// transition, the last until `sim.now()`), plus message-delivery instants
+/// when the simulation ran with tracing enabled.
+pub fn chrome_trace(sim: &Simulation<Replica>) -> ChromeTrace {
+    let mut ct = ChromeTrace::new();
+    let end = sim.now();
+    for (i, _) in sim.nodes().enumerate() {
+        ct.thread_name(0, i as u32, &format!("P{i}"));
+    }
+    for (i, replica) in sim.nodes().enumerate() {
+        let transitions = &replica.stats().phase_transitions;
+        for (j, (round, phase, at)) in transitions.iter().enumerate() {
+            let span_end = transitions.get(j + 1).map(|(_, _, t)| *t).unwrap_or(end);
+            ct.complete(
+                phase.label(),
+                "phase",
+                0,
+                i as u32,
+                *at,
+                span_end,
+                &[("round", round.0)],
+            );
+        }
+    }
+    for e in sim.trace().entries() {
+        ct.instant(
+            e.kind,
+            "msg",
+            0,
+            e.to.0 as u32,
+            e.at,
+            &[("from", e.from.0 as u64)],
+        );
+    }
+    ct
+}

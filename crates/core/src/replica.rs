@@ -41,7 +41,7 @@ use crate::messages::{
 };
 use crate::pof::{verify_expose, FraudDetector};
 use prft_crypto::{KeyRegistry, SecretKey, Signed};
-use prft_sim::{Context, Node, SimTime, TimerId};
+use prft_sim::{Context, KindStats, Node, SimTime, TimerId, WireMessage};
 use prft_types::{Block, Chain, Digest, Height, Mempool, NodeId, Round};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
@@ -72,6 +72,27 @@ pub struct ReplicaStats {
     pub view_changed_rounds: Vec<Round>,
     /// Rounds abandoned via a valid `Expose`.
     pub exposed_rounds: Vec<Round>,
+    /// Fraud-detector convictions this replica produced (each `observe`
+    /// call that returned fresh equivocation evidence).
+    pub fraud_detections: u64,
+    /// Every message delivered to this replica, counted and byte-metered
+    /// by kind. Feeds the `recv.P<i>.<kind>.*` observability counters and
+    /// cross-checks the engine's send-side [`prft_sim::Meter`].
+    pub recv_msgs: BTreeMap<&'static str, KindStats>,
+    /// Phase-transition log `(round, phase, entered_at)`: each entry opens
+    /// a span that the next entry (or the end of the run) closes. The
+    /// protocol phases plus `ViewChange` — the raw material for the
+    /// Chrome-trace export (`prft_core::obs::chrome_trace`).
+    pub phase_transitions: Vec<(Round, Phase, SimTime)>,
+}
+
+impl ReplicaStats {
+    /// Records one delivered message of `kind` with `bytes` on the wire.
+    fn record_recv(&mut self, kind: &'static str, bytes: usize) {
+        let e = self.recv_msgs.entry(kind).or_default();
+        e.count += 1;
+        e.bytes += bytes as u64;
+    }
 }
 
 /// One player's pRFT state machine. Implements [`prft_sim::Node`].
@@ -270,6 +291,9 @@ impl Replica {
             return;
         }
         self.stats.rounds_entered += 1;
+        self.stats
+            .phase_transitions
+            .push((self.round, Phase::Propose, ctx.now()));
         self.phase = Phase::Propose;
         self.proposal = None;
         self.proposals_seen.clear();
@@ -329,6 +353,9 @@ impl Replica {
     }
 
     fn enter_phase(&mut self, ctx: &mut Context<PrftMsg>, phase: Phase) {
+        self.stats
+            .phase_transitions
+            .push((self.round, phase, ctx.now()));
         self.phase = phase;
         self.arm_timer(ctx);
     }
@@ -457,6 +484,7 @@ impl Replica {
         let Some(evidence) = self.detector.observe(ballot) else {
             return;
         };
+        self.stats.fraud_detections += 1;
         let round = ballot.payload.round;
         if evidence.accused() == self.leader(round) && ballot.payload.phase == Phase::Propose {
             self.stats.leader_equivocations += 1;
@@ -1001,6 +1029,9 @@ impl Replica {
             return;
         }
         self.vc_sent = true;
+        self.stats
+            .phase_transitions
+            .push((self.round, Phase::ViewChange, ctx.now()));
         let req = Signed::sign(
             ViewChangeReq {
                 round: self.round,
@@ -1184,6 +1215,7 @@ impl Node for Replica {
     }
 
     fn on_message(&mut self, ctx: &mut Context<PrftMsg>, from: NodeId, msg: PrftMsg) {
+        self.stats.record_recv(msg.kind(), msg.wire_bytes());
         if self.passive {
             // Passive replicas have exhausted their round budget but remain
             // responsive witnesses: they still help laggards reconcile.

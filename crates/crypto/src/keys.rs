@@ -117,11 +117,17 @@ impl KeyRegistry {
 
     /// Verifies that `sig` is a valid signature by its claimed signer over
     /// `digest`. Returns `false` for unknown signers or bad tags.
+    ///
+    /// Every call counts once toward the `crypto.sig_verifies` counter and
+    /// the `verify_sig` profiling scope — this is the chokepoint the
+    /// accountable path's `O(n³κ)` Reveal payloads hammer, so the ROADMAP
+    /// large-n optimization is gated on exactly this number.
     pub fn verify(&self, digest: Digest, sig: &Signature) -> bool {
-        match self.seeds.get(sig.signer.0) {
+        prft_sim::obs::hooks::count_sig_verify();
+        prft_sim::obs::timed("verify_sig", || match self.seeds.get(sig.signer.0) {
             Some(seed) => Sha256::digest_parts(&[seed, &digest.0]) == sig.tag,
             None => false,
-        }
+        })
     }
 }
 
@@ -185,5 +191,17 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_setup_panics() {
         let _ = KeyRegistry::trusted_setup(0, 1);
+    }
+
+    #[test]
+    fn verify_counts_into_the_obs_hook() {
+        prft_sim::obs::hooks::reset();
+        let (reg, keys) = KeyRegistry::trusted_setup(2, 7);
+        let d = Sha256::digest(b"m");
+        let sig = keys[0].sign(d);
+        assert!(reg.verify(d, &sig));
+        assert!(!reg.verify(Sha256::digest(b"other"), &sig));
+        // Both the success and the failure count as one verification each.
+        assert_eq!(prft_sim::obs::hooks::snapshot().sig_verifies, 2);
     }
 }

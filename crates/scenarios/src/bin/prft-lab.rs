@@ -5,6 +5,7 @@
 //! prft-lab list [--timeline]
 //! prft-lab run <scenario> [--seeds N] [--threads T]
 //!                         [--format table|json|csv] [--out FILE] [--runs]
+//!                         [--trace-out FILE]
 //! prft-lab run-all [--seeds N] [--threads T] [--out FILE]
 //! prft-lab explore list
 //! prft-lab explore run <game> [--seeds N] [--threads T]
@@ -42,6 +43,7 @@ struct Options {
     dynamics: bool,
     seeds_given: bool,
     queue: Option<QueueBackend>,
+    trace_out: Option<String>,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -81,6 +83,10 @@ fn usage() -> ExitCode {
          \x20 --queue B      event-queue backend: calendar (default) |\n\
          \x20                heap (reference); results are byte-identical\n\
          \x20                across backends (run / run-all only)\n\
+         \x20 --trace-out F  also write a Chrome Trace Event JSON of one\n\
+         \x20                traced run (seed index 0 of the first grid\n\
+         \x20                point) to F — open in Perfetto or\n\
+         \x20                chrome://tracing (run only)\n\
          \n\
          explore options:\n\
          \x20 --cache DIR    reuse finished profile cells from DIR and\n\
@@ -110,6 +116,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         dynamics: false,
         seeds_given: false,
         queue: None,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -145,6 +152,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     format!("unknown queue backend: {name} (use heap | calendar)")
                 })?);
             }
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--runs" => opts.include_runs = true,
             "--cache" => opts.cache = Some(value("--cache")?),
             "--full" => opts.full = true,
@@ -330,6 +338,18 @@ fn reject_queue_flag(opts: &Options) -> Result<(), String> {
     }
 }
 
+/// `--trace-out` applies to single `run` only: a trace is one seeded
+/// run's timeline, so `run-all` (many scenarios, one path) and explore
+/// (profile sweeps) have no single run to export.
+fn reject_trace_flag(opts: &Options, context: &str) -> Result<(), String> {
+    match opts.trace_out {
+        Some(_) => Err(format!(
+            "--trace-out applies to `run <scenario>` only ({context})"
+        )),
+        None => Ok(()),
+    }
+}
+
 fn explore_command(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("list") => {
@@ -355,12 +375,14 @@ fn explore_command(args: &[String]) -> Result<(), String> {
         Some("run") => match args.get(1) {
             Some(name) => parse_options(&args[2..]).and_then(|opts| {
                 reject_queue_flag(&opts)?;
+                reject_trace_flag(&opts, "explore sweeps profiles, not one run")?;
                 explore_game(name, &opts)
             }),
             None => Err("explore run needs a game name".to_string()),
         },
         Some("run-all") => parse_options(&args[1..]).and_then(|opts| {
             reject_queue_flag(&opts)?;
+            reject_trace_flag(&opts, "explore sweeps profiles, not one run")?;
             explore_run_all(&opts)
         }),
         _ => Err("usage: prft-lab explore <list | run <game> | run-all>".to_string()),
@@ -440,7 +462,17 @@ fn run_scenario(scenario: &Scenario, opts: &Options, out: Option<String>) -> Res
         }
         Format::Csv => report::scenario_csv(scenario.name, &reports),
     };
-    emit(content, &out)
+    emit(content, &out)?;
+    if let Some(path) = &opts.trace_out {
+        // One traced run of the first grid point, at the same derived
+        // seed the batch used for seed index 0, so the trace lines up
+        // with the report next to it.
+        let spec = &specs[0];
+        let trace = prft_lab::chrome_trace_for(spec, prft_lab::derive_seed(spec.base_seed, 0));
+        std::fs::write(path, trace.render()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote trace {path} ({} events)", trace.len());
+    }
+    Ok(())
 }
 
 /// The manifest path for a `run-all --out` base path: the stem plus
@@ -503,6 +535,7 @@ fn main() -> ExitCode {
             }
         }
         "run-all" => parse_options(&args[1..]).and_then(|opts| {
+            reject_trace_flag(&opts, "run-all would overwrite one trace per scenario")?;
             let mut written: Vec<(String, String)> = Vec::new();
             for scenario in registry() {
                 let out = out_path_for(&opts.out, scenario.name, true);

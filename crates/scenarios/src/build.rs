@@ -443,7 +443,14 @@ pub fn measure_utility_for(
 
 /// Builds, runs (timeline schedule included), and summarizes one seeded
 /// run of `spec`.
+///
+/// The thread-local observability hooks are reset before the build, so the
+/// record's `obs` registry holds this run's exact hook deltas — the batch
+/// runner executes each seeded run wholly inside one worker closure, which
+/// is what makes the aggregated `observability` section independent of
+/// `--threads`.
 pub fn run_one(spec: &ScenarioSpec, seed: u64) -> RunRecord {
+    prft_sim::obs::hooks::reset();
     let (sim, outcome) = run_sim(spec, seed, |_| {});
     summarize(spec, &sim, seed, outcome)
 }
@@ -516,6 +523,10 @@ pub fn summarize(
         throughput: prft_core::analysis::throughput(sim),
         total_messages: sim.meter().total_messages(),
         total_bytes: sim.meter().total_bytes(),
+        events_dispatched: sim.events_dispatched(),
+        peak_queue_depth: sim.peak_queue_depth() as u64,
+        in_flight_messages: sim.in_flight_messages() as u64,
+        obs: prft_core::obs::collect(sim, &prft_sim::obs::hooks::snapshot()),
         utilities,
     }
 }

@@ -64,6 +64,7 @@ mod registry;
 pub mod report;
 mod runner;
 mod spec;
+mod trace_export;
 
 pub use build::{
     build_sim, classify_sim, classify_watched, discounted_utility, measure_utility_for, run_one,
@@ -77,6 +78,7 @@ pub use record::{Aggregate, BatchReport, RunRecord};
 pub use registry::{find, registry, Scenario};
 pub use runner::{derive_seed, effective_threads, par_map, BatchRunner};
 pub use spec::{PartitionSpec, Role, ScenarioSpec, Synchrony, TimelineEvent, TxSpec, UtilitySpec};
+pub use trace_export::chrome_trace_for;
 
 #[cfg(test)]
 mod tests {

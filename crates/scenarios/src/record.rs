@@ -2,7 +2,7 @@
 
 use crate::json::Json;
 use prft_game::SystemState;
-use prft_sim::RunOutcome;
+use prft_sim::{ObsRegistry, RunOutcome};
 
 /// Everything one seeded run produces that experiments read.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +44,17 @@ pub struct RunRecord {
     pub total_messages: u64,
     /// Wire bytes sent during the run.
     pub total_bytes: u64,
+    /// Events the engine dispatched during the run.
+    pub events_dispatched: u64,
+    /// The deepest the event queue ever got during the run.
+    pub peak_queue_depth: u64,
+    /// Messages still in flight when the run stopped (nonzero only when
+    /// the horizon cut traffic off mid-air).
+    pub in_flight_messages: u64,
+    /// The run's full observability registry (see `docs/OBSERVABILITY.md`
+    /// for the counter catalog). Aggregated into the batch `observability`
+    /// section; not serialized per run.
+    pub obs: ObsRegistry,
     /// Per-player discounted utilities (empty unless the spec asks).
     pub utilities: Vec<f64>,
 }
@@ -92,12 +103,38 @@ impl RunRecord {
             ("throughput", Json::Num(self.throughput)),
             ("total_messages", Json::u64(self.total_messages)),
             ("total_bytes", Json::u64(self.total_bytes)),
+            ("events_dispatched", Json::u64(self.events_dispatched)),
+            ("peak_queue_depth", Json::u64(self.peak_queue_depth)),
+            ("in_flight_messages", Json::u64(self.in_flight_messages)),
             (
                 "utilities",
                 Json::Arr(self.utilities.iter().map(|&u| Json::Num(u)).collect()),
             ),
         ])
     }
+}
+
+/// JSON object for an observability registry: counters then gauges, each
+/// alphabetical by key — deterministic by construction.
+pub fn obs_to_json(reg: &ObsRegistry) -> Json {
+    Json::obj([
+        (
+            "counters",
+            Json::obj(
+                reg.counters()
+                    .map(|(k, v)| (k.to_string(), Json::u64(v)))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        (
+            "gauges",
+            Json::obj(
+                reg.gauges()
+                    .map(|(k, v)| (k.to_string(), Json::u64(v)))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ])
 }
 
 /// Mean / min / max / standard deviation / 95% CI over one metric.
@@ -206,6 +243,16 @@ pub struct BatchReport {
     pub total_messages: Aggregate,
     /// Wire-byte aggregate.
     pub total_bytes: Aggregate,
+    /// Engine events-dispatched aggregate.
+    pub events_dispatched: Aggregate,
+    /// Queue-depth high-water aggregate.
+    pub peak_queue_depth: Aggregate,
+    /// End-of-run in-flight-message aggregate.
+    pub in_flight_messages: Aggregate,
+    /// The merged observability registry over all runs (counters summed,
+    /// gauges maxed — order-independent, so byte-identical at any thread
+    /// count and across queue backends).
+    pub observability: ObsRegistry,
     /// Per-player utility aggregates (one per player index; empty unless
     /// the spec measures utilities).
     pub utilities: Vec<Aggregate>,
@@ -234,6 +281,10 @@ impl BatchReport {
         let utilities = (0..players)
             .map(|p| agg(&|r: &RunRecord| r.utilities[p]))
             .collect();
+        let mut observability = ObsRegistry::new();
+        for r in &records {
+            observability.merge(&r.obs);
+        }
         BatchReport {
             label,
             n,
@@ -250,6 +301,10 @@ impl BatchReport {
             burned_players: agg(&|r| r.burned.len() as f64),
             total_messages: agg(&|r| r.total_messages as f64),
             total_bytes: agg(&|r| r.total_bytes as f64),
+            events_dispatched: agg(&|r| r.events_dispatched as f64),
+            peak_queue_depth: agg(&|r| r.peak_queue_depth as f64),
+            in_flight_messages: agg(&|r| r.in_flight_messages as f64),
+            observability,
             utilities,
             records,
         }
@@ -293,6 +348,10 @@ impl BatchReport {
             ("burned_players", self.burned_players.to_json()),
             ("total_messages", self.total_messages.to_json()),
             ("total_bytes", self.total_bytes.to_json()),
+            ("events_dispatched", self.events_dispatched.to_json()),
+            ("peak_queue_depth", self.peak_queue_depth.to_json()),
+            ("in_flight_messages", self.in_flight_messages.to_json()),
+            ("observability", obs_to_json(&self.observability)),
             (
                 "utilities",
                 Json::Arr(self.utilities.iter().map(Aggregate::to_json).collect()),
@@ -328,6 +387,10 @@ mod tests {
             throughput: 1.0,
             total_messages: 10,
             total_bytes: 100,
+            events_dispatched: 20,
+            peak_queue_depth: 5,
+            in_flight_messages: 0,
+            obs: ObsRegistry::new(),
             utilities: vec![],
         }
     }

@@ -69,11 +69,12 @@ pub fn scenario_csv(scenario: &str, reports: &[BatchReport]) -> String {
     let mut out = String::from(
         "scenario,label,n,seeds,agreement_rate,sigma_modal,sigma_np,sigma_cp,sigma_fork,sigma_0,\
          min_final_height_mean,min_final_height_ci95,throughput_mean,view_changes_mean,\
-         exposes_mean,burned_mean,messages_mean,bytes_mean\n",
+         exposes_mean,burned_mean,messages_mean,bytes_mean,events_dispatched_mean,\
+         peak_queue_depth_max,in_flight_max,sig_verifies_total\n",
     );
     for r in reports {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             csv_field(scenario),
             csv_field(&r.label),
             r.n,
@@ -92,6 +93,10 @@ pub fn scenario_csv(scenario: &str, reports: &[BatchReport]) -> String {
             r.burned_players.mean,
             r.total_messages.mean,
             r.total_bytes.mean,
+            r.events_dispatched.mean,
+            r.peak_queue_depth.max,
+            r.in_flight_messages.max,
+            r.observability.counter("crypto.sig_verifies"),
         ));
     }
     out
@@ -651,6 +656,10 @@ mod tests {
                 throughput: 1.0,
                 total_messages: 100,
                 total_bytes: 5_000,
+                events_dispatched: 20,
+                peak_queue_depth: 5,
+                in_flight_messages: 0,
+                obs: prft_sim::ObsRegistry::new(),
                 utilities: vec![0.0, -10.0],
             }],
         )

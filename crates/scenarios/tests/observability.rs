@@ -1,0 +1,164 @@
+//! The observability layer's contracts: the counter registry aggregates
+//! order-independently (byte-identical reports at any thread count and
+//! across queue backends), counters are monotone under merge and under
+//! longer runs, and the Chrome-trace export is pinned by a golden file.
+
+use prft_lab::{report, BatchRunner, QueueBackend, ScenarioSpec};
+use proptest::prelude::*;
+
+/// The fig2 single-round committee: small, crash-free, quiescent — the
+/// same spec `fig2_trace` renders, so the golden trace doubles as the
+/// paper-figure regression.
+fn fig2_spec() -> ScenarioSpec {
+    ScenarioSpec::new("fig2", 4, 1)
+        .base_seed(7)
+        .horizon(100_000)
+}
+
+/// A busier committee (8 replicas, 3 rounds) for the determinism checks.
+fn probe_spec() -> ScenarioSpec {
+    ScenarioSpec::new("obs-probe", 8, 3)
+        .base_seed(0x0b5e_7a11)
+        .horizon(300_000)
+}
+
+#[test]
+fn observability_section_is_thread_invariant() {
+    let spec = probe_spec();
+    const SEEDS: u64 = 8;
+    let serial = BatchRunner::new(1).run(&spec, SEEDS);
+    let parallel = BatchRunner::new(8).run(&spec, SEEDS);
+    // The registry itself merges order-independently …
+    assert_eq!(serial.observability, parallel.observability);
+    assert!(!serial.observability.is_empty());
+    // … and the full serialized report (which embeds the observability
+    // section) is byte-identical — the CI acceptance criterion.
+    let s = report::scenario_json("p", SEEDS, &[serial], false);
+    let p = report::scenario_json("p", SEEDS, &[parallel], false);
+    assert_eq!(s, p);
+    assert!(s.contains("\"observability\""));
+    assert!(s.contains("\"crypto.sig_verifies\""));
+}
+
+#[test]
+fn observability_section_is_queue_backend_invariant() {
+    let spec = probe_spec();
+    const SEEDS: u64 = 6;
+    let heap = BatchRunner::new(4).run(&spec.clone().queue(QueueBackend::Heap), SEEDS);
+    let calendar = BatchRunner::new(4).run(&spec.queue(QueueBackend::Calendar), SEEDS);
+    assert_eq!(heap.observability, calendar.observability);
+    let h = report::scenario_json("q", SEEDS, &[heap], false);
+    let c = report::scenario_json("q", SEEDS, &[calendar], false);
+    assert_eq!(h, c);
+}
+
+#[test]
+fn per_run_engine_counters_surface_in_reports() {
+    let spec = fig2_spec();
+    let record = prft_lab::run_one(&spec, spec.base_seed);
+    // The scalar engine counters ride on every run record …
+    assert!(record.events_dispatched > 0);
+    assert!(record.peak_queue_depth > 0);
+    assert_eq!(record.in_flight_messages, 0, "quiescent run drains fully");
+    // … and the registry holds the full catalog for the same run.
+    assert_eq!(
+        record.obs.counter("engine.events_dispatched"),
+        record.events_dispatched
+    );
+    assert!(record.obs.counter("crypto.sig_verifies") > 0);
+    assert!(record.obs.counter("engine.clone_bytes") > 0);
+    assert!(record.obs.gauge("engine.peak_arena_occupancy") > 0);
+    // Per-kind receive accounting: in a quiescent run every replica saw
+    // every phase's quorum of messages.
+    for i in 0..4 {
+        assert_eq!(record.obs.counter(&format!("recv.P{i}.Propose.msgs")), 1);
+        assert_eq!(record.obs.counter(&format!("recv.P{i}.Vote.msgs")), 4);
+    }
+    // CSV surfaces the aggregates (last columns of the schema).
+    let batch = BatchRunner::new(1).run(&fig2_spec(), 2);
+    let csv = report::scenario_csv("fig2", &[batch]);
+    let header = csv.lines().next().unwrap();
+    assert!(header
+        .ends_with("events_dispatched_mean,peak_queue_depth_max,in_flight_max,sig_verifies_total"));
+}
+
+/// Pinned Chrome-trace export for the fig2 run. Regenerate after an
+/// intentional protocol or trace-format change with:
+///
+/// ```text
+/// UPDATE_GOLDEN=1 cargo test -p prft-lab --test observability
+/// ```
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let spec = fig2_spec();
+    let rendered = prft_lab::chrome_trace_for(&spec, spec.base_seed).render();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fig2_trace.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "Chrome trace drifted from tests/golden/fig2_trace.json \
+         (UPDATE_GOLDEN=1 regenerates after intentional changes)"
+    );
+}
+
+#[test]
+fn chrome_trace_is_well_formed() {
+    let spec = fig2_spec();
+    let trace = prft_lab::chrome_trace_for(&spec, spec.base_seed);
+    assert!(!trace.is_empty());
+    let rendered = trace.render();
+    assert!(rendered.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(rendered.ends_with("]}\n"));
+    // Thread metadata for each replica, phase spans, message instants.
+    assert!(rendered.contains("\"thread_name\""));
+    assert!(rendered.contains("\"ph\":\"X\""));
+    assert!(rendered.contains("\"ph\":\"i\""));
+    assert!(rendered.contains("\"cat\":\"phase\""));
+    assert!(rendered.contains("\"cat\":\"msg\""));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Counters are monotone in run length: an honest committee run for
+    /// more rounds never decrements any counter or gauge of the shorter
+    /// run's registry.
+    #[test]
+    fn counters_monotone_in_rounds(n in 4usize..9, rounds in 1u64..3, seed in 0u64..1000) {
+        let short = prft_lab::run_one(
+            &ScenarioSpec::new("m", n, rounds).base_seed(seed).horizon(400_000),
+            seed,
+        );
+        let long = prft_lab::run_one(
+            &ScenarioSpec::new("m", n, rounds + 1).base_seed(seed).horizon(400_000),
+            seed,
+        );
+        for (key, value) in short.obs.counters() {
+            prop_assert!(
+                long.obs.counter(key) >= value,
+                "counter {key} shrank: {} < {value}",
+                long.obs.counter(key)
+            );
+        }
+        for (key, value) in short.obs.gauges() {
+            prop_assert!(long.obs.gauge(key) >= value, "gauge {key} shrank");
+        }
+    }
+
+    /// Merging more runs into a batch registry is monotone: a superset of
+    /// seeds dominates every counter of the subset's merged registry.
+    #[test]
+    fn merged_registry_monotone_in_seeds(seeds in 1u64..5) {
+        let spec = fig2_spec();
+        let small = BatchRunner::new(2).run(&spec, seeds);
+        let large = BatchRunner::new(2).run(&fig2_spec(), seeds + 2);
+        for (key, value) in small.observability.counters() {
+            prop_assert!(large.observability.counter(key) >= value);
+        }
+    }
+}

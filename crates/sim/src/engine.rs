@@ -74,7 +74,7 @@ enum Action<M> {
     CancelTimer(TimerId),
 }
 
-impl<'a, M: Clone> Context<'a, M> {
+impl<'a, M: Clone + WireMessage> Context<'a, M> {
     /// This node's identity.
     pub fn me(&self) -> NodeId {
         self.me
@@ -108,7 +108,7 @@ impl<'a, M: Clone> Context<'a, M> {
         for i in 0..self.n {
             self.actions.push(Action::Send {
                 to: NodeId(i),
-                msg: msg.clone(),
+                msg: self.clone_for_fanout(&msg),
             });
         }
     }
@@ -119,10 +119,18 @@ impl<'a, M: Clone> Context<'a, M> {
             if i != self.me.0 {
                 self.actions.push(Action::Send {
                     to: NodeId(i),
-                    msg: msg.clone(),
+                    msg: self.clone_for_fanout(&msg),
                 });
             }
         }
+    }
+
+    /// One broadcast copy: the clone is the accountable path's dominant
+    /// memory cost (`O(n³κ)` Reveal payloads × n recipients), so it is
+    /// metered (`engine.clone_bytes`) and a profiling scope.
+    fn clone_for_fanout(&self, msg: &M) -> M {
+        crate::obs::hooks::add_clone_bytes(msg.wire_bytes() as u64);
+        crate::obs::timed("broadcast_clone", || msg.clone())
     }
 
     /// Arms a timer that fires `delay` from now; returns its id.
@@ -191,6 +199,9 @@ pub struct Simulation<N: Node> {
     trace: Trace,
     events_dispatched: u64,
     peak_queue_depth: usize,
+    queue_pushes: u64,
+    queue_pops: u64,
+    peak_arena_occupancy: usize,
     /// Safety valve: maximum number of dispatched events per `run` call.
     pub event_limit: u64,
 }
@@ -238,6 +249,9 @@ impl<N: Node> Simulation<N> {
             trace: Trace::new(),
             events_dispatched: 0,
             peak_queue_depth: 0,
+            queue_pushes: 0,
+            queue_pops: 0,
+            peak_arena_occupancy: 0,
             event_limit: 50_000_000,
         };
         for i in 0..n {
@@ -249,8 +263,28 @@ impl<N: Node> Simulation<N> {
     fn push(&mut self, at: SimTime, to: NodeId, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(at, seq, EventBody { to, kind });
+        self.queue_pushes += 1;
+        let queue = &mut self.queue;
+        crate::obs::timed("queue_push", || queue.push(at, seq, EventBody { to, kind }));
         self.peak_queue_depth = self.peak_queue_depth.max(self.queue.len());
+    }
+
+    /// Pops the next event, maintaining the pop counter and profiling scope.
+    fn pop(&mut self) -> Option<(SimTime, u64, EventBody)> {
+        let queue = &mut self.queue;
+        let popped = crate::obs::timed("queue_pop", || queue.pop());
+        if popped.is_some() {
+            self.queue_pops += 1;
+        }
+        popped
+    }
+
+    /// Parks a payload in the arena, maintaining the occupancy high-water
+    /// mark.
+    fn park(&mut self, msg: N::Msg) -> MsgRef {
+        let r = self.arena.insert(msg);
+        self.peak_arena_occupancy = self.peak_arena_occupancy.max(self.arena.len());
+        r
     }
 
     /// Number of nodes.
@@ -310,6 +344,44 @@ impl<N: Node> Simulation<N> {
         self.arena.len()
     }
 
+    /// Total events ever pushed onto the queue (deliveries, timers, starts).
+    pub fn queue_pushes(&self) -> u64 {
+        self.queue_pushes
+    }
+
+    /// Total events ever popped off the queue (dispatched *or* discarded).
+    pub fn queue_pops(&self) -> u64 {
+        self.queue_pops
+    }
+
+    /// The most messages ever simultaneously in flight (arena high-water).
+    pub fn peak_arena_occupancy(&self) -> usize {
+        self.peak_arena_occupancy
+    }
+
+    /// This simulation's engine-level observability registry: every
+    /// protocol-independent counter and gauge the engine maintains, under
+    /// `engine.*` keys, plus the per-kind send meter under `send.*`.
+    ///
+    /// All values derive from the pinned dispatch order, so the registry
+    /// is identical across queue backends and worker thread counts.
+    pub fn observability(&self) -> crate::obs::ObsRegistry {
+        let mut reg = crate::obs::ObsRegistry::new();
+        reg.add("engine.events_dispatched", self.events_dispatched);
+        reg.add("engine.queue_pushes", self.queue_pushes);
+        reg.add("engine.queue_pops", self.queue_pops);
+        reg.gauge_max("engine.peak_queue_depth", self.peak_queue_depth as u64);
+        reg.gauge_max(
+            "engine.peak_arena_occupancy",
+            self.peak_arena_occupancy as u64,
+        );
+        for (kind, stats) in self.meter.iter() {
+            reg.add(&format!("send.{kind}.msgs"), stats.count);
+            reg.add(&format!("send.{kind}.bytes"), stats.bytes);
+        }
+        reg
+    }
+
     /// Resets the meter (e.g. after warm-up rounds).
     pub fn reset_meter(&mut self) {
         self.meter.reset();
@@ -345,7 +417,7 @@ impl<N: Node> Simulation<N> {
     /// transaction), delivered to `to` at absolute time `at` claiming sender
     /// `from`.
     pub fn inject(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: N::Msg) {
-        let msg = self.arena.insert(msg);
+        let msg = self.park(msg);
         self.push(at.max(self.now), to, EventKind::Deliver { from, msg });
     }
 
@@ -394,7 +466,7 @@ impl<N: Node> Simulation<N> {
                         to: dest,
                         kind: msg.kind(),
                     });
-                    let msg = self.arena.insert(msg);
+                    let msg = self.park(msg);
                     self.push(at, dest, EventKind::Deliver { from: to, msg });
                 }
                 Action::SetTimer { id, fires } => {
@@ -439,7 +511,7 @@ impl<N: Node> Simulation<N> {
             if dispatched >= self.event_limit {
                 return RunOutcome::EventLimit;
             }
-            let (at, _, body) = self.queue.pop().expect("peeked");
+            let (at, _, body) = self.pop().expect("peeked");
             debug_assert!(at >= self.now, "time must be monotone");
             self.now = at;
             if self.crashed.contains(&body.to) {
@@ -460,7 +532,7 @@ impl<N: Node> Simulation<N> {
 
     /// Processes exactly one event if one exists at or before `horizon`.
     pub fn step(&mut self) -> bool {
-        if let Some((at, _, body)) = self.queue.pop() {
+        if let Some((at, _, body)) = self.pop() {
             self.now = at;
             if self.crashed.contains(&body.to) {
                 self.discard(body.kind);
@@ -737,6 +809,32 @@ mod tests {
         assert_eq!(s.events_dispatched(), 8);
         assert_eq!(s.peak_queue_depth(), 7);
         assert_eq!(s.in_flight_messages(), 0, "arena drained with the queue");
+    }
+
+    #[test]
+    fn observability_registry_tracks_engine_counters() {
+        let mut s = sim(4);
+        crate::obs::hooks::reset();
+        s.run();
+        let reg = s.observability();
+        assert_eq!(reg.counter("engine.events_dispatched"), 8);
+        assert_eq!(
+            reg.counter("engine.queue_pushes"),
+            s.queue_pushes(),
+            "registry mirrors the accessor"
+        );
+        // Every push was eventually popped (the queue drained).
+        assert_eq!(s.queue_pushes(), s.queue_pops());
+        assert_eq!(reg.gauge("engine.peak_queue_depth"), 7);
+        // The broadcast parked 4 messages; the self-delivery is taken
+        // before the other three, so the high-water mark is 4.
+        assert_eq!(reg.gauge("engine.peak_arena_occupancy"), 4);
+        // The send meter is mirrored per kind.
+        assert_eq!(reg.counter("send.Hello.msgs"), 4);
+        assert_eq!(reg.counter("send.Hello.bytes"), 16);
+        // The broadcast cloned 4 copies of a 4-byte payload.
+        let hooks = crate::obs::hooks::snapshot();
+        assert_eq!(hooks.clone_bytes, 16);
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! * message metering (per-kind counts and κ-scaled byte sizes via
 //!   [`WireMessage`]) and an optional message [`Trace`] used to regenerate
 //!   the paper's Figure 2a timeline;
+//! * deterministic observability ([`obs`]): a named counter/gauge registry
+//!   ([`ObsRegistry`]), thread-local hot-path hooks, a [`ChromeTrace`]
+//!   exporter for Perfetto, and wall-clock scopes behind the `profiling`
+//!   cargo feature;
 //! * crash support (for the CFT column of Table 1).
 //!
 //! Delay behaviour is pluggable through [`LinkModel`]; the concrete
@@ -62,6 +66,7 @@
 mod arena;
 mod engine;
 mod meter;
+pub mod obs;
 pub mod queue;
 mod rng;
 mod time;
@@ -70,10 +75,11 @@ mod trace;
 pub use arena::{Arena, MsgRef};
 pub use engine::{Context, LinkModel, Node, RunOutcome, Simulation, TimerId};
 pub use meter::{KindStats, Meter, WireMessage};
+pub use obs::ObsRegistry;
 pub use queue::{CalendarQueue, EventQueue, HeapQueue, QueueBackend};
 pub use rng::SimRng;
 pub use time::SimTime;
-pub use trace::{Trace, TraceEntry};
+pub use trace::{ChromeTrace, Trace, TraceEntry};
 
 /// The trivial link model: every message arrives exactly `0.0 + d` later.
 ///

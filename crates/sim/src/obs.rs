@@ -1,0 +1,341 @@
+//! Deterministic observability: counter registry, cross-crate hot-path
+//! hooks, and feature-gated wall-clock profiling.
+//!
+//! The paper's cost claims (Table 3: `O(n³)` messages, `O(κ·n⁴)` bits; the
+//! accountable path's `O(n³κ)` Reveal payloads) are only actionable if a
+//! run can *report* where those costs land. This module provides three
+//! layers, all deterministic where they need to be:
+//!
+//! 1. [`ObsRegistry`] — named monotone counters and high-water gauges.
+//!    Registries merge order-independently (counters add, gauges max), so
+//!    a batch aggregated over seeds is byte-identical at any `--threads`
+//!    and across queue backends.
+//! 2. [`hooks`] — thread-local `Cell<u64>` counters incremented from hot
+//!    paths in *other* crates (`prft-crypto` signature verification, the
+//!    engine's broadcast clones) without threading `&mut` state through
+//!    every call site. Each seeded run executes entirely on one worker
+//!    thread, so `reset()` before / `snapshot()` after a run yields exact
+//!    per-run deltas.
+//! 3. [`timed`] — scoped wall-clock timers compiled to plain closure calls
+//!    unless the `profiling` cargo feature is on. Wall-clock numbers are
+//!    inherently nondeterministic, so they never enter reports — only the
+//!    explicitly wall-clock `prft-bench profile` table.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+
+/// Named monotone counters and high-water gauges for one run (or an
+/// order-independent aggregate of many runs).
+///
+/// Keys are dotted paths (`crypto.sig_verifies`, `recv.P3.Vote.msgs`);
+/// iteration order is always alphabetical, so rendering a registry is
+/// deterministic. See `docs/OBSERVABILITY.md` for the full catalog.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+}
+
+impl ObsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ObsRegistry::default()
+    }
+
+    /// Adds `delta` to the monotone counter `name` (creating it at zero).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Raises the gauge `name` to `value` if that is a new high-water mark.
+    pub fn gauge_max(&mut self, name: &str, value: u64) {
+        let g = self.gauges.entry(name.to_string()).or_insert(0);
+        *g = (*g).max(value);
+    }
+
+    /// Current value of a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge (zero if never touched).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merges `other` into `self`: counters add, gauges take the max.
+    ///
+    /// Merging is commutative and associative, which is what makes the
+    /// aggregated `observability` report section independent of worker
+    /// scheduling.
+    pub fn merge(&mut self, other: &ObsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let g = self.gauges.entry(k.clone()).or_insert(0);
+            *g = (*g).max(*v);
+        }
+    }
+
+    /// Iterates counters in alphabetical key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates gauges in alphabetical key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Whether no counter or gauge has ever been touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+}
+
+/// Thread-local hot-path counters incremented from other crates.
+///
+/// These exist so that `KeyRegistry::verify` (called up to ~10⁸ times at
+/// accountable n=128) pays one `Cell` increment — no allocation, no map
+/// lookup, no `&mut` plumbing. The batch runner processes each seeded run
+/// entirely inside one closure on one thread, so the reset/snapshot
+/// discipline in `run_one` captures exact per-run deltas.
+pub mod hooks {
+    use super::Cell;
+
+    thread_local! {
+        static SIG_VERIFIES: Cell<u64> = const { Cell::new(0) };
+        static CLONE_BYTES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Point-in-time copy of this thread's hook counters.
+    ///
+    /// Values are cumulative since the last [`reset`] on the same thread.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct HookSnapshot {
+        /// Signature verifications performed (`KeyRegistry::verify` calls).
+        pub sig_verifies: u64,
+        /// Wire bytes of message payloads cloned for broadcast fan-out.
+        pub clone_bytes: u64,
+    }
+
+    /// Counts one signature verification. Called by `prft-crypto`.
+    #[inline]
+    pub fn count_sig_verify() {
+        SIG_VERIFIES.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Accounts `bytes` of payload cloned for a broadcast copy. Called by
+    /// the engine's `Context::broadcast`/`broadcast_others`.
+    #[inline]
+    pub fn add_clone_bytes(bytes: u64) {
+        CLONE_BYTES.with(|c| c.set(c.get() + bytes));
+    }
+
+    /// Reads this thread's current hook counters.
+    pub fn snapshot() -> HookSnapshot {
+        HookSnapshot {
+            sig_verifies: SIG_VERIFIES.with(|c| c.get()),
+            clone_bytes: CLONE_BYTES.with(|c| c.get()),
+        }
+    }
+
+    /// Zeroes this thread's hook counters (call before a measured run).
+    pub fn reset() {
+        SIG_VERIFIES.with(|c| c.set(0));
+        CLONE_BYTES.with(|c| c.set(0));
+    }
+}
+
+/// Wall-clock statistics for one named scope.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimerStat {
+    /// Number of [`timed`] invocations of this scope.
+    pub calls: u64,
+    /// Total inclusive wall-clock nanoseconds across those calls (nested
+    /// scopes are counted in their parents too).
+    pub total_ns: u64,
+}
+
+#[cfg(feature = "profiling")]
+mod profiling_impl {
+    use super::TimerStat;
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+
+    thread_local! {
+        static TIMERS: RefCell<BTreeMap<&'static str, TimerStat>> =
+            RefCell::new(BTreeMap::new());
+    }
+
+    pub fn record(name: &'static str, ns: u64) {
+        TIMERS.with(|t| {
+            let mut map = t.borrow_mut();
+            let e = map.entry(name).or_default();
+            e.calls += 1;
+            e.total_ns += ns;
+        });
+    }
+
+    pub fn snapshot() -> Vec<(&'static str, TimerStat)> {
+        TIMERS.with(|t| t.borrow().iter().map(|(k, v)| (*k, *v)).collect())
+    }
+
+    pub fn reset() {
+        TIMERS.with(|t| t.borrow_mut().clear());
+    }
+}
+
+/// Runs `f`, attributing its wall-clock time to the scope `name`.
+///
+/// With the `profiling` cargo feature disabled (the default) this is a
+/// `#[inline(always)]` pass-through — the closure is called directly and
+/// nothing is recorded, so hot paths pay nothing.
+#[cfg(not(feature = "profiling"))]
+#[inline(always)]
+pub fn timed<T>(_name: &'static str, f: impl FnOnce() -> T) -> T {
+    f()
+}
+
+/// Runs `f`, attributing its wall-clock time to the scope `name`.
+///
+/// The `profiling` feature is enabled: two `Instant` reads bracket the
+/// call and the elapsed nanoseconds accumulate in a thread-local table
+/// readable via [`profile_snapshot`].
+#[cfg(feature = "profiling")]
+pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let start = std::time::Instant::now();
+    let out = f();
+    let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    profiling_impl::record(name, ns);
+    out
+}
+
+/// Whether this build records wall-clock scopes (`profiling` feature).
+pub fn profiling_enabled() -> bool {
+    cfg!(feature = "profiling")
+}
+
+/// This thread's accumulated timer table, alphabetical by scope name.
+/// Always empty when the `profiling` feature is disabled.
+pub fn profile_snapshot() -> Vec<(&'static str, TimerStat)> {
+    #[cfg(feature = "profiling")]
+    {
+        profiling_impl::snapshot()
+    }
+    #[cfg(not(feature = "profiling"))]
+    {
+        Vec::new()
+    }
+}
+
+/// Clears this thread's timer table (no-op when profiling is disabled).
+pub fn profile_reset() {
+    #[cfg(feature = "profiling")]
+    profiling_impl::reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_take_max() {
+        let mut r = ObsRegistry::new();
+        r.add("a.count", 2);
+        r.add("a.count", 3);
+        r.gauge_max("a.peak", 7);
+        r.gauge_max("a.peak", 4);
+        assert_eq!(r.counter("a.count"), 5);
+        assert_eq!(r.gauge("a.peak"), 7);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge("missing"), 0);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = ObsRegistry::new();
+        a.add("x", 1);
+        a.gauge_max("g", 10);
+        let mut b = ObsRegistry::new();
+        b.add("x", 2);
+        b.add("y", 5);
+        b.gauge_max("g", 3);
+
+        let mut ab = ObsRegistry::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = ObsRegistry::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("x"), 3);
+        assert_eq!(ab.counter("y"), 5);
+        assert_eq!(ab.gauge("g"), 10);
+    }
+
+    #[test]
+    fn iteration_is_alphabetical() {
+        let mut r = ObsRegistry::new();
+        r.add("b", 1);
+        r.add("a", 1);
+        r.gauge_max("z", 1);
+        r.gauge_max("m", 1);
+        let ks: Vec<&str> = r.counters().map(|(k, _)| k).collect();
+        assert_eq!(ks, vec!["a", "b"]);
+        let gs: Vec<&str> = r.gauges().map(|(k, _)| k).collect();
+        assert_eq!(gs, vec!["m", "z"]);
+        assert!(!r.is_empty());
+        assert!(ObsRegistry::new().is_empty());
+    }
+
+    #[test]
+    fn hook_reset_and_snapshot_round_trip() {
+        hooks::reset();
+        hooks::count_sig_verify();
+        hooks::count_sig_verify();
+        hooks::add_clone_bytes(100);
+        let s = hooks::snapshot();
+        assert_eq!(s.sig_verifies, 2);
+        assert_eq!(s.clone_bytes, 100);
+        hooks::reset();
+        assert_eq!(hooks::snapshot(), hooks::HookSnapshot::default());
+    }
+
+    #[test]
+    fn timed_returns_the_closure_value() {
+        profile_reset();
+        let v = timed("obs_test_scope", || 21 * 2);
+        assert_eq!(v, 42);
+    }
+
+    #[cfg(not(feature = "profiling"))]
+    #[test]
+    fn disabled_profiling_records_nothing() {
+        // The zero-overhead contract: with the feature off, `timed` is a
+        // pass-through and the snapshot stays empty no matter how many
+        // scopes run.
+        profile_reset();
+        for _ in 0..10 {
+            timed("obs_test_noop", || ());
+        }
+        assert!(!profiling_enabled());
+        assert!(profile_snapshot().is_empty());
+    }
+
+    #[cfg(feature = "profiling")]
+    #[test]
+    fn enabled_profiling_records_calls() {
+        profile_reset();
+        timed("obs_test_hot", || std::hint::black_box(1 + 1));
+        timed("obs_test_hot", || std::hint::black_box(2 + 2));
+        assert!(profiling_enabled());
+        let snap = profile_snapshot();
+        let (_, stat) = snap
+            .iter()
+            .find(|(k, _)| *k == "obs_test_hot")
+            .expect("scope recorded");
+        assert_eq!(stat.calls, 2);
+    }
+}
