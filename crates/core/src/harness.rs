@@ -82,6 +82,15 @@ impl Harness {
         self
     }
 
+    /// Selects the verification strategy (memoized fast path vs reference
+    /// re-verification). Results are byte-identical across modes; this
+    /// only changes speed.
+    #[must_use]
+    pub fn verify_mode(mut self, mode: prft_crypto::VerifyMode) -> Self {
+        self.cfg.verify_mode = mode;
+        self
+    }
+
     /// Overrides the protocol configuration wholesale.
     #[must_use]
     pub fn config(mut self, cfg: Config) -> Self {

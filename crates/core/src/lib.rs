@@ -44,6 +44,7 @@ mod messages;
 pub mod obs;
 mod pof;
 mod replica;
+mod verify;
 
 pub use behavior::{BallotAction, Behavior, Honest, ProposeAction};
 pub use collateral::CollateralLedger;
@@ -54,4 +55,6 @@ pub use messages::{
     SignedBallot, ViewChangeReq,
 };
 pub use pof::{construct_proof, signed_ballot, verify_expose, FraudDetector};
+pub use prft_crypto::VerifyMode;
 pub use replica::{Replica, ReplicaStats};
+pub use verify::{CertVerdict, VerifyCache};

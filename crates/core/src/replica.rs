@@ -40,10 +40,12 @@ use crate::messages::{
     ViewChangeReq,
 };
 use crate::pof::{verify_expose, FraudDetector};
-use prft_crypto::{KeyRegistry, SecretKey, Signed};
+use crate::verify::VerifyCache;
+use prft_crypto::{KeyRegistry, SecretKey, Signed, VerifyMode};
 use prft_sim::{Context, KindStats, Node, SimTime, TimerId, WireMessage};
 use prft_types::{Block, Chain, Digest, Height, Mempool, NodeId, Round};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Observable counters for experiments.
 #[derive(Debug, Clone, Default)]
@@ -131,7 +133,16 @@ pub struct Replica {
     /// equivocating leader contributes several).
     proposals_seen: HashMap<Digest, SignedBallot>,
     votes: HashMap<Digest, BTreeMap<NodeId, SignedBallot>>,
-    commits: HashMap<Digest, BTreeMap<NodeId, CommitCert>>,
+    /// Per-value signer bitmask mirroring `votes` membership, so the
+    /// per-certificate vote harvest skips its tree probe for every vote
+    /// already counted (the common case once the first certificate of a
+    /// round has been harvested).
+    vote_present: HashMap<Digest, Vec<bool>>,
+    /// Per-value signer bitmask of vote ballots already fed to the fraud
+    /// detector out of certificates this round (fast verify mode only; see
+    /// `observe_cert_votes`).
+    votes_observed: HashMap<Digest, Vec<bool>>,
+    commits: HashMap<Digest, BTreeMap<NodeId, Arc<CommitCert>>>,
     reveals: HashMap<Digest, BTreeSet<NodeId>>,
     detector: FraudDetector,
     voted: bool,
@@ -154,6 +165,10 @@ pub struct Replica {
     // ---- cross-round machinery ----
     future: BTreeMap<u64, Vec<(NodeId, PrftMsg)>>,
     peer_round: Vec<u64>,
+    /// Memoized ballot/certificate verification (the large-n fast path;
+    /// pass-through in [`prft_crypto::VerifyMode::Reference`]). Pruned at
+    /// round starts, so it spans the rounds that can still be looked up.
+    cache: VerifyCache,
 
     stats: ReplicaStats,
 }
@@ -172,6 +187,7 @@ impl Replica {
         block_store.insert(genesis.id(), genesis.clone());
         Replica {
             collateral: CollateralLedger::new(n, 1),
+            cache: VerifyCache::new(cfg.verify_mode),
             cfg,
             key,
             registry,
@@ -192,6 +208,8 @@ impl Replica {
             proposal: None,
             proposals_seen: HashMap::new(),
             votes: HashMap::new(),
+            vote_present: HashMap::new(),
+            votes_observed: HashMap::new(),
             commits: HashMap::new(),
             reveals: HashMap::new(),
             detector: FraudDetector::new(),
@@ -298,9 +316,12 @@ impl Replica {
         self.proposal = None;
         self.proposals_seen.clear();
         self.votes.clear();
+        self.vote_present.clear();
+        self.votes_observed.clear();
         self.commits.clear();
         self.reveals.clear();
         self.detector.clear();
+        self.cache.prune_before(self.round);
         self.voted = false;
         self.committed = false;
         self.revealed = false;
@@ -498,7 +519,7 @@ impl Replica {
         // Validation: signature, phase, sender is the round's leader, hash
         // binds the block, block is for this round.
         if ballot.payload.phase != Phase::Propose
-            || !ballot.verify(&self.registry)
+            || !self.cache.verify_ballot(&ballot, &self.registry)
             || ballot.signer() != self.leader(round)
             || block.id() != ballot.payload.value
             || block.round != round
@@ -562,7 +583,8 @@ impl Replica {
         ballot: SignedBallot,
         propose: Option<SignedBallot>,
     ) {
-        if ballot.payload.phase != Phase::Vote || !ballot.verify(&self.registry) {
+        if ballot.payload.phase != Phase::Vote || !self.cache.verify_ballot(&ballot, &self.registry)
+        {
             return;
         }
         // A validly signed ballot is double-sign evidence no matter what —
@@ -578,7 +600,7 @@ impl Replica {
                     || p.payload.round != round
                     || p.payload.value != ballot.payload.value
                     || p.signer() != self.leader(round)
-                    || !p.verify(&self.registry)
+                    || !self.cache.verify_ballot(p, &self.registry)
                 {
                     return; // malformed attachment: don't count the vote
                 }
@@ -600,11 +622,24 @@ impl Replica {
             return;
         }
         let value = ballot.payload.value;
+        Self::mark(
+            self.vote_present.entry(value).or_default(),
+            ballot.signer().0,
+        );
         self.votes
             .entry(value)
             .or_default()
             .insert(ballot.signer(), ballot);
         self.try_commit(ctx, value);
+    }
+
+    /// Sets bit `i` of a signer bitmask, growing it as needed; returns
+    /// whether the bit was newly set.
+    fn mark(bits: &mut Vec<bool>, i: usize) -> bool {
+        if bits.len() <= i {
+            bits.resize(i + 1, false);
+        }
+        !std::mem::replace(&mut bits[i], true)
     }
 
     fn try_commit(&mut self, ctx: &mut Context<PrftMsg>, value: Digest) {
@@ -657,7 +692,7 @@ impl Replica {
                         votes_for
                     };
                     Some(PrftMsg::Commit {
-                        cert: CommitCert { commit: b, votes },
+                        cert: Arc::new(CommitCert { commit: b, votes }),
                     })
                 });
                 if sent {
@@ -687,10 +722,10 @@ impl Replica {
             let votes: Vec<SignedBallot> = self.votes[&v].values().take(quorum).cloned().collect();
             let ballot = Signed::sign(Ballot::new(self.round, Phase::Commit, v), &self.key);
             let msg = PrftMsg::Commit {
-                cert: CommitCert {
+                cert: Arc::new(CommitCert {
                     commit: ballot,
                     votes,
-                },
+                }),
             };
             for to in &recipients {
                 ctx.send(*to, msg.clone());
@@ -699,38 +734,81 @@ impl Replica {
         self.pending_commit_splits = remaining;
     }
 
-    fn handle_commit(&mut self, ctx: &mut Context<PrftMsg>, cert: CommitCert) {
-        let ballot = cert.commit.clone();
-        if ballot.payload.phase != Phase::Commit || !ballot.verify(&self.registry) {
+    fn handle_commit(&mut self, ctx: &mut Context<PrftMsg>, cert: Arc<CommitCert>) {
+        if cert.commit.payload.phase != Phase::Commit
+            || !self.cache.verify_ballot(&cert.commit, &self.registry)
+        {
             return;
         }
         // Commit certificates must carry a valid vote quorum.
-        if !cert.validate(&self.registry, self.quorum()) {
+        let quorum = self.quorum();
+        let verdict = self.cache.validate_cert(&cert, &self.registry, quorum);
+        if !verdict.ok {
             return;
         }
-        self.observe_and_react(ctx, &ballot);
-        for vote in &cert.votes.clone() {
-            self.observe_and_react(ctx, vote);
+        // A cached verdict means this same allocation was walked and
+        // observed earlier this round; re-observing identical ballots is
+        // a detector no-op (see `CertVerdict::cached`), so skip it.
+        if !verdict.cached {
+            self.observe_and_react(ctx, &cert.commit);
+            self.observe_cert_votes(ctx, &cert);
         }
         if self.discontinued {
             return;
         }
-        let value = ballot.payload.value;
+        let value = cert.commit.payload.value;
         // Harvest the certificate's votes: a valid signed vote counts no
-        // matter how it arrived (it may complete our own vote quorum).
-        for vote in &cert.votes {
-            self.votes
-                .entry(vote.payload.value)
-                .or_default()
-                .entry(vote.signer())
-                .or_insert_with(|| vote.clone());
-        }
+        // matter how it arrived (it may complete our own vote quorum). The
+        // walk already proved every vote endorses `value`, and the bitmask
+        // skips the tree probe for signers we already hold a vote from —
+        // a vote's content is determined by (round, value, signer), so an
+        // existing entry is always the identical ballot.
+        prft_sim::obs::timed("replica.harvest_votes", || {
+            let present = self.vote_present.entry(value).or_default();
+            let votes = self.votes.entry(value).or_default();
+            for vote in &cert.votes {
+                if Self::mark(present, vote.signer().0) {
+                    votes.insert(vote.signer(), vote.clone());
+                }
+            }
+        });
         self.commits
             .entry(value)
             .or_default()
-            .insert(ballot.signer(), cert);
+            .insert(cert.commit.signer(), cert);
         self.try_commit(ctx, value);
         self.try_reveal(ctx, value);
+    }
+
+    /// Feeds a freshly validated certificate's votes to the fraud
+    /// detector. On the fast path, a (value, signer) pair already observed
+    /// out of a certificate this round is skipped: a *valid* vote's bytes
+    /// are fully determined by (round, value, signer) — the MAC tag is a
+    /// deterministic function of the payload — so the repeat is exactly
+    /// the identical-content no-op `FraudDetector::observe` guarantees.
+    /// Equivocations still pair up because the bitmask is per value.
+    /// Reference mode observes unconditionally.
+    fn observe_cert_votes(&mut self, ctx: &mut Context<PrftMsg>, cert: &CommitCert) {
+        if self.cache.mode() == VerifyMode::Fast {
+            let seen = self
+                .votes_observed
+                .entry(cert.commit.payload.value)
+                .or_default();
+            let fresh: Vec<usize> = cert
+                .votes
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| Self::mark(seen, v.signer().0))
+                .map(|(i, _)| i)
+                .collect();
+            for i in fresh {
+                self.observe_and_react(ctx, &cert.votes[i]);
+            }
+        } else {
+            for vote in &cert.votes {
+                self.observe_and_react(ctx, vote);
+            }
+        }
     }
 
     fn try_reveal(&mut self, ctx: &mut Context<PrftMsg>, value: Digest) {
@@ -775,16 +853,21 @@ impl Replica {
             return;
         }
 
-        let certs: Vec<CommitCert> = commits.values().take(quorum).cloned().collect();
+        // `W_i`: Arc handles onto the certificate allocations already in
+        // flight (the Commit broadcasts), shared under one outer Arc so a
+        // Reveal fan-out clones 8 bytes per recipient, not q certificates
+        // — and receivers' cert memos hit on the very same allocations.
+        let certs: Arc<Vec<Arc<CommitCert>>> =
+            Arc::new(commits.values().take(quorum).cloned().collect());
         let action = self.behavior.on_reveal(self.round, value);
         let sent = self.emit_ballot(ctx, Phase::Reveal, value, action, &|this, b, v| {
             let certs_for = this
                 .commits
                 .get(&v)
-                .map(|m| m.values().take(quorum).cloned().collect::<Vec<_>>());
+                .map(|m| Arc::new(m.values().take(quorum).cloned().collect::<Vec<_>>()));
             Some(PrftMsg::Reveal {
                 ballot: b,
-                certs: certs_for.unwrap_or_else(|| certs.clone()),
+                certs: certs_for.unwrap_or_else(|| Arc::clone(&certs)),
             })
         });
         if sent {
@@ -799,22 +882,40 @@ impl Replica {
         &mut self,
         ctx: &mut Context<PrftMsg>,
         ballot: SignedBallot,
-        certs: Vec<CommitCert>,
+        certs: Arc<Vec<Arc<CommitCert>>>,
     ) {
-        if ballot.payload.phase != Phase::Reveal || !ballot.verify(&self.registry) {
+        if ballot.payload.phase != Phase::Reveal
+            || !self.cache.verify_ballot(&ballot, &self.registry)
+        {
             return;
         }
         self.observe_and_react(ctx, &ballot);
         // Scan the revealed certificates — this is ConstructProof's input
-        // matrix M. Invalid certificates are ignored wholesale.
-        for cert in &certs {
-            if !cert.validate(&self.registry, self.quorum()) {
-                continue;
+        // matrix M. Invalid certificates are ignored wholesale. On the
+        // fast path a certificate already validated at Commit time is a
+        // single memo hit here (same allocation), and first-time walks
+        // dedupe their vote ballots against the whole batch. Cached
+        // certificates also skip detector re-observation — the O(q³)
+        // per-replica-round term that would otherwise dominate large-n
+        // accountable wall time — because a hit proves the same ballots
+        // were already observed this round (see `CertVerdict::cached`).
+        // Whole already-seen batches (same allocations, senders converge
+        // on the same first-quorum certificate set) replay their logical
+        // count in one memo hit without touching the scan at all.
+        let quorum = self.quorum();
+        if !self.cache.replay_reveal_batch(&certs, quorum) {
+            let mut batch_verifies = 0u64;
+            for cert in certs.iter() {
+                let verdict = self.cache.validate_cert(cert, &self.registry, quorum);
+                batch_verifies += verdict.verifies;
+                if !verdict.ok || verdict.cached {
+                    continue;
+                }
+                self.observe_and_react(ctx, &cert.commit);
+                self.observe_cert_votes(ctx, cert);
             }
-            self.observe_and_react(ctx, &cert.commit.clone());
-            for vote in &cert.votes.clone() {
-                self.observe_and_react(ctx, vote);
-            }
+            self.cache
+                .record_reveal_batch(&certs, quorum, batch_verifies, self.round);
         }
         if self.discontinued {
             return;
@@ -920,7 +1021,9 @@ impl Replica {
     }
 
     fn handle_final(&mut self, ctx: &mut Context<PrftMsg>, ballot: SignedBallot) {
-        if ballot.payload.phase != Phase::Final || !ballot.verify(&self.registry) {
+        if ballot.payload.phase != Phase::Final
+            || !self.cache.verify_ballot(&ballot, &self.registry)
+        {
             return;
         }
         if ballot.payload.round == self.round {
@@ -1191,15 +1294,35 @@ impl Replica {
     }
 
     fn dispatch(&mut self, ctx: &mut Context<PrftMsg>, _from: NodeId, msg: PrftMsg) {
+        // `timed` scopes are no-ops unless built with `--features
+        // profiling`; they exist so `prft-bench profile` can attribute
+        // wall time per message kind at large n.
+        use prft_sim::obs::timed;
         match msg {
-            PrftMsg::Propose { ballot, block } => self.handle_propose(ctx, ballot, block),
-            PrftMsg::Vote { ballot, propose } => self.handle_vote(ctx, ballot, propose),
-            PrftMsg::Commit { cert } => self.handle_commit(ctx, cert),
-            PrftMsg::Reveal { ballot, certs } => self.handle_reveal(ctx, ballot, certs),
+            PrftMsg::Propose { ballot, block } => {
+                timed("replica.handle_propose", || {
+                    self.handle_propose(ctx, ballot, block)
+                });
+            }
+            PrftMsg::Vote { ballot, propose } => {
+                timed("replica.handle_vote", || {
+                    self.handle_vote(ctx, ballot, propose)
+                });
+            }
+            PrftMsg::Commit { cert } => {
+                timed("replica.handle_commit", || self.handle_commit(ctx, cert));
+            }
+            PrftMsg::Reveal { ballot, certs } => {
+                timed("replica.handle_reveal", || {
+                    self.handle_reveal(ctx, ballot, certs)
+                });
+            }
             PrftMsg::Expose {
                 round, evidence, ..
             } => self.handle_expose(ctx, round, evidence),
-            PrftMsg::Final { ballot } => self.handle_final(ctx, ballot),
+            PrftMsg::Final { ballot } => {
+                timed("replica.handle_final", || self.handle_final(ctx, ballot));
+            }
             PrftMsg::ViewChange { req } => self.handle_view_change(ctx, req),
             PrftMsg::CommitView { cv, reqs } => self.handle_commit_view(ctx, cv, reqs),
             PrftMsg::SyncRequest { .. } => {} // answered in on_message
@@ -1241,7 +1364,7 @@ impl Node for Replica {
                 && ballot.signer() == self.leader(ballot.payload.round)
                 && block.id() == ballot.payload.value
                 && block.round == ballot.payload.round
-                && ballot.verify(&self.registry)
+                && self.cache.verify_ballot(ballot, &self.registry)
                 && !self.block_store.contains_key(&ballot.payload.value)
             {
                 self.block_store.insert(block.id(), block.clone());

@@ -1,0 +1,132 @@
+//! Verify-count model regression: pins the measured verification work of
+//! an honest accountable committee to the two analytic models the bench
+//! (`prft-bench profile`) enforces, at n = 64 — the size whose reference
+//! cost (15.8M logical verifies for two rounds) motivated the fast path.
+//!
+//! * The **logical** count (`crypto.sig_verifies`) follows the reference
+//!   per-round structure `1 + 2n + n(q+2) + q(1 + q(q+1))` per replica,
+//!   plus `n` Finals per non-final round — within 10% (the tail of the
+//!   last round depends on delivery order).
+//! * The **hashed** count (`verify.memo_miss`) follows the
+//!   distinct-content model `1 + 2n + q` per replica-round, plus the same
+//!   Final term — within 0.1%. This is the memoization doing its job:
+//!   every re-check of already-seen content is a cache hit.
+//! * Conservation: `memo_hits + memo_misses == sig_verifies`, exactly —
+//!   every logical verification is either answered from cache or hashed.
+
+use prft_core::{Harness, NetworkChoice, VerifyMode};
+use prft_sim::obs::hooks;
+use prft_sim::SimTime;
+
+/// The headline size: the fast path runs it cheaply even in debug builds
+/// (27k hashes); the reference path would hash 15.8M times, so
+/// reference-mode tests use [`N_SMALL`] instead.
+const N: usize = 64;
+const N_SMALL: usize = 16;
+const ROUNDS: u64 = 2;
+
+/// Reference-path logical verifies (the model `prft-bench profile` holds
+/// `crypto.sig_verifies` to; see `predicted_verifies` there).
+fn predicted_logical(n: u64, rounds: u64) -> u64 {
+    let t0 = n.div_ceil(4) - 1;
+    let q = n - t0;
+    let per_replica_round = 1 + 2 * n + n * (q + 2) + q * (1 + q * (q + 1));
+    n * (rounds * per_replica_round + (rounds - 1) * n)
+}
+
+/// Distinct-content model: what the memoized path actually hashes.
+fn predicted_misses(n: u64, rounds: u64) -> u64 {
+    let t0 = n.div_ceil(4) - 1;
+    let q = n - t0;
+    n * (rounds * (1 + 2 * n + q) + (rounds - 1) * n)
+}
+
+fn run_accountable(n: usize, mode: VerifyMode) -> hooks::HookSnapshot {
+    hooks::reset();
+    let mut sim = Harness::new(n, 0xc0de)
+        .network(NetworkChoice::Synchronous { delta: SimTime(10) })
+        .accountable(true)
+        .max_rounds(ROUNDS)
+        .verify_mode(mode)
+        .build();
+    sim.run_until(SimTime(500_000));
+    let snap = hooks::snapshot();
+    hooks::reset();
+    snap
+}
+
+#[test]
+fn memoized_run_matches_both_verify_models() {
+    let snap = run_accountable(N, VerifyMode::Fast);
+
+    // Conservation, exact: no verification escapes the hit/miss split
+    // (honest runs have no view-change traffic, the one uncached path).
+    assert_eq!(
+        snap.memo_hits + snap.memo_misses,
+        snap.sig_verifies,
+        "memo hits + misses must equal the logical verify count"
+    );
+
+    // Logical count vs the reference model, 10%.
+    let logical_predicted = predicted_logical(N as u64, ROUNDS);
+    let logical_ratio = snap.sig_verifies as f64 / logical_predicted as f64;
+    assert!(
+        (logical_ratio - 1.0).abs() <= 0.10,
+        "logical verifies {} vs predicted {logical_predicted} (ratio {logical_ratio:.4})",
+        snap.sig_verifies
+    );
+    // The headline number the fast path exists for: ~15.8M logical
+    // verifies at n = 64 × 2 rounds.
+    assert!(
+        snap.sig_verifies > 15_000_000,
+        "expected the n = 64 reference workload (~15.8M), got {}",
+        snap.sig_verifies
+    );
+
+    // Hashed count vs the distinct-content model, 0.1%.
+    let miss_predicted = predicted_misses(N as u64, ROUNDS);
+    let miss_ratio = snap.memo_misses as f64 / miss_predicted as f64;
+    assert!(
+        (miss_ratio - 1.0).abs() <= 0.001,
+        "memo misses {} vs predicted {miss_predicted} (ratio {miss_ratio:.5})",
+        snap.memo_misses
+    );
+}
+
+#[test]
+fn reference_run_matches_the_logical_model_with_zero_memo_traffic() {
+    // Reference mode really hashes every logical verify, so this runs at
+    // the small size (85k hashes, not 15.8M).
+    let snap = run_accountable(N_SMALL, VerifyMode::Reference);
+    assert_eq!(snap.memo_hits, 0, "reference mode never hits a memo");
+    assert_eq!(snap.memo_misses, 0, "reference mode never counts misses");
+    let predicted = predicted_logical(N_SMALL as u64, ROUNDS);
+    let ratio = snap.sig_verifies as f64 / predicted as f64;
+    assert!(
+        (ratio - 1.0).abs() <= 0.10,
+        "reference verifies {} vs predicted {predicted} (ratio {ratio:.4})",
+        snap.sig_verifies
+    );
+}
+
+#[test]
+fn both_modes_pay_the_same_logical_count() {
+    // The counting discipline itself: a memo hit charges exactly what the
+    // reference path would have paid, so the logical counter is equal —
+    // not merely close — across modes.
+    let fast = run_accountable(N_SMALL, VerifyMode::Fast);
+    let slow = run_accountable(N_SMALL, VerifyMode::Reference);
+    assert_eq!(
+        fast.sig_verifies, slow.sig_verifies,
+        "logical verify counts diverged across verify modes"
+    );
+    // And the split shows the actual hashing collapse — even at n = 16
+    // over 95% of logical verifies answer from cache (the ratio improves
+    // with n: >99.8% at n = 64).
+    assert!(
+        fast.memo_misses * 20 < fast.sig_verifies,
+        "expected <5% of logical verifies to hash: {} of {}",
+        fast.memo_misses,
+        fast.sig_verifies
+    );
+}

@@ -56,6 +56,15 @@ impl Signature {
         self.signer
     }
 
+    /// The keyed-MAC tag. Exposed so verification memo caches can key on
+    /// the *full* signature content (signer + tag + signed slot), which is
+    /// what makes a cached verdict collision-free: two ballots that differ
+    /// anywhere have different keys, so a tampered twin can never reuse a
+    /// valid ballot's cached `true`.
+    pub fn tag(&self) -> Digest {
+        self.tag
+    }
+
     /// Wire size of a signature in bytes (κ).
     pub const fn wire_bytes() -> usize {
         KAPPA

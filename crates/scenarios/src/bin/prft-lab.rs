@@ -26,7 +26,7 @@
 
 use prft_lab::{
     registry, report, BatchRunner, Exploration, GameDef, GameExplorer, QueueBackend, Scenario,
-    ScenarioSpec, UtilityCache,
+    ScenarioSpec, UtilityCache, VerifyMode,
 };
 use std::process::ExitCode;
 
@@ -43,6 +43,7 @@ struct Options {
     dynamics: bool,
     seeds_given: bool,
     queue: Option<QueueBackend>,
+    verify: Option<VerifyMode>,
     trace_out: Option<String>,
 }
 
@@ -83,6 +84,11 @@ fn usage() -> ExitCode {
          \x20 --queue B      event-queue backend: calendar (default) |\n\
          \x20                heap (reference); results are byte-identical\n\
          \x20                across backends (run / run-all only)\n\
+         \x20 --verify-mode M\n\
+         \x20                verification strategy: fast (default,\n\
+         \x20                memoized) | reference (re-verify on every\n\
+         \x20                arrival); results are byte-identical across\n\
+         \x20                modes (run / run-all only)\n\
          \x20 --trace-out F  also write a Chrome Trace Event JSON of one\n\
          \x20                traced run (seed index 0 of the first grid\n\
          \x20                point) to F — open in Perfetto or\n\
@@ -116,6 +122,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         dynamics: false,
         seeds_given: false,
         queue: None,
+        verify: None,
         trace_out: None,
     };
     let mut it = args.iter();
@@ -150,6 +157,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let name = value("--queue")?;
                 opts.queue = Some(QueueBackend::parse(&name).ok_or_else(|| {
                     format!("unknown queue backend: {name} (use heap | calendar)")
+                })?);
+            }
+            "--verify-mode" => {
+                let name = value("--verify-mode")?;
+                opts.verify = Some(VerifyMode::parse(&name).ok_or_else(|| {
+                    format!("unknown verify mode: {name} (use fast | reference)")
                 })?);
             }
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
@@ -338,6 +351,20 @@ fn reject_queue_flag(opts: &Options) -> Result<(), String> {
     }
 }
 
+/// `--verify-mode` applies to `run`/`run-all` only, for the same reason
+/// as `--queue`: explore builds its specs from game definitions, and its
+/// reports are pinned byte-identical across modes anyway.
+fn reject_verify_flag(opts: &Options) -> Result<(), String> {
+    match opts.verify {
+        Some(_) => Err(
+            "--verify-mode applies to run/run-all only (explore reports \
+             are byte-identical across modes anyway)"
+                .to_string(),
+        ),
+        None => Ok(()),
+    }
+}
+
 /// `--trace-out` applies to single `run` only: a trace is one seeded
 /// run's timeline, so `run-all` (many scenarios, one path) and explore
 /// (profile sweeps) have no single run to export.
@@ -375,6 +402,7 @@ fn explore_command(args: &[String]) -> Result<(), String> {
         Some("run") => match args.get(1) {
             Some(name) => parse_options(&args[2..]).and_then(|opts| {
                 reject_queue_flag(&opts)?;
+                reject_verify_flag(&opts)?;
                 reject_trace_flag(&opts, "explore sweeps profiles, not one run")?;
                 explore_game(name, &opts)
             }),
@@ -382,6 +410,7 @@ fn explore_command(args: &[String]) -> Result<(), String> {
         },
         Some("run-all") => parse_options(&args[1..]).and_then(|opts| {
             reject_queue_flag(&opts)?;
+            reject_verify_flag(&opts)?;
             reject_trace_flag(&opts, "explore sweeps profiles, not one run")?;
             explore_run_all(&opts)
         }),
@@ -438,22 +467,30 @@ fn run_scenario(scenario: &Scenario, opts: &Options, out: Option<String>) -> Res
         scenario.specs.len(),
         opts.seeds,
         runner.threads(),
-        match opts.queue {
-            Some(b) => format!(", {b} queue"),
-            None => String::new(),
+        match (opts.queue, opts.verify) {
+            (Some(b), Some(m)) => format!(", {b} queue, {m} verify"),
+            (Some(b), None) => format!(", {b} queue"),
+            (None, Some(m)) => format!(", {m} verify"),
+            (None, None) => String::new(),
         }
     );
-    // `--queue` overrides every grid point's backend; reports come out
-    // byte-identical either way (CI diffs them), so this is purely a
-    // speed/debugging knob.
-    let specs: Vec<ScenarioSpec> = match opts.queue {
-        Some(backend) => scenario
-            .specs
-            .iter()
-            .map(|s| s.clone().queue(backend))
-            .collect(),
-        None => scenario.specs.clone(),
-    };
+    // `--queue` / `--verify-mode` override every grid point's backend and
+    // verification strategy; reports come out byte-identical either way
+    // (CI diffs them), so these are purely speed/debugging knobs.
+    let specs: Vec<ScenarioSpec> = scenario
+        .specs
+        .iter()
+        .map(|s| {
+            let mut s = s.clone();
+            if let Some(backend) = opts.queue {
+                s = s.queue(backend);
+            }
+            if let Some(mode) = opts.verify {
+                s = s.verify_mode(mode);
+            }
+            s
+        })
+        .collect();
     let reports = runner.run_grid(&specs, opts.seeds);
     let content = match opts.format {
         Format::Table => report::scenario_table(scenario.name, opts.seeds, &reports),

@@ -232,7 +232,8 @@ fn build(spec: &ScenarioSpec, seed: u64) -> Built {
         .config(cfg)
         .accountable(spec.accountable)
         .network(network)
-        .queue(spec.queue);
+        .queue(spec.queue)
+        .verify_mode(spec.verify_mode);
     if let Some(tau) = spec.tau_override {
         h = h.tau(tau);
     }

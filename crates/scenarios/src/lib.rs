@@ -73,6 +73,7 @@ pub use build::{
 pub use cache::{CacheKey, UtilityCache};
 pub use explore::{Exploration, GameDef, GameEval, GameExplorer};
 pub use games::{find_game, game_registry};
+pub use prft_core::VerifyMode;
 pub use prft_sim::QueueBackend;
 pub use record::{Aggregate, BatchReport, RunRecord};
 pub use registry::{find, registry, Scenario};

@@ -4,6 +4,7 @@
 //! Sync`, so the batch runner can hand the same spec to every worker thread
 //! and build an independent simulation per seed.
 
+use prft_core::VerifyMode;
 use prft_game::Theta;
 use prft_sim::QueueBackend;
 
@@ -243,6 +244,12 @@ pub struct ScenarioSpec {
     /// byte-identical across backends, so this knob selects an execution
     /// strategy, never a semantics (see `docs/PERFORMANCE.md`).
     pub queue: QueueBackend,
+    /// How replicas verify ballots and certificates: the memoized fast
+    /// path or the reference verify-on-every-arrival path. **Not** part
+    /// of the fingerprint either — the fast-vs-slow differential suite
+    /// pins every report byte-identical across modes, so like `queue`
+    /// this selects an execution strategy, never a semantics.
+    pub verify_mode: VerifyMode,
 }
 
 impl ScenarioSpec {
@@ -268,6 +275,7 @@ impl ScenarioSpec {
             utility: None,
             schedule: Vec::new(),
             queue: QueueBackend::default(),
+            verify_mode: VerifyMode::default(),
         }
     }
 
@@ -277,6 +285,15 @@ impl ScenarioSpec {
     #[must_use]
     pub fn queue(mut self, backend: QueueBackend) -> Self {
         self.queue = backend;
+        self
+    }
+
+    /// Selects the verification strategy (default: the memoized fast
+    /// path). Results never depend on it — the fast-vs-slow differential
+    /// suite pins byte-identity — so it does not fingerprint.
+    #[must_use]
+    pub fn verify_mode(mut self, mode: VerifyMode) -> Self {
+        self.verify_mode = mode;
         self
     }
 
@@ -399,20 +416,23 @@ impl ScenarioSpec {
     /// edited game. FNV-1a over the derived `Debug` encoding plus a
     /// format-version salt (bump the salt when the spec vocabulary changes
     /// shape; `spec-v1 → spec-v2` with the timeline schedule, `spec-v2 →
-    /// spec-v3` with the queue-backend knob, so every pre-change cache
-    /// cell reads as a miss, never as a stale hit).
+    /// spec-v3` with the queue-backend knob, `spec-v3 → spec-v4` with the
+    /// verify-mode knob, so every pre-change cache cell reads as a miss,
+    /// never as a stale hit).
     ///
-    /// The `queue` backend is deliberately **canonicalized away** before
-    /// hashing: the backend-equivalence tests pin every run observable
-    /// byte-identical across backends, so two specs differing only in
-    /// `queue` describe the same experiment and must share cache cells.
+    /// The `queue` backend and `verify_mode` are deliberately
+    /// **canonicalized away** before hashing: the backend-equivalence and
+    /// fast-vs-slow differential tests pin every run observable
+    /// byte-identical across those knobs, so two specs differing only in
+    /// them describe the same experiment and must share cache cells.
     pub fn fingerprint(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut canonical = self.clone();
         canonical.queue = QueueBackend::default();
+        canonical.verify_mode = VerifyMode::default();
         let mut hash = FNV_OFFSET;
-        for byte in format!("spec-v3|{canonical:?}").bytes() {
+        for byte in format!("spec-v4|{canonical:?}").bytes() {
             hash ^= byte as u64;
             hash = hash.wrapping_mul(FNV_PRIME);
         }
@@ -630,6 +650,23 @@ mod tests {
             heap.fingerprint(),
             ScenarioSpec::new("x", 5, 1)
                 .queue(QueueBackend::Heap)
+                .fingerprint()
+        );
+    }
+
+    #[test]
+    fn verify_mode_is_fingerprint_neutral() {
+        // Like the queue backend: the fast-vs-slow differential suite pins
+        // reports byte-identical across modes, so the knob must share
+        // explorer cache cells while still comparing unequal as data.
+        let fast = ScenarioSpec::new("x", 4, 1).verify_mode(VerifyMode::Fast);
+        let reference = ScenarioSpec::new("x", 4, 1).verify_mode(VerifyMode::Reference);
+        assert_eq!(fast.fingerprint(), reference.fingerprint());
+        assert_ne!(fast, reference);
+        assert_ne!(
+            reference.fingerprint(),
+            ScenarioSpec::new("x", 5, 1)
+                .verify_mode(VerifyMode::Reference)
                 .fingerprint()
         );
     }

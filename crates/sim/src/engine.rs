@@ -129,7 +129,7 @@ impl<'a, M: Clone + WireMessage> Context<'a, M> {
     /// memory cost (`O(n³κ)` Reveal payloads × n recipients), so it is
     /// metered (`engine.clone_bytes`) and a profiling scope.
     fn clone_for_fanout(&self, msg: &M) -> M {
-        crate::obs::hooks::add_clone_bytes(msg.wire_bytes() as u64);
+        crate::obs::hooks::add_clone_bytes(msg.clone_cost_bytes() as u64);
         crate::obs::timed("broadcast_clone", || msg.clone())
     }
 

@@ -13,6 +13,18 @@ pub trait WireMessage {
     /// Wire size in bytes. Signatures count κ bytes each
     /// (`prft_crypto::KAPPA`); certificates count the sum of their parts.
     fn wire_bytes(&self) -> usize;
+    /// Bytes this process actually copies when the engine clones the
+    /// message for broadcast fan-out. Defaults to [`wire_bytes`]: a plain
+    /// value clones its full wire size. Messages whose certificate bodies
+    /// are behind `Arc`s override this with the handle cost (8 bytes per
+    /// shared body), which is what the `engine.clone_bytes` counter then
+    /// records — wire accounting (`send.*`/`recv.*`) is untouched, since
+    /// a real network would still ship the full payload.
+    ///
+    /// [`wire_bytes`]: WireMessage::wire_bytes
+    fn clone_cost_bytes(&self) -> usize {
+        self.wire_bytes()
+    }
 }
 
 /// Counters for a single message kind.

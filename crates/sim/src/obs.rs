@@ -107,6 +107,8 @@ pub mod hooks {
     thread_local! {
         static SIG_VERIFIES: Cell<u64> = const { Cell::new(0) };
         static CLONE_BYTES: Cell<u64> = const { Cell::new(0) };
+        static MEMO_HITS: Cell<u64> = const { Cell::new(0) };
+        static MEMO_MISSES: Cell<u64> = const { Cell::new(0) };
     }
 
     /// Point-in-time copy of this thread's hook counters.
@@ -114,16 +116,33 @@ pub mod hooks {
     /// Values are cumulative since the last [`reset`] on the same thread.
     #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
     pub struct HookSnapshot {
-        /// Signature verifications performed (`KeyRegistry::verify` calls).
+        /// Signature verifications performed (`KeyRegistry::verify` calls),
+        /// plus verifications *answered from* a memo cache — the logical
+        /// verify count, identical across `VerifyMode`s.
         pub sig_verifies: u64,
         /// Wire bytes of message payloads cloned for broadcast fan-out.
         pub clone_bytes: u64,
+        /// Logical verifications answered from a verification memo cache
+        /// (no hash computed). Zero on the reference path.
+        pub memo_hits: u64,
+        /// Memo-cache lookups that fell through to a real verification —
+        /// the count of *distinct-content* verifications actually done.
+        pub memo_misses: u64,
     }
 
     /// Counts one signature verification. Called by `prft-crypto`.
     #[inline]
     pub fn count_sig_verify() {
         SIG_VERIFIES.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Accounts `k` logical signature verifications at once. Used when a
+    /// memo-cache hit stands in for `k` stored verifications: one batched
+    /// add instead of `k` cell bumps keeps the fast path fast while the
+    /// logical `sig_verifies` total stays identical to the slow path.
+    #[inline]
+    pub fn add_sig_verifies(k: u64) {
+        SIG_VERIFIES.with(|c| c.set(c.get() + k));
     }
 
     /// Accounts `bytes` of payload cloned for a broadcast copy. Called by
@@ -133,11 +152,25 @@ pub mod hooks {
         CLONE_BYTES.with(|c| c.set(c.get() + bytes));
     }
 
+    /// Accounts `k` memo-cache hits (logical verifies answered cached).
+    #[inline]
+    pub fn add_memo_hits(k: u64) {
+        MEMO_HITS.with(|c| c.set(c.get() + k));
+    }
+
+    /// Accounts `k` memo-cache misses (verifications really performed).
+    #[inline]
+    pub fn add_memo_misses(k: u64) {
+        MEMO_MISSES.with(|c| c.set(c.get() + k));
+    }
+
     /// Reads this thread's current hook counters.
     pub fn snapshot() -> HookSnapshot {
         HookSnapshot {
             sig_verifies: SIG_VERIFIES.with(|c| c.get()),
             clone_bytes: CLONE_BYTES.with(|c| c.get()),
+            memo_hits: MEMO_HITS.with(|c| c.get()),
+            memo_misses: MEMO_MISSES.with(|c| c.get()),
         }
     }
 
@@ -145,6 +178,8 @@ pub mod hooks {
     pub fn reset() {
         SIG_VERIFIES.with(|c| c.set(0));
         CLONE_BYTES.with(|c| c.set(0));
+        MEMO_HITS.with(|c| c.set(0));
+        MEMO_MISSES.with(|c| c.set(0));
     }
 }
 
@@ -296,11 +331,24 @@ mod tests {
         hooks::count_sig_verify();
         hooks::count_sig_verify();
         hooks::add_clone_bytes(100);
+        hooks::add_memo_hits(3);
+        hooks::add_memo_misses(4);
         let s = hooks::snapshot();
         assert_eq!(s.sig_verifies, 2);
         assert_eq!(s.clone_bytes, 100);
+        assert_eq!(s.memo_hits, 3);
+        assert_eq!(s.memo_misses, 4);
         hooks::reset();
         assert_eq!(hooks::snapshot(), hooks::HookSnapshot::default());
+    }
+
+    #[test]
+    fn batched_sig_verify_adds_match_single_counts() {
+        hooks::reset();
+        hooks::count_sig_verify();
+        hooks::add_sig_verifies(41);
+        assert_eq!(hooks::snapshot().sig_verifies, 42);
+        hooks::reset();
     }
 
     #[test]
