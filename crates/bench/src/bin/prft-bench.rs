@@ -4,6 +4,7 @@
 //! ```text
 //! prft-bench queue [--quick] [--out FILE] [--repeats R]
 //! prft-bench profile [--quick] [--out FILE]
+//! prft-bench workload [--quick] [--out FILE]
 //! ```
 //!
 //! `queue` sweeps committee sizes n ∈ {16, 64, 128, 256} × both event-queue
@@ -34,6 +35,15 @@
 //!
 //! `--quick` additionally enforces a generous wall-clock budget on the
 //! accountable n = 128 point, so CI fails if the fast path regresses.
+//!
+//! `workload` sweeps open-loop client populations n ∈ {100, 300, 1000,
+//! 3000, 10000} against a fixed 8-replica committee (steady arrivals,
+//! batched proposals) and reports engine throughput (events/sec) and
+//! commit-latency percentiles (p50/p90/p99 in virtual ticks) per point.
+//! `--quick` shrinks the sweep to n ∈ {100, 1000}. Two greppable checks:
+//! every point must conserve transactions (submitted == committed +
+//! dropped + pending) and the largest population must commit its entire
+//! offered load (no drops, nothing left pending).
 //!
 //! The workload is deterministic (seeded link jitter), so both backends
 //! dispatch the **same** events in the same order — the wall-clock delta
@@ -606,10 +616,161 @@ fn profile_bench(quick: bool, out: Option<&str>) -> ExitCode {
     }
 }
 
+/// One measured point of the workload sweep.
+struct WorkloadPoint {
+    clients: usize,
+    rounds: u64,
+    events: u64,
+    wall_secs: f64,
+    stats: prft_lab::WorkloadRunStats,
+}
+
+/// Runs one open-loop client population against a fixed 8-replica
+/// committee and measures engine throughput plus commit-latency
+/// percentiles. The round budget scales with the offered load (2 txs per
+/// client, 512-tx batches) so every population size gets enough committee
+/// rounds to drain its mempool, plus fixed slack for ramp-up and the
+/// retry tail.
+fn run_workload_point(clients: usize) -> WorkloadPoint {
+    const TXS_PER_CLIENT: u64 = 2;
+    const BATCH: u64 = 512;
+    let offered = clients as u64 * TXS_PER_CLIENT;
+    let rounds = offered.div_ceil(BATCH) + 40;
+    let spec = prft_lab::ScenarioSpec::new(format!("bench-wl-{clients}"), 8, rounds)
+        .base_seed(0xb_10ad)
+        .horizon(20_000_000)
+        .workload(
+            prft_lab::WorkloadSpec::steady(clients, 50)
+                .txs_per_client(TXS_PER_CLIENT)
+                .max_batch(BATCH as usize),
+        );
+    let t0 = Instant::now();
+    let (sim, _outcome) =
+        prft_lab::run_workload_sim(&spec, prft_lab::derive_seed(spec.base_seed, 0), |_| {});
+    let wall_secs = t0.elapsed().as_secs_f64();
+    WorkloadPoint {
+        clients,
+        rounds,
+        events: sim.events_dispatched(),
+        wall_secs,
+        stats: prft_lab::WorkloadRunStats::collect(&sim),
+    }
+}
+
+fn workload_bench(quick: bool, out: Option<&str>) -> ExitCode {
+    let ns: &[usize] = if quick {
+        &[100, 1000]
+    } else {
+        &[100, 300, 1000, 3000, 10_000]
+    };
+    let mut points: Vec<WorkloadPoint> = Vec::new();
+    for &clients in ns {
+        let p = run_workload_point(clients);
+        eprintln!(
+            "clients={:>6}: {:>9} events in {:>9.1}ms ({:>11.0} events/s), \
+             {}/{} committed, latency p50={} p90={} p99={} ticks",
+            p.clients,
+            p.events,
+            p.wall_secs * 1e3,
+            p.events as f64 / p.wall_secs,
+            p.stats.committed,
+            p.stats.submitted,
+            p.stats.latency.p50,
+            p.stats.latency.p90,
+            p.stats.latency.p99,
+        );
+        points.push(p);
+    }
+    // Check 1 (CI greps this line): conservation at every point.
+    let conserve_pass = points
+        .iter()
+        .all(|p| p.stats.submitted == p.stats.committed + p.stats.dropped + p.stats.pending);
+    eprintln!(
+        "check: submitted == committed + dropped + pending at every point ({})",
+        if conserve_pass { "PASS" } else { "FAIL" }
+    );
+    // Check 2: the largest population commits its whole offered load —
+    // the round budget is sized for it, so leftovers mean a regression in
+    // batching, retries, or the client path.
+    let largest = points.last().expect("non-empty sweep");
+    let drain_pass = largest.stats.committed == largest.stats.submitted;
+    eprintln!(
+        "check: clients={} committed {}/{} of offered load ({})",
+        largest.clients,
+        largest.stats.committed,
+        largest.stats.submitted,
+        if drain_pass { "PASS" } else { "FAIL" }
+    );
+
+    let doc = Json::obj([
+        ("bench", Json::str("workload")),
+        ("quick", Json::Bool(quick)),
+        ("committee_n", Json::u64(8)),
+        ("arrival", Json::str("steady interval=50")),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("clients", Json::u64(p.clients as u64)),
+                            ("rounds", Json::u64(p.rounds)),
+                            ("events", Json::u64(p.events)),
+                            ("wall_ms", Json::Num(p.wall_secs * 1e3)),
+                            ("events_per_sec", Json::Num(p.events as f64 / p.wall_secs)),
+                            ("submitted", Json::u64(p.stats.submitted)),
+                            ("committed", Json::u64(p.stats.committed)),
+                            ("dropped", Json::u64(p.stats.dropped)),
+                            ("pending", Json::u64(p.stats.pending)),
+                            ("retries", Json::u64(p.stats.retries)),
+                            ("latency_p50", Json::u64(p.stats.latency.p50)),
+                            ("latency_p90", Json::u64(p.stats.latency.p90)),
+                            ("latency_p99", Json::u64(p.stats.latency.p99)),
+                            ("latency_max", Json::u64(p.stats.latency.max)),
+                            (
+                                "mempool_peak_occupancy",
+                                Json::u64(p.stats.mempool_peak_occupancy),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("conservation_pass", Json::Bool(conserve_pass)),
+        (
+            "drain_check",
+            Json::obj([
+                ("clients", Json::u64(largest.clients as u64)),
+                ("committed", Json::u64(largest.stats.committed)),
+                ("submitted", Json::u64(largest.stats.submitted)),
+                ("pass", Json::Bool(drain_pass)),
+            ]),
+        ),
+    ]);
+    let rendered = doc.render_pretty();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    if conserve_pass && drain_pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: prft-bench queue [--quick] [--out FILE] [--repeats R]\n\
          \x20      prft-bench profile [--quick] [--out FILE]\n\
+         \x20      prft-bench workload [--quick] [--out FILE]\n\
          \n\
          queue: sweeps committee sizes × event-queue backends over a\n\
          queue-bound flood workload and emits a BENCH_queue.json document\n\
@@ -627,9 +788,16 @@ fn usage() -> ExitCode {
          != sig verifies anywhere, or (--quick) the accountable n = 128\n\
          point blows its wall-clock budget.\n\
          \n\
+         workload: sweeps open-loop client populations (n = 100 … 10000)\n\
+         against an 8-replica committee and emits a BENCH_workload.json\n\
+         document of events/sec and commit-latency percentiles per point\n\
+         (schema: docs/WORKLOAD.md). Exits non-zero if any point leaks\n\
+         transactions or the largest population fails to commit its\n\
+         offered load.\n\
+         \n\
          options:\n\
          \x20 --quick      small sweep for CI smoke (queue: n = 16, 128;\n\
-         \x20              profile: n = 8, 16, 128)\n\
+         \x20              profile: n = 8, 16, 128; workload: 100, 1000)\n\
          \x20 --out FILE   write the JSON to FILE instead of stdout\n\
          \x20 --repeats R  best-of-R wall times per point (queue only,\n\
          \x20              default 3)"
@@ -679,6 +847,22 @@ fn main() -> ExitCode {
                 }
             }
             profile_bench(quick, out.as_deref())
+        }
+        "workload" => {
+            let mut quick = false;
+            let mut out: Option<String> = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--quick" => quick = true,
+                    "--out" => match it.next() {
+                        Some(path) => out = Some(path.clone()),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            workload_bench(quick, out.as_deref())
         }
         "--help" | "-h" | "help" => {
             usage();

@@ -1,9 +1,31 @@
 //! Post-run analysis over a pRFT simulation: agreement, liveness,
 //! censorship, forks, and burns — the observables every experiment reads.
+//!
+//! Every function here is generic over the node type via [`AsReplica`]:
+//! a plain committee run uses `Simulation<Replica>`, while a workload run
+//! appends client actors to the same population. Clients answer
+//! [`AsReplica::as_replica`] with `None`, so every aggregate keeps its
+//! replica-only meaning regardless of who else shares the simulation.
 
 use crate::replica::Replica;
-use prft_sim::Simulation;
+use prft_sim::{Node, Simulation};
 use prft_types::{Chain, NodeId, TxId};
+
+/// Views a simulation actor as a protocol replica, when it is one.
+///
+/// The analysis and observability layers quantify over committee
+/// replicas. Workload simulations mix client actors into the node
+/// population; those return `None` and are skipped.
+pub trait AsReplica {
+    /// The replica behind this actor, if any.
+    fn as_replica(&self) -> Option<&Replica>;
+}
+
+impl AsReplica for Replica {
+    fn as_replica(&self) -> Option<&Replica> {
+        Some(self)
+    }
+}
 
 /// Summary of a finished run, computed over the *honest* replicas (players
 /// whose behavior label is `"honest"`), which is how every property in the
@@ -35,19 +57,33 @@ pub fn is_honest(replica: &Replica) -> bool {
     replica.behavior_label() == "honest"
 }
 
+fn replica_at<N: Node + AsReplica>(sim: &Simulation<N>, id: NodeId) -> &Replica {
+    sim.node(id)
+        .as_replica()
+        .expect("honest ids name committee replicas")
+}
+
 /// Ids of all honest replicas. Crashed players are excluded: the paper's
-/// properties quantify over correct (non-faulty) honest players.
-pub fn honest_ids(sim: &Simulation<Replica>) -> Vec<NodeId> {
+/// properties quantify over correct (non-faulty) honest players. Client
+/// actors (in workload runs) are not replicas and never appear here.
+pub fn honest_ids<N: Node + AsReplica>(sim: &Simulation<N>) -> Vec<NodeId> {
     (0..sim.n())
         .map(NodeId)
-        .filter(|&id| is_honest(sim.node(id)) && !sim.is_crashed(id))
+        .filter(|&id| {
+            sim.node(id)
+                .as_replica()
+                .is_some_and(|r| is_honest(r) && !sim.is_crashed(id))
+        })
         .collect()
 }
 
 /// Computes the [`RunReport`] for a finished simulation.
-pub fn analyze(sim: &Simulation<Replica>) -> RunReport {
+pub fn analyze<N: Node + AsReplica>(sim: &Simulation<N>) -> RunReport {
     let honest = honest_ids(sim);
-    let chains: Vec<&Chain> = honest.iter().map(|&id| sim.node(id).chain()).collect();
+    let chains: Vec<&Chain> = honest
+        .iter()
+        .map(|&id| replica_at(sim, id).chain())
+        .collect();
 
     let min_final_height = chains.iter().map(|c| c.final_height()).min().unwrap_or(0);
     let max_final_height = chains.iter().map(|c| c.final_height()).max().unwrap_or(0);
@@ -67,18 +103,23 @@ pub fn analyze(sim: &Simulation<Replica>) -> RunReport {
 
     let mut burned: Vec<NodeId> = honest
         .iter()
-        .flat_map(|&id| sim.node(id).collateral().burned().collect::<Vec<_>>())
+        .flat_map(|&id| {
+            replica_at(sim, id)
+                .collateral()
+                .burned()
+                .collect::<Vec<_>>()
+        })
         .collect();
     burned.sort_unstable();
     burned.dedup();
 
     let view_changes = honest
         .iter()
-        .map(|&id| sim.node(id).stats().view_changes)
+        .map(|&id| replica_at(sim, id).stats().view_changes)
         .sum();
     let exposes = honest
         .iter()
-        .map(|&id| sim.node(id).stats().exposes_applied)
+        .map(|&id| replica_at(sim, id).stats().exposes_applied)
         .sum();
 
     RunReport {
@@ -95,30 +136,30 @@ pub fn analyze(sim: &Simulation<Replica>) -> RunReport {
 
 /// Whether every honest player has `tx` in a *finalized* block — the
 /// censorship-resistance observable (Definition 2).
-pub fn tx_finalized_everywhere(sim: &Simulation<Replica>, tx: TxId) -> bool {
+pub fn tx_finalized_everywhere<N: Node + AsReplica>(sim: &Simulation<N>, tx: TxId) -> bool {
     honest_ids(sim)
         .iter()
-        .all(|&id| sim.node(id).chain().contains_tx_final(tx))
+        .all(|&id| replica_at(sim, id).chain().contains_tx_final(tx))
 }
 
 /// Whether any honest player has `tx` in any (even tentative) block.
-pub fn tx_included_anywhere(sim: &Simulation<Replica>, tx: TxId) -> bool {
+pub fn tx_included_anywhere<N: Node + AsReplica>(sim: &Simulation<N>, tx: TxId) -> bool {
     honest_ids(sim)
         .iter()
-        .any(|&id| sim.node(id).chain().contains_tx(tx))
+        .any(|&id| replica_at(sim, id).chain().contains_tx(tx))
 }
 
 /// Average finalized height per entered round across honest replicas — a
 /// throughput measure in [0, 1]; ≈1 means every round produced a block
 /// (liveness), ≈0 means no progress (`σ_NP`).
-pub fn throughput(sim: &Simulation<Replica>) -> f64 {
+pub fn throughput<N: Node + AsReplica>(sim: &Simulation<N>) -> f64 {
     let honest = honest_ids(sim);
     if honest.is_empty() {
         return 0.0;
     }
     let mut total = 0.0;
     for &id in &honest {
-        let node = sim.node(id);
+        let node = replica_at(sim, id);
         let rounds = node.stats().rounds_entered.max(1) as f64;
         total += node.chain().final_height() as f64 / rounds;
     }

@@ -106,6 +106,14 @@ impl Config {
         self
     }
 
+    /// Builder-style override of the per-block batch limit (workload
+    /// sweeps raise it so throughput is load-limited, not batch-limited).
+    #[must_use]
+    pub fn with_max_batch(mut self, batch: usize) -> Config {
+        self.max_batch = batch;
+        self
+    }
+
     /// Builder-style override of τ (Claim 1 experiments only).
     #[must_use]
     pub fn with_tau(mut self, tau: usize) -> Config {

@@ -187,7 +187,15 @@ impl Harness {
     }
 
     /// Builds the simulation.
-    pub fn build(mut self) -> Simulation<Replica> {
+    pub fn build(self) -> Simulation<Replica> {
+        let (replicas, network, seed, queue) = self.build_parts();
+        Simulation::with_backend(replicas, network, seed, queue)
+    }
+
+    /// Builds the committee but returns the raw parts instead of a
+    /// simulation — the workload layer appends client actors to the node
+    /// population before assembly (`prft_workload::assemble`).
+    pub fn build_parts(mut self) -> (Vec<Replica>, Box<dyn LinkModel>, u64, QueueBackend) {
         let (registry, keys) = KeyRegistry::trusted_setup(self.n, self.seed ^ 0x5eed);
         let mut replicas = Vec::with_capacity(self.n);
         for (i, key) in keys.into_iter().enumerate() {
@@ -218,6 +226,6 @@ impl Harness {
             .network
             .take()
             .unwrap_or(NetworkChoice::Synchronous { delta: SimTime(10) });
-        Simulation::with_backend(replicas, network.into_model(), self.seed, self.queue)
+        (replicas, network.into_model(), self.seed, self.queue)
     }
 }

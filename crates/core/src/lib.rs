@@ -46,6 +46,7 @@ mod pof;
 mod replica;
 mod verify;
 
+pub use analysis::AsReplica;
 pub use behavior::{BallotAction, Behavior, Honest, ProposeAction};
 pub use collateral::CollateralLedger;
 pub use config::Config;

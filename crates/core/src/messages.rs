@@ -8,7 +8,7 @@
 
 use prft_crypto::{ConflictEvidence, KeyRegistry, Signable, Signed, Slot, KAPPA};
 use prft_sim::WireMessage;
-use prft_types::{Block, Digest, Encoder, NodeId, Round};
+use prft_types::{Block, Digest, Encoder, NodeId, Round, Transaction, TxId};
 use std::sync::Arc;
 
 /// Protocol phases, also used as the `phase` component of signature slots.
@@ -310,6 +310,29 @@ pub enum PrftMsg {
         /// The requester's current round (for bookkeeping only).
         round: Round,
     },
+    /// Workload addition (not in the paper, which models no demand side):
+    /// a client submits a transaction to one replica's mempool. Handled
+    /// round-independently, like [`PrftMsg::SyncRequest`]; unauthenticated
+    /// because a forged submission is just load.
+    Submit {
+        /// The transaction; `tx.sender` names the submitting client.
+        tx: Transaction,
+    },
+    /// Workload addition: a replica acknowledges that a client-submitted
+    /// transaction reached a **finalized** block. Only replicas that were
+    /// submission targets (their mempool ever saw the tx) reply, so the
+    /// ack fan-in is bounded by the client's retry spread, not `n`.
+    TxCommitted {
+        /// Id of the finalized transaction.
+        id: TxId,
+    },
+    /// Workload addition: a replica refuses a submission because its
+    /// bounded mempool is at capacity — the backpressure signal a client's
+    /// retry policy reacts to (requeue with backoff, or drop).
+    TxRejected {
+        /// Id of the rejected transaction.
+        id: TxId,
+    },
 }
 
 impl WireMessage for PrftMsg {
@@ -324,6 +347,9 @@ impl WireMessage for PrftMsg {
             PrftMsg::ViewChange { .. } => "ViewChange",
             PrftMsg::CommitView { .. } => "CommitView",
             PrftMsg::SyncRequest { .. } => "SyncRequest",
+            PrftMsg::Submit { .. } => "Submit",
+            PrftMsg::TxCommitted { .. } => "TxCommitted",
+            PrftMsg::TxRejected { .. } => "TxRejected",
         }
     }
 
@@ -342,6 +368,9 @@ impl WireMessage for PrftMsg {
             PrftMsg::ViewChange { .. } => 9 + KAPPA,
             PrftMsg::CommitView { reqs, .. } => Digest::LEN + 8 + KAPPA + reqs.len() * (9 + KAPPA),
             PrftMsg::SyncRequest { .. } => 8,
+            PrftMsg::Submit { tx } => tx.wire_bytes(),
+            // Tx id plus a one-byte verdict tag.
+            PrftMsg::TxCommitted { .. } | PrftMsg::TxRejected { .. } => 9,
         }
     }
 

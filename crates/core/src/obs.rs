@@ -6,10 +6,14 @@
 //! become counters, and how phase-transition logs become Perfetto spans.
 //! Both outputs derive solely from the pinned dispatch order, so they are
 //! byte-identical across queue backends and worker thread counts.
+//!
+//! Like the analysis layer, assembly is generic over [`AsReplica`]: in a
+//! workload run the node population mixes replicas with client actors, and
+//! the replica-derived counters and spans skip the clients.
 
-use crate::replica::Replica;
+use crate::analysis::AsReplica;
 use prft_sim::obs::hooks::HookSnapshot;
-use prft_sim::{ChromeTrace, ObsRegistry, Simulation};
+use prft_sim::{ChromeTrace, Node, ObsRegistry, Simulation};
 
 /// Assembles the full counter registry for one finished run: the engine's
 /// `engine.*`/`send.*` counters, the crypto hook deltas captured in
@@ -20,11 +24,11 @@ use prft_sim::{ChromeTrace, ObsRegistry, Simulation};
 /// [`prft_sim::obs::hooks::reset`] before building the simulation and
 /// [`prft_sim::obs::hooks::snapshot`] after it finishes, on the thread
 /// that ran it.
-pub fn collect(sim: &Simulation<Replica>, hooks: &HookSnapshot) -> ObsRegistry {
+pub fn collect<N: Node + AsReplica>(sim: &Simulation<N>, hooks: &HookSnapshot) -> ObsRegistry {
     let mut reg = sim.observability();
     reg.add("crypto.sig_verifies", hooks.sig_verifies);
     reg.add("engine.clone_bytes", hooks.clone_bytes);
-    for replica in sim.nodes() {
+    for replica in sim.nodes().filter_map(AsReplica::as_replica) {
         let stats = replica.stats();
         reg.add("replica.rounds_entered", stats.rounds_entered);
         reg.add("replica.view_changes", stats.view_changes);
@@ -41,16 +45,25 @@ pub fn collect(sim: &Simulation<Replica>, hooks: &HookSnapshot) -> ObsRegistry {
 }
 
 /// Builds the Chrome-trace document for one finished run: one track per
-/// replica carrying its phase spans (each phase lasts until the next
-/// transition, the last until `sim.now()`), plus message-delivery instants
-/// when the simulation ran with tracing enabled.
-pub fn chrome_trace(sim: &Simulation<Replica>) -> ChromeTrace {
+/// actor (replicas `P<i>`, workload clients `C<i>`), phase spans on the
+/// replica tracks (each phase lasts until the next transition, the last
+/// until `sim.now()`), plus message-delivery instants when the simulation
+/// ran with tracing enabled.
+pub fn chrome_trace<N: Node + AsReplica>(sim: &Simulation<N>) -> ChromeTrace {
     let mut ct = ChromeTrace::new();
     let end = sim.now();
-    for (i, _) in sim.nodes().enumerate() {
-        ct.thread_name(0, i as u32, &format!("P{i}"));
+    for (i, node) in sim.nodes().enumerate() {
+        let name = if node.as_replica().is_some() {
+            format!("P{i}")
+        } else {
+            format!("C{i}")
+        };
+        ct.thread_name(0, i as u32, &name);
     }
-    for (i, replica) in sim.nodes().enumerate() {
+    for (i, node) in sim.nodes().enumerate() {
+        let Some(replica) = node.as_replica() else {
+            continue;
+        };
         let transitions = &replica.stats().phase_transitions;
         for (j, (round, phase, at)) in transitions.iter().enumerate() {
             let span_end = transitions.get(j + 1).map(|(_, _, t)| *t).unwrap_or(end);

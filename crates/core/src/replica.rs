@@ -43,7 +43,9 @@ use crate::pof::{verify_expose, FraudDetector};
 use crate::verify::VerifyCache;
 use prft_crypto::{KeyRegistry, SecretKey, Signed, VerifyMode};
 use prft_sim::{Context, KindStats, Node, SimTime, TimerId, WireMessage};
-use prft_types::{Block, Chain, Digest, Height, Mempool, NodeId, Round};
+use prft_types::{
+    Block, Chain, Digest, Height, Mempool, MempoolError, NodeId, Round, Transaction, TxId,
+};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
@@ -119,6 +121,14 @@ pub struct Replica {
     helped_at: HashMap<NodeId, Round>,
     /// Whether we already asked for sync this round (rate limit).
     sync_requested: bool,
+    /// Client-submitted tx ids seen in finalized blocks: answers retried
+    /// `Submit`s with an immediate ack instead of re-pooling an
+    /// already-final tx (exactly-once inclusion under client retry).
+    finalized_client_txs: HashSet<TxId>,
+    /// Chain height up to which finalized blocks have been scanned for
+    /// client-tx acknowledgements (the scan is monotone: finalized
+    /// prefixes never roll back).
+    acked_upto: u64,
 
     round: Round,
     phase: Phase,
@@ -199,6 +209,8 @@ impl Replica {
             propose_store: HashMap::new(),
             helped_at: HashMap::new(),
             sync_requested: false,
+            finalized_client_txs: HashSet::new(),
+            acked_upto: 0,
             round: Round(0),
             phase: Phase::Propose,
             consecutive_failures: 0,
@@ -553,7 +565,7 @@ impl Replica {
         if block.parent != self.chain.tip() {
             // If the parent is nowhere in our chain, we are missing history
             // (e.g. after a crash): ask the committee to re-send it.
-            let parent_known = self.chain.iter().any(|e| e.block.id() == block.parent);
+            let parent_known = self.chain.height_of(&block.parent).is_some();
             if !parent_known && !self.sync_requested {
                 self.sync_requested = true;
                 ctx.broadcast_others(PrftMsg::SyncRequest { round: self.round });
@@ -967,6 +979,7 @@ impl Replica {
         if self.chain.finalize_upto(height).is_err() {
             return;
         }
+        self.ack_finalized(ctx);
         if own {
             self.stats.finalized_own += 1;
         } else {
@@ -1055,9 +1068,7 @@ impl Replica {
                     continue;
                 };
                 // Already in chain? Finalize it (and ancestors).
-                let position = self.chain.iter().position(|e| e.block.id() == value);
-                if let Some(h) = position {
-                    let h = Height(h as u64);
+                if let Some(h) = self.chain.height_of(&value) {
                     if self
                         .chain
                         .at(h)
@@ -1101,9 +1112,9 @@ impl Replica {
                 }
                 // Conflicts with a tentative suffix? ("rolled back once the
                 // network synchronizes".) Find the parent inside our chain.
-                let parent_pos = self.chain.iter().position(|e| e.block.id() == block.parent);
+                let parent_pos = self.chain.height_of(&block.parent);
                 if let Some(pp) = parent_pos {
-                    let conflict_h = pp + 1;
+                    let conflict_h = pp.0 as usize + 1;
                     let all_tentative = self
                         .chain
                         .iter()
@@ -1120,6 +1131,7 @@ impl Replica {
                 break;
             }
         }
+        self.ack_finalized(ctx);
     }
 
     // ------------------------------------------------------- view change
@@ -1252,6 +1264,64 @@ impl Replica {
         }
     }
 
+    // ------------------------------------------------------- client traffic
+
+    /// Handles a client submission: an already-final tx is acked straight
+    /// away (exactly-once inclusion under client retry), a fresh tx enters
+    /// the mempool, and a full pool answers with the backpressure signal.
+    /// Pending duplicates get no reply — the ack arrives on finalization.
+    fn handle_submit(&mut self, ctx: &mut Context<PrftMsg>, tx: Transaction) {
+        let id = tx.id;
+        let sender = tx.sender;
+        if self.finalized_client_txs.contains(&id) {
+            ctx.send(sender, PrftMsg::TxCommitted { id });
+            return;
+        }
+        match self.mempool.push(tx) {
+            Ok(()) | Err(MempoolError::Duplicate) => {}
+            Err(MempoolError::Full) => ctx.send(sender, PrftMsg::TxRejected { id }),
+        }
+    }
+
+    /// Scans newly finalized blocks for client-submitted transactions
+    /// (`tx.sender` ≥ `n` names a client actor) and acknowledges the ones
+    /// this replica was a submission target for. The `ever_saw` gate keeps
+    /// the ack fan-in at the client's retry spread instead of `n` replies
+    /// per tx; the finalized-id set answers late retries in
+    /// [`Replica::handle_submit`]. Monotone in height — finalized prefixes
+    /// never roll back — so each tx is acked at most once per replica.
+    fn ack_finalized(&mut self, ctx: &mut Context<PrftMsg>) {
+        let height = self.chain.height();
+        while self.acked_upto < height {
+            let next = self.acked_upto + 1;
+            let finalized = self
+                .chain
+                .at(Height(next))
+                .map(|e| e.status == prft_types::BlockStatus::Final)
+                .unwrap_or(false);
+            if !finalized {
+                break;
+            }
+            let acks: Vec<(NodeId, TxId)> = self
+                .chain
+                .at(Height(next))
+                .expect("probed above")
+                .block
+                .txs
+                .iter()
+                .filter(|tx| tx.sender.0 >= self.cfg.n)
+                .map(|tx| (tx.sender, tx.id))
+                .collect();
+            self.acked_upto = next;
+            for (sender, id) in acks {
+                self.finalized_client_txs.insert(id);
+                if self.mempool.ever_saw(id) {
+                    ctx.send(sender, PrftMsg::TxCommitted { id });
+                }
+            }
+        }
+    }
+
     // ------------------------------------------------------- round sync
 
     fn note_peer_round(&mut self, from: NodeId, round: Round) {
@@ -1290,6 +1360,12 @@ impl Replica {
             PrftMsg::ViewChange { req } => Some(req.payload.round),
             PrftMsg::CommitView { cv, .. } => Some(cv.payload.round),
             PrftMsg::SyncRequest { round } => Some(*round),
+            // Client traffic is round-free; `Submit` is intercepted in
+            // `on_message`, and the acks are client-bound (a replica that
+            // somehow receives one drops it here).
+            PrftMsg::Submit { .. } | PrftMsg::TxCommitted { .. } | PrftMsg::TxRejected { .. } => {
+                None
+            }
         }
     }
 
@@ -1326,6 +1402,7 @@ impl Replica {
             PrftMsg::ViewChange { req } => self.handle_view_change(ctx, req),
             PrftMsg::CommitView { cv, reqs } => self.handle_commit_view(ctx, cv, reqs),
             PrftMsg::SyncRequest { .. } => {} // answered in on_message
+            PrftMsg::Submit { .. } | PrftMsg::TxCommitted { .. } | PrftMsg::TxRejected { .. } => {} // handled (or dropped) in on_message
         }
     }
 }
@@ -1339,6 +1416,13 @@ impl Node for Replica {
 
     fn on_message(&mut self, ctx: &mut Context<PrftMsg>, from: NodeId, msg: PrftMsg) {
         self.stats.record_recv(msg.kind(), msg.wire_bytes());
+        // Client submissions are round-independent and survive passivity:
+        // a passive replica still acks already-final txs, so late retries
+        // converge instead of spinning against an exhausted committee.
+        if let PrftMsg::Submit { tx } = msg {
+            self.handle_submit(ctx, tx);
+            return;
+        }
         if self.passive {
             // Passive replicas have exhausted their round budget but remain
             // responsive witnesses: they still help laggards reconcile.

@@ -13,6 +13,7 @@
 //!                             [--cache DIR] [--full] [--eps E]
 //!                             [--mixed] [--dynamics]
 //! prft-lab explore run-all [same options as explore run]
+//! prft-lab diff <a.json> <b.json> [--eps E]
 //! ```
 //!
 //! Aggregates are independent of `--threads`: `--threads 1` and
@@ -71,6 +72,12 @@ fn usage() -> ExitCode {
          \x20 explore run-all [options]\n\
          \x20                           sweep every registered game as one\n\
          \x20                           batch (shared cells evaluate once)\n\
+         \x20 diff <a.json> <b.json> [--eps E]\n\
+         \x20                           compare two JSON reports; numeric\n\
+         \x20                           leaves within the relative band E\n\
+         \x20                           (default 0 = byte-exact semantics)\n\
+         \x20                           count as equal; exits non-zero and\n\
+         \x20                           lists every path that drifted\n\
          \n\
          options:\n\
          \x20 --seeds N      seeded runs per grid point (default 16;\n\
@@ -552,6 +559,58 @@ fn manifest_doc(command: &str, seeds: u64, written: &[(String, String)]) -> Stri
     .render_pretty()
 }
 
+/// `prft-lab diff a.json b.json [--eps E]`: parse both reports and list
+/// every path where they disagree beyond the tolerance. Exit code 0 means
+/// "same report" (within eps), 1 means drift — scriptable, so CI can pin
+/// the determinism contract (`--eps` defaults to 0) without shipping a
+/// JSON toolchain.
+fn diff_reports(args: &[String]) -> Result<(), String> {
+    let (Some(path_a), Some(path_b)) = (args.first(), args.get(1)) else {
+        return Err("diff needs two report files: prft-lab diff <a.json> <b.json>".to_string());
+    };
+    let mut eps = 0.0f64;
+    let mut it = args[2..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--eps" => {
+                eps = it
+                    .next()
+                    .ok_or("--eps needs a value")?
+                    .parse()
+                    .map_err(|_| "--eps must be a number".to_string())?;
+                if eps.is_nan() || eps < 0.0 {
+                    return Err("--eps must be non-negative".to_string());
+                }
+            }
+            other => return Err(format!("unknown diff option: {other}")),
+        }
+    }
+    let load = |path: &String| -> Result<prft_lab::json::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        prft_lab::json::Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let a = load(path_a)?;
+    let b = load(path_b)?;
+    let entries = prft_lab::diff::diff(&a, &b, eps);
+    if entries.is_empty() {
+        eprintln!("reports match ({path_a} vs {path_b}, eps {eps})");
+        return Ok(());
+    }
+    // Full drift lists can be huge (per-run sections); show enough to
+    // localise the problem and summarise the rest.
+    const SHOWN: usize = 50;
+    for e in entries.iter().take(SHOWN) {
+        println!("{}: {}", e.path, e.detail);
+    }
+    if entries.len() > SHOWN {
+        println!("... and {} more", entries.len() - SHOWN);
+    }
+    Err(format!(
+        "{} difference(s) beyond eps {eps} between {path_a} and {path_b}",
+        entries.len()
+    ))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -587,6 +646,7 @@ fn main() -> ExitCode {
             write_manifest("run-all", opts.seeds, &written, &opts.out)
         }),
         "explore" => explore_command(&args[1..]),
+        "diff" => diff_reports(&args[1..]),
         "--help" | "-h" | "help" => {
             usage();
             Ok(())

@@ -29,14 +29,24 @@ use prft_adversary::{
 };
 use prft_core::analysis::{analyze, honest_ids, tx_finalized_everywhere, tx_included_anywhere};
 use prft_core::{
-    BallotAction, Behavior, Config, Harness, Honest, NetworkChoice, ProposeAction, Replica,
+    AsReplica, BallotAction, Behavior, Config, Harness, Honest, NetworkChoice, ProposeAction,
+    Replica,
 };
 use prft_game::{PayoffTable, SystemState};
 use prft_metrics::{classify, StateObservation};
 use prft_net::{DelayRule, DelayRuleHandle, PartitionWindow, PartitionedNet, TargetedDelay};
-use prft_sim::{LinkModel, RunOutcome, SimTime, Simulation};
+use prft_sim::{LinkModel, Node, RunOutcome, SimTime, Simulation};
 use prft_types::{Block, Digest, NodeId, Round, Transaction, TxId};
+use prft_workload::{Actor, WorkloadRunStats, WorkloadSpec};
 use std::collections::HashSet;
+
+/// The honest committee replica behind a node id (honest ids only ever
+/// name committee seats, never workload clients).
+fn replica<N: Node + AsReplica>(sim: &Simulation<N>, id: NodeId) -> &Replica {
+    sim.node(id)
+        .as_replica()
+        .expect("honest ids name committee replicas")
+}
 
 /// The Claim 2 adversary: silent in every protocol phase but participating
 /// in view changes, pressing the committee to abandon rounds.
@@ -202,20 +212,90 @@ fn behavior_for(
     }
 }
 
+/// The two node populations the timeline executor can drive: the pure
+/// committee (`Simulation<Replica>`) and the mixed committee-plus-clients
+/// population of a workload run (`Simulation<Actor>`). Scheduled events
+/// only ever target committee seats, so the trait exposes replica access
+/// by id plus the run-segment controls — everything [`apply_event`] and
+/// [`execute_schedule`] need, and nothing population-specific.
+trait TimelineSim {
+    fn crash_node(&mut self, id: NodeId);
+    fn recover_node(&mut self, id: NodeId);
+    fn replica_mut(&mut self, id: NodeId) -> &mut Replica;
+    fn run_before_t(&mut self, t: SimTime) -> RunOutcome;
+    fn run_until_t(&mut self, t: SimTime) -> RunOutcome;
+}
+
+impl TimelineSim for Simulation<Replica> {
+    fn crash_node(&mut self, id: NodeId) {
+        self.crash(id);
+    }
+    fn recover_node(&mut self, id: NodeId) {
+        self.recover(id);
+    }
+    fn replica_mut(&mut self, id: NodeId) -> &mut Replica {
+        self.node_mut(id)
+    }
+    fn run_before_t(&mut self, t: SimTime) -> RunOutcome {
+        self.run_before(t)
+    }
+    fn run_until_t(&mut self, t: SimTime) -> RunOutcome {
+        self.run_until(t)
+    }
+}
+
+impl TimelineSim for Simulation<Actor> {
+    fn crash_node(&mut self, id: NodeId) {
+        self.crash(id);
+    }
+    fn recover_node(&mut self, id: NodeId) {
+        self.recover(id);
+    }
+    fn replica_mut(&mut self, id: NodeId) -> &mut Replica {
+        self.node_mut(id)
+            .as_replica_mut()
+            .expect("timeline events target committee replicas")
+    }
+    fn run_before_t(&mut self, t: SimTime) -> RunOutcome {
+        self.run_before(t)
+    }
+    fn run_until_t(&mut self, t: SimTime) -> RunOutcome {
+        self.run_until(t)
+    }
+}
+
 /// A built simulation plus the shared state the timeline executor needs:
 /// the fork blackboard (scheduled colluders must join the *same* board as
 /// the initial ones) and the live delay-rule handle.
-struct Built {
-    sim: Simulation<Replica>,
+struct Built<S> {
+    sim: S,
     board: Option<Blackboard>,
     collusion: HashSet<NodeId>,
     delay: Option<DelayRuleHandle>,
 }
 
-fn build(spec: &ScenarioSpec, seed: u64) -> Built {
+/// Everything [`build`] and [`build_workload`] share: the configured
+/// harness (behaviors installed, txs preloaded) plus the adversary state
+/// and delay handle the timeline executor will need. Only the final
+/// assembly step differs between the two populations.
+fn prepared(
+    spec: &ScenarioSpec,
+    seed: u64,
+) -> (
+    Harness,
+    Option<Blackboard>,
+    HashSet<NodeId>,
+    Option<DelayRuleHandle>,
+    Vec<Role>,
+) {
     let mut cfg = Config::for_committee(spec.n).with_max_rounds(spec.max_rounds);
     if let Some(t) = spec.phase_timeout {
         cfg = cfg.with_timeout(SimTime(t));
+    }
+    if let Some(batch) = spec.workload.as_ref().and_then(|w| w.max_batch) {
+        // Config freezes at replica construction, so the workload's batch
+        // override must land here, not in `assemble`.
+        cfg = cfg.with_max_batch(batch);
     }
 
     let board = if spec.uses_fork_blackboard() {
@@ -252,12 +332,34 @@ fn build(spec: &ScenarioSpec, seed: u64) -> Built {
             behavior_for(spec, role, &board, &collusion).map(|b| (NodeId(i), b))
         })
         .collect();
-    let mut sim = h.with_behaviors(behaviors).build();
+    (h.with_behaviors(behaviors), board, collusion, delay, roles)
+}
+
+fn apply_initial_crashes<S: TimelineSim>(sim: &mut S, roles: &[Role]) {
     for (i, role) in roles.iter().enumerate() {
         if matches!(role, Role::Crash) {
-            sim.crash(NodeId(i));
+            sim.crash_node(NodeId(i));
         }
     }
+}
+
+fn build(spec: &ScenarioSpec, seed: u64) -> Built<Simulation<Replica>> {
+    let (h, board, collusion, delay, roles) = prepared(spec, seed);
+    let mut sim = h.build();
+    apply_initial_crashes(&mut sim, &roles);
+    Built {
+        sim,
+        board,
+        collusion,
+        delay,
+    }
+}
+
+fn build_workload(spec: &ScenarioSpec, seed: u64, w: &WorkloadSpec) -> Built<Simulation<Actor>> {
+    let (h, board, collusion, delay, roles) = prepared(spec, seed);
+    let (replicas, network, seed, queue) = h.build_parts();
+    let mut sim = prft_workload::assemble(replicas, w, network, seed, queue);
+    apply_initial_crashes(&mut sim, &roles);
     Built {
         sim,
         board,
@@ -275,17 +377,25 @@ pub fn build_sim(spec: &ScenarioSpec, seed: u64) -> Simulation<Replica> {
 }
 
 /// Applies one scheduled event at the start of `tick`.
-fn apply_event(spec: &ScenarioSpec, built: &mut Built, tick: u64, event: &TimelineEvent) {
+fn apply_event<S: TimelineSim>(
+    spec: &ScenarioSpec,
+    built: &mut Built<S>,
+    tick: u64,
+    event: &TimelineEvent,
+) {
     match event {
-        TimelineEvent::Crash(player) => built.sim.crash(NodeId(*player)),
-        TimelineEvent::Recover(player) => built.sim.recover(NodeId(*player)),
+        TimelineEvent::Crash(player) => built.sim.crash_node(NodeId(*player)),
+        TimelineEvent::Recover(player) => built.sim.recover_node(NodeId(*player)),
         TimelineEvent::SetRole(player, role) => {
             if matches!(role, Role::Crash) {
-                built.sim.crash(NodeId(*player));
+                built.sim.crash_node(NodeId(*player));
             } else {
                 let behavior = behavior_for(spec, role, &built.board, &built.collusion)
                     .unwrap_or_else(|| Box::new(Honest));
-                built.sim.node_mut(NodeId(*player)).set_behavior(behavior);
+                built
+                    .sim
+                    .replica_mut(NodeId(*player))
+                    .set_behavior(behavior);
             }
         }
         TimelineEvent::AddDelayRule {
@@ -320,7 +430,7 @@ fn apply_event(spec: &ScenarioSpec, built: &mut Built, tick: u64, event: &Timeli
                 Some(player) => {
                     built
                         .sim
-                        .node_mut(NodeId(player))
+                        .replica_mut(NodeId(player))
                         .mempool_mut()
                         .submit(transaction);
                 }
@@ -328,7 +438,7 @@ fn apply_event(spec: &ScenarioSpec, built: &mut Built, tick: u64, event: &Timeli
                     for i in 0..spec.n {
                         built
                             .sim
-                            .node_mut(NodeId(i))
+                            .replica_mut(NodeId(i))
                             .mempool_mut()
                             .submit(transaction.clone());
                     }
@@ -345,7 +455,7 @@ fn apply_event(spec: &ScenarioSpec, built: &mut Built, tick: u64, event: &Timeli
 /// [`Simulation::run_before`] segments in tick order (ties broken by
 /// insertion index). Returns the outcome of the final segment, or
 /// [`RunOutcome::EventLimit`] as soon as any segment trips the valve.
-fn execute_schedule(spec: &ScenarioSpec, built: &mut Built) -> RunOutcome {
+fn execute_schedule<S: TimelineSim>(spec: &ScenarioSpec, built: &mut Built<S>) -> RunOutcome {
     let mut events: Vec<(u64, &TimelineEvent)> = spec
         .schedule
         .iter()
@@ -356,7 +466,7 @@ fn execute_schedule(spec: &ScenarioSpec, built: &mut Built) -> RunOutcome {
     let mut i = 0;
     while i < events.len() {
         let tick = events[i].0;
-        if tick > 0 && built.sim.run_before(SimTime(tick)) == RunOutcome::EventLimit {
+        if tick > 0 && built.sim.run_before_t(SimTime(tick)) == RunOutcome::EventLimit {
             return RunOutcome::EventLimit;
         }
         while i < events.len() && events[i].0 == tick {
@@ -364,7 +474,7 @@ fn execute_schedule(spec: &ScenarioSpec, built: &mut Built) -> RunOutcome {
             i += 1;
         }
     }
-    built.sim.run_until(SimTime(spec.horizon))
+    built.sim.run_until_t(SimTime(spec.horizon))
 }
 
 /// Builds one seeded simulation of `spec`, executes its timeline schedule
@@ -382,11 +492,33 @@ pub fn run_sim(
     (built.sim, outcome)
 }
 
+/// The workload twin of [`run_sim`]: builds the mixed committee-plus-client
+/// population for `spec` (which must carry a workload section), executes
+/// the timeline schedule to the horizon, and returns the finished
+/// simulation with the run outcome.
+///
+/// # Panics
+/// Panics when `spec.workload` is `None`.
+pub fn run_workload_sim(
+    spec: &ScenarioSpec,
+    seed: u64,
+    configure: impl FnOnce(&mut Simulation<Actor>),
+) -> (Simulation<Actor>, RunOutcome) {
+    let w = spec
+        .workload
+        .as_ref()
+        .expect("run_workload_sim needs a workload section");
+    let mut built = build_workload(spec, seed, w);
+    configure(&mut built.sim);
+    let outcome = execute_schedule(spec, &mut built);
+    (built.sim, outcome)
+}
+
 /// Classifies the σ state of a finished run, watching `watched` for
 /// censorship (the whole-run observation window).
-pub fn classify_watched(sim: &Simulation<Replica>, watched: &[TxId]) -> SystemState {
+pub fn classify_watched<N: Node + AsReplica>(sim: &Simulation<N>, watched: &[TxId]) -> SystemState {
     let honest = honest_ids(sim);
-    let chains = honest.iter().map(|&id| sim.node(id).chain()).collect();
+    let chains = honest.iter().map(|&id| replica(sim, id).chain()).collect();
     classify(&StateObservation {
         chains,
         watched: watched.to_vec(),
@@ -395,7 +527,7 @@ pub fn classify_watched(sim: &Simulation<Replica>, watched: &[TxId]) -> SystemSt
 }
 
 /// Classifies the σ state of a finished run, watching `spec.watched`.
-pub fn classify_sim(spec: &ScenarioSpec, sim: &Simulation<Replica>) -> SystemState {
+pub fn classify_sim<N: Node + AsReplica>(spec: &ScenarioSpec, sim: &Simulation<N>) -> SystemState {
     let watched: Vec<TxId> = spec.watched.iter().map(|&id| TxId(id)).collect();
     classify_watched(sim, &watched)
 }
@@ -405,8 +537,8 @@ pub fn classify_sim(spec: &ScenarioSpec, sim: &Simulation<Replica>) -> SystemSta
 /// over *time periods*, not protocol progress — a jammed system keeps
 /// paying the σ_NP penalty; the penalty applies iff any honest player's
 /// ledger burned `player`).
-pub fn discounted_utility(
-    sim: &Simulation<Replica>,
+pub fn discounted_utility<N: Node + AsReplica>(
+    sim: &Simulation<N>,
     state: SystemState,
     player: NodeId,
     u: &UtilitySpec,
@@ -421,7 +553,7 @@ pub fn discounted_utility(
     }
     let burned = honest_ids(sim)
         .iter()
-        .any(|&id| sim.node(id).collateral().is_burned(player));
+        .any(|&id| replica(sim, id).collateral().is_burned(player));
     if burned {
         total -= u.penalty_l;
     }
@@ -430,9 +562,9 @@ pub fn discounted_utility(
 
 /// Measures `player`'s discounted utility with the spec's economics
 /// (0 when the spec does not measure utilities).
-pub fn measure_utility_for(
+pub fn measure_utility_for<N: Node + AsReplica>(
     spec: &ScenarioSpec,
-    sim: &Simulation<Replica>,
+    sim: &Simulation<N>,
     state: SystemState,
     player: NodeId,
 ) -> f64 {
@@ -452,14 +584,54 @@ pub fn measure_utility_for(
 /// `--threads`.
 pub fn run_one(spec: &ScenarioSpec, seed: u64) -> RunRecord {
     prft_sim::obs::hooks::reset();
-    let (sim, outcome) = run_sim(spec, seed, |_| {});
-    summarize(spec, &sim, seed, outcome)
+    match &spec.workload {
+        Some(w) => {
+            let mut built = build_workload(spec, seed, w);
+            let outcome = execute_schedule(spec, &mut built);
+            let mut rec = summarize(spec, &built.sim, seed, outcome);
+            let stats = WorkloadRunStats::collect(&built.sim);
+            mirror_workload_obs(&mut rec, &stats);
+            rec.workload = Some(stats);
+            rec
+        }
+        None => {
+            let (sim, outcome) = run_sim(spec, seed, |_| {});
+            summarize(spec, &sim, seed, outcome)
+        }
+    }
 }
 
-/// Extracts the [`RunRecord`] from a finished simulation.
-pub fn summarize(
+/// Mirrors the workload stats into the record's observability registry, so
+/// the batch report's `observability` section carries the client-side view
+/// next to the protocol counters (counters sum across seeds, latency and
+/// occupancy gauges take the worst seed).
+fn mirror_workload_obs(rec: &mut RunRecord, stats: &WorkloadRunStats) {
+    let obs = &mut rec.obs;
+    obs.add("workload.txs_submitted", stats.submitted);
+    obs.add("workload.txs_committed", stats.committed);
+    obs.add("workload.txs_dropped", stats.dropped);
+    obs.add("workload.txs_pending", stats.pending);
+    obs.add("workload.retries", stats.retries);
+    obs.add("workload.backpressure_rejects", stats.backpressure_rejects);
+    obs.add(
+        "workload.mempool_rejected_full",
+        stats.mempool_rejected_full,
+    );
+    obs.gauge_max(
+        "workload.mempool_peak_occupancy",
+        stats.mempool_peak_occupancy,
+    );
+    obs.gauge_max("workload.latency_p50", stats.latency.p50);
+    obs.gauge_max("workload.latency_p90", stats.latency.p90);
+    obs.gauge_max("workload.latency_p99", stats.latency.p99);
+    obs.gauge_max("workload.latency_max", stats.latency.max);
+}
+
+/// Extracts the [`RunRecord`] from a finished simulation (either
+/// population; the workload section is attached by [`run_one`], not here).
+pub fn summarize<N: Node + AsReplica>(
     spec: &ScenarioSpec,
-    sim: &Simulation<Replica>,
+    sim: &Simulation<N>,
     seed: u64,
     outcome: prft_sim::RunOutcome,
 ) -> RunRecord {
@@ -475,17 +647,16 @@ pub fn summarize(
     let honest = honest_ids(sim);
     let rounds_entered = honest
         .iter()
-        .map(|&id| sim.node(id).stats().rounds_entered)
+        .map(|&id| replica(sim, id).stats().rounds_entered)
         .max()
         .unwrap_or(0);
     // Claim 2 consistency: a round abandoned by any honest player via view
     // change must not be finalized by any honest player.
     let mut vc_consistent = true;
     for &abandoner in &honest {
-        for &vc_round in &sim.node(abandoner).stats().view_changed_rounds {
+        for &vc_round in &replica(sim, abandoner).stats().view_changed_rounds {
             for &other in &honest {
-                if sim
-                    .node(other)
+                if replica(sim, other)
                     .stats()
                     .finalize_times
                     .iter()
@@ -528,6 +699,7 @@ pub fn summarize(
         peak_queue_depth: sim.peak_queue_depth() as u64,
         in_flight_messages: sim.in_flight_messages() as u64,
         obs: prft_core::obs::collect(sim, &prft_sim::obs::hooks::snapshot()),
+        workload: None,
         utilities,
     }
 }

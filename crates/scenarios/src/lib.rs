@@ -56,6 +56,7 @@
 
 mod build;
 mod cache;
+pub mod diff;
 mod explore;
 mod games;
 pub mod json;
@@ -68,14 +69,15 @@ mod trace_export;
 
 pub use build::{
     build_sim, classify_sim, classify_watched, discounted_utility, measure_utility_for, run_one,
-    run_sim, summarize,
+    run_sim, run_workload_sim, summarize,
 };
 pub use cache::{CacheKey, UtilityCache};
 pub use explore::{Exploration, GameDef, GameEval, GameExplorer};
 pub use games::{find_game, game_registry};
 pub use prft_core::VerifyMode;
 pub use prft_sim::QueueBackend;
-pub use record::{Aggregate, BatchReport, RunRecord};
+pub use prft_workload::{ArrivalModel, RejectAction, RetryPolicy, WorkloadRunStats, WorkloadSpec};
+pub use record::{Aggregate, BatchReport, RunRecord, WorkloadAggregates};
 pub use registry::{find, registry, Scenario};
 pub use runner::{derive_seed, effective_threads, par_map, BatchRunner};
 pub use spec::{PartitionSpec, Role, ScenarioSpec, Synchrony, TimelineEvent, TxSpec, UtilitySpec};

@@ -3,6 +3,7 @@
 use crate::json::Json;
 use prft_game::SystemState;
 use prft_sim::{ObsRegistry, RunOutcome};
+use prft_workload::WorkloadRunStats;
 
 /// Everything one seeded run produces that experiments read.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,8 +56,41 @@ pub struct RunRecord {
     /// for the counter catalog). Aggregated into the batch `observability`
     /// section; not serialized per run.
     pub obs: ObsRegistry,
+    /// The client-workload view of the run (`Some` only when the spec
+    /// carries a workload section): conservation counters and the
+    /// submit→commit latency summary in virtual time.
+    pub workload: Option<WorkloadRunStats>,
     /// Per-player discounted utilities (empty unless the spec asks).
     pub utilities: Vec<f64>,
+}
+
+/// JSON object for one run's workload stats.
+fn workload_json(w: &WorkloadRunStats) -> Json {
+    Json::obj([
+        ("clients", Json::u64(w.clients)),
+        ("submitted", Json::u64(w.submitted)),
+        ("committed", Json::u64(w.committed)),
+        ("dropped", Json::u64(w.dropped)),
+        ("pending", Json::u64(w.pending)),
+        ("retries", Json::u64(w.retries)),
+        ("backpressure_rejects", Json::u64(w.backpressure_rejects)),
+        ("mempool_rejected_full", Json::u64(w.mempool_rejected_full)),
+        (
+            "mempool_peak_occupancy",
+            Json::u64(w.mempool_peak_occupancy),
+        ),
+        (
+            "latency",
+            Json::obj([
+                ("count", Json::u64(w.latency.count)),
+                ("p50", Json::u64(w.latency.p50)),
+                ("p90", Json::u64(w.latency.p90)),
+                ("p99", Json::u64(w.latency.p99)),
+                ("max", Json::u64(w.latency.max)),
+                ("mean", Json::u64(w.latency.mean())),
+            ]),
+        ),
+    ])
 }
 
 impl RunRecord {
@@ -69,9 +103,11 @@ impl RunRecord {
         }
     }
 
-    /// JSON object for one run.
+    /// JSON object for one run. The `workload` object appears only when
+    /// the run carried one, so non-workload reports stay byte-identical to
+    /// the previous schema.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("seed", Json::u64(self.seed)),
             ("outcome", Json::str(self.outcome_str())),
             ("min_final_height", Json::u64(self.min_final_height)),
@@ -106,11 +142,15 @@ impl RunRecord {
             ("events_dispatched", Json::u64(self.events_dispatched)),
             ("peak_queue_depth", Json::u64(self.peak_queue_depth)),
             ("in_flight_messages", Json::u64(self.in_flight_messages)),
-            (
-                "utilities",
-                Json::Arr(self.utilities.iter().map(|&u| Json::Num(u)).collect()),
-            ),
-        ])
+        ];
+        if let Some(w) = &self.workload {
+            fields.push(("workload", workload_json(w)));
+        }
+        fields.push((
+            "utilities",
+            Json::Arr(self.utilities.iter().map(|&u| Json::Num(u)).collect()),
+        ));
+        Json::obj(fields)
     }
 }
 
@@ -210,6 +250,99 @@ impl Aggregate {
     }
 }
 
+/// Per-seed workload aggregates for one grid point: conservation counters
+/// and latency percentiles, each aggregated over the batch in seed-index
+/// order (a percentile's aggregate is over the per-run percentile values,
+/// not a re-ranking of the pooled latencies — runs stay the unit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadAggregates {
+    /// Client population size (constant across seeds of a grid point).
+    pub clients: u64,
+    /// Transactions submitted per run.
+    pub submitted: Aggregate,
+    /// Transactions committed (acked) per run.
+    pub committed: Aggregate,
+    /// Transactions dropped per run (retry budget exhausted / reject-drop).
+    pub dropped: Aggregate,
+    /// Transactions still pending at the horizon per run.
+    pub pending: Aggregate,
+    /// Retry sends per run.
+    pub retries: Aggregate,
+    /// Backpressure rejection acks received per run.
+    pub backpressure_rejects: Aggregate,
+    /// Mempool capacity rejections across replicas per run.
+    pub mempool_rejected_full: Aggregate,
+    /// Mempool occupancy high-water (max over replicas) per run.
+    pub mempool_peak_occupancy: Aggregate,
+    /// p50 submit→commit latency per run, in virtual-time ticks.
+    pub latency_p50: Aggregate,
+    /// p90 submit→commit latency per run.
+    pub latency_p90: Aggregate,
+    /// p99 submit→commit latency per run.
+    pub latency_p99: Aggregate,
+    /// Worst submit→commit latency per run.
+    pub latency_max: Aggregate,
+}
+
+impl WorkloadAggregates {
+    /// Aggregates the workload sections of `records`; `None` when any run
+    /// lacks one (mixed batches never happen — the workload section is a
+    /// property of the spec, not the seed).
+    fn from_records(records: &[RunRecord]) -> Option<WorkloadAggregates> {
+        if records.is_empty() || records.iter().any(|r| r.workload.is_none()) {
+            return None;
+        }
+        let w = |f: &dyn Fn(&WorkloadRunStats) -> f64| {
+            Aggregate::over(
+                &records
+                    .iter()
+                    .map(|r| f(r.workload.as_ref().expect("checked above")))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        Some(WorkloadAggregates {
+            clients: records[0].workload.as_ref().expect("checked above").clients,
+            submitted: w(&|s| s.submitted as f64),
+            committed: w(&|s| s.committed as f64),
+            dropped: w(&|s| s.dropped as f64),
+            pending: w(&|s| s.pending as f64),
+            retries: w(&|s| s.retries as f64),
+            backpressure_rejects: w(&|s| s.backpressure_rejects as f64),
+            mempool_rejected_full: w(&|s| s.mempool_rejected_full as f64),
+            mempool_peak_occupancy: w(&|s| s.mempool_peak_occupancy as f64),
+            latency_p50: w(&|s| s.latency.p50 as f64),
+            latency_p90: w(&|s| s.latency.p90 as f64),
+            latency_p99: w(&|s| s.latency.p99 as f64),
+            latency_max: w(&|s| s.latency.max as f64),
+        })
+    }
+
+    /// JSON object for these aggregates.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("clients", Json::u64(self.clients)),
+            ("submitted", self.submitted.to_json()),
+            ("committed", self.committed.to_json()),
+            ("dropped", self.dropped.to_json()),
+            ("pending", self.pending.to_json()),
+            ("retries", self.retries.to_json()),
+            ("backpressure_rejects", self.backpressure_rejects.to_json()),
+            (
+                "mempool_rejected_full",
+                self.mempool_rejected_full.to_json(),
+            ),
+            (
+                "mempool_peak_occupancy",
+                self.mempool_peak_occupancy.to_json(),
+            ),
+            ("latency_p50", self.latency_p50.to_json()),
+            ("latency_p90", self.latency_p90.to_json()),
+            ("latency_p99", self.latency_p99.to_json()),
+            ("latency_max", self.latency_max.to_json()),
+        ])
+    }
+}
+
 /// Aggregated report for one grid point of a scenario, over all its seeds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchReport {
@@ -253,6 +386,9 @@ pub struct BatchReport {
     /// gauges maxed — order-independent, so byte-identical at any thread
     /// count and across queue backends).
     pub observability: ObsRegistry,
+    /// Workload aggregates (`Some` only when the spec carries a workload
+    /// section — every seed of the batch then has per-run stats).
+    pub workload: Option<WorkloadAggregates>,
     /// Per-player utility aggregates (one per player index; empty unless
     /// the spec measures utilities).
     pub utilities: Vec<Aggregate>,
@@ -285,6 +421,7 @@ impl BatchReport {
         for r in &records {
             observability.merge(&r.obs);
         }
+        let workload = WorkloadAggregates::from_records(&records);
         BatchReport {
             label,
             n,
@@ -305,6 +442,7 @@ impl BatchReport {
             peak_queue_depth: agg(&|r| r.peak_queue_depth as f64),
             in_flight_messages: agg(&|r| r.in_flight_messages as f64),
             observability,
+            workload,
             utilities,
             records,
         }
@@ -321,9 +459,10 @@ impl BatchReport {
         SystemState::ALL[idx]
     }
 
-    /// JSON object for this batch (aggregates plus per-run records).
+    /// JSON object for this batch (aggregates plus per-run records). The
+    /// `workload` section appears only when the batch carried one.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("label", Json::str(&self.label)),
             ("n", Json::u64(self.n as u64)),
             ("seeds", Json::u64(self.seeds)),
@@ -352,15 +491,19 @@ impl BatchReport {
             ("peak_queue_depth", self.peak_queue_depth.to_json()),
             ("in_flight_messages", self.in_flight_messages.to_json()),
             ("observability", obs_to_json(&self.observability)),
-            (
-                "utilities",
-                Json::Arr(self.utilities.iter().map(Aggregate::to_json).collect()),
-            ),
-            (
-                "runs",
-                Json::Arr(self.records.iter().map(RunRecord::to_json).collect()),
-            ),
-        ])
+        ];
+        if let Some(w) = &self.workload {
+            fields.push(("workload", w.to_json()));
+        }
+        fields.push((
+            "utilities",
+            Json::Arr(self.utilities.iter().map(Aggregate::to_json).collect()),
+        ));
+        fields.push((
+            "runs",
+            Json::Arr(self.records.iter().map(RunRecord::to_json).collect()),
+        ));
+        Json::obj(fields)
     }
 }
 
@@ -391,6 +534,7 @@ mod tests {
             peak_queue_depth: 5,
             in_flight_messages: 0,
             obs: ObsRegistry::new(),
+            workload: None,
             utilities: vec![],
         }
     }

@@ -11,6 +11,7 @@ use crate::spec::{
     PartitionSpec, Role, ScenarioSpec, Synchrony, TimelineEvent, TxSpec, UtilitySpec,
 };
 use prft_game::Theta;
+use prft_workload::{RejectAction, RetryPolicy, WorkloadSpec};
 
 /// A named, described grid of scenario specs.
 #[derive(Debug, Clone)]
@@ -412,6 +413,71 @@ pub fn registry() -> Vec<Scenario> {
                 .role(8, Role::DoubleVoter)
                 .utility(UtilitySpec::standard(Theta::ForkSeeking, 3))],
         },
+        Scenario {
+            name: "steady-load",
+            description:
+                "open-loop steady client workload baseline: commit-latency percentiles vs client count",
+            specs: [100usize, 1_000]
+                .into_iter()
+                .map(|clients| {
+                    ScenarioSpec::new(format!("clients={clients}"), 8, 400)
+                        .base_seed(0x10ad)
+                        .horizon(600_000)
+                        .workload(
+                            WorkloadSpec::steady(clients, 100)
+                                .txs_per_client(4)
+                                .max_batch(512),
+                        )
+                })
+                .collect(),
+        },
+        Scenario {
+            name: "tx-flood-burst",
+            description:
+                "on/off burst arrivals flood the committee: latency tail and mempool high-water under bursts",
+            specs: vec![ScenarioSpec::new("burst", 8, 400)
+                .base_seed(0xf100d)
+                .horizon(600_000)
+                .workload(
+                    WorkloadSpec::bursty(500, 2_000, 8_000, 20)
+                        .txs_per_client(8)
+                        .max_batch(256),
+                )],
+        },
+        Scenario {
+            name: "retry-storm-gst",
+            description:
+                "clients submitting through a pre-GST delay window: timeout-driven retries across round-robin targets",
+            specs: vec![ScenarioSpec::new("gst=20000", 8, 400)
+                .base_seed(0x6577)
+                .synchrony(Synchrony::PartiallySynchronous {
+                    gst: 20_000,
+                    delta: 10,
+                })
+                .horizon(600_000)
+                .workload(
+                    WorkloadSpec::steady(200, 150)
+                        .txs_per_client(4)
+                        .max_batch(256),
+                )],
+        },
+        Scenario {
+            name: "backpressure-saturation",
+            description:
+                "bounded mempools under Poisson overload: capacity rejects, client backoff, and drop accounting",
+            specs: vec![ScenarioSpec::new("cap=32", 8, 300)
+                .base_seed(0xcab)
+                .horizon(600_000)
+                .workload(
+                    WorkloadSpec::poisson(400, 50)
+                        .txs_per_client(6)
+                        .mempool_capacity(32)
+                        .retry(RetryPolicy {
+                            on_reject: RejectAction::Requeue,
+                            ..RetryPolicy::default()
+                        }),
+                )],
+        },
     ]
 }
 
@@ -465,5 +531,34 @@ mod tests {
             .specs
             .iter()
             .all(|s| !s.has_schedule()));
+    }
+
+    #[test]
+    fn workload_scenarios_carry_workload_sections() {
+        for name in [
+            "steady-load",
+            "tx-flood-burst",
+            "retry-storm-gst",
+            "backpressure-saturation",
+        ] {
+            let scenario = find(name).expect("registered");
+            assert!(
+                scenario.specs.iter().all(|s| s.workload.is_some()),
+                "{name} must carry a workload section"
+            );
+        }
+        // The acceptance bar: at least one registry point runs ≥1000
+        // clients (the determinism suite reuses it).
+        assert!(find("steady-load")
+            .unwrap()
+            .specs
+            .iter()
+            .any(|s| s.workload.as_ref().is_some_and(|w| w.clients >= 1_000)));
+        // … and the non-workload scenarios stay client-free.
+        assert!(find("honest-sync")
+            .unwrap()
+            .specs
+            .iter()
+            .all(|s| s.workload.is_none()));
     }
 }

@@ -64,17 +64,21 @@ fn csv_field(s: &str) -> String {
     }
 }
 
-/// CSV with one row per grid point (aggregate means plus rates).
+/// CSV with one row per grid point (aggregate means plus rates). The
+/// workload columns read all-zero for batches without a workload section.
 pub fn scenario_csv(scenario: &str, reports: &[BatchReport]) -> String {
     let mut out = String::from(
         "scenario,label,n,seeds,agreement_rate,sigma_modal,sigma_np,sigma_cp,sigma_fork,sigma_0,\
          min_final_height_mean,min_final_height_ci95,throughput_mean,view_changes_mean,\
          exposes_mean,burned_mean,messages_mean,bytes_mean,events_dispatched_mean,\
-         peak_queue_depth_max,in_flight_max,sig_verifies_total\n",
+         peak_queue_depth_max,in_flight_max,sig_verifies_total,\
+         wl_clients,wl_submitted_mean,wl_committed_mean,wl_dropped_mean,wl_pending_mean,\
+         wl_retries_mean,wl_backpressure_mean,wl_latency_p50_mean,wl_latency_p90_mean,\
+         wl_latency_p99_mean,wl_mempool_peak_max\n",
     );
     for r in reports {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             csv_field(scenario),
             csv_field(&r.label),
             r.n,
@@ -98,6 +102,23 @@ pub fn scenario_csv(scenario: &str, reports: &[BatchReport]) -> String {
             r.in_flight_messages.max,
             r.observability.counter("crypto.sig_verifies"),
         ));
+        match &r.workload {
+            Some(w) => out.push_str(&format!(
+                ",{},{},{},{},{},{},{},{},{},{},{}\n",
+                w.clients,
+                w.submitted.mean,
+                w.committed.mean,
+                w.dropped.mean,
+                w.pending.mean,
+                w.retries.mean,
+                w.backpressure_rejects.mean,
+                w.latency_p50.mean,
+                w.latency_p90.mean,
+                w.latency_p99.mean,
+                w.mempool_peak_occupancy.max,
+            )),
+            None => out.push_str(",0,0,0,0,0,0,0,0,0,0,0\n"),
+        }
     }
     out
 }
@@ -660,6 +681,7 @@ mod tests {
                 peak_queue_depth: 5,
                 in_flight_messages: 0,
                 obs: prft_sim::ObsRegistry::new(),
+                workload: None,
                 utilities: vec![0.0, -10.0],
             }],
         )

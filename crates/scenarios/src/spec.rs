@@ -7,6 +7,7 @@
 use prft_core::VerifyMode;
 use prft_game::Theta;
 use prft_sim::QueueBackend;
+use prft_workload::WorkloadSpec;
 
 /// Which synchrony flavour the run executes under (Section 3.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -239,6 +240,10 @@ pub struct ScenarioSpec {
     /// The fault & network timeline: `(tick, event)` pairs applied at the
     /// start of their tick, in insertion order within a tick.
     pub schedule: Vec<(u64, TimelineEvent)>,
+    /// The open-loop client workload riding on the committee, if any:
+    /// `Some` appends `workload.clients` client actors behind the
+    /// committee and switches the run to the mixed-population path.
+    pub workload: Option<WorkloadSpec>,
     /// Which event-queue backend drains the run. **Not** part of the
     /// fingerprint: pop order (and with it every observable) is pinned
     /// byte-identical across backends, so this knob selects an execution
@@ -274,9 +279,17 @@ impl ScenarioSpec {
             phase_timeout: None,
             utility: None,
             schedule: Vec::new(),
+            workload: None,
             queue: QueueBackend::default(),
             verify_mode: VerifyMode::default(),
         }
+    }
+
+    /// Attaches an open-loop client workload to the run.
+    #[must_use]
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = Some(workload);
+        self
     }
 
     /// Selects the event-queue backend (default: calendar). Results never
@@ -417,8 +430,8 @@ impl ScenarioSpec {
     /// format-version salt (bump the salt when the spec vocabulary changes
     /// shape; `spec-v1 → spec-v2` with the timeline schedule, `spec-v2 →
     /// spec-v3` with the queue-backend knob, `spec-v3 → spec-v4` with the
-    /// verify-mode knob, so every pre-change cache cell reads as a miss,
-    /// never as a stale hit).
+    /// verify-mode knob, `spec-v4 → spec-v5` with the workload section, so
+    /// every pre-change cache cell reads as a miss, never as a stale hit).
     ///
     /// The `queue` backend and `verify_mode` are deliberately
     /// **canonicalized away** before hashing: the backend-equivalence and
@@ -432,7 +445,7 @@ impl ScenarioSpec {
         canonical.queue = QueueBackend::default();
         canonical.verify_mode = VerifyMode::default();
         let mut hash = FNV_OFFSET;
-        for byte in format!("spec-v4|{canonical:?}").bytes() {
+        for byte in format!("spec-v5|{canonical:?}").bytes() {
             hash ^= byte as u64;
             hash = hash.wrapping_mul(FNV_PRIME);
         }
@@ -555,6 +568,22 @@ mod tests {
             base.fingerprint(),
             ScenarioSpec::new("x", 4, 1)
                 .role(1, Role::Abstain)
+                .fingerprint()
+        );
+        // The workload section is semantic: attaching one, and every knob
+        // inside it, must change the fingerprint.
+        let loaded = ScenarioSpec::new("x", 4, 1).workload(WorkloadSpec::steady(10, 50));
+        assert_ne!(base.fingerprint(), loaded.fingerprint());
+        assert_ne!(
+            loaded.fingerprint(),
+            ScenarioSpec::new("x", 4, 1)
+                .workload(WorkloadSpec::steady(10, 60))
+                .fingerprint()
+        );
+        assert_ne!(
+            loaded.fingerprint(),
+            ScenarioSpec::new("x", 4, 1)
+                .workload(WorkloadSpec::steady(10, 50).mempool_capacity(8))
                 .fingerprint()
         );
     }

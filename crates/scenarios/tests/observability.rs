@@ -79,7 +79,8 @@ fn per_run_engine_counters_surface_in_reports() {
     let csv = report::scenario_csv("fig2", &[batch]);
     let header = csv.lines().next().unwrap();
     assert!(header
-        .ends_with("events_dispatched_mean,peak_queue_depth_max,in_flight_max,sig_verifies_total"));
+        .contains("events_dispatched_mean,peak_queue_depth_max,in_flight_max,sig_verifies_total"));
+    assert!(header.ends_with("wl_latency_p99_mean,wl_mempool_peak_max"));
 }
 
 /// Pinned Chrome-trace export for the fig2 run. Regenerate after an

@@ -62,6 +62,7 @@ pub trait Node {
 pub struct Context<'a, M> {
     me: NodeId,
     n: usize,
+    domain: usize,
     now: SimTime,
     next_timer: &'a mut u64,
     actions: Vec<Action<M>>,
@@ -80,9 +81,17 @@ impl<'a, M: Clone + WireMessage> Context<'a, M> {
         self.me
     }
 
-    /// Committee size `n`.
+    /// Total node count (committee plus any client actors).
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Broadcast-domain size: how many nodes a [`Context::broadcast`]
+    /// reaches. Equals [`Context::n`] unless the simulation hosts
+    /// out-of-committee actors (clients), which address peers explicitly
+    /// via [`Context::send`] instead of being broadcast targets.
+    pub fn domain(&self) -> usize {
+        self.domain
     }
 
     /// Current virtual time.
@@ -105,7 +114,7 @@ impl<'a, M: Clone + WireMessage> Context<'a, M> {
     /// delay). Matching the paper, a player counts its own vote/commit like
     /// any other, so protocols need no self special-casing.
     pub fn broadcast(&mut self, msg: M) {
-        for i in 0..self.n {
+        for i in 0..self.domain {
             self.actions.push(Action::Send {
                 to: NodeId(i),
                 msg: self.clone_for_fanout(&msg),
@@ -115,7 +124,7 @@ impl<'a, M: Clone + WireMessage> Context<'a, M> {
 
     /// Broadcasts to every player except self.
     pub fn broadcast_others(&mut self, msg: M) {
-        for i in 0..self.n {
+        for i in 0..self.domain {
             if i != self.me.0 {
                 self.actions.push(Action::Send {
                     to: NodeId(i),
@@ -193,6 +202,7 @@ pub struct Simulation<N: Node> {
     // them cannot quietly reintroduce per-instance hash-order randomness.
     cancelled: BTreeSet<TimerId>,
     crashed: BTreeSet<NodeId>,
+    broadcast_domain: usize,
     rng: SimRng,
     node_rngs: Vec<SimRng>,
     meter: Meter,
@@ -243,6 +253,7 @@ impl<N: Node> Simulation<N> {
             next_timer: 0,
             cancelled: BTreeSet::new(),
             crashed: BTreeSet::new(),
+            broadcast_domain: n,
             rng: root.fork(0),
             node_rngs,
             meter: Meter::new(),
@@ -397,6 +408,28 @@ impl<N: Node> Simulation<N> {
         self.trace.set_enabled(on);
     }
 
+    /// Restricts [`Context::broadcast`] / [`Context::broadcast_others`] to
+    /// the first `domain` nodes. Out-of-domain actors (e.g. a client
+    /// population appended after the committee) still send and receive
+    /// point-to-point via [`Context::send`]; they are simply not broadcast
+    /// targets, so protocol fan-out stays O(committee), not O(nodes).
+    ///
+    /// # Panics
+    /// Panics unless `1 <= domain <= n`.
+    pub fn set_broadcast_domain(&mut self, domain: usize) {
+        assert!(
+            (1..=self.nodes.len()).contains(&domain),
+            "broadcast domain must be within the node population"
+        );
+        self.broadcast_domain = domain;
+    }
+
+    /// The current broadcast-domain size (see
+    /// [`Simulation::set_broadcast_domain`]).
+    pub fn broadcast_domain(&self) -> usize {
+        self.broadcast_domain
+    }
+
     /// Marks a node crashed: it receives no further deliveries or timers and
     /// its pending events are discarded on dispatch. Models the CFT column.
     pub fn crash(&mut self, node: NodeId) {
@@ -435,6 +468,7 @@ impl<N: Node> Simulation<N> {
         let mut ctx = Context {
             me: to,
             n: self.nodes.len(),
+            domain: self.broadcast_domain,
             now: self.now,
             next_timer: &mut self.next_timer,
             actions: Vec::new(),
@@ -745,6 +779,29 @@ mod tests {
         assert_eq!(s.node(NodeId(1)).received, 1);
         assert_eq!(s.node(NodeId(2)).received, 1);
         assert_eq!(s.meter().kind("Hello").count, 2);
+    }
+
+    #[test]
+    fn broadcast_domain_excludes_appended_actors() {
+        let mut s = sim(5);
+        s.set_broadcast_domain(3);
+        assert_eq!(s.broadcast_domain(), 3);
+        s.run();
+        // Node 0's broadcast reached only the domain …
+        for i in 0..3 {
+            assert_eq!(s.node(NodeId(i)).received.len(), 1);
+        }
+        // … while the out-of-domain actors heard nothing.
+        assert!(s.node(NodeId(3)).received.is_empty());
+        assert!(s.node(NodeId(4)).received.is_empty());
+        assert_eq!(s.meter().kind("Hello").count, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast domain")]
+    fn broadcast_domain_must_fit_population() {
+        let mut s = sim(3);
+        s.set_broadcast_domain(4);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! player's chain.
 
 use crate::{Block, Digest, Height, TxId};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Whether a block has been finalized or may still be rolled back.
@@ -66,20 +67,52 @@ impl std::error::Error for ChainError {}
 /// * entry 0 is genesis and always [`BlockStatus::Final`];
 /// * every block's `parent` equals the digest of the previous block;
 /// * final entries form a prefix (no final block above a tentative one).
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Chain {
     entries: Vec<BlockEntry>,
+    /// Digest of `entries[h].block`, computed once at append time. Block
+    /// hashing is the dominant cost of membership probes on long chains;
+    /// caching it turns `tip()` into a copy and keeps `height_of` O(1).
+    ids: Vec<Digest>,
+    /// Block digest → height, for O(1) membership lookups.
+    index: HashMap<Digest, u64>,
 }
+
+impl PartialEq for Chain {
+    fn eq(&self, other: &Self) -> bool {
+        // `ids`/`index` are pure functions of `entries`.
+        self.entries == other.entries
+    }
+}
+
+impl Eq for Chain {}
 
 impl Chain {
     /// Creates a chain rooted at the given genesis block (always final).
     pub fn new(genesis: Block) -> Self {
+        Chain::from_entries(vec![BlockEntry {
+            block: genesis,
+            status: BlockStatus::Final,
+        }])
+    }
+
+    fn from_entries(entries: Vec<BlockEntry>) -> Self {
+        let ids: Vec<Digest> = entries.iter().map(|e| e.block.id()).collect();
+        let index = ids
+            .iter()
+            .enumerate()
+            .map(|(h, id)| (*id, h as u64))
+            .collect();
         Chain {
-            entries: vec![BlockEntry {
-                block: genesis,
-                status: BlockStatus::Final,
-            }],
+            entries,
+            ids,
+            index,
         }
+    }
+
+    /// Height of the block with digest `id`, if it is in the chain.
+    pub fn height_of(&self, id: &Digest) -> Option<Height> {
+        self.index.get(id).copied().map(Height)
     }
 
     /// Height of the tip (genesis = 0).
@@ -99,11 +132,7 @@ impl Chain {
 
     /// Digest of the tip block.
     pub fn tip(&self) -> Digest {
-        self.entries
-            .last()
-            .expect("chain is never empty")
-            .block
-            .id()
+        *self.ids.last().expect("chain is never empty")
     }
 
     /// The tip entry.
@@ -137,10 +166,13 @@ impl Chain {
                 tip,
             });
         }
+        let id = block.id();
         self.entries.push(BlockEntry {
             block,
             status: BlockStatus::Tentative,
         });
+        self.ids.push(id);
+        self.index.insert(id, self.height());
         Ok(Height(self.height()))
     }
 
@@ -157,8 +189,13 @@ impl Chain {
         if height.0 as usize >= self.entries.len() {
             return Err(ChainError::NoSuchHeight(height));
         }
-        for e in &mut self.entries[..=height.0 as usize] {
-            e.status = BlockStatus::Final;
+        // Finality is prefix-contiguous, so everything below the current
+        // final height is already marked — start there, not at genesis.
+        let start = self.final_height() as usize + 1;
+        if start <= height.0 as usize {
+            for e in &mut self.entries[start..=height.0 as usize] {
+                e.status = BlockStatus::Final;
+            }
         }
         Ok(())
     }
@@ -167,6 +204,9 @@ impl Chain {
     /// (most recent last). Used after `Expose` or an abandoned view.
     pub fn rollback_tentative(&mut self) -> Vec<Block> {
         let keep = self.final_height() as usize + 1;
+        for id in self.ids.split_off(keep) {
+            self.index.remove(&id);
+        }
         self.entries
             .split_off(keep)
             .into_iter()
@@ -177,9 +217,7 @@ impl Chain {
     /// The paper's `C^{⌊c}`: this chain with the last `c` blocks removed.
     pub fn drop_suffix(&self, c: usize) -> Chain {
         let keep = self.entries.len().saturating_sub(c).max(1);
-        Chain {
-            entries: self.entries[..keep].to_vec(),
-        }
+        Chain::from_entries(self.entries[..keep].to_vec())
     }
 
     /// Whether `self` is a prefix of `other` (block-wise, ignoring status).

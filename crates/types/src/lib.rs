@@ -33,7 +33,7 @@ mod transaction;
 pub use chain::{BlockEntry, BlockStatus, Chain, ChainError};
 pub use encode::Encoder;
 pub use id::{Digest, Height, NodeId, Round};
-pub use mempool::Mempool;
+pub use mempool::{Mempool, MempoolError};
 pub use transaction::{Transaction, TxId};
 
 use std::fmt;

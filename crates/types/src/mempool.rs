@@ -1,7 +1,17 @@
-//! A minimal FIFO mempool with censorship bookkeeping.
+//! A bounded FIFO mempool with censorship bookkeeping and backpressure
+//! accounting.
 
 use crate::{Transaction, TxId};
 use std::collections::HashSet;
+
+/// Why a [`Mempool::push`] did not admit a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MempoolError {
+    /// The id was already seen (pending now or included earlier).
+    Duplicate,
+    /// The pool is at capacity: the submitter must back off and retry.
+    Full,
+}
 
 /// Pending transactions a player would include when leading.
 ///
@@ -9,29 +19,84 @@ use std::collections::HashSet;
 /// remembers everything it has *ever* seen so the state classifier can ask
 /// "was `tx` input to this player but never included?" — the censorship
 /// predicate of Definition 2.
+///
+/// The pool is optionally **bounded**: [`Mempool::bounded`] caps the
+/// pending queue, [`Mempool::push`] reports `Full` instead of growing past
+/// it, and the pool keeps backpressure accounting (occupancy high-water
+/// mark, rejected-at-capacity count) for the workload-layer gauges.
 #[derive(Debug, Clone, Default)]
 pub struct Mempool {
     pending: Vec<Transaction>,
     seen: HashSet<TxId>,
     ever_seen: HashSet<TxId>,
+    capacity: Option<usize>,
+    peak_len: usize,
+    rejected_full: u64,
 }
 
 impl Mempool {
-    /// Creates an empty mempool.
+    /// Creates an empty, unbounded mempool.
     pub fn new() -> Self {
         Mempool::default()
     }
 
+    /// Creates an empty mempool holding at most `capacity` pending txs.
+    pub fn bounded(capacity: usize) -> Self {
+        Mempool {
+            capacity: Some(capacity),
+            ..Mempool::default()
+        }
+    }
+
+    /// Caps (or uncaps, with `None`) the pending queue. Existing pending
+    /// txs are never evicted; only future pushes see the new bound.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+    }
+
+    /// The configured capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
     /// Submits a transaction; duplicates (by id) are ignored.
     /// Returns `true` if the transaction was newly added.
+    ///
+    /// Compatibility wrapper over [`Mempool::push`]: a `Full` rejection
+    /// also returns `false` (callers that care which it was use `push`).
     pub fn submit(&mut self, tx: Transaction) -> bool {
+        self.push(tx).is_ok()
+    }
+
+    /// Submits a transaction, reporting *why* it was not admitted:
+    /// duplicates (by id, pending or ever-included) and capacity
+    /// rejections are distinct — backpressure means "retry later",
+    /// a duplicate means "stop resending".
+    pub fn push(&mut self, tx: Transaction) -> Result<(), MempoolError> {
         if self.seen.contains(&tx.id) || self.ever_seen.contains(&tx.id) {
-            return false;
+            return Err(MempoolError::Duplicate);
+        }
+        if let Some(cap) = self.capacity {
+            if self.pending.len() >= cap {
+                self.rejected_full += 1;
+                return Err(MempoolError::Full);
+            }
         }
         self.seen.insert(tx.id);
         self.ever_seen.insert(tx.id);
         self.pending.push(tx);
-        true
+        self.peak_len = self.peak_len.max(self.pending.len());
+        Ok(())
+    }
+
+    /// The most txs ever simultaneously pending (occupancy high-water).
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// How many pushes were rejected at capacity.
+    pub fn rejected_full(&self) -> u64 {
+        self.rejected_full
     }
 
     /// Takes up to `max` transactions in FIFO order (removing them).
@@ -162,6 +227,49 @@ mod tests {
         assert_eq!(mp.len(), 1);
         assert!(mp.contains(TxId(1)));
         assert!(mp.ever_saw(TxId(0)), "history survives inclusion");
+    }
+
+    #[test]
+    fn bounded_pool_rejects_at_capacity_and_counts() {
+        let mut mp = Mempool::bounded(2);
+        assert_eq!(mp.capacity(), Some(2));
+        assert_eq!(mp.push(tx(0)), Ok(()));
+        assert_eq!(mp.push(tx(1)), Ok(()));
+        assert_eq!(mp.push(tx(2)), Err(MempoolError::Full));
+        assert_eq!(mp.push(tx(2)), Err(MempoolError::Full));
+        // A duplicate of a *pending* tx is Duplicate, not Full.
+        assert_eq!(mp.push(tx(0)), Err(MempoolError::Duplicate));
+        assert_eq!(mp.rejected_full(), 2);
+        assert_eq!(mp.peak_len(), 2);
+        // Draining frees a slot; the rejected tx was never marked seen,
+        // so a retry now succeeds.
+        let _ = mp.take(1);
+        assert_eq!(mp.push(tx(2)), Ok(()));
+        assert_eq!(mp.peak_len(), 2, "high-water survives the drain");
+    }
+
+    #[test]
+    fn duplicate_beats_full_for_included_txs() {
+        // A retried submit of an already-included tx must read Duplicate
+        // even when the pool is at capacity — the client should stop
+        // retrying, not back off.
+        let mut mp = Mempool::bounded(1);
+        mp.submit(tx(7));
+        let _ = mp.take(1);
+        mp.submit(tx(8));
+        assert_eq!(mp.push(tx(7)), Err(MempoolError::Duplicate));
+        assert_eq!(mp.rejected_full(), 0);
+    }
+
+    #[test]
+    fn unbounded_pool_never_rejects_full() {
+        let mut mp = Mempool::new();
+        assert_eq!(mp.capacity(), None);
+        for i in 0..100 {
+            assert_eq!(mp.push(tx(i)), Ok(()));
+        }
+        assert_eq!(mp.peak_len(), 100);
+        assert_eq!(mp.rejected_full(), 0);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Open-loop arrival processes: when a client generates its next
+//! transaction, independent of how the committee is doing (the defining
+//! property of an open-loop workload).
+
+use prft_sim::{SimRng, SimTime};
+
+/// How a client spaces its transaction submissions in virtual time.
+///
+/// All variants are expressed in integer ticks so scenario fingerprints
+/// stay platform-independent; only the Poisson draw touches floating
+/// point, and that is derived from the node's own [`SimRng`] stream, so it
+/// replays identically for a given seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalModel {
+    /// One transaction every `interval` ticks.
+    Steady {
+        /// Inter-arrival gap in ticks (≥ 1).
+        interval: u64,
+    },
+    /// Poisson process: exponential inter-arrival times with the given
+    /// mean, drawn from the client's private randomness stream.
+    Poisson {
+        /// Mean inter-arrival gap in ticks (≥ 1).
+        mean: u64,
+    },
+    /// On-off flood: during each `on` window the client submits every
+    /// `interval` ticks, then stays silent for `off` ticks.
+    Bursty {
+        /// Length of the submitting window, in ticks (≥ 1).
+        on: u64,
+        /// Length of the silent window, in ticks.
+        off: u64,
+        /// Inter-arrival gap inside an on-window (≥ 1).
+        interval: u64,
+    },
+}
+
+impl ArrivalModel {
+    /// Ticks from `now` until this client's next submission (always ≥ 1,
+    /// so a client can never wedge the scheduler at a single instant).
+    pub fn next_delay(&self, now: SimTime, rng: &mut SimRng) -> SimTime {
+        let ticks = match *self {
+            ArrivalModel::Steady { interval } => interval.max(1),
+            ArrivalModel::Poisson { mean } => {
+                // Inverse-CDF sampling; `unit()` is in [0, 1) so the
+                // argument of `ln` stays strictly positive.
+                let u = rng.unit();
+                let d = -(mean.max(1) as f64) * (1.0 - u).ln();
+                (d.round() as u64).max(1)
+            }
+            ArrivalModel::Bursty { on, off, interval } => {
+                let on = on.max(1);
+                let interval = interval.max(1);
+                let cycle = on + off;
+                let phase = now.0 % cycle;
+                if phase >= on {
+                    // Silent window: wake at the start of the next burst.
+                    cycle - phase
+                } else if phase + interval > on && off > 0 {
+                    // The next beat would land in the silent window; skip
+                    // straight to the next burst instead.
+                    cycle - phase
+                } else {
+                    interval
+                }
+            }
+        };
+        SimTime(ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_is_constant() {
+        let mut rng = SimRng::new(1);
+        let m = ArrivalModel::Steady { interval: 7 };
+        for t in 0..50 {
+            assert_eq!(m.next_delay(SimTime(t), &mut rng), SimTime(7));
+        }
+    }
+
+    #[test]
+    fn steady_zero_interval_clamps_to_one() {
+        let mut rng = SimRng::new(1);
+        let m = ArrivalModel::Steady { interval: 0 };
+        assert_eq!(m.next_delay(SimTime(0), &mut rng), SimTime(1));
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_right() {
+        let mut rng = SimRng::new(42);
+        let m = ArrivalModel::Poisson { mean: 100 };
+        let total: u64 = (0..10_000)
+            .map(|_| m.next_delay(SimTime(0), &mut rng).0)
+            .sum();
+        let mean = total as f64 / 10_000.0;
+        assert!((80.0..120.0).contains(&mean), "observed mean {mean}");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let m = ArrivalModel::Poisson { mean: 50 };
+        let mut a = SimRng::new(9);
+        let mut b = SimRng::new(9);
+        for _ in 0..100 {
+            assert_eq!(
+                m.next_delay(SimTime(0), &mut a),
+                m.next_delay(SimTime(0), &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_fires_inside_window_and_skips_silence() {
+        let mut rng = SimRng::new(1);
+        let m = ArrivalModel::Bursty {
+            on: 10,
+            off: 90,
+            interval: 2,
+        };
+        // Inside the burst: regular beat.
+        assert_eq!(m.next_delay(SimTime(0), &mut rng), SimTime(2));
+        assert_eq!(m.next_delay(SimTime(4), &mut rng), SimTime(2));
+        // Last beat would cross into silence: jump to the next cycle.
+        assert_eq!(m.next_delay(SimTime(9), &mut rng), SimTime(91));
+        // In the silent window: wake exactly at the next burst start.
+        assert_eq!(m.next_delay(SimTime(50), &mut rng), SimTime(50));
+        assert_eq!(m.next_delay(SimTime(99), &mut rng), SimTime(1));
+    }
+
+    #[test]
+    fn bursty_with_no_off_is_steady() {
+        let mut rng = SimRng::new(1);
+        let m = ArrivalModel::Bursty {
+            on: 10,
+            off: 0,
+            interval: 3,
+        };
+        for t in 0..30 {
+            assert_eq!(m.next_delay(SimTime(t), &mut rng), SimTime(3));
+        }
+    }
+}

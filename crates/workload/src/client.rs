@@ -1,0 +1,244 @@
+//! The client actor: an open-loop transaction source with per-tx
+//! retry/timeout state, driven through the same event queue as the
+//! committee it loads.
+
+use crate::arrival::ArrivalModel;
+use crate::retry::{RejectAction, RetryPolicy};
+use crate::spec::WorkloadSpec;
+use prft_core::PrftMsg;
+use prft_sim::{Context, Node, SimTime, TimerId};
+use prft_types::{NodeId, Transaction, TxId};
+use std::collections::HashMap;
+
+/// Base of the client transaction-id namespace: far above anything the
+/// scenario layer injects by hand, so workload txs never collide with
+/// scripted ones.
+pub const CLIENT_TX_BASE: u64 = 1 << 32;
+
+/// Id stride per client: each client owns a disjoint window of this many
+/// transaction ids.
+pub const CLIENT_TX_STRIDE: u64 = 1 << 20;
+
+/// Counters a client keeps about its own traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Distinct transactions generated (not counting retries).
+    pub submitted: u64,
+    /// Transactions acknowledged as finalized.
+    pub committed: u64,
+    /// Transactions given up (attempts exhausted or dropped on reject).
+    pub dropped: u64,
+    /// Resubmissions after a timeout or requeued rejection.
+    pub retries: u64,
+    /// `TxRejected` backpressure signals received.
+    pub backpressure_rejects: u64,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    tx: Transaction,
+    /// Submission attempts performed so far (≥ 1 once sent).
+    attempt: u32,
+    submitted_at: SimTime,
+    /// Replica index of the first submission; retries rotate from here.
+    first_target: usize,
+    timer: TimerId,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Purpose {
+    Arrival,
+    Retry(TxId),
+}
+
+/// A single open-loop client: generates transactions on its
+/// [`ArrivalModel`] schedule, submits them round-robin across the
+/// committee, and retries per its [`RetryPolicy`] until each transaction
+/// is either acknowledged (`TxCommitted`) or given up.
+///
+/// Clients are full simulation actors (they live behind the committee in
+/// the same node population), so their traffic interleaves with protocol
+/// messages under the engine's deterministic dispatch order.
+#[derive(Debug)]
+pub struct Client {
+    me: NodeId,
+    committee_n: usize,
+    index: usize,
+    arrival: ArrivalModel,
+    retry: RetryPolicy,
+    txs_total: u64,
+    payload_bytes: usize,
+    next_seq: u64,
+    in_flight: HashMap<TxId, InFlight>,
+    purposes: HashMap<TimerId, Purpose>,
+    stats: ClientStats,
+    /// Commit latencies in ticks, in commit order.
+    latencies: Vec<u64>,
+}
+
+impl Client {
+    /// Creates client number `index` of the population, running as
+    /// simulation node `me`, against a committee of `committee_n`
+    /// replicas.
+    pub fn new(me: NodeId, committee_n: usize, index: usize, spec: &WorkloadSpec) -> Self {
+        assert!(committee_n > 0, "a client needs a committee to talk to");
+        assert!(
+            spec.txs_per_client < CLIENT_TX_STRIDE,
+            "txs_per_client must fit the per-client id window"
+        );
+        Client {
+            me,
+            committee_n,
+            index,
+            arrival: spec.arrival,
+            retry: spec.retry,
+            txs_total: spec.txs_per_client,
+            payload_bytes: spec.payload_bytes,
+            next_seq: 0,
+            in_flight: HashMap::new(),
+            purposes: HashMap::new(),
+            stats: ClientStats::default(),
+            latencies: Vec::new(),
+        }
+    }
+
+    /// This client's counters.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// Transactions still awaiting an ack (neither committed nor dropped).
+    pub fn pending(&self) -> u64 {
+        self.in_flight.len() as u64
+    }
+
+    /// Commit latencies (ticks), in the order the acks arrived.
+    pub fn latencies(&self) -> &[u64] {
+        &self.latencies
+    }
+
+    fn tx_id(&self, seq: u64) -> u64 {
+        CLIENT_TX_BASE + self.index as u64 * CLIENT_TX_STRIDE + seq
+    }
+
+    fn arm_arrival(&mut self, ctx: &mut Context<PrftMsg>) {
+        let delay = self.arrival.next_delay(ctx.now(), ctx.rng());
+        let timer = ctx.set_timer(delay);
+        self.purposes.insert(timer, Purpose::Arrival);
+    }
+
+    fn submit_next(&mut self, ctx: &mut Context<PrftMsg>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let tx = Transaction::new(self.tx_id(seq), self.me, vec![0xABu8; self.payload_bytes]);
+        // Stagger first targets by client index so a synchronized arrival
+        // wave spreads over the committee instead of mobbing replica 0.
+        let first_target = (self.index + seq as usize) % self.committee_n;
+        ctx.send(NodeId(first_target), PrftMsg::Submit { tx: tx.clone() });
+        let timer = ctx.set_timer(self.retry.delay_for(0));
+        self.purposes.insert(timer, Purpose::Retry(tx.id));
+        self.in_flight.insert(
+            tx.id,
+            InFlight {
+                tx,
+                attempt: 1,
+                submitted_at: ctx.now(),
+                first_target,
+                timer,
+            },
+        );
+        self.stats.submitted += 1;
+    }
+
+    /// Resends an in-flight tx to the next replica in its rotation, or
+    /// gives it up if the attempt budget is spent.
+    fn retry_or_drop(&mut self, ctx: &mut Context<PrftMsg>, id: TxId) {
+        let Some(f) = self.in_flight.get_mut(&id) else {
+            return; // already committed or dropped
+        };
+        if f.attempt >= self.retry.max_attempts {
+            self.in_flight.remove(&id);
+            self.stats.dropped += 1;
+            return;
+        }
+        let target = (f.first_target + f.attempt as usize) % self.committee_n;
+        let tx = f.tx.clone();
+        f.attempt += 1;
+        let attempt = f.attempt;
+        ctx.send(NodeId(target), PrftMsg::Submit { tx });
+        let timer = ctx.set_timer(self.retry.delay_for(attempt - 1));
+        self.purposes.insert(timer, Purpose::Retry(id));
+        self.in_flight.get_mut(&id).expect("still present").timer = timer;
+        self.stats.retries += 1;
+    }
+}
+
+impl Node for Client {
+    type Msg = PrftMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<PrftMsg>) {
+        if self.txs_total > 0 {
+            self.arm_arrival(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<PrftMsg>, _from: NodeId, msg: PrftMsg) {
+        match msg {
+            PrftMsg::TxCommitted { id } => {
+                // Duplicate acks (retry spread across replicas) are benign.
+                if let Some(f) = self.in_flight.remove(&id) {
+                    ctx.cancel_timer(f.timer);
+                    self.purposes.remove(&f.timer);
+                    self.latencies.push(ctx.now().0 - f.submitted_at.0);
+                    self.stats.committed += 1;
+                }
+            }
+            PrftMsg::TxRejected { id } => {
+                self.stats.backpressure_rejects += 1;
+                let Some(f) = self.in_flight.get(&id) else {
+                    return;
+                };
+                match self.retry.on_reject {
+                    RejectAction::Drop => {
+                        let f = self.in_flight.remove(&id).expect("probed above");
+                        ctx.cancel_timer(f.timer);
+                        self.purposes.remove(&f.timer);
+                        self.stats.dropped += 1;
+                    }
+                    RejectAction::Requeue => {
+                        // Replace the pending timeout with the backoff
+                        // delay for the *next* attempt: the rejection
+                        // already answered this one.
+                        let old = f.timer;
+                        ctx.cancel_timer(old);
+                        self.purposes.remove(&old);
+                        let delay = self.retry.delay_for(f.attempt);
+                        let timer = ctx.set_timer(delay);
+                        self.purposes.insert(timer, Purpose::Retry(id));
+                        self.in_flight.get_mut(&id).expect("probed above").timer = timer;
+                    }
+                }
+            }
+            // Clients are not committee members; protocol traffic that
+            // somehow reaches one is dropped.
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<PrftMsg>, timer: TimerId) {
+        match self.purposes.remove(&timer) {
+            Some(Purpose::Arrival) => {
+                if self.next_seq < self.txs_total {
+                    self.submit_next(ctx);
+                }
+                if self.next_seq < self.txs_total {
+                    self.arm_arrival(ctx);
+                }
+            }
+            Some(Purpose::Retry(id)) => self.retry_or_drop(ctx, id),
+            // A cancelled-then-fired timer cannot happen (the engine drops
+            // cancelled timers); an unknown id is simply stale state.
+            None => {}
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Commit-latency accounting in virtual time: nearest-rank percentiles
+//! over the submit→commit intervals observed by the client population.
+
+/// Nearest-rank percentile over an **ascending-sorted** slice: the value at
+/// rank `⌈p/100 · len⌉` (1-based), i.e. the smallest element such that at
+/// least `p` percent of the sample is ≤ it. Returns 0 for an empty slice.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+/// Percentile summary of one run's commit latencies, in ticks.
+///
+/// All fields are integers so the summary serializes byte-identically
+/// regardless of thread count or queue backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Number of committed transactions the sample covers.
+    pub count: u64,
+    /// Median commit latency (nearest-rank).
+    pub p50: u64,
+    /// 90th-percentile commit latency.
+    pub p90: u64,
+    /// 99th-percentile commit latency.
+    pub p99: u64,
+    /// Worst observed commit latency.
+    pub max: u64,
+    /// Sum of all latencies (mean = `total / count`, left to readers so
+    /// the summary stays integer-only).
+    pub total: u64,
+}
+
+impl LatencySummary {
+    /// Builds the summary from raw latency ticks (order irrelevant; the
+    /// sample is sorted internally).
+    pub fn from_ticks(mut ticks: Vec<u64>) -> Self {
+        ticks.sort_unstable();
+        LatencySummary {
+            count: ticks.len() as u64,
+            p50: percentile(&ticks, 50.0),
+            p90: percentile(&ticks, 90.0),
+            p99: percentile(&ticks, 99.0),
+            max: ticks.last().copied().unwrap_or(0),
+            total: ticks.iter().sum(),
+        }
+    }
+
+    /// Mean latency in ticks, rounded to nearest (0 when empty).
+    pub fn mean(&self) -> u64 {
+        (self.total + self.count / 2)
+            .checked_div(self.count)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_all_zero() {
+        let s = LatencySummary::from_ticks(vec![]);
+        assert_eq!(s, LatencySummary::default());
+        assert_eq!(s.mean(), 0);
+        assert_eq!(percentile(&[], 99.0), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = LatencySummary::from_ticks(vec![42]);
+        assert_eq!((s.p50, s.p90, s.p99, s.max), (42, 42, 42, 42));
+        assert_eq!(s.mean(), 42);
+    }
+
+    #[test]
+    fn hand_computed_schedule() {
+        // Ten latencies 10, 20, ..., 100: nearest-rank p50 is the 5th
+        // value (50), p90 the 9th (90), p99 rounds up to the 10th (100).
+        let ticks: Vec<u64> = (1..=10).map(|i| i * 10).collect();
+        let s = LatencySummary::from_ticks(ticks);
+        assert_eq!(s.count, 10);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p90, 90);
+        assert_eq!(s.p99, 100);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.total, 550);
+        assert_eq!(s.mean(), 55);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = LatencySummary::from_ticks(vec![5, 1, 9, 3, 7]);
+        let b = LatencySummary::from_ticks(vec![9, 7, 5, 3, 1]);
+        assert_eq!(a, b);
+        assert_eq!(a.p50, 5);
+    }
+
+    #[test]
+    fn percentile_extremes() {
+        let sorted = [1, 2, 3, 4];
+        assert_eq!(percentile(&sorted, 0.0), 1, "p0 clamps to the minimum");
+        assert_eq!(percentile(&sorted, 100.0), 4);
+        assert_eq!(percentile(&sorted, 25.0), 1);
+        assert_eq!(percentile(&sorted, 25.1), 2);
+    }
+
+    #[test]
+    fn large_uniform_sample() {
+        let ticks: Vec<u64> = (1..=1000).collect();
+        let s = LatencySummary::from_ticks(ticks);
+        assert_eq!(s.p50, 500);
+        assert_eq!(s.p90, 900);
+        assert_eq!(s.p99, 990);
+    }
+}

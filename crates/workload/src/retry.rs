@@ -1,0 +1,88 @@
+//! Client-side retry policy: how long to wait for a commit ack, how the
+//! wait grows across attempts, and what a backpressure rejection means.
+
+use prft_sim::SimTime;
+
+/// What a client does when a replica answers `TxRejected` (mempool full).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectAction {
+    /// Keep the transaction and retry it (against the next replica) after
+    /// the backoff delay — the default, models a patient client.
+    Requeue,
+    /// Give the transaction up immediately and count it as dropped.
+    Drop,
+}
+
+/// Per-transaction retry/timeout/backoff policy.
+///
+/// A client arms one timer per in-flight transaction. If no `TxCommitted`
+/// arrives before the timer fires, the client resubmits to the *next*
+/// replica (round-robin over the committee — leaders only propose from
+/// their own mempool, so spreading retries is what bounds commit latency)
+/// with the attempt counter bumped and the delay doubled up to
+/// `max_backoff`. After `max_attempts` the transaction is dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Base wait before the first retry, in ticks (≥ 1).
+    pub timeout: SimTime,
+    /// Ceiling for the exponentially growing delay.
+    pub max_backoff: SimTime,
+    /// Total submission attempts per transaction (≥ 1) before giving up.
+    pub max_attempts: u32,
+    /// Reaction to a mempool-full rejection.
+    pub on_reject: RejectAction,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: SimTime(400),
+            max_backoff: SimTime(6400),
+            max_attempts: 16,
+            on_reject: RejectAction::Requeue,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Wait before retry number `attempt` (0-based: the delay armed right
+    /// after attempt `attempt` was sent). Doubles per attempt, capped at
+    /// `max_backoff`, never below one tick.
+    pub fn delay_for(&self, attempt: u32) -> SimTime {
+        let base = self.timeout.0.max(1);
+        let shift = attempt.min(32);
+        let raw = base.saturating_mul(1u64 << shift.min(63));
+        SimTime(raw.min(self.max_backoff.0.max(base)).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_doubles_then_caps() {
+        let p = RetryPolicy {
+            timeout: SimTime(100),
+            max_backoff: SimTime(500),
+            max_attempts: 8,
+            on_reject: RejectAction::Requeue,
+        };
+        assert_eq!(p.delay_for(0), SimTime(100));
+        assert_eq!(p.delay_for(1), SimTime(200));
+        assert_eq!(p.delay_for(2), SimTime(400));
+        assert_eq!(p.delay_for(3), SimTime(500), "capped");
+        assert_eq!(p.delay_for(30), SimTime(500), "still capped, no overflow");
+    }
+
+    #[test]
+    fn delay_never_zero() {
+        let p = RetryPolicy {
+            timeout: SimTime(0),
+            max_backoff: SimTime(0),
+            max_attempts: 1,
+            on_reject: RejectAction::Drop,
+        };
+        assert_eq!(p.delay_for(0), SimTime(1));
+    }
+}

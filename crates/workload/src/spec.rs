@@ -1,0 +1,130 @@
+//! Declarative description of a client workload — the `workload:` section
+//! of a scenario spec.
+
+use crate::arrival::ArrivalModel;
+use crate::retry::RetryPolicy;
+
+/// A client population and the load it offers.
+///
+/// Everything is integer-valued and `Eq` so the spec participates in the
+/// scenario fingerprint (`{:?}` canonical form) without platform drift.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Number of client actors appended after the committee.
+    pub clients: usize,
+    /// Transactions each client generates over the run (bounded so the
+    /// simulation quiesces; must fit the per-client id window).
+    pub txs_per_client: u64,
+    /// Payload size per transaction, bytes (wire accounting only).
+    pub payload_bytes: usize,
+    /// When clients submit.
+    pub arrival: ArrivalModel,
+    /// How clients wait, back off, and give up.
+    pub retry: RetryPolicy,
+    /// Per-replica mempool bound (`None` = unbounded): the backpressure
+    /// knob. Full pools answer `TxRejected`.
+    pub mempool_capacity: Option<usize>,
+    /// Overrides the committee's per-block batch limit for this run
+    /// (`None` keeps [`prft_core::Config`]'s default); raising it is how
+    /// high-throughput sweeps avoid being batch-limited.
+    pub max_batch: Option<usize>,
+}
+
+impl WorkloadSpec {
+    fn base(clients: usize, arrival: ArrivalModel) -> Self {
+        WorkloadSpec {
+            clients,
+            txs_per_client: 4,
+            payload_bytes: 32,
+            arrival,
+            retry: RetryPolicy::default(),
+            mempool_capacity: None,
+            max_batch: None,
+        }
+    }
+
+    /// Steady open-loop load: every client submits each `interval` ticks.
+    pub fn steady(clients: usize, interval: u64) -> Self {
+        Self::base(clients, ArrivalModel::Steady { interval })
+    }
+
+    /// Poisson load with the given mean inter-arrival gap.
+    pub fn poisson(clients: usize, mean: u64) -> Self {
+        Self::base(clients, ArrivalModel::Poisson { mean })
+    }
+
+    /// On-off flood: bursts of `interval`-spaced submissions for `on`
+    /// ticks, silent for `off` ticks.
+    pub fn bursty(clients: usize, on: u64, off: u64, interval: u64) -> Self {
+        Self::base(clients, ArrivalModel::Bursty { on, off, interval })
+    }
+
+    /// Sets how many transactions each client generates.
+    #[must_use]
+    pub fn txs_per_client(mut self, txs: u64) -> Self {
+        self.txs_per_client = txs;
+        self
+    }
+
+    /// Sets the transaction payload size in bytes.
+    #[must_use]
+    pub fn payload_bytes(mut self, bytes: usize) -> Self {
+        self.payload_bytes = bytes;
+        self
+    }
+
+    /// Sets the retry/timeout/backoff policy.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Bounds each replica's mempool (enables backpressure).
+    #[must_use]
+    pub fn mempool_capacity(mut self, capacity: usize) -> Self {
+        self.mempool_capacity = Some(capacity);
+        self
+    }
+
+    /// Overrides the per-block batch limit for this run.
+    #[must_use]
+    pub fn max_batch(mut self, batch: usize) -> Self {
+        self.max_batch = Some(batch);
+        self
+    }
+
+    /// Total transactions the population will generate.
+    pub fn offered_txs(&self) -> u64 {
+        self.clients as u64 * self.txs_per_client
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let w = WorkloadSpec::steady(100, 50)
+            .txs_per_client(8)
+            .payload_bytes(64)
+            .mempool_capacity(256)
+            .max_batch(128);
+        assert_eq!(w.clients, 100);
+        assert_eq!(w.arrival, ArrivalModel::Steady { interval: 50 });
+        assert_eq!(w.txs_per_client, 8);
+        assert_eq!(w.payload_bytes, 64);
+        assert_eq!(w.mempool_capacity, Some(256));
+        assert_eq!(w.max_batch, Some(128));
+        assert_eq!(w.offered_txs(), 800);
+    }
+
+    #[test]
+    fn debug_form_is_stable_for_fingerprinting() {
+        let a = format!("{:?}", WorkloadSpec::poisson(10, 100));
+        let b = format!("{:?}", WorkloadSpec::poisson(10, 100));
+        assert_eq!(a, b);
+        assert!(a.contains("Poisson"));
+    }
+}

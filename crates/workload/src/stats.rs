@@ -1,0 +1,85 @@
+//! Run-level workload aggregates: what a finished workload simulation
+//! reports into `RunRecord`s and benchmark sweeps.
+
+use crate::actor::Actor;
+use crate::latency::LatencySummary;
+use prft_sim::Simulation;
+
+/// Aggregated workload observables for one finished run.
+///
+/// All fields are integers, assembled in node-id order from per-actor
+/// state, so the struct (and anything serialized from it) is byte-identical
+/// across thread counts and queue backends.
+///
+/// Conservation invariant: `submitted == committed + dropped + pending` —
+/// every generated transaction is acknowledged, given up, or still waiting
+/// when the run ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkloadRunStats {
+    /// Client actors in the population.
+    pub clients: u64,
+    /// Distinct transactions generated across all clients.
+    pub submitted: u64,
+    /// Transactions acknowledged as finalized.
+    pub committed: u64,
+    /// Transactions given up (attempt budget spent or dropped on reject).
+    pub dropped: u64,
+    /// Transactions still in flight when the run ended.
+    pub pending: u64,
+    /// Resubmissions (timeouts plus requeued rejections).
+    pub retries: u64,
+    /// Backpressure (`TxRejected`) signals clients received.
+    pub backpressure_rejects: u64,
+    /// Replica-side pushes rejected at mempool capacity.
+    pub mempool_rejected_full: u64,
+    /// Highest mempool occupancy any replica reached.
+    pub mempool_peak_occupancy: u64,
+    /// Submit→commit latency percentiles, in virtual-time ticks.
+    pub latency: LatencySummary,
+}
+
+impl WorkloadRunStats {
+    /// Gathers the aggregate from a finished workload simulation.
+    pub fn collect(sim: &Simulation<Actor>) -> WorkloadRunStats {
+        let mut out = WorkloadRunStats::default();
+        let mut ticks: Vec<u64> = Vec::new();
+        for node in sim.nodes() {
+            match node {
+                Actor::Client(c) => {
+                    let s = c.stats();
+                    out.clients += 1;
+                    out.submitted += s.submitted;
+                    out.committed += s.committed;
+                    out.dropped += s.dropped;
+                    out.pending += c.pending();
+                    out.retries += s.retries;
+                    out.backpressure_rejects += s.backpressure_rejects;
+                    ticks.extend_from_slice(c.latencies());
+                }
+                Actor::Replica(r) => {
+                    out.mempool_rejected_full += r.mempool().rejected_full();
+                    out.mempool_peak_occupancy = out
+                        .mempool_peak_occupancy
+                        .max(r.mempool().peak_len() as u64);
+                }
+            }
+        }
+        out.latency = LatencySummary::from_ticks(ticks);
+        out
+    }
+
+    /// Whether the conservation invariant holds.
+    pub fn conserved(&self) -> bool {
+        self.submitted == self.committed + self.dropped + self.pending
+    }
+
+    /// Committed transactions per 1000 ticks of virtual time (0 when the
+    /// run had no duration).
+    pub fn throughput_per_kilotick(&self, duration_ticks: u64) -> f64 {
+        if duration_ticks == 0 {
+            0.0
+        } else {
+            self.committed as f64 * 1000.0 / duration_ticks as f64
+        }
+    }
+}
