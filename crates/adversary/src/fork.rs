@@ -25,7 +25,7 @@ use std::sync::{Arc, Mutex};
 
 /// The collusion's shared knowledge: for each attacked round, the pair of
 /// equivocated block hashes `(a, b)`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ForkPlan {
     pairs: HashMap<Round, (Digest, Digest)>,
 }
@@ -56,6 +56,10 @@ impl ForkPlan {
 /// two worlds apart by splitting its own votes, commits, reveals, and
 /// finals along the same line (it is byzantine; honest-looking reveals
 /// would leak the other side's certificates and blow the attack).
+///
+/// `Clone` (for checkpoint forks) shares the blackboard `Arc` until
+/// [`Behavior::rebind_shared`] splices in the fork's own copy.
+#[derive(Clone)]
 pub struct EquivocatingLeader {
     board: Blackboard,
     b_group: HashSet<NodeId>,
@@ -177,11 +181,21 @@ impl Behavior for EquivocatingLeader {
     fn send_expose(&self) -> bool {
         false
     }
+
+    fn rebind_shared(&mut self, state: &dyn std::any::Any) {
+        if let Some(board) = state.downcast_ref::<Blackboard>() {
+            self.board = Arc::clone(board);
+        }
+    }
 }
 
 /// A rational colluder playing `π_fork`: double-signs toward the two
 /// groups whenever the blackboard has a pair for the round, else follows
 /// the protocol honestly (maximizing payoff outside attack rounds).
+///
+/// `Clone` (for checkpoint forks) shares the blackboard `Arc` until
+/// [`Behavior::rebind_shared`] splices in the fork's own copy.
+#[derive(Clone)]
 pub struct ForkColluder {
     board: Blackboard,
     b_group: HashSet<NodeId>,
@@ -227,6 +241,12 @@ impl Behavior for ForkColluder {
 
     fn join_view_change(&self) -> bool {
         false // colluders never help abandon the round they are forking
+    }
+
+    fn rebind_shared(&mut self, state: &dyn std::any::Any) {
+        if let Some(board) = state.downcast_ref::<Blackboard>() {
+            self.board = Arc::clone(board);
+        }
     }
 }
 

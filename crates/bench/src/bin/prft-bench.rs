@@ -5,6 +5,8 @@
 //! prft-bench queue [--quick] [--out FILE] [--repeats R]
 //! prft-bench profile [--quick] [--out FILE]
 //! prft-bench workload [--quick] [--out FILE]
+//! prft-bench checkpoint [--quick] [--out FILE] [--repeats R]
+//! prft-bench diff <current.json> <baseline.json> [--tolerance F]
 //! ```
 //!
 //! `queue` sweeps committee sizes n ∈ {16, 64, 128, 256} × both event-queue
@@ -50,6 +52,24 @@
 //! is pure queue cost. The binary exits non-zero if the calendar backend
 //! fails to at least match the heap backend at the largest swept n, which
 //! is what lets CI grep a PASS line instead of parsing JSON.
+//!
+//! `checkpoint` measures the sweep-scale payoff of checkpoint/fork warm
+//! starts (`docs/CHECKPOINTING.md`) on two late-divergence grids — cells
+//! sharing a long common prefix that diverge only near the horizon, the
+//! shape where forking pays most. Each grid runs twice at one thread:
+//! cold (no store) and warm (one shared store); the report carries per-
+//! cell deterministic event counts, both walls, the reuse accounting, and
+//! the warm/cold speedup. Exits non-zero if warm and cold records differ
+//! anywhere or no grid reaches 2× cells/sec warm over cold.
+//!
+//! `diff` compares a freshly measured bench JSON against a committed
+//! baseline (`BENCH_*.json`) and exits non-zero on regression: exact
+//! equality for deterministic counters (profile verify/memo counts,
+//! workload conservation and latency percentiles, checkpoint per-cell
+//! event counts), a relative tolerance (default 0.35) for wall-clock
+//! ratios (queue calendar/heap, checkpoint warm/cold). CI runs it after
+//! each `--quick` bench so perf regressions fail the build without any
+//! JSON toolchain in the workflow.
 //!
 //! Schema of the emitted JSON: see `docs/PERFORMANCE.md`.
 
@@ -766,11 +786,572 @@ fn workload_bench(quick: bool, out: Option<&str>) -> ExitCode {
     }
 }
 
+/// One late-divergence grid of the checkpoint bench: cells sharing a
+/// long identical prefix, each diverging at a different tick near the
+/// horizon (plus one cell that never diverges and forks at the horizon
+/// pseudo-boundary).
+struct CheckpointGrid {
+    name: &'static str,
+    specs: Vec<prft_lab::ScenarioSpec>,
+    /// Divergence tick per cell (`None` for the never-diverging tail).
+    ticks: Vec<Option<u64>>,
+}
+
+/// Round cadence for the checkpoint grids: Δ = 100 keeps an unbounded-
+/// round n = 8 committee busy (but not event-dense) all the way to the
+/// horizon, so prefix ticks translate into real simulation work.
+const CHECKPOINT_DELTA: u64 = 100;
+
+/// A busy-to-the-horizon checkpoint cell: the round budget is never
+/// reached, so activity is horizon-bound.
+fn checkpoint_cell(label: String, seed: u64, horizon: u64) -> prft_lab::ScenarioSpec {
+    prft_lab::ScenarioSpec::new(label, 8, u64::MAX / 2)
+        .base_seed(seed)
+        .synchrony(prft_lab::Synchrony::Synchronous {
+            delta: CHECKPOINT_DELTA,
+        })
+        .horizon(horizon)
+}
+
+/// The crash-divergence grid: one crash landing at `t` per cell (plus a
+/// crash-free tail cell). Every cell's prefix below its own divergence
+/// tick is empty, so cell k forks from cell k−1's capture and simulates
+/// only its final slice.
+fn crash_grid(horizon: u64, ticks: &[u64]) -> CheckpointGrid {
+    use prft_lab::TimelineEvent;
+    let mut specs: Vec<prft_lab::ScenarioSpec> = ticks
+        .iter()
+        .map(|&t| {
+            checkpoint_cell(format!("crash@{t}"), 0xc4e2, horizon).at(t, TimelineEvent::Crash(7))
+        })
+        .collect();
+    specs.push(checkpoint_cell(
+        "no-divergence".to_string(),
+        0xc4e2,
+        horizon,
+    ));
+    CheckpointGrid {
+        name: "crash-divergence",
+        specs,
+        ticks: ticks.iter().map(|&t| Some(t)).chain([None]).collect(),
+    }
+}
+
+/// The delay-divergence grid: every cell installs the same targeted
+/// delay rule at t = 0 and lifts it at a different tick (one never
+/// does). Forks here cross a live delay rule, so the bench also times
+/// the delay-replay path the equivalence suite pins for correctness.
+fn delay_grid(horizon: u64, ticks: &[u64]) -> CheckpointGrid {
+    use prft_lab::TimelineEvent;
+    let base = |label: String| {
+        checkpoint_cell(label, 0xde1a, horizon).at(
+            0,
+            TimelineEvent::AddDelayRule {
+                from: Some(0),
+                to: None,
+                extra: 40,
+                window: u64::MAX,
+            },
+        )
+    };
+    let mut specs: Vec<prft_lab::ScenarioSpec> = ticks
+        .iter()
+        .map(|&t| {
+            base(format!("lift@{t}")).at(
+                t,
+                TimelineEvent::RemoveDelayRule {
+                    from: Some(0),
+                    to: None,
+                },
+            )
+        })
+        .collect();
+    specs.push(base("never-lifted".to_string()));
+    CheckpointGrid {
+        name: "delay-divergence",
+        specs,
+        ticks: ticks.iter().map(|&t| Some(t)).chain([None]).collect(),
+    }
+}
+
+/// One grid measured both ways.
+struct CheckpointResult {
+    grid: CheckpointGrid,
+    records: Vec<prft_lab::RunRecord>,
+    cold_wall: f64,
+    warm_wall: f64,
+    identical: bool,
+    reuse: prft_lab::ReuseStats,
+}
+
+/// Runs one leg of a grid (cells in divergence order, one thread).
+fn run_checkpoint_leg(
+    specs: &[prft_lab::ScenarioSpec],
+    store: Option<&prft_lab::CheckpointStore>,
+) -> (Vec<prft_lab::RunRecord>, f64) {
+    let t0 = Instant::now();
+    let records = specs
+        .iter()
+        .map(|s| prft_lab::run_one_with(s, prft_lab::derive_seed(s.base_seed, 0), store))
+        .collect();
+    (records, t0.elapsed().as_secs_f64())
+}
+
+/// Measures one grid cold and warm, best-of-`repeats` walls (records and
+/// reuse counters are deterministic at one thread; only walls jitter).
+fn measure_checkpoint_grid(grid: CheckpointGrid, repeats: u32) -> CheckpointResult {
+    let mut cold_wall = f64::INFINITY;
+    let mut warm_wall = f64::INFINITY;
+    let mut cold_records = Vec::new();
+    let mut warm_records = Vec::new();
+    let mut reuse = prft_lab::ReuseStats::default();
+    for _ in 0..repeats {
+        let (records, wall) = run_checkpoint_leg(&grid.specs, None);
+        cold_wall = cold_wall.min(wall);
+        cold_records = records;
+        let store = prft_lab::CheckpointStore::default();
+        let (records, wall) = run_checkpoint_leg(&grid.specs, Some(&store));
+        warm_wall = warm_wall.min(wall);
+        warm_records = records;
+        reuse = store.stats();
+    }
+    let identical = cold_records == warm_records;
+    CheckpointResult {
+        grid,
+        records: cold_records,
+        cold_wall,
+        warm_wall,
+        identical,
+        reuse,
+    }
+}
+
+fn checkpoint_bench(quick: bool, repeats: u32, out: Option<&str>) -> ExitCode {
+    // Both modes share the horizon, so per-cell event counts are directly
+    // comparable across quick and full runs (`prft-bench diff` relies on
+    // that); quick just drops the middle divergence points.
+    const HORIZON: u64 = 120_000;
+    let (crash_ticks, delay_ticks): (&[u64], &[u64]) = if quick {
+        (&[100_000, 115_000], &[60_000, 100_000])
+    } else {
+        (
+            &[100_000, 105_000, 110_000, 115_000],
+            &[60_000, 80_000, 100_000],
+        )
+    };
+    let grids = vec![
+        measure_checkpoint_grid(crash_grid(HORIZON, crash_ticks), repeats),
+        measure_checkpoint_grid(delay_grid(HORIZON, delay_ticks), repeats),
+    ];
+    let mut best_speedup = 0.0f64;
+    for r in &grids {
+        let cells = r.grid.specs.len() as f64;
+        let speedup = r.cold_wall / r.warm_wall;
+        best_speedup = best_speedup.max(speedup);
+        eprintln!(
+            "{}: {} cells, cold {:>7.1}ms ({:.1} cells/s), warm {:>7.1}ms ({:.1} cells/s), \
+             {:.2}x — {} captured, {} forked, {} prefix ticks saved",
+            r.grid.name,
+            r.grid.specs.len(),
+            r.cold_wall * 1e3,
+            cells / r.cold_wall,
+            r.warm_wall * 1e3,
+            cells / r.warm_wall,
+            speedup,
+            r.reuse.created,
+            r.reuse.forked,
+            r.reuse.prefix_ticks_saved,
+        );
+    }
+    // Check 1 (CI greps this line): forking must be invisible — warm and
+    // cold records byte-equal at every cell of every grid.
+    let identical = grids.iter().all(|r| r.identical);
+    eprintln!(
+        "check: warm records identical to cold at every cell ({})",
+        if identical { "PASS" } else { "FAIL" }
+    );
+    // Check 2: at least one grid must clear 2x cells/sec warm over cold —
+    // the acceptance bar for the warm-start machinery paying for itself.
+    let speedup_pass = best_speedup >= 2.0;
+    eprintln!(
+        "check: best grid warm/cold = {best_speedup:.2}x >= 2.00x ({})",
+        if speedup_pass { "PASS" } else { "FAIL" }
+    );
+
+    let doc = Json::obj([
+        ("bench", Json::str("checkpoint")),
+        ("quick", Json::Bool(quick)),
+        ("repeats", Json::u64(repeats as u64)),
+        ("committee_n", Json::u64(8)),
+        ("horizon", Json::u64(HORIZON)),
+        (
+            "grids",
+            Json::Arr(
+                grids
+                    .iter()
+                    .map(|r| {
+                        let cells = r.grid.specs.len() as f64;
+                        Json::obj([
+                            ("name", Json::str(r.grid.name)),
+                            (
+                                "cells",
+                                Json::Arr(
+                                    r.grid
+                                        .specs
+                                        .iter()
+                                        .zip(&r.grid.ticks)
+                                        .zip(&r.records)
+                                        .map(|((spec, tick), record)| {
+                                            Json::obj([
+                                                ("label", Json::str(spec.label.clone())),
+                                                (
+                                                    "divergence_tick",
+                                                    match tick {
+                                                        Some(t) => Json::u64(*t),
+                                                        None => Json::Null,
+                                                    },
+                                                ),
+                                                (
+                                                    "events_dispatched",
+                                                    Json::u64(record.events_dispatched),
+                                                ),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                            ("cold_wall_ms", Json::Num(r.cold_wall * 1e3)),
+                            ("warm_wall_ms", Json::Num(r.warm_wall * 1e3)),
+                            ("cells_per_sec_cold", Json::Num(cells / r.cold_wall)),
+                            ("cells_per_sec_warm", Json::Num(cells / r.warm_wall)),
+                            ("warm_over_cold", Json::Num(r.cold_wall / r.warm_wall)),
+                            (
+                                "reuse",
+                                Json::obj([
+                                    ("created", Json::u64(r.reuse.created)),
+                                    ("forked", Json::u64(r.reuse.forked)),
+                                    ("prefix_ticks_saved", Json::u64(r.reuse.prefix_ticks_saved)),
+                                ]),
+                            ),
+                            ("identical", Json::Bool(r.identical)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "speedup_check",
+            Json::obj([
+                ("best_warm_over_cold", Json::Num(best_speedup)),
+                ("threshold", Json::Num(2.0)),
+                ("pass", Json::Bool(speedup_pass)),
+            ]),
+        ),
+        ("identity_pass", Json::Bool(identical)),
+    ]);
+    let rendered = doc.render_pretty();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    if identical && speedup_pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Field access helpers over the hand-rolled [`Json`] model (no serde in
+/// the build environment, so the diff reads documents through these).
+mod jx {
+    use prft_lab::json::Json;
+
+    pub fn get<'a>(j: &'a Json, key: &str) -> Option<&'a Json> {
+        match j {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn arr(j: &Json) -> &[Json] {
+        match j {
+            Json::Arr(items) => items,
+            _ => &[],
+        }
+    }
+
+    pub fn u64_at(j: &Json, key: &str) -> Option<u64> {
+        match get(j, key)? {
+            Json::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn f64_at(j: &Json, key: &str) -> Option<f64> {
+        match get(j, key)? {
+            Json::Num(v) => Some(*v),
+            Json::UInt(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn str_at<'a>(j: &'a Json, key: &str) -> Option<&'a str> {
+        match get(j, key)? {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn bool_at(j: &Json, key: &str) -> Option<bool> {
+        match get(j, key)? {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Accumulates diff verdicts: every failed check prints its own line, and
+/// one failure fails the run.
+struct DiffChecks {
+    failures: u32,
+    checks: u32,
+}
+
+impl DiffChecks {
+    fn new() -> Self {
+        DiffChecks {
+            failures: 0,
+            checks: 0,
+        }
+    }
+
+    /// Records one check; prints the line with a PASS/FAIL suffix.
+    fn check(&mut self, pass: bool, line: String) {
+        self.checks += 1;
+        if !pass {
+            self.failures += 1;
+        }
+        eprintln!("diff: {line} ({})", if pass { "PASS" } else { "FAIL" });
+    }
+}
+
+/// `queue` regression rule: at every committee size both documents swept,
+/// the calendar/heap throughput ratio must not have regressed by more
+/// than the tolerance (wall-clock ratios jitter; the event counts backing
+/// them are asserted equal by the bench itself).
+fn diff_queue(current: &Json, baseline: &Json, tol: f64, checks: &mut DiffChecks) {
+    for base_point in jx::arr(jx::get(baseline, "speedup").unwrap_or(&Json::Null)) {
+        let Some(n) = jx::u64_at(base_point, "n") else {
+            continue;
+        };
+        let Some(base_ratio) = jx::f64_at(base_point, "calendar_over_heap") else {
+            continue;
+        };
+        let cur_ratio = jx::arr(jx::get(current, "speedup").unwrap_or(&Json::Null))
+            .iter()
+            .find(|p| jx::u64_at(p, "n") == Some(n))
+            .and_then(|p| jx::f64_at(p, "calendar_over_heap"));
+        let Some(cur_ratio) = cur_ratio else {
+            continue; // n not in the current sweep (quick vs full)
+        };
+        let floor = base_ratio * (1.0 - tol);
+        checks.check(
+            cur_ratio >= floor,
+            format!("queue n={n} calendar/heap {cur_ratio:.2} vs baseline {base_ratio:.2} (floor {floor:.2})"),
+        );
+    }
+}
+
+/// `profile` regression rule: the verify and memo counters are exact
+/// deterministic functions of (n, accountable, rounds), so at every point
+/// both documents measured they must match exactly — any drift means the
+/// verification path changed behavior, not just speed.
+fn diff_profile(current: &Json, baseline: &Json, checks: &mut DiffChecks) {
+    for base_point in jx::arr(jx::get(baseline, "points").unwrap_or(&Json::Null)) {
+        let (Some(n), Some(acc)) = (
+            jx::u64_at(base_point, "n"),
+            jx::bool_at(base_point, "accountable"),
+        ) else {
+            continue;
+        };
+        let cur_point = jx::arr(jx::get(current, "points").unwrap_or(&Json::Null))
+            .iter()
+            .find(|p| jx::u64_at(p, "n") == Some(n) && jx::bool_at(p, "accountable") == Some(acc));
+        let Some(cur_point) = cur_point else {
+            continue;
+        };
+        for field in ["sig_verifies", "verify.memo_miss", "events_dispatched"] {
+            let base_v = jx::u64_at(base_point, field);
+            let cur_v = jx::u64_at(cur_point, field);
+            checks.check(
+                cur_v == base_v,
+                format!(
+                    "profile n={n} acc={acc} {field} {} vs baseline {}",
+                    cur_v.map_or("missing".into(), |v| v.to_string()),
+                    base_v.map_or("missing".into(), |v| v.to_string()),
+                ),
+            );
+        }
+    }
+    checks.check(
+        jx::bool_at(current, "memo_identity_pass") == Some(true),
+        "profile memo identity (hits + misses == verifies) holds".to_string(),
+    );
+}
+
+/// `workload` regression rule: the client pipeline is fully deterministic,
+/// so conservation counters and latency percentiles must match exactly at
+/// every population both documents swept.
+fn diff_workload(current: &Json, baseline: &Json, checks: &mut DiffChecks) {
+    const FIELDS: [&str; 8] = [
+        "submitted",
+        "committed",
+        "dropped",
+        "pending",
+        "retries",
+        "latency_p50",
+        "latency_p90",
+        "latency_p99",
+    ];
+    for base_point in jx::arr(jx::get(baseline, "points").unwrap_or(&Json::Null)) {
+        let Some(clients) = jx::u64_at(base_point, "clients") else {
+            continue;
+        };
+        let cur_point = jx::arr(jx::get(current, "points").unwrap_or(&Json::Null))
+            .iter()
+            .find(|p| jx::u64_at(p, "clients") == Some(clients));
+        let Some(cur_point) = cur_point else {
+            continue;
+        };
+        for field in FIELDS {
+            let base_v = jx::u64_at(base_point, field);
+            let cur_v = jx::u64_at(cur_point, field);
+            checks.check(
+                cur_v == base_v,
+                format!(
+                    "workload clients={clients} {field} {} vs baseline {}",
+                    cur_v.map_or("missing".into(), |v| v.to_string()),
+                    base_v.map_or("missing".into(), |v| v.to_string()),
+                ),
+            );
+        }
+    }
+}
+
+/// `checkpoint` regression rule: per-cell event counts are deterministic
+/// (quick and full share the horizon, so common cells compare exactly);
+/// the warm/cold speedup is wall-clock and gets the tolerance band, and
+/// the fork-identity flag must hold in the current run.
+fn diff_checkpoint(current: &Json, baseline: &Json, tol: f64, checks: &mut DiffChecks) {
+    for base_grid in jx::arr(jx::get(baseline, "grids").unwrap_or(&Json::Null)) {
+        let Some(name) = jx::str_at(base_grid, "name") else {
+            continue;
+        };
+        let cur_grid = jx::arr(jx::get(current, "grids").unwrap_or(&Json::Null))
+            .iter()
+            .find(|g| jx::str_at(g, "name") == Some(name));
+        let Some(cur_grid) = cur_grid else {
+            continue;
+        };
+        for base_cell in jx::arr(jx::get(base_grid, "cells").unwrap_or(&Json::Null)) {
+            let Some(label) = jx::str_at(base_cell, "label") else {
+                continue;
+            };
+            let cur_cell = jx::arr(jx::get(cur_grid, "cells").unwrap_or(&Json::Null))
+                .iter()
+                .find(|c| jx::str_at(c, "label") == Some(label));
+            let Some(cur_cell) = cur_cell else {
+                continue; // cell not in the current sweep (quick vs full)
+            };
+            let base_v = jx::u64_at(base_cell, "events_dispatched");
+            let cur_v = jx::u64_at(cur_cell, "events_dispatched");
+            checks.check(
+                cur_v == base_v,
+                format!(
+                    "checkpoint {name}/{label} events_dispatched {} vs baseline {}",
+                    cur_v.map_or("missing".into(), |v| v.to_string()),
+                    base_v.map_or("missing".into(), |v| v.to_string()),
+                ),
+            );
+        }
+        if let (Some(base_speedup), Some(cur_speedup)) = (
+            jx::f64_at(base_grid, "warm_over_cold"),
+            jx::f64_at(cur_grid, "warm_over_cold"),
+        ) {
+            let floor = base_speedup * (1.0 - tol);
+            checks.check(
+                cur_speedup >= floor,
+                format!(
+                    "checkpoint {name} warm/cold {cur_speedup:.2}x vs baseline \
+                     {base_speedup:.2}x (floor {floor:.2}x)"
+                ),
+            );
+        }
+    }
+    checks.check(
+        jx::bool_at(current, "identity_pass") == Some(true),
+        "checkpoint warm records identical to cold".to_string(),
+    );
+}
+
+/// `prft-bench diff <current> <baseline> [--tolerance F]`: regression
+/// gate over two bench documents of the same kind.
+fn diff_bench(current_path: &str, baseline_path: &str, tol: f64) -> ExitCode {
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (current, baseline) = match (load(current_path), load(baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (cur_kind, base_kind) = (
+        jx::str_at(&current, "bench").unwrap_or("?"),
+        jx::str_at(&baseline, "bench").unwrap_or("?"),
+    );
+    if cur_kind != base_kind {
+        eprintln!("error: bench kinds differ: {cur_kind} vs {base_kind}");
+        return ExitCode::FAILURE;
+    }
+    let mut checks = DiffChecks::new();
+    match cur_kind {
+        "queue" => diff_queue(&current, &baseline, tol, &mut checks),
+        "profile" => diff_profile(&current, &baseline, &mut checks),
+        "workload" => diff_workload(&current, &baseline, &mut checks),
+        "checkpoint" => diff_checkpoint(&current, &baseline, tol, &mut checks),
+        other => {
+            eprintln!("error: unknown bench kind: {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "diff: {} of {} check(s) failed ({cur_kind}, tolerance {tol}, {current_path} vs \
+         {baseline_path})",
+        checks.failures, checks.checks
+    );
+    if checks.failures == 0 && checks.checks > 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: prft-bench queue [--quick] [--out FILE] [--repeats R]\n\
          \x20      prft-bench profile [--quick] [--out FILE]\n\
          \x20      prft-bench workload [--quick] [--out FILE]\n\
+         \x20      prft-bench checkpoint [--quick] [--out FILE] [--repeats R]\n\
+         \x20      prft-bench diff <current.json> <baseline.json> [--tolerance F]\n\
          \n\
          queue: sweeps committee sizes × event-queue backends over a\n\
          queue-bound flood workload and emits a BENCH_queue.json document\n\
@@ -795,12 +1376,30 @@ fn usage() -> ExitCode {
          transactions or the largest population fails to commit its\n\
          offered load.\n\
          \n\
+         checkpoint: measures checkpoint/fork warm starts on two\n\
+         late-divergence grids (cells sharing a long prefix, diverging\n\
+         near the horizon), cold vs warm at one thread, and emits a\n\
+         BENCH_checkpoint.json document of per-cell event counts, walls,\n\
+         reuse accounting, and warm/cold speedup (schema:\n\
+         docs/CHECKPOINTING.md). Exits non-zero if warm records differ\n\
+         from cold anywhere or no grid reaches 2x cells/sec warm/cold.\n\
+         \n\
+         diff: compares a fresh bench JSON against a committed baseline\n\
+         (BENCH_*.json): deterministic counters must match exactly at\n\
+         every point both documents measured; wall-clock ratios (queue\n\
+         calendar/heap, checkpoint warm/cold) must stay within the\n\
+         tolerance of the baseline. Exits non-zero on any regression.\n\
+         \n\
          options:\n\
-         \x20 --quick      small sweep for CI smoke (queue: n = 16, 128;\n\
-         \x20              profile: n = 8, 16, 128; workload: 100, 1000)\n\
-         \x20 --out FILE   write the JSON to FILE instead of stdout\n\
-         \x20 --repeats R  best-of-R wall times per point (queue only,\n\
-         \x20              default 3)"
+         \x20 --quick        small sweep for CI smoke (queue: n = 16, 128;\n\
+         \x20                profile: n = 8, 16, 128; workload: 100, 1000;\n\
+         \x20                checkpoint: fewer divergence points, same\n\
+         \x20                horizon)\n\
+         \x20 --out FILE     write the JSON to FILE instead of stdout\n\
+         \x20 --repeats R    best-of-R wall times per point (queue and\n\
+         \x20                checkpoint, default 3)\n\
+         \x20 --tolerance F  relative regression band for wall-clock\n\
+         \x20                ratios in diff (default 0.35)"
     );
     ExitCode::from(2)
 }
@@ -863,6 +1462,44 @@ fn main() -> ExitCode {
                 }
             }
             workload_bench(quick, out.as_deref())
+        }
+        "checkpoint" => {
+            let mut quick = false;
+            let mut out: Option<String> = None;
+            let mut repeats = 3u32;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--quick" => quick = true,
+                    "--out" => match it.next() {
+                        Some(path) => out = Some(path.clone()),
+                        None => return usage(),
+                    },
+                    "--repeats" => match it.next().and_then(|r| r.parse().ok()) {
+                        Some(r) if r > 0 => repeats = r,
+                        _ => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            checkpoint_bench(quick, repeats, out.as_deref())
+        }
+        "diff" => {
+            let (Some(current), Some(baseline)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let mut tol = 0.35f64;
+            let mut it = args[3..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--tolerance" => match it.next().and_then(|t| t.parse().ok()) {
+                        Some(t) if (0.0..1.0).contains(&t) => tol = t,
+                        _ => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            diff_bench(current, baseline, tol)
         }
         "--help" | "-h" | "help" => {
             usage();

@@ -10,6 +10,7 @@
 //! the collusion can coordinate them arbitrarily.
 
 use prft_types::{Block, Digest, NodeId, Round, TxId};
+use std::any::Any;
 use std::collections::HashSet;
 
 /// What a leader does in the Propose phase.
@@ -58,11 +59,21 @@ pub enum BallotAction {
 /// honest strategy `π_0`, so `struct Honest; impl Behavior for Honest {}`
 /// is a complete honest player.
 ///
-/// `Send` is a supertrait so replicas (which box their behavior) can move
-/// across threads: the `prft-lab` batch runner builds and runs whole
-/// committees on worker threads. Coordinated strategies should share state
-/// through `Arc<Mutex<…>>` (see `prft_adversary::Blackboard`).
-pub trait Behavior: Send {
+/// `Send + Sync` are supertraits so replicas (which box their behavior)
+/// can move across threads — the `prft-lab` batch runner builds and runs
+/// whole committees on worker threads — and so *captured* replicas inside
+/// a checkpoint can be shared across workers through an `Arc` (the warm
+/// start store hands the same captured prefix to many forks). Coordinated
+/// strategies should share state through `Arc<Mutex<…>>` (see
+/// `prft_adversary::Blackboard`).
+///
+/// [`BehaviorClone`] is a supertrait so a boxed behavior — and with it a
+/// whole [`crate::Replica`] — is cloneable for checkpoint/fork warm
+/// starts. Any `Behavior` that is also `Clone` gets it for free via the
+/// blanket impl; coordinated strategies additionally override
+/// [`Behavior::rebind_shared`] so a fork can splice in its own copy of
+/// the shared coordination state instead of aliasing the original run's.
+pub trait Behavior: Send + Sync + BehaviorClone {
     /// Short label for experiment tables ("honest", "abstain", "fork", …).
     fn label(&self) -> &'static str {
         "honest"
@@ -115,6 +126,40 @@ pub trait Behavior: Send {
     /// silence is what stalls the protocol).
     fn join_view_change(&self) -> bool {
         true
+    }
+
+    /// Re-points any shared coordination state after a checkpoint fork.
+    ///
+    /// A cloned behavior initially shares `Arc`-held state (e.g. a fork
+    /// blackboard) with the run it was cloned from; mutating it from the
+    /// fork would corrupt the original. The fork driver deep-copies the
+    /// shared state and calls this on every replica's behavior with the
+    /// copy; coordinated behaviors downcast `state` to their concrete
+    /// shared type and adopt it. The default is a no-op (uncoordinated
+    /// strategies own all their state).
+    fn rebind_shared(&mut self, state: &dyn Any) {
+        let _ = state;
+    }
+}
+
+/// Object-safe clone support for boxed behaviors.
+///
+/// Blanket-implemented for every `Behavior + Clone`, so strategy authors
+/// just add `#[derive(Clone)]`.
+pub trait BehaviorClone {
+    /// Clones `self` into a fresh box.
+    fn clone_box(&self) -> Box<dyn Behavior>;
+}
+
+impl<T: Behavior + Clone + 'static> BehaviorClone for T {
+    fn clone_box(&self) -> Box<dyn Behavior> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Behavior> {
+    fn clone(&self) -> Self {
+        self.clone_box()
     }
 }
 

@@ -33,7 +33,10 @@ pub enum NetworkChoice {
 }
 
 impl NetworkChoice {
-    fn into_model(self) -> Box<dyn LinkModel> {
+    /// Resolves the choice into a live link model. Public so the
+    /// checkpoint-fork path can rebuild a fresh network stack for a
+    /// restored simulation without going through a full [`Harness`].
+    pub fn into_model(self) -> Box<dyn LinkModel> {
         match self {
             NetworkChoice::Synchronous { delta } => Box::new(SynchronousNet::new(delta)),
             NetworkChoice::PartiallySynchronous { gst, delta } => {

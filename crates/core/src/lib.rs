@@ -47,7 +47,7 @@ mod replica;
 mod verify;
 
 pub use analysis::AsReplica;
-pub use behavior::{BallotAction, Behavior, Honest, ProposeAction};
+pub use behavior::{BallotAction, Behavior, BehaviorClone, Honest, ProposeAction};
 pub use collateral::CollateralLedger;
 pub use config::Config;
 pub use harness::{Harness, NetworkChoice};

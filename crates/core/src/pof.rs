@@ -17,7 +17,7 @@ use std::collections::HashMap;
 /// ballot per (signer, slot) and yields evidence the moment a conflicting
 /// one arrives. Detection is O(1) amortized per ballot — the quadratic scan
 /// of the paper's Figure 4 pseudocode is realized as this index.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct FraudDetector {
     first_seen: HashMap<(NodeId, Slot), SignedBallot>,
     evidence: HashMap<NodeId, BallotEvidence>,

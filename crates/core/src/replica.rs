@@ -100,6 +100,14 @@ impl ReplicaStats {
 }
 
 /// One player's pRFT state machine. Implements [`prft_sim::Node`].
+///
+/// `Clone` supports checkpoint/fork warm starts: the clone is a deep copy
+/// except for behavior-shared coordination state (`Arc`-held blackboards),
+/// which stays aliased until the fork driver calls
+/// [`Replica::rebind_behavior_state`] with its own copy, and `Arc`-held
+/// certificates, which are deliberately shared so the clone's
+/// address-keyed [`VerifyCache`] stays valid.
+#[derive(Clone)]
 pub struct Replica {
     cfg: Config,
     key: SecretKey,
@@ -292,6 +300,13 @@ impl Replica {
     /// `π_abs`): the player keeps its keys, chain, and round position.
     pub fn set_behavior(&mut self, behavior: Box<dyn Behavior>) -> Box<dyn Behavior> {
         std::mem::replace(&mut self.behavior, behavior)
+    }
+
+    /// Re-points the behavior's shared coordination state after a
+    /// checkpoint fork (see [`Behavior::rebind_shared`]). No-op for
+    /// uncoordinated strategies.
+    pub fn rebind_behavior_state(&mut self, state: &dyn std::any::Any) {
+        self.behavior.rebind_shared(state);
     }
 
     /// The strategy label of this replica's behavior.

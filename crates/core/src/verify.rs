@@ -63,6 +63,7 @@ impl BallotKey {
 }
 
 /// A cached certificate verdict.
+#[derive(Clone)]
 struct CertEntry {
     /// Keeps the certificate allocation alive for the entry's lifetime:
     /// the map key is this `Arc`'s address, and an address can only be
@@ -105,6 +106,7 @@ pub struct CertVerdict {
 
 /// A cached Reveal-batch verdict: one entry summarizes the full
 /// certificate scan of one sender's Reveal payload.
+#[derive(Clone)]
 struct BatchEntry {
     /// Keeps the outer `Vec` *and* every inner certificate allocation
     /// alive, so the pointer identities the key hashes stay unique.
@@ -122,6 +124,12 @@ struct BatchEntry {
 /// In [`VerifyMode::Reference`] every call passes straight through to the
 /// original verify-on-every-arrival code path; in [`VerifyMode::Fast`]
 /// verdicts are cached per content as described on the module.
+///
+/// `Clone` supports checkpoint/fork warm starts: the clone shares the
+/// same certificate/batch `Arc` allocations, so its address-keyed memo
+/// entries remain valid in the forked run (which also clones — and
+/// therefore shares — those allocations through the message arena).
+#[derive(Clone)]
 pub struct VerifyCache {
     mode: VerifyMode,
     ballots: HashMap<BallotKey, bool>,

@@ -5,13 +5,15 @@
 //! prft-lab list [--timeline]
 //! prft-lab run <scenario> [--seeds N] [--threads T]
 //!                         [--format table|json|csv] [--out FILE] [--runs]
-//!                         [--trace-out FILE]
+//!                         [--trace-out FILE] [--warm-starts on|off]
 //! prft-lab run-all [--seeds N] [--threads T] [--out FILE]
+//!                  [--warm-starts on|off]
 //! prft-lab explore list
 //! prft-lab explore run <game> [--seeds N] [--threads T]
 //!                             [--format table|json|csv] [--out FILE]
 //!                             [--cache DIR] [--full] [--eps E]
 //!                             [--mixed] [--dynamics]
+//!                             [--warm-starts on|off] [--explain-reuse]
 //! prft-lab explore run-all [same options as explore run]
 //! prft-lab diff <a.json> <b.json> [--eps E]
 //! ```
@@ -26,8 +28,8 @@
 //! in the stderr stats).
 
 use prft_lab::{
-    registry, report, BatchRunner, Exploration, GameDef, GameExplorer, QueueBackend, Scenario,
-    ScenarioSpec, UtilityCache, VerifyMode,
+    registry, report, BatchRunner, CheckpointStore, Exploration, GameDef, GameExplorer,
+    QueueBackend, Scenario, ScenarioSpec, UtilityCache, VerifyMode,
 };
 use std::process::ExitCode;
 
@@ -46,6 +48,8 @@ struct Options {
     queue: Option<QueueBackend>,
     verify: Option<VerifyMode>,
     trace_out: Option<String>,
+    warm: bool,
+    explain_reuse: bool,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -100,6 +104,11 @@ fn usage() -> ExitCode {
          \x20                traced run (seed index 0 of the first grid\n\
          \x20                point) to F — open in Perfetto or\n\
          \x20                chrome://tracing (run only)\n\
+         \x20 --warm-starts on|off\n\
+         \x20                checkpoint/fork warm starts: cells sharing a\n\
+         \x20                timeline prefix fork from one captured state\n\
+         \x20                instead of re-simulating it (default on;\n\
+         \x20                results are byte-identical either way)\n\
          \n\
          explore options:\n\
          \x20 --cache DIR    reuse finished profile cells from DIR and\n\
@@ -110,7 +119,11 @@ fn usage() -> ExitCode {
          \x20 --mixed        append the mixed-strategy equilibrium analysis\n\
          \x20                (support enumeration / symmetric indifference)\n\
          \x20 --dynamics     append the best-reply dynamics analysis\n\
-         \x20                (path from honest, attractor basins, cycles)"
+         \x20                (path from honest, attractor basins, cycles)\n\
+         \x20 --explain-reuse\n\
+         \x20                print a per-game cell-reuse table (cached /\n\
+         \x20                shared / symmetry) plus the batch's checkpoint\n\
+         \x20                warm-start accounting to stderr"
     );
     ExitCode::from(2)
 }
@@ -131,6 +144,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         queue: None,
         verify: None,
         trace_out: None,
+        warm: true,
+        explain_reuse: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -173,6 +188,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 })?);
             }
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--warm-starts" => {
+                opts.warm = match value("--warm-starts")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--warm-starts must be on or off, got {other}")),
+                };
+            }
+            "--explain-reuse" => opts.explain_reuse = true,
             "--runs" => opts.include_runs = true,
             "--cache" => opts.cache = Some(value("--cache")?),
             "--full" => opts.full = true,
@@ -234,7 +257,7 @@ fn out_path_for(out: &Option<String>, scenario: &str, multi: bool) -> Option<Str
 
 /// Builds the configured explorer for the explore subcommands.
 fn explorer_for(opts: &Options) -> GameExplorer {
-    let mut explorer = GameExplorer::new(BatchRunner::new(opts.threads));
+    let mut explorer = GameExplorer::new(BatchRunner::new(opts.threads)).warm_starts(opts.warm);
     if let Some(dir) = &opts.cache {
         explorer = explorer.with_cache(UtilityCache::new(dir));
     }
@@ -302,8 +325,17 @@ fn explore_game(name: &str, opts: &Options) -> Result<(), String> {
         },
         BatchRunner::new(opts.threads).threads(),
     );
-    let exploration = explorer_for(opts).explore(&game, seeds);
-    emit_exploration(&game, &exploration, opts, opts.out.clone())
+    let (explorations, reuse) =
+        explorer_for(opts).explore_all_with_stats(std::slice::from_ref(&game), seeds);
+    let exploration = &explorations[0];
+    emit_exploration(&game, exploration, opts, opts.out.clone())?;
+    if opts.explain_reuse {
+        eprint!(
+            "{}",
+            report::explain_reuse_table(&[(game.name, exploration)], reuse)
+        );
+    }
+    Ok(())
 }
 
 /// `explore run-all`: every registered game as one flattened batch.
@@ -316,7 +348,7 @@ fn explore_run_all(opts: &Options) -> Result<(), String> {
         seeds,
         BatchRunner::new(opts.threads).threads(),
     );
-    let explorations = explorer_for(opts).explore_all(&games, seeds);
+    let (explorations, reuse) = explorer_for(opts).explore_all_with_stats(&games, seeds);
     let mut written: Vec<(String, String)> = Vec::new();
     for (game, exploration) in games.iter().zip(&explorations) {
         let out = out_path_for(&opts.out, game.name, true);
@@ -325,7 +357,16 @@ fn explore_run_all(opts: &Options) -> Result<(), String> {
         }
         emit_exploration(game, exploration, opts, out)?;
     }
-    write_manifest("explore run-all", seeds, &written, &opts.out)
+    write_manifest("explore run-all", seeds, &written, &opts.out)?;
+    if opts.explain_reuse {
+        let rows: Vec<(&str, &Exploration)> = games
+            .iter()
+            .zip(&explorations)
+            .map(|(g, e)| (g.name, e))
+            .collect();
+        eprint!("{}", report::explain_reuse_table(&rows, reuse));
+    }
+    Ok(())
 }
 
 /// Writes the multi-report manifest next to the per-report files — a
@@ -382,6 +423,16 @@ fn reject_trace_flag(opts: &Options, context: &str) -> Result<(), String> {
         )),
         None => Ok(()),
     }
+}
+
+/// `--explain-reuse` applies to the explore subcommands only: scenario
+/// grids have no cell-reuse plan (no cache, no symmetry, no cross-game
+/// sharing) to explain.
+fn reject_explain_flag(opts: &Options) -> Result<(), String> {
+    if opts.explain_reuse {
+        return Err("--explain-reuse applies to explore run/run-all only".to_string());
+    }
+    Ok(())
 }
 
 fn explore_command(args: &[String]) -> Result<(), String> {
@@ -498,7 +549,11 @@ fn run_scenario(scenario: &Scenario, opts: &Options, out: Option<String>) -> Res
             s
         })
         .collect();
-    let reports = runner.run_grid(&specs, opts.seeds);
+    // Warm starts are a pure speed knob: grid points sharing a timeline
+    // prefix fork from one captured state, and reports stay byte-identical
+    // (the checkpoint_equiv suite pins this).
+    let store = opts.warm.then(CheckpointStore::default);
+    let reports = runner.run_grid_with(&specs, opts.seeds, store.as_ref());
     let content = match opts.format {
         Format::Table => report::scenario_table(scenario.name, opts.seeds, &reports),
         Format::Json => {
@@ -624,6 +679,7 @@ fn main() -> ExitCode {
             };
             match prft_lab::find(name) {
                 Some(scenario) => parse_options(&args[2..]).and_then(|opts| {
+                    reject_explain_flag(&opts)?;
                     let out = out_path_for(&opts.out, scenario.name, false);
                     run_scenario(&scenario, &opts, out)
                 }),
@@ -632,6 +688,7 @@ fn main() -> ExitCode {
         }
         "run-all" => parse_options(&args[1..]).and_then(|opts| {
             reject_trace_flag(&opts, "run-all would overwrite one trace per scenario")?;
+            reject_explain_flag(&opts)?;
             let mut written: Vec<(String, String)> = Vec::new();
             for scenario in registry() {
                 let out = out_path_for(&opts.out, scenario.name, true);

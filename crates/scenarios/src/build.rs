@@ -21,6 +21,9 @@
 //! time — partitions are window-based in `prft-net`, so they need no
 //! runtime action.
 
+use crate::checkpoint::{
+    boundaries, ordered_events, prefix_fingerprint, CheckpointEntry, CheckpointStore,
+};
 use crate::record::RunRecord;
 use crate::spec::{PartitionSpec, Role, ScenarioSpec, Synchrony, TimelineEvent, UtilitySpec};
 use prft_adversary::{
@@ -50,7 +53,7 @@ fn replica<N: Node + AsReplica>(sim: &Simulation<N>, id: NodeId) -> &Replica {
 
 /// The Claim 2 adversary: silent in every protocol phase but participating
 /// in view changes, pressing the committee to abandon rounds.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct VcSpammer;
 
 impl Behavior for VcSpammer {
@@ -398,30 +401,12 @@ fn apply_event<S: TimelineSim>(
                     .set_behavior(behavior);
             }
         }
-        TimelineEvent::AddDelayRule {
-            from,
-            to,
-            extra,
-            window,
-        } => {
+        TimelineEvent::AddDelayRule { .. } | TimelineEvent::RemoveDelayRule { .. } => {
             let handle = built
                 .delay
                 .as_ref()
                 .expect("network_model installs TargetedDelay for scheduled rules");
-            handle.add_rule(DelayRule {
-                from: from.map(NodeId),
-                to: to.map(NodeId),
-                from_time: SimTime(tick),
-                until_time: SimTime(tick.saturating_add(*window)),
-                extra: SimTime(*extra),
-            });
-        }
-        TimelineEvent::RemoveDelayRule { from, to } => {
-            let handle = built
-                .delay
-                .as_ref()
-                .expect("network_model installs TargetedDelay for scheduled rules");
-            handle.remove_matching(from.map(NodeId), to.map(NodeId));
+            apply_delay_event(handle, tick, event);
         }
         TimelineEvent::InjectTx(tx) => {
             let transaction =
@@ -451,18 +436,42 @@ fn apply_event<S: TimelineSim>(
     }
 }
 
+/// Applies one scheduled delay-rule event to a live [`DelayRuleHandle`].
+///
+/// Shared between the timeline executor ([`apply_event`]) and the
+/// checkpoint-fork path, which replays the prefix's delay events onto a
+/// freshly built network stack — the rule a fork reconstructs must be
+/// field-for-field the rule the original run installed, so there is
+/// exactly one place that builds it. Non-delay events are ignored.
+fn apply_delay_event(handle: &DelayRuleHandle, tick: u64, event: &TimelineEvent) {
+    match event {
+        TimelineEvent::AddDelayRule {
+            from,
+            to,
+            extra,
+            window,
+        } => {
+            handle.add_rule(DelayRule {
+                from: from.map(NodeId),
+                to: to.map(NodeId),
+                from_time: SimTime(tick),
+                until_time: SimTime(tick.saturating_add(*window)),
+                extra: SimTime(*extra),
+            });
+        }
+        TimelineEvent::RemoveDelayRule { from, to } => {
+            handle.remove_matching(from.map(NodeId), to.map(NodeId));
+        }
+        _ => {}
+    }
+}
+
 /// Runs `built` to the spec's horizon, interleaving scheduled events with
 /// [`Simulation::run_before`] segments in tick order (ties broken by
 /// insertion index). Returns the outcome of the final segment, or
 /// [`RunOutcome::EventLimit`] as soon as any segment trips the valve.
 fn execute_schedule<S: TimelineSim>(spec: &ScenarioSpec, built: &mut Built<S>) -> RunOutcome {
-    let mut events: Vec<(u64, &TimelineEvent)> = spec
-        .schedule
-        .iter()
-        .filter(|(tick, e)| !e.is_partition_sugar() && *tick <= spec.horizon)
-        .map(|(t, e)| (*t, e))
-        .collect();
-    events.sort_by_key(|(t, _)| *t); // stable: same-tick in insertion order
+    let events = ordered_events(spec);
     let mut i = 0;
     while i < events.len() {
         let tick = events[i].0;
@@ -599,6 +608,148 @@ pub fn run_one(spec: &ScenarioSpec, seed: u64) -> RunRecord {
             summarize(spec, &sim, seed, outcome)
         }
     }
+}
+
+/// [`run_one`] with checkpoint/fork warm starts.
+///
+/// With a [`CheckpointStore`], a committee run first looks for a captured
+/// state of a sibling cell sharing its timeline prefix — trying its own
+/// fork boundaries deepest-first, with the horizon as a pseudo-boundary
+/// so schedule-free cells can also reuse — and resumes from the deepest
+/// hit instead of re-simulating the prefix. Hit or miss, the run then
+/// captures its own state at each remaining event boundary for later
+/// cells (first writer wins). Forked and fresh runs produce byte-identical
+/// records — pinned per registry timeline scenario, queue backend, and
+/// thread count by `tests/checkpoint_equiv.rs`.
+///
+/// Workload specs always run cold: the store is monomorphic over the
+/// committee population (`Simulation<Replica>`), and workload grids vary
+/// client parameters rather than timeline suffixes anyway.
+pub fn run_one_with(spec: &ScenarioSpec, seed: u64, store: Option<&CheckpointStore>) -> RunRecord {
+    match store {
+        Some(store) if spec.workload.is_none() => run_one_warm(spec, seed, store),
+        _ => run_one(spec, seed),
+    }
+}
+
+fn run_one_warm(spec: &ScenarioSpec, seed: u64, store: &CheckpointStore) -> RunRecord {
+    let hit = boundaries(spec)
+        .into_iter()
+        .rev()
+        .find_map(|tb| store.lookup(prefix_fingerprint(spec, tb), seed, tb));
+    let (built, outcome) = match hit {
+        Some(entry) => {
+            // The entry's hook counters are the prefix's exact deltas; a
+            // fresh run would have accumulated them from a reset.
+            prft_sim::obs::hooks::restore(entry.hooks);
+            let mut built = fork_from(spec, &entry);
+            let outcome =
+                execute_schedule_captured(spec, &mut built, Some(entry.tick), store, seed);
+            (built, outcome)
+        }
+        None => {
+            prft_sim::obs::hooks::reset();
+            let mut built = build(spec, seed);
+            let outcome = execute_schedule_captured(spec, &mut built, None, store, seed);
+            (built, outcome)
+        }
+    };
+    summarize(spec, &built.sim, seed, outcome)
+}
+
+/// Reassembles a runnable committee from a captured prefix state.
+///
+/// The engine snapshot restores nodes, queue, arena, meter, counters, and
+/// broadcast domain; the scenario layer re-supplies what the snapshot
+/// deliberately leaves out:
+///
+/// - the **network stack**, rebuilt from the spec (a pure function of its
+///   static fields) with the prefix's delay-rule events replayed onto the
+///   fresh [`DelayRuleHandle`] — so a rule lifted before the capture
+///   stays lifted and one still active stays active;
+/// - the **fork blackboard**, deep-copied into a fresh `Arc` and rebound
+///   into every replica's behavior, so the fork never aliases the
+///   producer run's live coordination state (and later scheduled
+///   colluders join the fork's own board);
+/// - the consumer's own queue backend (checkpoints are backend-portable).
+fn fork_from(spec: &ScenarioSpec, entry: &CheckpointEntry) -> Built<Simulation<Replica>> {
+    let (network, delay) = network_model(spec);
+    if let Some(handle) = &delay {
+        for (tick, event) in ordered_events(spec) {
+            if tick >= entry.tick {
+                break;
+            }
+            apply_delay_event(handle, tick, event);
+        }
+    }
+    let mut sim =
+        Simulation::restore_with_backend(&entry.snapshot, network.into_model(), spec.queue);
+    let board: Option<Blackboard> = match (&entry.board, spec.uses_fork_blackboard()) {
+        (Some(plan), _) => Some(std::sync::Arc::new(std::sync::Mutex::new(plan.clone()))),
+        // The producer had no board but this spec schedules fork roles in
+        // its suffix: give them a fresh (empty) board, exactly what a
+        // fresh run of this spec would have built at t = 0.
+        (None, true) => Some(blackboard()),
+        (None, false) => None,
+    };
+    if let Some(b) = &board {
+        for i in 0..spec.n {
+            sim.node_mut(NodeId(i)).rebind_behavior_state(b);
+        }
+    }
+    let collusion: HashSet<NodeId> = spec.censor_collusion().into_iter().map(NodeId).collect();
+    Built {
+        sim,
+        board,
+        collusion,
+        delay,
+    }
+}
+
+/// The committee twin of [`execute_schedule`] with checkpoint capture:
+/// after running up to each event boundary (and before applying its
+/// events) the state is offered to `store` under the prefix fingerprint
+/// below that tick. `resume_from` marks a forked run: events below the
+/// resumed boundary are skipped and the capture at the boundary itself is
+/// suppressed (the store already holds it).
+fn execute_schedule_captured(
+    spec: &ScenarioSpec,
+    built: &mut Built<Simulation<Replica>>,
+    resume_from: Option<u64>,
+    store: &CheckpointStore,
+    seed: u64,
+) -> RunOutcome {
+    let events = ordered_events(spec);
+    let mut i = match resume_from {
+        Some(tc) => events.partition_point(|&(t, _)| t < tc),
+        None => 0,
+    };
+    while i < events.len() {
+        let tick = events[i].0;
+        if tick > 0 && built.sim.run_before(SimTime(tick)) == RunOutcome::EventLimit {
+            return RunOutcome::EventLimit;
+        }
+        if tick > 0 && resume_from.is_none_or(|tc| tick > tc) {
+            let fp = prefix_fingerprint(spec, tick);
+            // Check-then-clone: the committee clone is the expensive part,
+            // so skip it when a sibling already captured this boundary. A
+            // racing duplicate is dropped by `insert` (first writer wins).
+            if !store.contains(fp, seed, tick) {
+                let entry = CheckpointEntry {
+                    snapshot: built.sim.snapshot(),
+                    board: built.board.as_ref().map(|b| b.lock().unwrap().clone()),
+                    hooks: prft_sim::obs::hooks::snapshot(),
+                    tick,
+                };
+                store.insert(fp, seed, entry);
+            }
+        }
+        while i < events.len() && events[i].0 == tick {
+            apply_event(spec, built, tick, events[i].1);
+            i += 1;
+        }
+    }
+    built.sim.run_until(SimTime(spec.horizon))
 }
 
 /// Mirrors the workload stats into the record's observability registry, so

@@ -1,0 +1,472 @@
+//! Checkpoint/fork warm starts for sweep-scale reuse.
+//!
+//! Grid sweeps and game explorations evaluate many [`ScenarioSpec`]s that
+//! share a *timeline prefix*: the static committee/network configuration
+//! plus every scheduled event before some tick `t` are identical, and the
+//! specs only diverge later (a defection at tick 500, a delay rule lifted
+//! at GST, …). Because the simulation is bit-deterministic, the state at
+//! the first divergent tick is a pure function of (prefix, seed) — so it
+//! can be captured once and *forked* by every sibling cell instead of
+//! re-simulated from `t = 0`.
+//!
+//! This module provides the three pieces:
+//!
+//! - [`prefix_fingerprint`]: a stable hash identifying "the simulation a
+//!   spec describes, up to (excluding) tick `t`". Two specs with equal
+//!   prefix fingerprints and equal derived seeds are guaranteed to be in
+//!   byte-identical states at any capture point below `t`.
+//! - [`CheckpointEntry`]: a captured state — the engine snapshot plus the
+//!   scenario-layer shared state the engine cannot see (the fork
+//!   blackboard and the thread-local observability hook counters).
+//! - [`CheckpointStore`]: an in-memory, LRU-bounded, thread-shared map
+//!   from `(prefix fingerprint, seed)` to captured states at increasing
+//!   depths, with fork/reuse accounting ([`ReuseStats`]).
+//!
+//! The warm-start run path lives in `build::run_one_with`; this module is
+//! purely the bookkeeping. See `docs/CHECKPOINTING.md` for the full
+//! contract (what is and is not in a checkpoint, and why the reuse
+//! counters deliberately stay out of per-run reports).
+
+use crate::spec::{ScenarioSpec, TimelineEvent};
+use prft_adversary::ForkPlan;
+use prft_core::Replica;
+use prft_sim::obs::hooks::HookSnapshot;
+use prft_sim::SimSnapshot;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+/// Default number of checkpoints a store retains before evicting the
+/// least-recently-used one. Checkpoints hold a full committee clone, so
+/// the bound is deliberately modest.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+/// Stable fingerprint of `spec`'s simulation prefix below `tick_bound`.
+///
+/// Two cells whose prefix fingerprints agree (and that run under the same
+/// derived seed) are guaranteed to traverse byte-identical simulation
+/// states up to the first event at or after `tick_bound` — so a state
+/// captured by one at any tick `≤ tick_bound` is a valid resume point for
+/// the other.
+///
+/// The hash covers, in a canonical form:
+///
+/// - every *static* field that shapes the build: `n`, `max_rounds`,
+///   `horizon`, `synchrony`, `partitions`, `roles`, `censored`,
+///   `fork_b_group`, `txs`, `tau_override`, `accountable`,
+///   `phase_timeout`;
+/// - the whole-schedule-derived build inputs: the censor collusion set
+///   (baked into `PartialCensor` behaviors at `t = 0` even when the
+///   censoring seat is only scheduled later), the presence of a
+///   `TargetedDelay` wrapper, and **all** partition sugar events
+///   (resolved statically into network windows at build time, so they are
+///   static config regardless of their tick);
+/// - the *dynamic prefix*: every non-sugar scheduled event with
+///   `tick < tick_bound`, in execution order (stable tick sort).
+///
+/// It deliberately **excludes** fields that provably cannot affect the
+/// simulation state: `label`, `watched` and `utility` (post-run
+/// measurement only), `base_seed` (the store is keyed by the *derived*
+/// seed separately), and `queue`/`verify_mode` (pinned byte-identical by
+/// the backend/verify-mode identity invariants).
+pub fn prefix_fingerprint(spec: &ScenarioSpec, tick_bound: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut canonical = spec.clone();
+    canonical.label = String::new();
+    canonical.base_seed = 0;
+    canonical.watched = Vec::new();
+    canonical.utility = None;
+    canonical.queue = Default::default();
+    canonical.verify_mode = Default::default();
+    canonical.schedule = Vec::new();
+    // Sugar is static network config; keep insertion order (PartitionEnd
+    // pairing is order-sensitive).
+    let sugar: Vec<(u64, &TimelineEvent)> = spec
+        .schedule
+        .iter()
+        .filter(|(_, e)| e.is_partition_sugar())
+        .map(|(t, e)| (*t, e))
+        .collect();
+    let prefix = ordered_events(spec)
+        .into_iter()
+        .filter(|(t, _)| *t < tick_bound)
+        .collect::<Vec<_>>();
+    let collusion = spec.censor_collusion();
+    let delay_wrapped = spec.schedule.iter().any(|(_, e)| {
+        matches!(
+            e,
+            TimelineEvent::AddDelayRule { .. } | TimelineEvent::RemoveDelayRule { .. }
+        )
+    });
+    let text = format!(
+        "ckpt-v1|{canonical:?}|sugar:{sugar:?}|collusion:{collusion:?}|delay:{delay_wrapped}|prefix:{prefix:?}"
+    );
+    let mut hash = FNV_OFFSET;
+    for byte in text.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The spec's non-sugar schedule in execution order (ascending tick,
+/// same-tick events in insertion order, events beyond the horizon
+/// dropped) — exactly the order the timeline executor applies them.
+pub(crate) fn ordered_events(spec: &ScenarioSpec) -> Vec<(u64, &TimelineEvent)> {
+    let mut events: Vec<(u64, &TimelineEvent)> = spec
+        .schedule
+        .iter()
+        .filter(|(tick, e)| !e.is_partition_sugar() && *tick <= spec.horizon)
+        .map(|(t, e)| (*t, e))
+        .collect();
+    events.sort_by_key(|(t, _)| *t); // stable: same-tick in insertion order
+    events
+}
+
+/// The candidate fork boundaries of a spec, ascending: every distinct
+/// non-sugar event tick `> 0`, plus the horizon as a pseudo-boundary so a
+/// schedule-free cell can still fork from a sibling's captured prefix.
+pub(crate) fn boundaries(spec: &ScenarioSpec) -> Vec<u64> {
+    let mut out: Vec<u64> = ordered_events(spec)
+        .into_iter()
+        .map(|(t, _)| t)
+        .filter(|&t| t > 0)
+        .collect();
+    out.push(spec.horizon);
+    out.dedup();
+    out
+}
+
+/// One captured prefix state: everything a sibling cell needs to resume
+/// the run from `tick` without replaying the prefix.
+///
+/// The engine snapshot carries nodes (behaviors, verify caches, RNG),
+/// queue, arena, meter, counters, and the broadcast domain. The two
+/// pieces of state the engine cannot see ride alongside: the fork
+/// blackboard content (deep-copied so forks never alias the producer's
+/// live `Arc<Mutex<…>>`) and the thread-local observability hook counters
+/// accumulated over the prefix. Delay rules are deliberately *not*
+/// captured — the fork path replays the prefix's delay events onto a
+/// freshly built network stack instead (see `docs/CHECKPOINTING.md`).
+pub struct CheckpointEntry {
+    /// Engine-level state at the capture point.
+    pub(crate) snapshot: SimSnapshot<Replica>,
+    /// Deep copy of the fork blackboard content at the capture point
+    /// (`None` when the producer run had no blackboard).
+    pub(crate) board: Option<ForkPlan>,
+    /// Thread-local observability hook counters at the capture point.
+    pub(crate) hooks: HookSnapshot,
+    /// The capture boundary: state reflects `run_before(tick)`, before
+    /// any event scheduled at `tick` was applied.
+    pub(crate) tick: u64,
+}
+
+impl CheckpointEntry {
+    /// The capture boundary tick.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+}
+
+/// Reuse accounting for one [`CheckpointStore`].
+///
+/// These are the `sim.checkpoint.{created,forked,prefix_ticks_saved}`
+/// counters. They live at store level — **not** in the per-run
+/// observability registry — because whether a given cell forks or runs
+/// fresh depends on worker scheduling, and per-run reports are pinned
+/// byte-identical across `--threads`. Surface: `prft-lab … --explain-reuse`
+/// and `prft-bench checkpoint`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// Checkpoints captured (`sim.checkpoint.created`).
+    pub created: u64,
+    /// Runs resumed from a checkpoint (`sim.checkpoint.forked`).
+    pub forked: u64,
+    /// Virtual ticks of prefix not re-simulated, summed over forks
+    /// (`sim.checkpoint.prefix_ticks_saved`).
+    pub prefix_ticks_saved: u64,
+}
+
+struct Slot {
+    entry: Arc<CheckpointEntry>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// `(prefix fingerprint, derived seed)` → capture tick → state.
+    map: HashMap<(u64, u64), BTreeMap<u64, Slot>>,
+    clock: u64,
+    len: usize,
+    stats: ReuseStats,
+}
+
+/// In-memory, thread-shared checkpoint cache for one sweep invocation.
+///
+/// Keys are `(prefix fingerprint, derived seed)`; each key holds captures
+/// at increasing depths and [`CheckpointStore::lookup`] returns the
+/// deepest one not past the requested boundary. Capacity-bounded with
+/// least-recently-used eviction (capacity counts individual checkpoints).
+///
+/// The store is in-memory only: committee state holds boxed behaviors and
+/// shared `Arc` structure that have no serialized form, so checkpoints do
+/// not persist across processes — reuse is scoped to one sweep
+/// invocation, which is where the shared-prefix redundancy lives.
+pub struct CheckpointStore {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl Default for CheckpointStore {
+    fn default() -> Self {
+        CheckpointStore::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl CheckpointStore {
+    /// Creates a store retaining at most `capacity` checkpoints
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        CheckpointStore {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The deepest checkpoint for `(fingerprint, seed)` captured at a tick
+    /// `≤ boundary`, if any. A hit counts as a fork in [`ReuseStats`].
+    pub fn lookup(
+        &self,
+        fingerprint: u64,
+        seed: u64,
+        boundary: u64,
+    ) -> Option<Arc<CheckpointEntry>> {
+        let mut inner = self.inner.lock().unwrap();
+        let clock = {
+            inner.clock += 1;
+            inner.clock
+        };
+        let slot = inner
+            .map
+            .get_mut(&(fingerprint, seed))?
+            .range_mut(..=boundary)
+            .next_back()
+            .map(|(_, slot)| {
+                slot.last_used = clock;
+                Arc::clone(&slot.entry)
+            })?;
+        inner.stats.forked += 1;
+        inner.stats.prefix_ticks_saved += slot.tick;
+        Some(slot)
+    }
+
+    /// Whether a checkpoint already exists at exactly
+    /// `(fingerprint, seed, tick)` — producers check this before paying
+    /// for the committee clone.
+    pub fn contains(&self, fingerprint: u64, seed: u64, tick: u64) -> bool {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .map
+            .get(&(fingerprint, seed))
+            .is_some_and(|m| m.contains_key(&tick))
+    }
+
+    /// Inserts a capture, first writer wins (a concurrent duplicate is
+    /// dropped — both captured the same deterministic state). Counts
+    /// toward `created` only on actual insert; evicts the
+    /// least-recently-used checkpoint when over capacity.
+    pub fn insert(&self, fingerprint: u64, seed: u64, entry: CheckpointEntry) {
+        let tick = entry.tick;
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let by_tick = inner.map.entry((fingerprint, seed)).or_default();
+        if by_tick.contains_key(&tick) {
+            return;
+        }
+        by_tick.insert(
+            tick,
+            Slot {
+                entry: Arc::new(entry),
+                last_used: clock,
+            },
+        );
+        inner.len += 1;
+        inner.stats.created += 1;
+        while inner.len > self.capacity {
+            // O(total entries) scan — capacity is small by construction.
+            let victim = inner
+                .map
+                .iter()
+                .flat_map(|(key, m)| m.iter().map(move |(t, s)| (s.last_used, *key, *t)))
+                .min()
+                .map(|(_, key, t)| (key, t));
+            if let Some((key, t)) = victim {
+                if let Some(m) = inner.map.get_mut(&key) {
+                    m.remove(&t);
+                    if m.is_empty() {
+                        inner.map.remove(&key);
+                    }
+                }
+                inner.len -= 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Drops every checkpoint captured after `bound`, keeping shallower
+    /// ones. This bounds how deep forks can start; the differential suite
+    /// uses it to pin fork-vs-fresh equivalence at *each* boundary of a
+    /// schedule, not just the deepest.
+    pub fn retain_ticks_at_most(&self, bound: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let mut removed = 0;
+        for m in inner.map.values_mut() {
+            let before = m.len();
+            m.retain(|&t, _| t <= bound);
+            removed += before - m.len();
+        }
+        inner.map.retain(|_, m| !m.is_empty());
+        inner.len -= removed;
+    }
+
+    /// Number of checkpoints currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len
+    }
+
+    /// Whether the store holds no checkpoints.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the reuse counters.
+    pub fn stats(&self) -> ReuseStats {
+        self.inner.lock().unwrap().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Role;
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec::new("base", 4, 3)
+    }
+
+    #[test]
+    fn fingerprint_ignores_measurement_only_fields() {
+        let a = spec();
+        let mut b = spec();
+        b.label = "other".into();
+        b.base_seed = 77;
+        b.watched = vec![9];
+        let t = 1000;
+        assert_eq!(prefix_fingerprint(&a, t), prefix_fingerprint(&b, t));
+    }
+
+    #[test]
+    fn fingerprint_tracks_static_fields() {
+        let a = spec();
+        let mut b = spec();
+        b.n = 5;
+        assert_ne!(prefix_fingerprint(&a, 10), prefix_fingerprint(&b, 10));
+        let mut c = spec();
+        c.accountable = !c.accountable;
+        assert_ne!(prefix_fingerprint(&a, 10), prefix_fingerprint(&c, 10));
+    }
+
+    #[test]
+    fn fingerprint_sees_only_events_below_bound() {
+        let a = spec();
+        let b = spec().at(500, TimelineEvent::Crash(1));
+        assert_eq!(prefix_fingerprint(&a, 500), prefix_fingerprint(&b, 500));
+        assert_ne!(prefix_fingerprint(&a, 501), prefix_fingerprint(&b, 501));
+    }
+
+    #[test]
+    fn fingerprint_sees_suffix_censor_collusion() {
+        // A censoring seat scheduled *after* the bound still shapes the
+        // t = 0 build (collusion set baked into behaviors), so it must
+        // break prefix equality.
+        let a = spec();
+        let b = spec().at(500, TimelineEvent::SetRole(1, Role::PartialCensor));
+        assert_ne!(prefix_fingerprint(&a, 100), prefix_fingerprint(&b, 100));
+    }
+
+    #[test]
+    fn fingerprint_sees_all_partition_sugar() {
+        let a = spec();
+        let b = spec().at(
+            900,
+            TimelineEvent::PartitionStart {
+                groups: vec![vec![0, 1], vec![2, 3]],
+                bridges: vec![],
+            },
+        );
+        // Sugar at tick 900 is static network config: even a bound of 10
+        // must see it.
+        assert_ne!(prefix_fingerprint(&a, 10), prefix_fingerprint(&b, 10));
+    }
+
+    #[test]
+    fn boundaries_include_horizon_pseudo_boundary() {
+        let s = spec().at(500, TimelineEvent::Crash(1));
+        assert_eq!(boundaries(&s), vec![500, s.horizon]);
+        assert_eq!(boundaries(&spec()), vec![spec().horizon]);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let store = CheckpointStore::new(2);
+        let entry = |tick| CheckpointEntry {
+            snapshot: fake_snapshot(),
+            board: None,
+            hooks: HookSnapshot::default(),
+            tick,
+        };
+        store.insert(1, 0, entry(10));
+        store.insert(2, 0, entry(20));
+        // Touch (1, 0) so (2, 0) is the LRU victim.
+        assert!(store.lookup(1, 0, 100).is_some());
+        store.insert(3, 0, entry(30));
+        assert_eq!(store.len(), 2);
+        assert!(store.lookup(2, 0, 100).is_none());
+        assert!(store.lookup(3, 0, 100).is_some());
+        let stats = store.stats();
+        assert_eq!(stats.created, 3);
+        assert_eq!(stats.forked, 2, "the miss on the evicted key is not a fork");
+        assert_eq!(stats.prefix_ticks_saved, 10 + 30);
+    }
+
+    #[test]
+    fn lookup_returns_deepest_at_or_below_boundary() {
+        let store = CheckpointStore::new(8);
+        for tick in [10, 20, 30] {
+            store.insert(
+                7,
+                1,
+                CheckpointEntry {
+                    snapshot: fake_snapshot(),
+                    board: None,
+                    hooks: HookSnapshot::default(),
+                    tick,
+                },
+            );
+        }
+        assert_eq!(store.lookup(7, 1, 25).unwrap().tick(), 20);
+        assert_eq!(store.lookup(7, 1, 30).unwrap().tick(), 30);
+        assert!(store.lookup(7, 1, 5).is_none());
+        assert!(store.lookup(7, 2, 30).is_none(), "seed is part of the key");
+        store.retain_ticks_at_most(15);
+        assert_eq!(store.lookup(7, 1, 30).unwrap().tick(), 10);
+        assert_eq!(store.len(), 1);
+    }
+
+    /// A minimal real snapshot (the store never inspects it).
+    fn fake_snapshot() -> SimSnapshot<Replica> {
+        crate::build::build_sim(&spec(), 1).snapshot()
+    }
+}

@@ -22,8 +22,9 @@
 //! its Nash/DSIC certificates report whether each verdict is robust to
 //! them.
 
-use crate::build::run_one;
+use crate::build::run_one_with;
 use crate::cache::{CacheKey, UtilityCache};
+use crate::checkpoint::{CheckpointStore, ReuseStats};
 use crate::record::BatchReport;
 use crate::runner::{derive_seed, par_map, BatchRunner};
 use crate::spec::ScenarioSpec;
@@ -131,16 +132,18 @@ pub struct GameExplorer {
     runner: BatchRunner,
     cache: Option<UtilityCache>,
     use_symmetry: bool,
+    warm_starts: bool,
 }
 
 impl GameExplorer {
-    /// An explorer fanning work through `runner`, with no cache and
-    /// symmetry reduction on.
+    /// An explorer fanning work through `runner`, with no cache, symmetry
+    /// reduction on, and checkpoint/fork warm starts on.
     pub fn new(runner: BatchRunner) -> Self {
         GameExplorer {
             runner,
             cache: None,
             use_symmetry: true,
+            warm_starts: true,
         }
     }
 
@@ -156,6 +159,15 @@ impl GameExplorer {
     #[must_use]
     pub fn without_symmetry(mut self) -> Self {
         self.use_symmetry = false;
+        self
+    }
+
+    /// Toggles checkpoint/fork warm starts across the sweep's cells
+    /// (`prft-lab … --warm-starts on|off`). Results are byte-identical
+    /// either way; off trades the reuse for zero capture overhead.
+    #[must_use]
+    pub fn warm_starts(mut self, on: bool) -> Self {
+        self.warm_starts = on;
         self
     }
 
@@ -189,7 +201,21 @@ impl GameExplorer {
     /// Panics if a simulated game's spec does not measure utilities or
     /// names a committee seat outside the committee.
     pub fn explore_all(&self, games: &[GameDef], seeds: u64) -> Vec<Exploration> {
+        self.explore_all_with_stats(games, seeds).0
+    }
+
+    /// [`GameExplorer::explore_all`], also returning the checkpoint reuse
+    /// accounting of the batch's warm-start store (all zeros when warm
+    /// starts are off). The stats are batch-level, not per game: cells of
+    /// different games sharing a timeline prefix fork from each other's
+    /// checkpoints, so per-game attribution would be arbitrary.
+    pub fn explore_all_with_stats(
+        &self,
+        games: &[GameDef],
+        seeds: u64,
+    ) -> (Vec<Exploration>, ReuseStats) {
         let sim_seeds = seeds.max(1);
+        let store = self.warm_starts.then(CheckpointStore::default);
 
         // One cache load per scope, shared by every game using it.
         let mut known: BTreeMap<&str, BTreeMap<CacheKey, ProfileStats>> = BTreeMap::new();
@@ -315,7 +341,7 @@ impl GameExplorer {
             .collect();
         let records = par_map(self.runner.threads(), &flat, |_, &(cell, i)| {
             let spec = &work[cell].spec;
-            run_one(spec, derive_seed(spec.base_seed, i))
+            run_one_with(spec, derive_seed(spec.base_seed, i), store.as_ref())
         });
 
         let mut computed: Vec<ProfileStats> = Vec::with_capacity(work.len());
@@ -395,10 +421,14 @@ impl GameExplorer {
                 expanded: plan.expanded,
             });
         }
-        results
-            .into_iter()
-            .map(|r| r.expect("every game explored"))
-            .collect()
+        let stats = store.map(|s| s.stats()).unwrap_or_default();
+        (
+            results
+                .into_iter()
+                .map(|r| r.expect("every game explored"))
+                .collect(),
+            stats,
+        )
     }
 }
 

@@ -56,6 +56,7 @@
 
 mod build;
 mod cache;
+mod checkpoint;
 pub mod diff;
 mod explore;
 mod games;
@@ -69,9 +70,10 @@ mod trace_export;
 
 pub use build::{
     build_sim, classify_sim, classify_watched, discounted_utility, measure_utility_for, run_one,
-    run_sim, run_workload_sim, summarize,
+    run_one_with, run_sim, run_workload_sim, summarize,
 };
 pub use cache::{CacheKey, UtilityCache};
+pub use checkpoint::{prefix_fingerprint, CheckpointEntry, CheckpointStore, ReuseStats};
 pub use explore::{Exploration, GameDef, GameEval, GameExplorer};
 pub use games::{find_game, game_registry};
 pub use prft_core::VerifyMode;

@@ -2,6 +2,7 @@
 //! over one scenario's batch reports, plus the equilibrium reports of
 //! `prft-lab explore` (schemas documented in `docs/REPORT_SCHEMA.md`).
 
+use crate::checkpoint::ReuseStats;
 use crate::explore::{Exploration, GameDef};
 use crate::json::Json;
 use crate::record::BatchReport;
@@ -488,6 +489,44 @@ fn cells_csv(game: &GameDef, exploration: &Exploration) -> String {
         }
         out.push('\n');
     }
+    out
+}
+
+/// The `--explain-reuse` accounting table: per-game cell reuse plus the
+/// batch-level checkpoint warm-start stats (`prft-lab explore run[-all]
+/// --explain-reuse`).
+///
+/// The per-game columns are scheduling-independent (each cell's source is
+/// decided by the batch *plan*, before any work runs). The checkpoint
+/// line is batch-level — cells of different games fork from each other's
+/// checkpoints, so per-game attribution would be arbitrary — and its
+/// counts are deterministic at `--threads 1` (the golden test pins that).
+pub fn explain_reuse_table(rows: &[(&str, &Exploration)], stats: ReuseStats) -> String {
+    let mut table = AsciiTable::new(vec![
+        "game",
+        "cells",
+        "evaluated",
+        "cached",
+        "shared",
+        "by symmetry",
+    ])
+    .with_title("cell reuse per game (cells = full profile space)");
+    for (name, e) in rows {
+        table.row(vec![
+            name.to_string(),
+            e.table.space().len().to_string(),
+            e.evaluated.to_string(),
+            e.cached.to_string(),
+            e.shared.to_string(),
+            e.expanded.to_string(),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(&format!(
+        "\ncheckpoint warm starts (whole batch): {} captured, {} forked, \
+         {} prefix ticks saved\n",
+        stats.created, stats.forked, stats.prefix_ticks_saved
+    ));
     out
 }
 

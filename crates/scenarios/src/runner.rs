@@ -13,7 +13,8 @@
 //!    thread count. `threads = 1` and `threads = 8` produce byte-identical
 //!    reports.
 
-use crate::build::run_one;
+use crate::build::{run_one, run_one_with};
+use crate::checkpoint::CheckpointStore;
 use crate::record::{BatchReport, RunRecord};
 use crate::spec::ScenarioSpec;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -111,37 +112,109 @@ impl BatchRunner {
         BatchReport::from_records(spec.label.clone(), spec.n, records)
     }
 
-    /// Runs every grid point of a scenario, each over `seeds` seeds.
+    /// Runs every grid point of a scenario, each over `seeds` seeds, with
+    /// checkpoint/fork warm starts on (a store scoped to this call).
+    /// Equivalent to [`BatchRunner::run_grid_with`] with a fresh
+    /// [`CheckpointStore`]; results are byte-identical either way.
+    pub fn run_grid(&self, specs: &[ScenarioSpec], seeds: u64) -> Vec<BatchReport> {
+        self.run_grid_with(specs, seeds, Some(&CheckpointStore::default()))
+    }
+
+    /// Runs every grid point of a scenario, each over `seeds` seeds,
+    /// optionally sharing `store` across cells so grid points with a
+    /// common timeline prefix fork from one captured state instead of
+    /// re-simulating it (`None` = cold, every cell from `t = 0`).
     ///
     /// The whole grid is flattened into **one** `specs × seeds` work list
-    /// through the single [`par_map`], so a grid of many small points
-    /// saturates the pool instead of draining it once per point (the old
-    /// shape left workers idle at every grid-point tail). Cells are
-    /// index-addressed — cell `s·seeds + i` is spec `s` under
-    /// [`derive_seed`]`(base_s, i)` — and aggregation walks cells in index
-    /// order, so reports stay byte-identical at any thread count *and*
-    /// byte-identical to the old sequential-per-point schedule.
+    /// over the shared claim counter, so a grid of many small points
+    /// saturates the pool instead of draining it once per point. Cells
+    /// are index-addressed — cell `s·seeds + i` is spec `s` under
+    /// [`derive_seed`]`(base_s, i)` — and each grid point aggregates the
+    /// moment its last cell lands, in seed-index order, so reports stay
+    /// byte-identical at any thread count, with or without warm starts,
+    /// *and* byte-identical to the old sequential-per-point schedule.
     ///
-    /// Tradeoff: every cell's record is held until aggregation, so peak
-    /// memory is proportional to `specs × seeds` rather than one batch —
-    /// negligible for every registered grid; revisit alongside the
-    /// ROADMAP's record-streaming item if grids grow to many thousands
-    /// of cells.
-    pub fn run_grid(&self, specs: &[ScenarioSpec], seeds: u64) -> Vec<BatchReport> {
+    /// Records **stream** into their grid point's aggregation slot and are
+    /// dropped as soon as the point completes: peak memory is proportional
+    /// to the records of *in-flight* grid points, not the whole
+    /// `specs × seeds` grid.
+    pub fn run_grid_with(
+        &self,
+        specs: &[ScenarioSpec],
+        seeds: u64,
+        store: Option<&CheckpointStore>,
+    ) -> Vec<BatchReport> {
+        if seeds == 0 || specs.is_empty() {
+            return specs
+                .iter()
+                .map(|s| BatchReport::from_records(s.label.clone(), s.n, Vec::new()))
+                .collect();
+        }
+        struct SpecSlot {
+            records: Vec<Option<RunRecord>>,
+            remaining: usize,
+        }
         let cells: Vec<(usize, u64)> = specs
             .iter()
             .enumerate()
             .flat_map(|(s, _)| (0..seeds).map(move |i| (s, i)))
             .collect();
-        let records: Vec<RunRecord> = par_map(self.threads, &cells, |_, &(s, i)| {
-            run_one(&specs[s], derive_seed(specs[s].base_seed, i))
-        });
-        let mut records = records.into_iter();
-        specs
+        let slots: Vec<Mutex<SpecSlot>> = specs
             .iter()
-            .map(|spec| {
-                let batch: Vec<RunRecord> = records.by_ref().take(seeds as usize).collect();
-                BatchReport::from_records(spec.label.clone(), spec.n, batch)
+            .map(|_| {
+                Mutex::new(SpecSlot {
+                    records: (0..seeds).map(|_| None).collect(),
+                    remaining: seeds as usize,
+                })
+            })
+            .collect();
+        let reports: Vec<Mutex<Option<BatchReport>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        let work = |c: usize| {
+            let (s, i) = cells[c];
+            let spec = &specs[s];
+            let record = run_one_with(spec, derive_seed(spec.base_seed, i), store);
+            let finished: Option<Vec<RunRecord>> = {
+                let mut slot = slots[s].lock().expect("spec slot");
+                slot.records[i as usize] = Some(record);
+                slot.remaining -= 1;
+                (slot.remaining == 0).then(|| {
+                    slot.records
+                        .iter_mut()
+                        .map(|r| r.take().expect("every seed slot filled"))
+                        .collect()
+                })
+            };
+            if let Some(records) = finished {
+                let report = BatchReport::from_records(spec.label.clone(), spec.n, records);
+                *reports[s].lock().expect("report slot") = Some(report);
+            }
+        };
+        let threads = effective_threads(self.threads).min(cells.len());
+        if threads <= 1 {
+            for c in 0..cells.len() {
+                work(c);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= cells.len() {
+                            break;
+                        }
+                        work(c);
+                    });
+                }
+            });
+        }
+        reports
+            .into_iter()
+            .map(|r| {
+                r.into_inner()
+                    .expect("report slot")
+                    .expect("every grid point completed")
             })
             .collect()
     }

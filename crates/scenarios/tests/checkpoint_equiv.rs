@@ -1,0 +1,275 @@
+//! The checkpoint/fork warm-start differential suite: a forked run is
+//! **byte-identical** to a fresh one.
+//!
+//! Warm starts let sweep cells sharing a timeline prefix resume from one
+//! captured state instead of re-simulating it (`docs/CHECKPOINTING.md`).
+//! That is only sound if forking is invisible in every observable — so
+//! this suite pins, over every registry scenario with a timeline:
+//!
+//! * fork-at-each-boundary vs fresh, full single-run report compared as
+//!   bytes (the store is truncated per boundary so the fork is forced to
+//!   start exactly there, not just at the deepest capture);
+//! * warm vs cold grid runs across `--threads {1, 8}` and
+//!   `--queue {heap, calendar}`;
+//! * `explore run-all` warm vs cold, with the reuse accounting asserted
+//!   (cross-game `shared` cells on lemma4-wide, checkpoint forks from
+//!   fork-defection's shared pre-defection prefix);
+//! * the delay-lift pair: a fork taken across a delay-rule boundary must
+//!   replay the prefix's `AddDelayRule`/`RemoveDelayRule` events onto its
+//!   fresh network stack — a checkpoint that carried (or dropped) live
+//!   rule state would resurrect a lifted delay or lose an active one;
+//! * workload specs bypass the (committee-monomorphic) store entirely.
+
+use prft_lab::{
+    derive_seed, find, game_registry, registry, report, run_one, run_one_with, BatchReport,
+    BatchRunner, CheckpointStore, Exploration, GameExplorer, QueueBackend, ReuseStats, RunRecord,
+    Scenario, ScenarioSpec,
+};
+
+/// Registry scenarios with at least one scheduled event.
+fn timeline_scenarios() -> Vec<Scenario> {
+    let out: Vec<Scenario> = registry()
+        .into_iter()
+        .filter(|s| s.specs.iter().any(|sp| sp.has_schedule()))
+        .collect();
+    assert!(out.len() >= 6, "registry lost its timeline scenarios");
+    out
+}
+
+/// Full single-run report (runs included) — the byte-comparison target.
+fn full_report(spec: &ScenarioSpec, record: RunRecord) -> String {
+    let report_ = BatchReport::from_records(spec.label.clone(), spec.n, vec![record]);
+    report::scenario_json(&spec.label, 1, &[report_], true)
+}
+
+/// The spec's distinct fork boundaries: non-sugar event ticks in
+/// `(0, horizon]`.
+fn event_boundaries(spec: &ScenarioSpec) -> Vec<u64> {
+    let mut ticks: Vec<u64> = spec
+        .schedule
+        .iter()
+        .filter(|(t, e)| !e.is_partition_sugar() && *t > 0 && *t <= spec.horizon)
+        .map(|(t, _)| *t)
+        .collect();
+    ticks.sort_unstable();
+    ticks.dedup();
+    ticks
+}
+
+/// For every timeline spec: a capturing run is byte-identical to a fresh
+/// one, and a run forked from *each* event boundary (the store truncated
+/// so deeper captures cannot mask shallower ones) is byte-identical too.
+#[test]
+fn fork_at_each_boundary_matches_fresh() {
+    for scenario in timeline_scenarios() {
+        for spec in scenario.specs.iter().filter(|s| s.workload.is_none()) {
+            let seed = derive_seed(spec.base_seed, 0);
+            let reference = full_report(spec, run_one(spec, seed));
+            let store = CheckpointStore::default();
+            let captured = full_report(spec, run_one_with(spec, seed, Some(&store)));
+            assert_eq!(
+                captured, reference,
+                "{}/{}: capturing checkpoints perturbed the run",
+                scenario.name, spec.label
+            );
+            for tb in event_boundaries(spec) {
+                let store = CheckpointStore::default();
+                run_one_with(spec, seed, Some(&store)); // populate captures
+                store.retain_ticks_at_most(tb);
+                let forked = full_report(spec, run_one_with(spec, seed, Some(&store)));
+                assert!(
+                    store.stats().forked > 0,
+                    "{}/{}: no fork happened at boundary {tb}",
+                    scenario.name,
+                    spec.label
+                );
+                assert_eq!(
+                    forked, reference,
+                    "{}/{}: fork at boundary {tb} diverged from fresh",
+                    scenario.name, spec.label
+                );
+            }
+        }
+    }
+}
+
+/// Warm and cold grid runs agree byte-for-byte across thread counts and
+/// queue backends.
+#[test]
+fn warm_grids_match_cold_across_threads_and_backends() {
+    let seeds = 2;
+    for scenario in timeline_scenarios() {
+        for backend in [QueueBackend::Heap, QueueBackend::Calendar] {
+            let specs: Vec<ScenarioSpec> = scenario
+                .specs
+                .iter()
+                .cloned()
+                .map(|mut s| {
+                    s.queue = backend;
+                    s
+                })
+                .collect();
+            let cold = BatchRunner::new(1).run_grid_with(&specs, seeds, None);
+            let cold_json = report::scenario_json(scenario.name, seeds, &cold, true);
+            for threads in [1, 8] {
+                let store = CheckpointStore::default();
+                let warm = BatchRunner::new(threads).run_grid_with(&specs, seeds, Some(&store));
+                let warm_json = report::scenario_json(scenario.name, seeds, &warm, true);
+                assert_eq!(
+                    warm_json, cold_json,
+                    "{} diverged warm vs cold (queue={backend:?}, threads={threads})",
+                    scenario.name
+                );
+            }
+        }
+    }
+}
+
+/// `explore run-all` warm vs cold: every game's report is byte-identical,
+/// and the reuse accounting proves sharing actually happened — cross-game
+/// `shared` cells on lemma4-wide, checkpoint forks across fork-defection's
+/// profiles (which differ only in their defection schedule).
+#[test]
+fn explore_run_all_warm_matches_cold_with_reuse() {
+    let games = game_registry();
+    let seeds = 1;
+    let (cold, cold_stats) = GameExplorer::new(BatchRunner::new(1))
+        .warm_starts(false)
+        .explore_all_with_stats(&games, seeds);
+    assert_eq!(
+        cold_stats,
+        ReuseStats::default(),
+        "cold runs must not touch a store"
+    );
+    let (warm, warm_stats) = GameExplorer::new(BatchRunner::new(8))
+        .warm_starts(true)
+        .explore_all_with_stats(&games, seeds);
+    for ((game, c), w) in games.iter().zip(&cold).zip(&warm) {
+        assert_eq!(
+            report::explore_json(game, w, 0.05),
+            report::explore_json(game, c, 0.05),
+            "game {} diverged warm vs cold",
+            game.name
+        );
+    }
+    let wide = games
+        .iter()
+        .position(|g| g.name == "lemma4-wide")
+        .expect("lemma4-wide registered");
+    assert!(
+        warm[wide].shared > 0,
+        "lemma4-wide must reuse cells shared with lemma4-dsic"
+    );
+    assert!(
+        warm_stats.created > 0,
+        "no checkpoints captured: {warm_stats:?}"
+    );
+    assert!(
+        warm_stats.forked > 0,
+        "no checkpoint reuse across the run-all batch: {warm_stats:?}"
+    );
+}
+
+/// The satellite pin for interior-mutability holes: `never-lifted` forks
+/// from `lift@gst`'s checkpoint at the lift tick (their prefixes agree
+/// below 2000), so the fork crosses a live, effectively-unbounded delay
+/// rule. The fork path must replay the prefix's delay events onto its
+/// fresh network — carrying the producer's live rule list (or dropping
+/// it) would lift a never-lifted delay or resurrect a lifted one.
+#[test]
+fn delay_lift_fork_replays_delay_rules() {
+    let scenario = find("delay-lift").expect("delay-lift registered");
+    let lift = scenario
+        .specs
+        .iter()
+        .find(|s| s.label == "lift@gst")
+        .expect("lift@gst spec");
+    let never = scenario
+        .specs
+        .iter()
+        .find(|s| s.label == "never-lifted")
+        .expect("never-lifted spec");
+    assert_eq!(
+        lift.base_seed, never.base_seed,
+        "the pair must share derived seeds to share checkpoints"
+    );
+    let seed = derive_seed(never.base_seed, 0);
+    let reference = full_report(never, run_one(never, seed));
+    let store = CheckpointStore::default();
+    run_one_with(lift, seed, Some(&store));
+    assert_eq!(
+        store.stats().created,
+        1,
+        "lift@gst captures exactly one checkpoint, at its lift boundary"
+    );
+    let forked = full_report(never, run_one_with(never, seed, Some(&store)));
+    assert_eq!(
+        store.stats().forked,
+        1,
+        "never-lifted must fork from lift@gst's pre-lift checkpoint"
+    );
+    assert_eq!(
+        forked, reference,
+        "fork across the delay-rule boundary resurrected or lost rules"
+    );
+}
+
+/// Pinned `--explain-reuse` output for the full `explore run-all` batch
+/// at `--threads 1` with one seed per cell: the per-game reuse columns
+/// and the batch's checkpoint accounting are deterministic there (the
+/// serial claim loop visits cells in plan order). Regenerate after an
+/// intentional registry or accounting change with:
+///
+/// ```text
+/// UPDATE_GOLDEN=1 cargo test -p prft-lab --test checkpoint_equiv
+/// ```
+#[test]
+fn explain_reuse_table_matches_golden_file() {
+    let games = game_registry();
+    let (explorations, stats) = GameExplorer::new(BatchRunner::new(1))
+        .warm_starts(true)
+        .explore_all_with_stats(&games, 1);
+    let rows: Vec<(&str, &Exploration)> = games
+        .iter()
+        .zip(&explorations)
+        .map(|(g, e)| (g.name, e))
+        .collect();
+    let rendered = report::explain_reuse_table(&rows, stats);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/explain_reuse.txt"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "--explain-reuse output drifted from tests/golden/explain_reuse.txt \
+         (UPDATE_GOLDEN=1 regenerates after intentional changes)"
+    );
+}
+
+/// Workload specs run cold even when a store is offered: the store is
+/// monomorphic over the committee population.
+#[test]
+fn workload_specs_bypass_warm_starts() {
+    let scenario = find("steady-load").expect("steady-load registered");
+    let spec = scenario
+        .specs
+        .iter()
+        .find(|s| s.workload.is_some())
+        .expect("steady-load carries workload specs");
+    let seed = derive_seed(spec.base_seed, 0);
+    let reference = full_report(spec, run_one(spec, seed));
+    let store = CheckpointStore::default();
+    let warm = full_report(spec, run_one_with(spec, seed, Some(&store)));
+    assert_eq!(warm, reference);
+    assert!(
+        store.is_empty(),
+        "a workload run must not populate the committee store"
+    );
+    assert_eq!(store.stats(), ReuseStats::default());
+}

@@ -21,7 +21,12 @@
 pub struct MsgRef(u32);
 
 /// A slab of `M` with free-list recycling.
-#[derive(Debug)]
+///
+/// `Clone` (for `M: Clone`) copies slots *and* free-list verbatim, so a
+/// cloned arena honours every outstanding [`MsgRef`] and hands out the
+/// same slot indices for future inserts — required for checkpoint/fork
+/// equivalence.
+#[derive(Debug, Clone)]
 pub struct Arena<M> {
     slots: Vec<Option<M>>,
     free: Vec<u32>,

@@ -172,6 +172,7 @@ pub enum RunOutcome {
 
 /// What a queued event does when dispatched. Delivery payloads live in
 /// the simulation's [`Arena`]; the queue only carries the 4-byte handle.
+#[derive(Debug, Clone, Copy)]
 enum EventKind {
     Deliver { from: NodeId, msg: MsgRef },
     Timer(TimerId),
@@ -180,9 +181,91 @@ enum EventKind {
 
 /// The queue item: destination plus action. The `(at, seq)` key lives in
 /// the queue itself.
+#[derive(Debug, Clone, Copy)]
 struct EventBody {
     to: NodeId,
     kind: EventKind,
+}
+
+/// A passive copy of a [`Simulation`]'s complete engine state at one
+/// instant, taken with [`Simulation::snapshot`] and revived — any number
+/// of times — with [`Simulation::restore`].
+///
+/// The snapshot captures everything the engine owns: nodes, the pending
+/// event set (with exact `(time, seq)` keys, drained backend-neutrally),
+/// the message arena (slot table *and* free-list, so outstanding
+/// [`MsgRef`] handles and future slot assignments round-trip exactly),
+/// the clock, sequence and timer counters, cancelled/crashed sets, the
+/// broadcast domain, every RNG stream, the meter, the trace, and all
+/// engine counters. It does **not** capture the link model (a boxed
+/// trait object the caller re-supplies on restore) or the process-global
+/// observability hooks (see `obs::hooks::snapshot`/`restore`).
+pub struct SimSnapshot<N: Node> {
+    nodes: Vec<N>,
+    events: Vec<(SimTime, u64, EventBody)>,
+    arena: Arena<N::Msg>,
+    backend: QueueBackend,
+    now: SimTime,
+    seq: u64,
+    next_timer: u64,
+    cancelled: BTreeSet<TimerId>,
+    crashed: BTreeSet<NodeId>,
+    broadcast_domain: usize,
+    rng: SimRng,
+    node_rngs: Vec<SimRng>,
+    meter: Meter,
+    trace: Trace,
+    events_dispatched: u64,
+    peak_queue_depth: usize,
+    queue_pushes: u64,
+    queue_pops: u64,
+    peak_arena_occupancy: usize,
+    event_limit: u64,
+}
+
+impl<N: Node + Clone> Clone for SimSnapshot<N> {
+    fn clone(&self) -> Self {
+        SimSnapshot {
+            nodes: self.nodes.clone(),
+            events: self.events.clone(),
+            arena: self.arena.clone(),
+            backend: self.backend,
+            now: self.now,
+            seq: self.seq,
+            next_timer: self.next_timer,
+            cancelled: self.cancelled.clone(),
+            crashed: self.crashed.clone(),
+            broadcast_domain: self.broadcast_domain,
+            rng: self.rng.clone(),
+            node_rngs: self.node_rngs.clone(),
+            meter: self.meter.clone(),
+            trace: self.trace.clone(),
+            events_dispatched: self.events_dispatched,
+            peak_queue_depth: self.peak_queue_depth,
+            queue_pushes: self.queue_pushes,
+            queue_pops: self.queue_pops,
+            peak_arena_occupancy: self.peak_arena_occupancy,
+            event_limit: self.event_limit,
+        }
+    }
+}
+
+impl<N: Node> SimSnapshot<N> {
+    /// Virtual time at which the snapshot was taken.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events captured in the snapshot.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The queue backend the source simulation was draining (the default
+    /// backend for [`Simulation::restore`]).
+    pub fn backend(&self) -> QueueBackend {
+        self.backend
+    }
 }
 
 /// The simulation: `n` nodes, a link model, an event queue, and meters.
@@ -564,6 +647,114 @@ impl<N: Node> Simulation<N> {
         RunOutcome::Quiescent
     }
 
+    /// Captures the complete engine state as a [`SimSnapshot`].
+    ///
+    /// Takes `&mut self` because the only backend-neutral way to read the
+    /// pending event set is to drain it: events are popped in dispatch
+    /// order (identical across backends, which is exactly what makes the
+    /// snapshot backend-portable), recorded with their original
+    /// `(time, seq)` keys, and re-pushed into a freshly built queue of the
+    /// same backend. Observable behavior is unchanged: a fresh calendar
+    /// queue accepts the (sorted) re-pushes with its cursor at zero and
+    /// then pops them in the same pinned order, and `queue_pushes` /
+    /// `queue_pops` / `peak_queue_depth` are maintained outside the
+    /// backend so the drain/rebuild does not perturb them.
+    ///
+    /// The snapshot is independent of the live simulation — both can keep
+    /// running — and one snapshot can seed many forks.
+    pub fn snapshot(&mut self) -> SimSnapshot<N>
+    where
+        N: Clone,
+    {
+        let mut events = Vec::with_capacity(self.queue.len());
+        while let Some(entry) = self.queue.pop() {
+            events.push(entry);
+        }
+        self.queue = self.backend.build();
+        for &(at, seq, body) in &events {
+            self.queue.push(at, seq, body);
+        }
+        SimSnapshot {
+            nodes: self.nodes.clone(),
+            events,
+            arena: self.arena.clone(),
+            backend: self.backend,
+            now: self.now,
+            seq: self.seq,
+            next_timer: self.next_timer,
+            cancelled: self.cancelled.clone(),
+            crashed: self.crashed.clone(),
+            broadcast_domain: self.broadcast_domain,
+            rng: self.rng.clone(),
+            node_rngs: self.node_rngs.clone(),
+            meter: self.meter.clone(),
+            trace: self.trace.clone(),
+            events_dispatched: self.events_dispatched,
+            peak_queue_depth: self.peak_queue_depth,
+            queue_pushes: self.queue_pushes,
+            queue_pops: self.queue_pops,
+            peak_arena_occupancy: self.peak_arena_occupancy,
+            event_limit: self.event_limit,
+        }
+    }
+
+    /// Revives a simulation from `snapshot`, draining the backend the
+    /// snapshot was taken under.
+    ///
+    /// The link model is not part of the snapshot (it is a boxed trait
+    /// object the engine cannot clone); the caller re-supplies it. For a
+    /// faithful fork, pass a link model in the same state as the
+    /// original's at capture time — for the stateless models used
+    /// throughout this workspace, an identically configured fresh
+    /// instance.
+    pub fn restore(snapshot: &SimSnapshot<N>, link: Box<dyn LinkModel>) -> Simulation<N>
+    where
+        N: Clone,
+    {
+        Simulation::restore_with_backend(snapshot, link, snapshot.backend)
+    }
+
+    /// Revives a simulation from `snapshot` onto an explicitly chosen
+    /// queue backend — pop order is pinned identical across backends, so
+    /// a snapshot taken under one backend replays byte-identically under
+    /// another.
+    pub fn restore_with_backend(
+        snapshot: &SimSnapshot<N>,
+        link: Box<dyn LinkModel>,
+        backend: QueueBackend,
+    ) -> Simulation<N>
+    where
+        N: Clone,
+    {
+        let mut queue = backend.build();
+        for &(at, seq, body) in &snapshot.events {
+            queue.push(at, seq, body);
+        }
+        Simulation {
+            nodes: snapshot.nodes.clone(),
+            link,
+            backend,
+            queue,
+            arena: snapshot.arena.clone(),
+            now: snapshot.now,
+            seq: snapshot.seq,
+            next_timer: snapshot.next_timer,
+            cancelled: snapshot.cancelled.clone(),
+            crashed: snapshot.crashed.clone(),
+            broadcast_domain: snapshot.broadcast_domain,
+            rng: snapshot.rng.clone(),
+            node_rngs: snapshot.node_rngs.clone(),
+            meter: snapshot.meter.clone(),
+            trace: snapshot.trace.clone(),
+            events_dispatched: snapshot.events_dispatched,
+            peak_queue_depth: snapshot.peak_queue_depth,
+            queue_pushes: snapshot.queue_pushes,
+            queue_pops: snapshot.queue_pops,
+            peak_arena_occupancy: snapshot.peak_arena_occupancy,
+            event_limit: snapshot.event_limit,
+        }
+    }
+
     /// Processes exactly one event if one exists at or before `horizon`.
     pub fn step(&mut self) -> bool {
         if let Some((at, _, body)) = self.pop() {
@@ -605,6 +796,7 @@ mod tests {
         }
     }
 
+    #[derive(Clone)]
     struct Echo {
         received: Vec<(NodeId, u32)>,
         fired: Vec<TimerId>,
@@ -901,6 +1093,105 @@ mod tests {
         s.run();
         // The broadcast to the crashed node was discarded, not leaked.
         assert_eq!(s.in_flight_messages(), 0);
+    }
+
+    /// Runs `s` to completion and returns the observable artifacts a fork
+    /// must reproduce byte-for-byte.
+    fn finish(mut s: Simulation<Echo>) -> (Vec<TraceEntry>, crate::obs::ObsRegistry, SimTime) {
+        s.run();
+        (s.trace().entries().to_vec(), s.observability(), s.now())
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let build = || {
+            let mut s = sim(4);
+            s.set_tracing(true);
+            s.inject(SimTime(40), NodeId(9), NodeId(2), TestMsg::Hello(7));
+            s.inject(SimTime(80), NodeId(9), NodeId(3), TestMsg::Hello(8));
+            s
+        };
+        // Reference: run uninterrupted.
+        let reference = finish(build());
+        // Fork: run to just before t=40, snapshot, restore, run to end.
+        let mut s = build();
+        s.run_before(SimTime(40));
+        let snap = s.snapshot();
+        let forked = finish(Simulation::restore(
+            &snap,
+            Box::new(ConstantDelay(SimTime(5))),
+        ));
+        assert_eq!(forked, reference);
+        // The original keeps running correctly after being snapshotted.
+        assert_eq!(finish(s), reference);
+    }
+
+    #[test]
+    fn snapshot_is_idempotent_and_forks_are_independent() {
+        let mut s = sim(3);
+        s.set_tracing(true);
+        s.inject(SimTime(30), NodeId(9), NodeId(1), TestMsg::Hello(1));
+        s.run_before(SimTime(30));
+        let first = s.snapshot();
+        let second = s.snapshot();
+        assert_eq!(first.now(), second.now());
+        assert_eq!(first.pending_events(), second.pending_events());
+        let link = || -> Box<dyn LinkModel> { Box::new(ConstantDelay(SimTime(5))) };
+        let a = finish(Simulation::restore(&first, link()));
+        let b = finish(Simulation::restore(&second, link()));
+        assert_eq!(a, b);
+        // One snapshot seeds many forks; a diverging fork (crash) does not
+        // disturb a later fork from the same snapshot.
+        let mut diverge = Simulation::restore(&first, link());
+        diverge.crash(NodeId(1));
+        diverge.run();
+        let c = finish(Simulation::restore(&first, link()));
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn snapshot_restores_across_backends() {
+        let mut s: Simulation<Echo> = Simulation::with_backend(
+            (0..5).map(|_| Echo::new()).collect(),
+            Box::new(ConstantDelay(SimTime(3))),
+            9,
+            QueueBackend::Calendar,
+        );
+        s.set_tracing(true);
+        s.inject(SimTime(25), NodeId(9), NodeId(4), TestMsg::Hello(3));
+        s.run_before(SimTime(25));
+        let snap = s.snapshot();
+        assert_eq!(snap.backend(), QueueBackend::Calendar);
+        let link = || -> Box<dyn LinkModel> { Box::new(ConstantDelay(SimTime(3))) };
+        let heap = finish(Simulation::restore_with_backend(
+            &snap,
+            link(),
+            QueueBackend::Heap,
+        ));
+        let calendar = finish(Simulation::restore(&snap, link()));
+        assert_eq!(heap, calendar);
+    }
+
+    #[test]
+    fn snapshot_round_trips_crashes_cancels_and_free_list() {
+        // Exercise the cancelled-timer set, the crashed set, and arena
+        // free-list recycling across a snapshot boundary.
+        let mut s = sim(4);
+        s.set_tracing(true);
+        s.crash(NodeId(3));
+        s.inject(SimTime(10), NodeId(9), NodeId(3), TestMsg::Hello(5)); // discarded
+        s.inject(SimTime(50), NodeId(9), NodeId(1), TestMsg::Hello(6));
+        s.run_before(SimTime(50));
+        let snap = s.snapshot();
+        let mut r = Simulation::restore(&snap, Box::new(ConstantDelay(SimTime(5))));
+        assert!(r.is_crashed(NodeId(3)));
+        assert_eq!(r.in_flight_messages(), s.in_flight_messages());
+        assert_eq!(r.queue_len(), s.queue_len());
+        assert_eq!(r.events_dispatched(), s.events_dispatched());
+        r.run();
+        assert!(r.node(NodeId(1)).received.contains(&(NodeId(9), 6)));
+        assert!(r.node(NodeId(3)).received.is_empty());
+        assert_eq!(r.in_flight_messages(), 0);
     }
 
     #[test]

@@ -73,7 +73,7 @@ mod time;
 mod trace;
 
 pub use arena::{Arena, MsgRef};
-pub use engine::{Context, LinkModel, Node, RunOutcome, Simulation, TimerId};
+pub use engine::{Context, LinkModel, Node, RunOutcome, SimSnapshot, Simulation, TimerId};
 pub use meter::{KindStats, Meter, WireMessage};
 pub use obs::ObsRegistry;
 pub use queue::{CalendarQueue, EventQueue, HeapQueue, QueueBackend};

@@ -181,6 +181,19 @@ pub mod hooks {
         MEMO_HITS.with(|c| c.set(0));
         MEMO_MISSES.with(|c| c.set(0));
     }
+
+    /// Overwrites this thread's hook counters with a previously captured
+    /// [`HookSnapshot`] — the hook half of checkpoint restore. A forked
+    /// run calls `restore(prefix_hooks)` where a fresh run would call
+    /// [`reset`], so the counters resume exactly where the prefix left
+    /// them and the post-run [`snapshot`] delta matches an uninterrupted
+    /// run's.
+    pub fn restore(s: HookSnapshot) {
+        SIG_VERIFIES.with(|c| c.set(s.sig_verifies));
+        CLONE_BYTES.with(|c| c.set(s.clone_bytes));
+        MEMO_HITS.with(|c| c.set(s.memo_hits));
+        MEMO_MISSES.with(|c| c.set(s.memo_misses));
+    }
 }
 
 /// Wall-clock statistics for one named scope.
