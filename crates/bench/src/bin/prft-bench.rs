@@ -54,12 +54,17 @@
 //! is what lets CI grep a PASS line instead of parsing JSON.
 //!
 //! `checkpoint` measures the sweep-scale payoff of checkpoint/fork warm
-//! starts (`docs/CHECKPOINTING.md`) on two late-divergence grids — cells
-//! sharing a long common prefix that diverge only near the horizon, the
-//! shape where forking pays most. Each grid runs twice at one thread:
-//! cold (no store) and warm (one shared store); the report carries per-
-//! cell deterministic event counts, both walls, the reuse accounting, and
-//! the warm/cold speedup. Exits non-zero if warm and cold records differ
+//! starts (`docs/CHECKPOINTING.md`) on three late-divergence grids —
+//! cells sharing a long common prefix that diverge only near the
+//! horizon, the shape where forking pays most: committee crash
+//! divergence, delay-rule cells diverging *after* a shared lift
+//! (exercising suffix captures via the batch capture hints), and a
+//! workload (committee-plus-clients) grid exercising the
+//! `Simulation<Actor>` checkpoint path. Each grid runs twice at one
+//! thread: cold (no store) and warm (one shared store with capture hints
+//! installed, as the batch runners do); the report carries per-cell
+//! deterministic event counts, both walls, the reuse accounting, and the
+//! warm/cold speedup. Exits non-zero if warm and cold records differ
 //! anywhere or no grid reaches 2× cells/sec warm over cold.
 //!
 //! `diff` compares a freshly measured bench JSON against a committed
@@ -837,38 +842,78 @@ fn crash_grid(horizon: u64, ticks: &[u64]) -> CheckpointGrid {
     }
 }
 
+/// Tick every delay-divergence cell lifts its shared delay rule at: late
+/// enough that forks across the live rule do real replay work, early
+/// enough to leave a long shared suffix past it.
+const DELAY_LIFT_TICK: u64 = 60_000;
+
 /// The delay-divergence grid: every cell installs the same targeted
-/// delay rule at t = 0 and lifts it at a different tick (one never
-/// does). Forks here cross a live delay rule, so the bench also times
-/// the delay-replay path the equivalence suite pins for correctness.
+/// delay rule at t = 0 and lifts it at [`DELAY_LIFT_TICK`], then
+/// diverges with a crash near the horizon (one cell never does). Forks
+/// here cross a live delay rule, so the bench also times the
+/// delay-replay path the equivalence suite pins for correctness — and
+/// because the shared schedule ends at the lift, the crash cells can
+/// only fork deep via **suffix captures**: the lift-only cell runs
+/// first and captures at the hinted crash ticks, far past its own last
+/// event.
 fn delay_grid(horizon: u64, ticks: &[u64]) -> CheckpointGrid {
     use prft_lab::TimelineEvent;
     let base = |label: String| {
-        checkpoint_cell(label, 0xde1a, horizon).at(
-            0,
-            TimelineEvent::AddDelayRule {
-                from: Some(0),
-                to: None,
-                extra: 40,
-                window: u64::MAX,
-            },
-        )
-    };
-    let mut specs: Vec<prft_lab::ScenarioSpec> = ticks
-        .iter()
-        .map(|&t| {
-            base(format!("lift@{t}")).at(
-                t,
+        checkpoint_cell(label, 0xde1a, horizon)
+            .at(
+                0,
+                TimelineEvent::AddDelayRule {
+                    from: Some(0),
+                    to: None,
+                    extra: 40,
+                    window: u64::MAX,
+                },
+            )
+            .at(
+                DELAY_LIFT_TICK,
                 TimelineEvent::RemoveDelayRule {
                     from: Some(0),
                     to: None,
                 },
             )
-        })
-        .collect();
-    specs.push(base("never-lifted".to_string()));
+    };
+    let mut specs = vec![base("lift-only".to_string())];
+    specs.extend(
+        ticks
+            .iter()
+            .map(|&t| base(format!("crash@{t}")).at(t, TimelineEvent::Crash(7))),
+    );
     CheckpointGrid {
         name: "delay-divergence",
+        specs,
+        ticks: [None]
+            .into_iter()
+            .chain(ticks.iter().map(|&t| Some(t)))
+            .collect(),
+    }
+}
+
+/// The workload-divergence grid: every cell drives the same open-loop
+/// client population against the committee and diverges with a crash
+/// near the horizon (plus a crash-free tail cell) — the
+/// `Simulation<Actor>` twin of the crash grid, checkpointing clients'
+/// in-flight/retry state along with the committee.
+fn workload_grid(horizon: u64, ticks: &[u64]) -> CheckpointGrid {
+    use prft_lab::TimelineEvent;
+    let base = |label: String| {
+        checkpoint_cell(label, 0x10adc, horizon).workload(
+            prft_lab::WorkloadSpec::steady(30, 150)
+                .txs_per_client(4)
+                .max_batch(256),
+        )
+    };
+    let mut specs: Vec<prft_lab::ScenarioSpec> = ticks
+        .iter()
+        .map(|&t| base(format!("crash@{t}")).at(t, TimelineEvent::Crash(7)))
+        .collect();
+    specs.push(base("no-divergence".to_string()));
+    CheckpointGrid {
+        name: "workload-divergence",
         specs,
         ticks: ticks.iter().map(|&t| Some(t)).chain([None]).collect(),
     }
@@ -884,11 +929,16 @@ struct CheckpointResult {
     reuse: prft_lab::ReuseStats,
 }
 
-/// Runs one leg of a grid (cells in divergence order, one thread).
+/// Runs one leg of a grid (cells in divergence order, one thread). The
+/// warm leg installs the grid's capture hints first, exactly as the
+/// batch runners do — suffix captures need them.
 fn run_checkpoint_leg(
     specs: &[prft_lab::ScenarioSpec],
     store: Option<&prft_lab::CheckpointStore>,
 ) -> (Vec<prft_lab::RunRecord>, f64) {
+    if let Some(store) = store {
+        store.set_capture_hints_for(specs.iter());
+    }
     let t0 = Instant::now();
     let records = specs
         .iter()
@@ -931,17 +981,15 @@ fn checkpoint_bench(quick: bool, repeats: u32, out: Option<&str>) -> ExitCode {
     // comparable across quick and full runs (`prft-bench diff` relies on
     // that); quick just drops the middle divergence points.
     const HORIZON: u64 = 120_000;
-    let (crash_ticks, delay_ticks): (&[u64], &[u64]) = if quick {
-        (&[100_000, 115_000], &[60_000, 100_000])
+    let divergence_ticks: &[u64] = if quick {
+        &[100_000, 110_000, 115_000]
     } else {
-        (
-            &[100_000, 105_000, 110_000, 115_000],
-            &[60_000, 80_000, 100_000],
-        )
+        &[100_000, 105_000, 110_000, 115_000]
     };
     let grids = vec![
-        measure_checkpoint_grid(crash_grid(HORIZON, crash_ticks), repeats),
-        measure_checkpoint_grid(delay_grid(HORIZON, delay_ticks), repeats),
+        measure_checkpoint_grid(crash_grid(HORIZON, divergence_ticks), repeats),
+        measure_checkpoint_grid(delay_grid(HORIZON, divergence_ticks), repeats),
+        measure_checkpoint_grid(workload_grid(HORIZON, divergence_ticks), repeats),
     ];
     let mut best_speedup = 0.0f64;
     for r in &grids {
@@ -1376,9 +1424,10 @@ fn usage() -> ExitCode {
          transactions or the largest population fails to commit its\n\
          offered load.\n\
          \n\
-         checkpoint: measures checkpoint/fork warm starts on two\n\
-         late-divergence grids (cells sharing a long prefix, diverging\n\
-         near the horizon), cold vs warm at one thread, and emits a\n\
+         checkpoint: measures checkpoint/fork warm starts on three\n\
+         late-divergence grids — crash, delay with a late crash, and\n\
+         open-loop workload (cells sharing a long prefix, diverging\n\
+         near the horizon) — cold vs warm at one thread, and emits a\n\
          BENCH_checkpoint.json document of per-cell event counts, walls,\n\
          reuse accounting, and warm/cold speedup (schema:\n\
          docs/CHECKPOINTING.md). Exits non-zero if warm records differ\n\

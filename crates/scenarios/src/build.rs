@@ -22,7 +22,7 @@
 //! runtime action.
 
 use crate::checkpoint::{
-    boundaries, ordered_events, prefix_fingerprint, CheckpointEntry, CheckpointStore,
+    boundaries, ordered_events, prefix_fingerprint, CheckpointEntry, CheckpointStore, PopSnapshot,
 };
 use crate::record::RunRecord;
 use crate::spec::{PartitionSpec, Role, ScenarioSpec, Synchrony, TimelineEvent, UtilitySpec};
@@ -38,7 +38,7 @@ use prft_core::{
 use prft_game::{PayoffTable, SystemState};
 use prft_metrics::{classify, StateObservation};
 use prft_net::{DelayRule, DelayRuleHandle, PartitionWindow, PartitionedNet, TargetedDelay};
-use prft_sim::{LinkModel, Node, RunOutcome, SimTime, Simulation};
+use prft_sim::{LinkModel, Node, QueueBackend, RunOutcome, SimTime, Simulation};
 use prft_types::{Block, Digest, NodeId, Round, Transaction, TxId};
 use prft_workload::{Actor, WorkloadRunStats, WorkloadSpec};
 use std::collections::HashSet;
@@ -379,6 +379,77 @@ pub fn build_sim(spec: &ScenarioSpec, seed: u64) -> Simulation<Replica> {
     build(spec, seed).sim
 }
 
+/// Checkpoint support for a node population: how to build one cell of it,
+/// capture its engine state into a population-tagged [`PopSnapshot`], and
+/// restore a simulation from one. Implemented by the two populations the
+/// timeline executor drives, so the whole warm-start run path
+/// ([`run_one_with`]) is written once, generically.
+trait CheckpointPop: Node + AsReplica + Clone + Sized {
+    /// Builds a fresh (cold) cell of this population.
+    fn build_cell(spec: &ScenarioSpec, seed: u64) -> Built<Simulation<Self>>;
+    /// Captures the engine state, tagged with the population.
+    fn capture(sim: &mut Simulation<Self>) -> PopSnapshot;
+    /// Restores a simulation from a captured state of this population.
+    /// The fingerprint keeps populations apart (`workload` is part of the
+    /// canonical spec), so a mismatched variant is a store-corruption
+    /// bug, not a recoverable miss.
+    fn restore(
+        snapshot: &PopSnapshot,
+        network: NetworkChoice,
+        backend: QueueBackend,
+    ) -> Simulation<Self>;
+}
+
+impl CheckpointPop for Replica {
+    fn build_cell(spec: &ScenarioSpec, seed: u64) -> Built<Simulation<Replica>> {
+        build(spec, seed)
+    }
+    fn capture(sim: &mut Simulation<Replica>) -> PopSnapshot {
+        PopSnapshot::Committee(sim.snapshot())
+    }
+    fn restore(
+        snapshot: &PopSnapshot,
+        network: NetworkChoice,
+        backend: QueueBackend,
+    ) -> Simulation<Replica> {
+        match snapshot {
+            PopSnapshot::Committee(s) => {
+                Simulation::restore_with_backend(s, network.into_model(), backend)
+            }
+            PopSnapshot::Workload(_) => {
+                unreachable!("fingerprints keep workload captures off committee keys")
+            }
+        }
+    }
+}
+
+impl CheckpointPop for Actor {
+    fn build_cell(spec: &ScenarioSpec, seed: u64) -> Built<Simulation<Actor>> {
+        let w = spec
+            .workload
+            .as_ref()
+            .expect("the workload population requires a workload section");
+        build_workload(spec, seed, w)
+    }
+    fn capture(sim: &mut Simulation<Actor>) -> PopSnapshot {
+        PopSnapshot::Workload(sim.snapshot())
+    }
+    fn restore(
+        snapshot: &PopSnapshot,
+        network: NetworkChoice,
+        backend: QueueBackend,
+    ) -> Simulation<Actor> {
+        match snapshot {
+            PopSnapshot::Workload(s) => {
+                Simulation::restore_with_backend(s, network.into_model(), backend)
+            }
+            PopSnapshot::Committee(_) => {
+                unreachable!("fingerprints keep committee captures off workload keys")
+            }
+        }
+    }
+}
+
 /// Applies one scheduled event at the start of `tick`.
 fn apply_event<S: TimelineSim>(
     spec: &ScenarioSpec,
@@ -612,67 +683,97 @@ pub fn run_one(spec: &ScenarioSpec, seed: u64) -> RunRecord {
 
 /// [`run_one`] with checkpoint/fork warm starts.
 ///
-/// With a [`CheckpointStore`], a committee run first looks for a captured
-/// state of a sibling cell sharing its timeline prefix — trying its own
-/// fork boundaries deepest-first, with the horizon as a pseudo-boundary
-/// so schedule-free cells can also reuse — and resumes from the deepest
-/// hit instead of re-simulating the prefix. Hit or miss, the run then
-/// captures its own state at each remaining event boundary for later
-/// cells (first writer wins). Forked and fresh runs produce byte-identical
-/// records — pinned per registry timeline scenario, queue backend, and
-/// thread count by `tests/checkpoint_equiv.rs`.
-///
-/// Workload specs always run cold: the store is monomorphic over the
-/// committee population (`Simulation<Replica>`), and workload grids vary
-/// client parameters rather than timeline suffixes anyway.
+/// With a [`CheckpointStore`], a run first looks for a captured state of
+/// a sibling cell sharing its timeline prefix — trying its own fork
+/// boundaries deepest-first, with the horizon as a pseudo-boundary so
+/// schedule-free cells can also reuse — and resumes from the deepest hit
+/// instead of re-simulating the prefix. Hit or miss, the run then
+/// captures its own state at each remaining event boundary, plus any
+/// matching capture hints the store advertises
+/// ([`CheckpointStore::set_capture_hints_for`]), for later cells (first
+/// writer wins). **Both populations** participate: pure committee cells
+/// and workload (committee-plus-clients) cells each fork from captures of
+/// their own population, kept apart by the fingerprint. Forked and fresh
+/// runs produce byte-identical records — pinned per registry timeline
+/// scenario, queue backend, and thread count by
+/// `tests/checkpoint_equiv.rs`.
 pub fn run_one_with(spec: &ScenarioSpec, seed: u64, store: Option<&CheckpointStore>) -> RunRecord {
     match store {
-        Some(store) if spec.workload.is_none() => run_one_warm(spec, seed, store),
-        _ => run_one(spec, seed),
+        Some(store) => run_one_warm(spec, seed, store),
+        None => run_one(spec, seed),
     }
 }
 
 fn run_one_warm(spec: &ScenarioSpec, seed: u64, store: &CheckpointStore) -> RunRecord {
+    match &spec.workload {
+        Some(_) => {
+            let (built, outcome) = warm_run::<Actor>(spec, seed, store);
+            let mut rec = summarize(spec, &built.sim, seed, outcome);
+            let stats = WorkloadRunStats::collect(&built.sim);
+            mirror_workload_obs(&mut rec, &stats);
+            rec.workload = Some(stats);
+            rec
+        }
+        None => {
+            let (built, outcome) = warm_run::<Replica>(spec, seed, store);
+            summarize(spec, &built.sim, seed, outcome)
+        }
+    }
+}
+
+/// The population-generic warm-start body: probe, fork or build cold,
+/// then execute the schedule with captures.
+fn warm_run<N: CheckpointPop>(
+    spec: &ScenarioSpec,
+    seed: u64,
+    store: &CheckpointStore,
+) -> (Built<Simulation<N>>, RunOutcome)
+where
+    Simulation<N>: TimelineSim,
+{
     let hit = boundaries(spec)
         .into_iter()
         .rev()
         .find_map(|tb| store.lookup(prefix_fingerprint(spec, tb), seed, tb));
-    let (built, outcome) = match hit {
+    match hit {
         Some(entry) => {
             // The entry's hook counters are the prefix's exact deltas; a
             // fresh run would have accumulated them from a reset.
             prft_sim::obs::hooks::restore(entry.hooks);
-            let mut built = fork_from(spec, &entry);
+            let mut built = fork_from::<N>(spec, &entry);
             let outcome =
                 execute_schedule_captured(spec, &mut built, Some(entry.tick), store, seed);
             (built, outcome)
         }
         None => {
             prft_sim::obs::hooks::reset();
-            let mut built = build(spec, seed);
+            let mut built = N::build_cell(spec, seed);
             let outcome = execute_schedule_captured(spec, &mut built, None, store, seed);
             (built, outcome)
         }
-    };
-    summarize(spec, &built.sim, seed, outcome)
+    }
 }
 
-/// Reassembles a runnable committee from a captured prefix state.
+/// Reassembles a runnable population from a captured prefix state.
 ///
-/// The engine snapshot restores nodes, queue, arena, meter, counters, and
-/// broadcast domain; the scenario layer re-supplies what the snapshot
-/// deliberately leaves out:
+/// The engine snapshot restores nodes (committee replicas, and for the
+/// workload population the clients with their in-flight/retry state),
+/// queue, arena, meter, counters, and broadcast domain; the scenario
+/// layer re-supplies what the snapshot deliberately leaves out:
 ///
 /// - the **network stack**, rebuilt from the spec (a pure function of its
 ///   static fields) with the prefix's delay-rule events replayed onto the
 ///   fresh [`DelayRuleHandle`] — so a rule lifted before the capture
 ///   stays lifted and one still active stays active;
 /// - the **fork blackboard**, deep-copied into a fresh `Arc` and rebound
-///   into every replica's behavior, so the fork never aliases the
-///   producer run's live coordination state (and later scheduled
+///   into every committee replica's behavior, so the fork never aliases
+///   the producer run's live coordination state (and later scheduled
 ///   colluders join the fork's own board);
 /// - the consumer's own queue backend (checkpoints are backend-portable).
-fn fork_from(spec: &ScenarioSpec, entry: &CheckpointEntry) -> Built<Simulation<Replica>> {
+fn fork_from<N: CheckpointPop>(spec: &ScenarioSpec, entry: &CheckpointEntry) -> Built<Simulation<N>>
+where
+    Simulation<N>: TimelineSim,
+{
     let (network, delay) = network_model(spec);
     if let Some(handle) = &delay {
         for (tick, event) in ordered_events(spec) {
@@ -682,8 +783,7 @@ fn fork_from(spec: &ScenarioSpec, entry: &CheckpointEntry) -> Built<Simulation<R
             apply_delay_event(handle, tick, event);
         }
     }
-    let mut sim =
-        Simulation::restore_with_backend(&entry.snapshot, network.into_model(), spec.queue);
+    let mut sim = N::restore(&entry.snapshot, network, spec.queue);
     let board: Option<Blackboard> = match (&entry.board, spec.uses_fork_blackboard()) {
         (Some(plan), _) => Some(std::sync::Arc::new(std::sync::Mutex::new(plan.clone()))),
         // The producer had no board but this spec schedules fork roles in
@@ -693,8 +793,9 @@ fn fork_from(spec: &ScenarioSpec, entry: &CheckpointEntry) -> Built<Simulation<R
         (None, false) => None,
     };
     if let Some(b) = &board {
+        // Only committee seats (0..n) carry behaviors; clients have none.
         for i in 0..spec.n {
-            sim.node_mut(NodeId(i)).rebind_behavior_state(b);
+            sim.replica_mut(NodeId(i)).rebind_behavior_state(b);
         }
     }
     let collusion: HashSet<NodeId> = spec.censor_collusion().into_iter().map(NodeId).collect();
@@ -706,37 +807,62 @@ fn fork_from(spec: &ScenarioSpec, entry: &CheckpointEntry) -> Built<Simulation<R
     }
 }
 
-/// The committee twin of [`execute_schedule`] with checkpoint capture:
-/// after running up to each event boundary (and before applying its
-/// events) the state is offered to `store` under the prefix fingerprint
-/// below that tick. `resume_from` marks a forked run: events below the
-/// resumed boundary are skipped and the capture at the boundary itself is
-/// suppressed (the store already holds it).
-fn execute_schedule_captured(
+/// The population-generic twin of [`execute_schedule`] with checkpoint
+/// capture: after running up to each capture tick (and before applying
+/// any events there) the state is offered to `store` under the prefix
+/// fingerprint below that tick. Capture ticks are the spec's own event
+/// boundaries plus any store-advertised capture hints whose fingerprint
+/// matches ([`CheckpointStore::capture_ticks_for`]) — the latter give
+/// sibling cells *suffix* captures past this spec's last own event. The
+/// capture plan is a pure function of `(spec, hint set)`; store contents
+/// only skip the clone, never change where the run pauses (and
+/// `run_before` at a non-event tick is state-neutral, so the extra
+/// segmentation cannot perturb observables). `resume_from` marks a forked
+/// run: events below the resumed boundary are skipped and captures at or
+/// below it are suppressed (the store already holds them).
+fn execute_schedule_captured<N: CheckpointPop>(
     spec: &ScenarioSpec,
-    built: &mut Built<Simulation<Replica>>,
+    built: &mut Built<Simulation<N>>,
     resume_from: Option<u64>,
     store: &CheckpointStore,
     seed: u64,
-) -> RunOutcome {
+) -> RunOutcome
+where
+    Simulation<N>: TimelineSim,
+{
     let events = ordered_events(spec);
+    let mut captures: Vec<u64> = events.iter().map(|&(t, _)| t).filter(|&t| t > 0).collect();
+    captures.extend(store.capture_ticks_for(spec));
+    captures.sort_unstable();
+    captures.dedup();
+    if let Some(tc) = resume_from {
+        captures.retain(|&t| t > tc);
+    }
     let mut i = match resume_from {
         Some(tc) => events.partition_point(|&(t, _)| t < tc),
         None => 0,
     };
-    while i < events.len() {
-        let tick = events[i].0;
-        if tick > 0 && built.sim.run_before(SimTime(tick)) == RunOutcome::EventLimit {
+    let mut c = 0;
+    while i < events.len() || c < captures.len() {
+        let tick = match (events.get(i).map(|&(t, _)| t), captures.get(c).copied()) {
+            (Some(e), Some(h)) => e.min(h),
+            (Some(e), None) => e,
+            (None, Some(h)) => h,
+            (None, None) => unreachable!("loop condition"),
+        };
+        if tick > 0 && built.sim.run_before_t(SimTime(tick)) == RunOutcome::EventLimit {
             return RunOutcome::EventLimit;
         }
-        if tick > 0 && resume_from.is_none_or(|tc| tick > tc) {
+        if captures.get(c) == Some(&tick) {
+            c += 1;
             let fp = prefix_fingerprint(spec, tick);
-            // Check-then-clone: the committee clone is the expensive part,
-            // so skip it when a sibling already captured this boundary. A
-            // racing duplicate is dropped by `insert` (first writer wins).
+            // Check-then-clone: the population clone is the expensive
+            // part, so skip it when a sibling already captured this
+            // boundary. A racing duplicate only refreshes the survivor's
+            // LRU stamp (first writer wins).
             if !store.contains(fp, seed, tick) {
                 let entry = CheckpointEntry {
-                    snapshot: built.sim.snapshot(),
+                    snapshot: N::capture(&mut built.sim),
                     board: built.board.as_ref().map(|b| b.lock().unwrap().clone()),
                     hooks: prft_sim::obs::hooks::snapshot(),
                     tick,
@@ -749,7 +875,7 @@ fn execute_schedule_captured(
             i += 1;
         }
     }
-    built.sim.run_until(SimTime(spec.horizon))
+    built.sim.run_until_t(SimTime(spec.horizon))
 }
 
 /// Mirrors the workload stats into the record's observability registry, so

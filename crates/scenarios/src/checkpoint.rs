@@ -15,12 +15,16 @@
 //!   spec describes, up to (excluding) tick `t`". Two specs with equal
 //!   prefix fingerprints and equal derived seeds are guaranteed to be in
 //!   byte-identical states at any capture point below `t`.
-//! - [`CheckpointEntry`]: a captured state — the engine snapshot plus the
-//!   scenario-layer shared state the engine cannot see (the fork
+//! - [`CheckpointEntry`]: a captured state — the engine snapshot of
+//!   either node population (pure committee or committee-plus-clients)
+//!   plus the scenario-layer shared state the engine cannot see (the fork
 //!   blackboard and the thread-local observability hook counters).
 //! - [`CheckpointStore`]: an in-memory, LRU-bounded, thread-shared map
 //!   from `(prefix fingerprint, seed)` to captured states at increasing
-//!   depths, with fork/reuse accounting ([`ReuseStats`]).
+//!   depths, with fork/reuse accounting ([`ReuseStats`]) and optional
+//!   *capture hints* ([`CheckpointStore::set_capture_hints_for`]) that
+//!   let producing runs take deep captures at sibling boundaries past
+//!   their own divergence (suffix fingerprints).
 //!
 //! The warm-start run path lives in `build::run_one_with`; this module is
 //! purely the bookkeeping. See `docs/CHECKPOINTING.md` for the full
@@ -32,6 +36,7 @@ use prft_adversary::ForkPlan;
 use prft_core::Replica;
 use prft_sim::obs::hooks::HookSnapshot;
 use prft_sim::SimSnapshot;
+use prft_workload::Actor;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 
@@ -68,6 +73,14 @@ pub const DEFAULT_CAPACITY: usize = 64;
 /// measurement only), `base_seed` (the store is keyed by the *derived*
 /// seed separately), and `queue`/`verify_mode` (pinned byte-identical by
 /// the backend/verify-mode identity invariants).
+///
+/// The `workload` section stays in the canonical form: every workload
+/// knob (clients, arrivals, retry policy, mempool capacity, …) shapes the
+/// population and its traffic from `t = 0`, so two cells only share
+/// prefixes when their workloads agree exactly. Keeping it also makes the
+/// fingerprint population-separating by construction: a committee spec
+/// (`workload: None`) can never collide with a workload spec, so a store
+/// entry's population always matches its consumer.
 pub fn prefix_fingerprint(spec: &ScenarioSpec, tick_bound: u64) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -98,8 +111,12 @@ pub fn prefix_fingerprint(spec: &ScenarioSpec, tick_bound: u64) -> u64 {
             TimelineEvent::AddDelayRule { .. } | TimelineEvent::RemoveDelayRule { .. }
         )
     });
+    // Salt v2: workload specs joined the store (they previously bypassed
+    // it), so workload knobs became significant for sharing decisions.
+    // Bumping the salt makes every pre-v2 prefix read as a miss — never a
+    // stale hit.
     let text = format!(
-        "ckpt-v1|{canonical:?}|sugar:{sugar:?}|collusion:{collusion:?}|delay:{delay_wrapped}|prefix:{prefix:?}"
+        "ckpt-v2|{canonical:?}|sugar:{sugar:?}|collusion:{collusion:?}|delay:{delay_wrapped}|prefix:{prefix:?}"
     );
     let mut hash = FNV_OFFSET;
     for byte in text.bytes() {
@@ -123,34 +140,60 @@ pub(crate) fn ordered_events(spec: &ScenarioSpec) -> Vec<(u64, &TimelineEvent)> 
     events
 }
 
-/// The candidate fork boundaries of a spec, ascending: every distinct
-/// non-sugar event tick `> 0`, plus the horizon as a pseudo-boundary so a
-/// schedule-free cell can still fork from a sibling's captured prefix.
-pub(crate) fn boundaries(spec: &ScenarioSpec) -> Vec<u64> {
+/// The spec's distinct non-sugar event ticks in `(0, horizon]`,
+/// ascending — the boundaries a warm run captures at, and the
+/// capture-hint contribution a grid sibling advertises.
+pub(crate) fn event_ticks(spec: &ScenarioSpec) -> Vec<u64> {
     let mut out: Vec<u64> = ordered_events(spec)
         .into_iter()
         .map(|(t, _)| t)
         .filter(|&t| t > 0)
         .collect();
+    out.dedup();
+    out
+}
+
+/// The candidate fork boundaries of a spec, ascending: every distinct
+/// non-sugar event tick `> 0`, plus the horizon as a pseudo-boundary so a
+/// schedule-free cell can still fork from a sibling's captured prefix.
+/// An event scheduled exactly at the horizon contributes one boundary
+/// (the trailing `dedup` collapses it into the pseudo-boundary).
+pub(crate) fn boundaries(spec: &ScenarioSpec) -> Vec<u64> {
+    let mut out = event_ticks(spec);
     out.push(spec.horizon);
     out.dedup();
     out
 }
 
+/// The captured engine state of one of the two node populations the
+/// timeline executor drives. The store is population-agnostic: committee
+/// and workload captures share one LRU budget and one accounting, and the
+/// fingerprint keeps the populations apart (a `workload: None` spec can
+/// never share a fingerprint with a workload one), so a lookup always
+/// yields the consumer's own population.
+pub(crate) enum PopSnapshot {
+    /// The pure committee population (`Simulation<Replica>`).
+    Committee(SimSnapshot<Replica>),
+    /// The mixed committee-plus-clients population of a workload run
+    /// (`Simulation<Actor>`).
+    Workload(SimSnapshot<Actor>),
+}
+
 /// One captured prefix state: everything a sibling cell needs to resume
 /// the run from `tick` without replaying the prefix.
 ///
-/// The engine snapshot carries nodes (behaviors, verify caches, RNG),
-/// queue, arena, meter, counters, and the broadcast domain. The two
-/// pieces of state the engine cannot see ride alongside: the fork
-/// blackboard content (deep-copied so forks never alias the producer's
-/// live `Arc<Mutex<…>>`) and the thread-local observability hook counters
+/// The engine snapshot carries nodes (behaviors, verify caches, RNG —
+/// and, for workload runs, every client's in-flight/retry state), queue,
+/// arena, meter, counters, and the broadcast domain. The two pieces of
+/// state the engine cannot see ride alongside: the fork blackboard
+/// content (deep-copied so forks never alias the producer's live
+/// `Arc<Mutex<…>>`) and the thread-local observability hook counters
 /// accumulated over the prefix. Delay rules are deliberately *not*
 /// captured — the fork path replays the prefix's delay events onto a
 /// freshly built network stack instead (see `docs/CHECKPOINTING.md`).
 pub struct CheckpointEntry {
-    /// Engine-level state at the capture point.
-    pub(crate) snapshot: SimSnapshot<Replica>,
+    /// Engine-level state at the capture point, tagged by population.
+    pub(crate) snapshot: PopSnapshot,
     /// Deep copy of the fork blackboard content at the capture point
     /// (`None` when the producer run had no blackboard).
     pub(crate) board: Option<ForkPlan>,
@@ -196,6 +239,13 @@ struct Slot {
 struct Inner {
     /// `(prefix fingerprint, derived seed)` → capture tick → state.
     map: HashMap<(u64, u64), BTreeMap<u64, Slot>>,
+    /// Capture hints, sorted: `(tick, prefix fingerprint at that tick)`
+    /// pairs advertising the boundaries *sibling* cells will probe. A run
+    /// captures at a hint tick exactly when its own fingerprint at that
+    /// tick matches — so deep captures past its last scheduled event (the
+    /// suffix fingerprints of forked cells included) are taken only where
+    /// some sibling can actually consume them.
+    hints: Vec<(u64, u64)>,
     clock: u64,
     len: usize,
     stats: ReuseStats,
@@ -272,8 +322,11 @@ impl CheckpointStore {
     }
 
     /// Inserts a capture, first writer wins (a concurrent duplicate is
-    /// dropped — both captured the same deterministic state). Counts
-    /// toward `created` only on actual insert; evicts the
+    /// dropped — both captured the same deterministic state). A duplicate
+    /// still *touches* the surviving slot's LRU stamp: a checkpoint being
+    /// actively re-produced by concurrent workers is about to be probed by
+    /// their sibling cells, so it must not be the next eviction victim.
+    /// Counts toward `created` only on actual insert; evicts the
     /// least-recently-used checkpoint when over capacity.
     pub fn insert(&self, fingerprint: u64, seed: u64, entry: CheckpointEntry) {
         let tick = entry.tick;
@@ -281,7 +334,8 @@ impl CheckpointStore {
         inner.clock += 1;
         let clock = inner.clock;
         let by_tick = inner.map.entry((fingerprint, seed)).or_default();
-        if by_tick.contains_key(&tick) {
+        if let Some(slot) = by_tick.get_mut(&tick) {
+            slot.last_used = clock;
             return;
         }
         by_tick.insert(
@@ -329,6 +383,55 @@ impl CheckpointStore {
         }
         inner.map.retain(|_, m| !m.is_empty());
         inner.len -= removed;
+    }
+
+    /// Installs capture hints derived from `specs` — the cells of the
+    /// sweep this store serves. Every sibling's event boundary becomes a
+    /// `(tick, prefix fingerprint)` pair; a producing run then captures at
+    /// a hint tick whenever its own fingerprint there matches, even when
+    /// the tick lies *past its last scheduled event* (a post-divergence
+    /// deep capture under the suffix fingerprint). Hints never change any
+    /// run's observables — captures are invisible — and never cause a
+    /// capture no sibling boundary could consume.
+    ///
+    /// Replaces any previous hints. Install before fanning runs out: the
+    /// capture plan of a run is a pure function of `(spec, hints)`, so the
+    /// hint set must be fixed for the whole sweep to keep records
+    /// thread-count-invariant.
+    pub fn set_capture_hints_for<'a>(&self, specs: impl IntoIterator<Item = &'a ScenarioSpec>) {
+        let mut hints: Vec<(u64, u64)> = specs
+            .into_iter()
+            .flat_map(|spec| {
+                event_ticks(spec)
+                    .into_iter()
+                    .map(|t| (t, prefix_fingerprint(spec, t)))
+            })
+            .collect();
+        hints.sort_unstable();
+        hints.dedup();
+        self.inner.lock().unwrap().hints = hints;
+    }
+
+    /// The hint ticks applicable to a run of `spec`: every installed hint
+    /// tick whose advertised fingerprint equals `spec`'s own prefix
+    /// fingerprint at that tick (sorted, deduplicated). Store *contents*
+    /// never influence this — only the fixed hint set does.
+    pub(crate) fn capture_ticks_for(&self, spec: &ScenarioSpec) -> Vec<u64> {
+        let hints = self.inner.lock().unwrap().hints.clone();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < hints.len() {
+            let tick = hints[i].0;
+            let fp = prefix_fingerprint(spec, tick);
+            while i < hints.len() && hints[i].0 == tick {
+                if hints[i].1 == fp {
+                    out.push(tick);
+                }
+                i += 1;
+            }
+        }
+        out.dedup();
+        out
     }
 
     /// Number of checkpoints currently held.
@@ -419,10 +522,64 @@ mod tests {
     }
 
     #[test]
+    fn at_horizon_event_collapses_into_pseudo_boundary() {
+        // An event scheduled exactly at the horizon must yield ONE
+        // boundary there, and the fingerprint at that boundary must not
+        // see the event (prefix is strictly below the bound) — so it
+        // agrees with a sibling that has no at-horizon event at all.
+        let h = spec().horizon;
+        let s = spec().at(h, TimelineEvent::Crash(1));
+        assert_eq!(boundaries(&s), vec![h]);
+        assert_eq!(prefix_fingerprint(&s, h), prefix_fingerprint(&spec(), h));
+        assert_ne!(
+            prefix_fingerprint(&s, h + 1),
+            prefix_fingerprint(&spec(), h + 1)
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_workload_knobs() {
+        use prft_workload::WorkloadSpec;
+        let a = spec();
+        let b = spec().workload(WorkloadSpec::steady(4, 100));
+        let c = spec().workload(WorkloadSpec::steady(5, 100));
+        assert_ne!(
+            prefix_fingerprint(&a, 10),
+            prefix_fingerprint(&b, 10),
+            "population choice must separate fingerprints"
+        );
+        assert_ne!(
+            prefix_fingerprint(&b, 10),
+            prefix_fingerprint(&c, 10),
+            "every workload knob is fingerprint-significant"
+        );
+    }
+
+    #[test]
+    fn capture_hints_match_only_shared_prefixes() {
+        let store = CheckpointStore::default();
+        assert!(store.capture_ticks_for(&spec()).is_empty());
+        let crash = spec().at(500, TimelineEvent::Crash(1));
+        let late = spec().at(900, TimelineEvent::Crash(2));
+        store.set_capture_hints_for([&crash, &late]);
+        // The schedule-free sibling shares both prefixes: it should
+        // capture at both hint ticks, even though it has no events.
+        assert_eq!(store.capture_ticks_for(&spec()), vec![500, 900]);
+        // `crash` diverges at 500, so 900 advertises a fingerprint its
+        // own trajectory can't match; `late` still matches 500.
+        assert_eq!(store.capture_ticks_for(&crash), vec![500]);
+        assert_eq!(store.capture_ticks_for(&late), vec![500, 900]);
+        // A spec with different statics matches nothing.
+        let mut other = spec();
+        other.n = 5;
+        assert!(store.capture_ticks_for(&other).is_empty());
+    }
+
+    #[test]
     fn lru_evicts_least_recently_used() {
         let store = CheckpointStore::new(2);
         let entry = |tick| CheckpointEntry {
-            snapshot: fake_snapshot(),
+            snapshot: PopSnapshot::Committee(fake_snapshot()),
             board: None,
             hooks: HookSnapshot::default(),
             tick,
@@ -442,6 +599,32 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_insert_refreshes_the_surviving_slot() {
+        let store = CheckpointStore::new(2);
+        let entry = |tick| CheckpointEntry {
+            snapshot: PopSnapshot::Committee(fake_snapshot()),
+            board: None,
+            hooks: HookSnapshot::default(),
+            tick,
+        };
+        store.insert(1, 0, entry(10));
+        store.insert(2, 0, entry(20));
+        // A racing worker re-produces (1, 0, 10): the duplicate is
+        // dropped, but it must *touch* the surviving slot — the sibling
+        // cells about to probe it make it the hottest entry, not the
+        // coldest.
+        store.insert(1, 0, entry(10));
+        store.insert(3, 0, entry(30));
+        assert_eq!(store.len(), 2);
+        assert!(
+            store.lookup(1, 0, 100).is_some(),
+            "the re-produced checkpoint was evicted despite being hot"
+        );
+        assert!(store.lookup(2, 0, 100).is_none(), "(2, 0) was the LRU");
+        assert_eq!(store.stats().created, 3, "duplicates don't count");
+    }
+
+    #[test]
     fn lookup_returns_deepest_at_or_below_boundary() {
         let store = CheckpointStore::new(8);
         for tick in [10, 20, 30] {
@@ -449,7 +632,7 @@ mod tests {
                 7,
                 1,
                 CheckpointEntry {
-                    snapshot: fake_snapshot(),
+                    snapshot: PopSnapshot::Committee(fake_snapshot()),
                     board: None,
                     hooks: HookSnapshot::default(),
                     tick,

@@ -336,6 +336,13 @@ impl GameExplorer {
         // list so many small cells (and many small games) still saturate
         // the pool; per-run seeds depend only on (spec base seed, seed
         // index), so scheduling cannot perturb any run.
+        // Advertise the batch's event boundaries as capture hints: a cell
+        // whose own schedule ends early still captures at sibling fork
+        // ticks whose prefix fingerprints match (suffix captures), so
+        // late-diverging siblings resume past the divergence.
+        if let Some(store) = &store {
+            store.set_capture_hints_for(work.iter().map(|w| &w.spec));
+        }
         let flat: Vec<(usize, u64)> = (0..work.len())
             .flat_map(|cell| (0..sim_seeds).map(move |i| (cell, i)))
             .collect();

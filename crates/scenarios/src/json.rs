@@ -53,6 +53,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -102,12 +103,20 @@ impl Json {
     }
 }
 
+/// Deepest container nesting [`Json::parse`] accepts. Real reports nest a
+/// handful of levels; the cap exists so a corrupt or adversarial document
+/// (`[[[[…`) returns a parse error instead of overflowing the
+/// recursive-descent stack.
+const MAX_DEPTH: usize = 128;
+
 /// Recursive-descent parser over the document bytes. JSON structure is
 /// ASCII, so byte-wise scanning is safe; string contents pass through as
-/// UTF-8 (escapes decoded).
+/// UTF-8 (escapes decoded). Container recursion is bounded by
+/// [`MAX_DEPTH`].
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -157,12 +166,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -173,6 +192,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -182,10 +202,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -200,6 +222,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -447,6 +470,33 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_caps_nesting_depth() {
+        // A corrupt/adversarial document must come back as a clean error,
+        // not a stack overflow.
+        let deep_arr = "[".repeat(100_000);
+        let err = Json::parse(&deep_arr).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "got: {err}");
+        let deep_obj = "{\"k\":".repeat(100_000);
+        let err = Json::parse(&deep_obj).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "got: {err}");
+
+        // At the cap itself (interleaved containers), parsing still works.
+        let ok = format!(
+            "{}null{}",
+            "[{\"k\":".repeat(MAX_DEPTH / 2),
+            "}]".repeat(MAX_DEPTH / 2)
+        );
+        assert!(Json::parse(&ok).is_ok());
+        // One past the cap fails.
+        let over = format!(
+            "{}null{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(Json::parse(&over).is_err());
     }
 
     #[test]

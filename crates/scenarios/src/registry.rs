@@ -462,6 +462,25 @@ pub fn registry() -> Vec<Scenario> {
                 )],
         },
         Scenario {
+            name: "load-crash",
+            description:
+                "open-loop clients ride through a mid-stream replica crash: latency and drop accounting across the outage",
+            specs: [80_000u64, 120_000]
+                .into_iter()
+                .map(|tick| {
+                    ScenarioSpec::new(format!("crash@{tick}"), 8, 400)
+                        .base_seed(0x10adc4)
+                        .horizon(200_000)
+                        .workload(
+                            WorkloadSpec::steady(40, 150)
+                                .txs_per_client(4)
+                                .max_batch(256),
+                        )
+                        .at(tick, TimelineEvent::Crash(7))
+                })
+                .collect(),
+        },
+        Scenario {
             name: "backpressure-saturation",
             description:
                 "bounded mempools under Poisson overload: capacity rejects, client backoff, and drop accounting",
@@ -518,6 +537,7 @@ mod tests {
             "colluder-defection",
             "late-tx-flood",
             "scheduled-split",
+            "load-crash",
         ] {
             let scenario = find(name).expect("registered");
             assert!(
@@ -540,6 +560,7 @@ mod tests {
             "tx-flood-burst",
             "retry-storm-gst",
             "backpressure-saturation",
+            "load-crash",
         ] {
             let scenario = find(name).expect("registered");
             assert!(

@@ -150,6 +150,12 @@ impl BatchRunner {
                 .map(|s| BatchReport::from_records(s.label.clone(), s.n, Vec::new()))
                 .collect();
         }
+        // Advertise every cell's event boundaries as capture hints so
+        // early-finishing cells capture at their siblings' fork ticks too
+        // (suffix captures past their own last event).
+        if let Some(store) = store {
+            store.set_capture_hints_for(specs.iter());
+        }
         struct SpecSlot {
             records: Vec<Option<RunRecord>>,
             remaining: usize,

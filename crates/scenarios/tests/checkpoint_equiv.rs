@@ -18,12 +18,19 @@
 //!   replay the prefix's `AddDelayRule`/`RemoveDelayRule` events onto its
 //!   fresh network stack — a checkpoint that carried (or dropped) live
 //!   rule state would resurrect a lifted delay or lose an active one;
-//! * workload specs bypass the (committee-monomorphic) store entirely.
+//! * workload (committee-plus-client) cells fork and capture like
+//!   committee cells, with the client conservation invariant
+//!   `submitted == committed + dropped + pending` intact under forks;
+//! * suffix captures: with capture hints installed, a producer captures
+//!   *past its own last event* at a sibling's fork tick, and the sibling
+//!   resumes there instead of replaying the shared tail;
+//! * an event scheduled exactly at the horizon is applied identically by
+//!   fresh, capturing, and forked runs.
 
 use prft_lab::{
     derive_seed, find, game_registry, registry, report, run_one, run_one_with, BatchReport,
     BatchRunner, CheckpointStore, Exploration, GameExplorer, QueueBackend, ReuseStats, RunRecord,
-    Scenario, ScenarioSpec,
+    Scenario, ScenarioSpec, TimelineEvent, WorkloadSpec,
 };
 
 /// Registry scenarios with at least one scheduled event.
@@ -62,7 +69,7 @@ fn event_boundaries(spec: &ScenarioSpec) -> Vec<u64> {
 #[test]
 fn fork_at_each_boundary_matches_fresh() {
     for scenario in timeline_scenarios() {
-        for spec in scenario.specs.iter().filter(|s| s.workload.is_none()) {
+        for spec in &scenario.specs {
             let seed = derive_seed(spec.base_seed, 0);
             let reference = full_report(spec, run_one(spec, seed));
             let store = CheckpointStore::default();
@@ -252,24 +259,166 @@ fn explain_reuse_table_matches_golden_file() {
     );
 }
 
-/// Workload specs run cold even when a store is offered: the store is
-/// monomorphic over the committee population.
+/// A small workload grid whose cells share statics and a schedule-free
+/// prefix, diverging only in a late crash: the shape that lets warm
+/// starts chain one cell's capture into the next cell's fork.
+fn workload_grid() -> Vec<ScenarioSpec> {
+    let cell = |label: &str| {
+        ScenarioSpec::new(label, 8, 400)
+            .base_seed(0x10ad)
+            .horizon(200_000)
+            .workload(
+                WorkloadSpec::steady(40, 150)
+                    .txs_per_client(4)
+                    .max_batch(256),
+            )
+    };
+    vec![
+        cell("no-crash"),
+        cell("crash@120k").at(120_000, TimelineEvent::Crash(7)),
+        cell("crash@150k").at(150_000, TimelineEvent::Crash(7)),
+    ]
+}
+
+/// The tentpole pin: workload (committee-plus-client) grids fork and
+/// capture like committee grids, byte-identically to cold runs across
+/// thread counts and queue backends.
 #[test]
-fn workload_specs_bypass_warm_starts() {
-    let scenario = find("steady-load").expect("steady-load registered");
-    let spec = scenario
+fn workload_warm_grids_match_cold_across_threads_and_backends() {
+    let seeds = 2;
+    for backend in [QueueBackend::Heap, QueueBackend::Calendar] {
+        let specs: Vec<ScenarioSpec> = workload_grid()
+            .into_iter()
+            .map(|mut s| {
+                s.queue = backend;
+                s
+            })
+            .collect();
+        let cold = BatchRunner::new(1).run_grid_with(&specs, seeds, None);
+        let cold_json = report::scenario_json("workload-warm", seeds, &cold, true);
+        for threads in [1, 8] {
+            let store = CheckpointStore::default();
+            let warm = BatchRunner::new(threads).run_grid_with(&specs, seeds, Some(&store));
+            let warm_json = report::scenario_json("workload-warm", seeds, &warm, true);
+            assert_eq!(
+                warm_json, cold_json,
+                "workload grid diverged warm vs cold (queue={backend:?}, threads={threads})"
+            );
+            // Whether a parallel run forks depends on worker scheduling
+            // (cells may all start before any capture lands); only the
+            // serial order is pinned.
+            if threads == 1 {
+                let stats = store.stats();
+                assert!(
+                    stats.forked > 0,
+                    "serial workload grid must actually fork: {stats:?}"
+                );
+            }
+        }
+    }
+}
+
+/// A forked workload run keeps the client population's books balanced:
+/// every submitted transaction is committed, dropped, or still pending.
+#[test]
+fn workload_fork_preserves_client_conservation() {
+    let grid = workload_grid();
+    let producer = &grid[1]; // crash@120k
+    let consumer = &grid[2]; // crash@150k — shares the empty prefix below 120k
+    let seed = derive_seed(consumer.base_seed, 0);
+    let reference = run_one(consumer, seed);
+    let store = CheckpointStore::default();
+    run_one_with(producer, seed, Some(&store));
+    assert!(
+        !store.is_empty(),
+        "the producer must capture at its crash boundary"
+    );
+    let forked = run_one_with(consumer, seed, Some(&store));
+    assert!(
+        store.stats().forked > 0,
+        "the consumer must fork from the producer's capture"
+    );
+    for rec in [&reference, &forked] {
+        let w = rec.workload.as_ref().expect("workload stats attached");
+        assert_eq!(
+            w.submitted,
+            w.committed + w.dropped + w.pending,
+            "client conservation violated: {w:?}"
+        );
+    }
+    assert_eq!(
+        forked.workload, reference.workload,
+        "forked workload stats diverged from fresh"
+    );
+}
+
+/// Post-divergence deep captures: with capture hints installed (as the
+/// grid runners do for every batch), a producer captures at a sibling's
+/// fork tick *past its own last event* — under the suffix fingerprint —
+/// and the sibling resumes there instead of replaying the shared tail.
+#[test]
+fn suffix_capture_resumes_past_producers_last_event() {
+    let scenario = find("delay-lift").expect("delay-lift registered");
+    let lift = scenario
         .specs
         .iter()
-        .find(|s| s.workload.is_some())
-        .expect("steady-load carries workload specs");
-    let seed = derive_seed(spec.base_seed, 0);
-    let reference = full_report(spec, run_one(spec, seed));
+        .find(|s| s.label == "lift@gst")
+        .expect("lift@gst spec");
+    // A sibling sharing lift@gst's whole schedule, diverging far past it.
+    let sib = {
+        let mut s = lift.clone();
+        s.label = "lift-then-crash".into();
+        s.at(200_000, TimelineEvent::Crash(7))
+    };
+    let seed = derive_seed(sib.base_seed, 0);
+    let reference = full_report(&sib, run_one(&sib, seed));
     let store = CheckpointStore::default();
-    let warm = full_report(spec, run_one_with(spec, seed, Some(&store)));
-    assert_eq!(warm, reference);
-    assert!(
-        store.is_empty(),
-        "a workload run must not populate the committee store"
+    store.set_capture_hints_for([lift, &sib]);
+    run_one_with(lift, seed, Some(&store));
+    assert_eq!(
+        store.stats().created,
+        2,
+        "lift@gst must capture at its own lift boundary AND at the \
+         sibling's hinted fork tick past it"
     );
-    assert_eq!(store.stats(), ReuseStats::default());
+    let forked = full_report(&sib, run_one_with(&sib, seed, Some(&store)));
+    let stats = store.stats();
+    assert_eq!(stats.forked, 1, "the sibling must fork: {stats:?}");
+    assert_eq!(
+        stats.prefix_ticks_saved, 200_000,
+        "the fork must resume at the suffix capture, not the lift boundary"
+    );
+    assert_eq!(forked, reference, "suffix-capture fork diverged from fresh");
+}
+
+/// The horizon-boundary audit pin: an event scheduled exactly at the
+/// horizon is applied identically by fresh, capturing, and forked runs
+/// (`boundaries()` collapses its tick into the horizon pseudo-boundary;
+/// the executor applies it after `run_before(horizon)`).
+#[test]
+fn at_horizon_event_fork_matches_fresh() {
+    let spec = ScenarioSpec::new("at-horizon", 8, 400)
+        .base_seed(0x0a7e)
+        .horizon(5_000)
+        .at(2_000, TimelineEvent::Crash(6))
+        .at(5_000, TimelineEvent::Crash(7));
+    let seed = derive_seed(spec.base_seed, 0);
+    let reference = full_report(&spec, run_one(&spec, seed));
+    let store = CheckpointStore::default();
+    let captured = full_report(&spec, run_one_with(&spec, seed, Some(&store)));
+    assert_eq!(captured, reference, "capturing perturbed an at-horizon run");
+    for tb in [2_000, 5_000] {
+        let store = CheckpointStore::default();
+        run_one_with(&spec, seed, Some(&store));
+        store.retain_ticks_at_most(tb);
+        let forked = full_report(&spec, run_one_with(&spec, seed, Some(&store)));
+        assert!(
+            store.stats().forked > 0,
+            "no fork happened at boundary {tb}"
+        );
+        assert_eq!(
+            forked, reference,
+            "fork at boundary {tb} mishandled the at-horizon event"
+        );
+    }
 }

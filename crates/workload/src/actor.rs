@@ -12,6 +12,11 @@ use prft_types::NodeId;
 ///
 /// Both variants are boxed so the population vector stays slim — a
 /// [`Replica`] is orders of magnitude larger than the enum tag.
+///
+/// `Clone` puts the mixed population on the same footing as the pure
+/// committee for checkpoint/fork warm starts: `SimSnapshot<Actor>` needs
+/// it exactly like `SimSnapshot<Replica>` does.
+#[derive(Clone)]
 pub enum Actor {
     /// A pRFT committee member.
     Replica(Box<Replica>),

@@ -59,7 +59,7 @@ enum Purpose {
 /// Clients are full simulation actors (they live behind the committee in
 /// the same node population), so their traffic interleaves with protocol
 /// messages under the engine's deterministic dispatch order.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Client {
     me: NodeId,
     committee_n: usize,
